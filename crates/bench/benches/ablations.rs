@@ -1,0 +1,85 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! basic-rate-only vs multi-rate reductions, the MNU augmentation pass,
+//! and the lock-coordinated vs staggered simulator schedules.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mcast_core::{solve_mla, solve_mnu_with, MnuConfig, RatePolicy};
+use mcast_sim::{SimConfig, Simulator, WakeSchedule};
+use mcast_topology::ScenarioConfig;
+
+fn ablation_rate_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_rate_policy");
+    group.sample_size(20);
+    for (name, policy) in [
+        ("multi_rate", RatePolicy::MultiRate),
+        ("basic_only", RatePolicy::BasicOnly),
+    ] {
+        let scenario = ScenarioConfig {
+            n_aps: 100,
+            n_users: 200,
+            rate_policy: policy,
+            ..ScenarioConfig::paper_default()
+        }
+        .with_seed(13)
+        .generate();
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(solve_mla(&scenario.instance).unwrap().total_load))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_mnu_augment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_mnu_augment");
+    group.sample_size(20);
+    let scenario = mcast_bench::fig11_scenario(40, 13);
+    for (name, augment) in [("plain", false), ("augmented", true)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(solve_mnu_with(&scenario.instance, &MnuConfig { augment }).satisfied)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_locks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_locks");
+    group.sample_size(10);
+    let scenario = ScenarioConfig {
+        n_aps: 15,
+        n_users: 40,
+        n_sessions: 3,
+        ..ScenarioConfig::paper_default()
+    }
+    .with_seed(17)
+    .generate();
+    for (name, schedule) in [
+        ("staggered", WakeSchedule::Staggered),
+        ("locked", WakeSchedule::SynchronizedLocked),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let report = Simulator::new(
+                    &scenario.instance,
+                    SimConfig {
+                        schedule,
+                        max_cycles: 60,
+                        ..SimConfig::default()
+                    },
+                )
+                .run();
+                black_box((report.converged, report.total_messages()))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_rate_policy,
+    ablation_mnu_augment,
+    ablation_locks
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Substrate microbenches: the three covering solvers on synthetic
+//! systems, independent of the WLAN layer.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcast_covering::{greedy_mcg, greedy_set_cover, solve_scg, SetSystem, SetSystemBuilder};
+
+/// A synthetic system: `n` elements, `n` singletons plus `n` random-ish
+/// wide sets across `g` groups (deterministic construction).
+fn synthetic(n: usize, g: u32) -> SetSystem<u64> {
+    let mut b = SetSystemBuilder::<u64>::new(n);
+    for e in 0..n {
+        b.push_set([e as u32], 3 + (e as u64 % 5), (e as u32) % g)
+            .unwrap();
+    }
+    for i in 0..n {
+        let members: Vec<u32> = (0..n as u32)
+            .filter(|&e| (e as usize * 7 + i * 13).is_multiple_of(5))
+            .collect();
+        if !members.is_empty() {
+            b.push_set(members, 2 + (i as u64 % 7), (i as u32) % g)
+                .unwrap();
+        }
+    }
+    b.build().unwrap()
+}
+
+fn covering_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("covering_substrate");
+    group.sample_size(20);
+    for &n in &[100usize, 400] {
+        let system = synthetic(n, 20);
+        group.bench_with_input(BenchmarkId::new("greedy_set_cover", n), &system, |b, s| {
+            b.iter(|| black_box(greedy_set_cover(s).unwrap().covered_count()))
+        });
+        let budgets = vec![25u64; s_groups(&system)];
+        group.bench_with_input(BenchmarkId::new("greedy_mcg", n), &system, |b, s| {
+            b.iter(|| black_box(greedy_mcg(s, &budgets).feasible().covered_count()))
+        });
+        let candidates: Vec<u64> = vec![10, 20, 40, 80, 160, 1000];
+        group.bench_with_input(BenchmarkId::new("solve_scg", n), &system, |b, s| {
+            b.iter(|| black_box(*solve_scg(s, &candidates).unwrap().max_group_cost()))
+        });
+    }
+    group.finish();
+}
+
+fn s_groups(s: &SetSystem<u64>) -> usize {
+    s.n_groups()
+}
+
+criterion_group!(benches, covering_benches);
+criterion_main!(benches);

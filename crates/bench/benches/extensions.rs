@@ -1,0 +1,125 @@
+//! Benches for the §8-extension substrates: interference graph + channel
+//! assignment, the primal–dual MLA variant, per-AP power optimization,
+//! and mobility perturbation/repair.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mcast_channels::{assign_channels, ColoringStrategy, EffectiveLoads, InterferenceGraph};
+use mcast_core::{
+    run_distributed, solve_mla, solve_mla_with, solve_ssa, DistributedConfig, MlaAlgorithm,
+    Objective,
+};
+use mcast_topology::{optimize_power, ScenarioConfig};
+
+fn bench_channels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_channels");
+    group.sample_size(20);
+    let scenario = mcast_bench::scenario(150, 300, 5, 21);
+    let range = 2.0 * scenario.config.rate_table.range_m();
+    group.bench_function("interference_graph_150aps", |b| {
+        b.iter(|| {
+            black_box(InterferenceGraph::from_positions(&scenario.ap_positions, range).n_edges())
+        })
+    });
+    let graph = InterferenceGraph::from_positions(&scenario.ap_positions, range);
+    group.bench_function("dsatur_12ch", |b| {
+        b.iter(|| {
+            black_box(
+                assign_channels(&graph, 12, ColoringStrategy::Dsatur)
+                    .conflicts()
+                    .len(),
+            )
+        })
+    });
+    let assignment = assign_channels(&graph, 12, ColoringStrategy::Dsatur);
+    let assoc = solve_ssa(&scenario.instance, Objective::Mla).association;
+    group.bench_function("effective_loads", |b| {
+        b.iter(|| {
+            black_box(
+                EffectiveLoads::compute(&scenario.instance, &assoc, &graph, &assignment)
+                    .max_effective(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_primal_dual(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_mla_algorithms");
+    group.sample_size(20);
+    let scenario = mcast_bench::scenario(100, 250, 5, 23);
+    let inst = &scenario.instance;
+    group.bench_function("greedy", |b| {
+        b.iter(|| black_box(solve_mla(inst).unwrap().total_load))
+    });
+    group.bench_function("primal_dual", |b| {
+        b.iter(|| {
+            black_box(
+                solve_mla_with(inst, MlaAlgorithm::PrimalDual)
+                    .unwrap()
+                    .total_load,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_power_optimizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_power");
+    group.sample_size(10);
+    let scenario = ScenarioConfig {
+        n_aps: 20,
+        n_users: 50,
+        n_sessions: 3,
+        ..ScenarioConfig::paper_default()
+    }
+    .with_seed(25)
+    .generate();
+    group.bench_function("coordinate_descent_1round", |b| {
+        b.iter(|| {
+            let out = optimize_power(&scenario, &[1.0, 1.25], 1, |inst| {
+                solve_mla(inst).map_or(f64::INFINITY, |s| s.total_load.as_f64())
+            });
+            black_box(out.objective)
+        })
+    });
+    group.finish();
+}
+
+fn bench_mobility(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_mobility");
+    group.sample_size(20);
+    let scenario = mcast_bench::scenario(60, 150, 4, 27);
+    group.bench_function("perturb_10pct", |b| {
+        b.iter(|| black_box(scenario.perturb(9, 0.10, 120.0).instance.n_users()))
+    });
+    let moved = scenario.perturb(9, 0.10, 120.0);
+    let carried = run_distributed(
+        &scenario.instance,
+        &DistributedConfig::default(),
+        mcast_core::Association::empty(scenario.instance.n_users()),
+    )
+    .association
+    .restricted_to(&moved.instance);
+    group.bench_function("repair_after_10pct", |b| {
+        b.iter(|| {
+            black_box(
+                run_distributed(
+                    &moved.instance,
+                    &DistributedConfig::default(),
+                    carried.clone(),
+                )
+                .moves,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_channels,
+    bench_primal_dual,
+    bench_power_optimizer,
+    bench_mobility
+);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 10 bench: one scenario's worth of the max-load experiment —
+//! BLA-C (SCG over the dual-rule candidate grid) and BLA-D.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcast_core::{run_min_max_vector, solve_bla};
+
+fn fig10_bla(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_max_load");
+    group.sample_size(10);
+    for &users in &[100usize, 400] {
+        let scenario = mcast_bench::scenario(200, users, 5, 3);
+        let inst = &scenario.instance;
+        group.bench_with_input(
+            BenchmarkId::new("bla_centralized", users),
+            inst,
+            |b, inst| b.iter(|| black_box(solve_bla(inst).unwrap().max_load)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bla_distributed", users),
+            inst,
+            |b, inst| b.iter(|| black_box(run_min_max_vector(inst).association.satisfied_count())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig10_bla);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 11 bench: the satisfied-users experiment at a tight budget —
+//! MNU-C (MCG greedy + partition) and MNU-D (budgeted serial rounds).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcast_core::{run_min_total, solve_mnu};
+
+fn fig11_mnu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_satisfied_users");
+    group.sample_size(20);
+    for &budget in &[40u32, 100] {
+        let scenario = mcast_bench::fig11_scenario(budget, 5);
+        let inst = &scenario.instance;
+        group.bench_with_input(
+            BenchmarkId::new("mnu_centralized", budget),
+            inst,
+            |b, inst| b.iter(|| black_box(solve_mnu(inst).satisfied)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mnu_distributed", budget),
+            inst,
+            |b, inst| b.iter(|| black_box(run_min_total(inst).association.satisfied_count())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig11_mnu);
+criterion_main!(benches);

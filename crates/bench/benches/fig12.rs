@@ -1,0 +1,31 @@
+//! Figure 12 bench: the certified-optimal branch-and-bound solvers (the
+//! reproduction's ILP substitute) on the small-network workload.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcast_exact::{optimal_bla, optimal_mla, optimal_mnu, SearchLimits};
+
+fn fig12_optimal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_exact_solvers");
+    group.sample_size(10);
+    let limits = SearchLimits::default();
+    for &users in &[20usize, 40] {
+        let scenario = mcast_bench::fig12_scenario(users, 900, 11);
+        let inst = &scenario.instance;
+        group.bench_with_input(BenchmarkId::new("optimal_mla", users), inst, |b, inst| {
+            b.iter(|| black_box(optimal_mla(inst, limits).unwrap().nodes))
+        });
+        group.bench_with_input(BenchmarkId::new("optimal_bla", users), inst, |b, inst| {
+            b.iter(|| black_box(optimal_bla(inst, limits).unwrap().nodes))
+        });
+        let tight = mcast_bench::fig12_scenario(users, 42, 11);
+        group.bench_with_input(
+            BenchmarkId::new("optimal_mnu_budget042", users),
+            &tight.instance,
+            |b, inst| b.iter(|| black_box(optimal_mnu(inst, limits).nodes)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig12_optimal);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 9 bench: one scenario's worth of the total-load experiment —
+//! MLA-C (reduction + greedy set cover), MLA-D (serial rounds), and SSA —
+//! at the sweep's extremes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcast_core::{run_min_total, solve_mla, solve_ssa, Objective};
+
+fn fig9_mla(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_total_load");
+    group.sample_size(20);
+    for &users in &[100usize, 400] {
+        let scenario = mcast_bench::scenario(200, users, 5, 3);
+        let inst = &scenario.instance;
+        group.bench_with_input(
+            BenchmarkId::new("mla_centralized", users),
+            inst,
+            |b, inst| b.iter(|| black_box(solve_mla(inst).unwrap().total_load)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mla_distributed", users),
+            inst,
+            |b, inst| b.iter(|| black_box(run_min_total(inst).association.satisfied_count())),
+        );
+        group.bench_with_input(BenchmarkId::new("ssa", users), inst, |b, inst| {
+            b.iter(|| black_box(solve_ssa(inst, Objective::Mla).total_load))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig9_mla);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Table 1 bench: the rate–distance staircase lookup that every link in
+//! every generated scenario pays.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mcast_core::RateTable;
+
+fn table1_rate_lookup(c: &mut Criterion) {
+    let table = RateTable::ieee80211a();
+    let distances: Vec<f64> = (0..1000).map(|i| i as f64 * 0.21).collect();
+    c.bench_function("table1_rate_lookup_1k", |b| {
+        b.iter(|| {
+            let mut found = 0u32;
+            for &d in &distances {
+                if table.rate_at(black_box(d)).is_some() {
+                    found += 1;
+                }
+            }
+            black_box(found)
+        })
+    });
+
+    c.bench_function("table1_scenario_link_derivation_50x100", |b| {
+        b.iter(|| {
+            let s = mcast_bench::scenario(50, 100, 5, 7);
+            black_box(s.instance.n_users())
+        })
+    });
+}
+
+criterion_group!(benches, table1_rate_lookup);
+criterion_main!(benches);

@@ -1,0 +1,169 @@
+//! Co-channel effective loads: what each AP's airtime looks like once
+//! interfering same-channel neighbors share the medium.
+
+use mcast_core::{ApId, Association, Instance, Load};
+
+use crate::coloring::ChannelAssignment;
+use crate::graph::InterferenceGraph;
+
+/// Per-AP effective busy fractions under an association and a channel
+/// assignment: an AP's channel is busy for its own multicast transmissions
+/// *plus* those of every interfering co-channel AP (carrier sense defers
+/// to them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EffectiveLoads {
+    own: Vec<Load>,
+    effective: Vec<Load>,
+}
+
+impl EffectiveLoads {
+    /// Computes effective loads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph/assignment AP counts disagree with the
+    /// instance.
+    pub fn compute(
+        inst: &Instance,
+        assoc: &Association,
+        graph: &InterferenceGraph,
+        assignment: &ChannelAssignment,
+    ) -> EffectiveLoads {
+        assert_eq!(graph.n_aps(), inst.n_aps(), "graph size");
+        assert_eq!(assignment.channels().len(), inst.n_aps(), "assignment size");
+        let own = assoc.loads(inst);
+        let effective = inst
+            .aps()
+            .map(|a| {
+                let mut total = own[a.index()];
+                for &b in graph.neighbors(a) {
+                    if assignment.channel(a) == assignment.channel(b) {
+                        total += own[b.index()];
+                    }
+                }
+                total
+            })
+            .collect();
+        EffectiveLoads { own, effective }
+    }
+
+    /// The AP's own (Definition 1) load.
+    pub fn own(&self, a: ApId) -> Load {
+        self.own[a.index()]
+    }
+
+    /// The AP's effective busy fraction including co-channel interferers.
+    pub fn effective(&self, a: ApId) -> Load {
+        self.effective[a.index()]
+    }
+
+    /// Maximum effective load over all APs.
+    pub fn max_effective(&self) -> Load {
+        self.effective.iter().copied().max().unwrap_or(Load::ZERO)
+    }
+
+    /// Total interference overhead: `Σ (effective − own)` — each unit is
+    /// an (interferer load × victim) airtime overlap.
+    pub fn interference_overhead(&self) -> Load {
+        self.effective
+            .iter()
+            .zip(&self.own)
+            .map(|(e, o)| *e - *o)
+            .sum()
+    }
+
+    /// APs whose effective load exceeds 1 — their channel is saturated
+    /// (multicast alone over-commits the medium around them).
+    pub fn saturated_aps(&self) -> Vec<ApId> {
+        self.effective
+            .iter()
+            .enumerate()
+            .filter(|(_, &e)| e > Load::ONE)
+            .map(|(i, _)| ApId(i as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coloring::{assign_channels, ColoringStrategy};
+    use mcast_core::{InstanceBuilder, Kbps};
+
+    /// Two APs in range of each other, one user each on distinct sessions.
+    fn two_ap_world() -> (Instance, Association) {
+        let mut b = InstanceBuilder::new();
+        b.supported_rates([Kbps::from_mbps(6)]);
+        let s1 = b.add_session(Kbps::from_mbps(1));
+        let s2 = b.add_session(Kbps::from_mbps(1));
+        let a1 = b.add_ap(Load::ONE);
+        let a2 = b.add_ap(Load::ONE);
+        let u1 = b.add_user(s1);
+        let u2 = b.add_user(s2);
+        b.link(a1, u1, Kbps::from_mbps(6)).unwrap();
+        b.link(a2, u2, Kbps::from_mbps(6)).unwrap();
+        let inst = b.build().unwrap();
+        let assoc = Association::from_vec(vec![Some(a1), Some(a2)]);
+        (inst, assoc)
+    }
+
+    #[test]
+    fn separate_channels_mean_no_overhead() {
+        let (inst, assoc) = two_ap_world();
+        let graph = InterferenceGraph::from_edges(2, &[(0, 1)]);
+        let asg = assign_channels(&graph, 2, ColoringStrategy::Dsatur);
+        let eff = EffectiveLoads::compute(&inst, &assoc, &graph, &asg);
+        assert_eq!(eff.interference_overhead(), Load::ZERO);
+        assert_eq!(eff.effective(ApId(0)), Load::from_ratio(1, 6));
+        assert_eq!(eff.max_effective(), Load::from_ratio(1, 6));
+        assert!(eff.saturated_aps().is_empty());
+    }
+
+    #[test]
+    fn shared_channel_adds_neighbor_load() {
+        let (inst, assoc) = two_ap_world();
+        let graph = InterferenceGraph::from_edges(2, &[(0, 1)]);
+        let asg = assign_channels(&graph, 1, ColoringStrategy::Greedy);
+        let eff = EffectiveLoads::compute(&inst, &assoc, &graph, &asg);
+        // Each AP sees its own 1/6 plus the neighbor's 1/6.
+        assert_eq!(eff.effective(ApId(0)), Load::from_ratio(1, 3));
+        assert_eq!(eff.effective(ApId(1)), Load::from_ratio(1, 3));
+        assert_eq!(eff.own(ApId(0)), Load::from_ratio(1, 6));
+        // Overhead: 1/6 on each side.
+        assert_eq!(eff.interference_overhead(), Load::from_ratio(1, 3));
+    }
+
+    #[test]
+    fn non_interfering_aps_never_add() {
+        let (inst, assoc) = two_ap_world();
+        let graph = InterferenceGraph::from_edges(2, &[]);
+        let asg = assign_channels(&graph, 1, ColoringStrategy::Greedy);
+        let eff = EffectiveLoads::compute(&inst, &assoc, &graph, &asg);
+        assert_eq!(eff.interference_overhead(), Load::ZERO);
+    }
+
+    #[test]
+    fn saturation_detected() {
+        // Three co-channel APs each loaded 2/5: effective 6/5 > 1.
+        let mut b = InstanceBuilder::new();
+        b.supported_rates([Kbps::from_mbps(5)]);
+        let mut assoc_v = Vec::new();
+        let mut aps = Vec::new();
+        for _ in 0..3 {
+            aps.push(b.add_ap(Load::ONE));
+        }
+        for (i, &ap) in aps.iter().enumerate() {
+            let s = b.add_session(Kbps::from_mbps(2));
+            let u = b.add_user(s);
+            b.link(ap, u, Kbps::from_mbps(5)).unwrap();
+            assoc_v.push((i, ap));
+        }
+        let inst = b.build().unwrap();
+        let assoc = Association::from_vec(assoc_v.iter().map(|&(_, a)| Some(a)).collect());
+        let graph = InterferenceGraph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let asg = assign_channels(&graph, 1, ColoringStrategy::Greedy);
+        let eff = EffectiveLoads::compute(&inst, &assoc, &graph, &asg);
+        assert_eq!(eff.effective(ApId(0)), Load::from_ratio(6, 5));
+        assert_eq!(eff.saturated_aps().len(), 3);
+    }
+}

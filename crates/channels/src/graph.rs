@@ -1,0 +1,149 @@
+//! The AP interference graph.
+
+use mcast_core::ApId;
+use mcast_topology::Point;
+use serde::{Deserialize, Serialize};
+
+/// Which AP pairs would interfere if operating on the same channel.
+///
+/// Built from deployment geometry with a carrier-sense range: two APs
+/// interfere when their distance is at most `interference_range_m`
+/// (typically ~2× the communication range — an AP's transmissions reach
+/// and defer stations well beyond its decodable range).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InterferenceGraph {
+    n_aps: usize,
+    /// Adjacency lists, sorted ascending; symmetric, irreflexive.
+    adj: Vec<Vec<ApId>>,
+}
+
+impl InterferenceGraph {
+    /// Builds the graph from AP positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interference_range_m` is not positive and finite.
+    pub fn from_positions(positions: &[Point], interference_range_m: f64) -> InterferenceGraph {
+        assert!(
+            interference_range_m.is_finite() && interference_range_m > 0.0,
+            "interference range must be positive and finite"
+        );
+        let n = positions.len();
+        let mut adj = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if positions[i].distance(&positions[j]) <= interference_range_m {
+                    adj[i].push(ApId(j as u32));
+                    adj[j].push(ApId(i as u32));
+                }
+            }
+        }
+        InterferenceGraph { n_aps: n, adj }
+    }
+
+    /// Builds a graph from explicit edges (for tests and synthetic cases).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references an AP `>= n_aps` or is a self-loop.
+    pub fn from_edges(n_aps: usize, edges: &[(u32, u32)]) -> InterferenceGraph {
+        let mut adj: Vec<Vec<ApId>> = vec![Vec::new(); n_aps];
+        for &(a, b) in edges {
+            assert!(a != b, "self-interference is implicit");
+            assert!(
+                (a as usize) < n_aps && (b as usize) < n_aps,
+                "edge endpoint out of range"
+            );
+            adj[a as usize].push(ApId(b));
+            adj[b as usize].push(ApId(a));
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        InterferenceGraph { n_aps, adj }
+    }
+
+    /// Number of APs (vertices).
+    pub fn n_aps(&self) -> usize {
+        self.n_aps
+    }
+
+    /// The APs that interfere with `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    pub fn neighbors(&self, a: ApId) -> &[ApId] {
+        &self.adj[a.index()]
+    }
+
+    /// The degree of `a`.
+    pub fn degree(&self, a: ApId) -> usize {
+        self.adj[a.index()].len()
+    }
+
+    /// Maximum degree over all APs (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Total number of undirected edges.
+    pub fn n_edges(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// True if `a` and `b` interfere.
+    pub fn interferes(&self, a: ApId, b: ApId) -> bool {
+        self.adj[a.index()].binary_search(&b).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_construction() {
+        let positions = vec![
+            Point::new(0.0, 0.0),
+            Point::new(100.0, 0.0),
+            Point::new(500.0, 0.0),
+        ];
+        let g = InterferenceGraph::from_positions(&positions, 150.0);
+        assert_eq!(g.n_aps(), 3);
+        assert!(g.interferes(ApId(0), ApId(1)));
+        assert!(!g.interferes(ApId(0), ApId(2)));
+        assert!(!g.interferes(ApId(1), ApId(2)));
+        assert_eq!(g.n_edges(), 1);
+        assert_eq!(g.max_degree(), 1);
+    }
+
+    #[test]
+    fn symmetry_and_sorted_adjacency() {
+        let g = InterferenceGraph::from_edges(4, &[(2, 0), (0, 1), (2, 1), (2, 0)]);
+        assert_eq!(g.neighbors(ApId(2)), &[ApId(0), ApId(1)]);
+        assert_eq!(g.neighbors(ApId(0)), &[ApId(1), ApId(2)]);
+        assert!(g.interferes(ApId(1), ApId(2)) && g.interferes(ApId(2), ApId(1)));
+        assert_eq!(g.n_edges(), 3);
+        assert_eq!(g.degree(ApId(3)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-interference")]
+    fn self_loop_rejected() {
+        InterferenceGraph::from_edges(2, &[(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_rejected() {
+        InterferenceGraph::from_edges(2, &[(0, 5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_range_rejected() {
+        InterferenceGraph::from_positions(&[Point::new(0.0, 0.0)], 0.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for the interference/channel substrate.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use mcast_channels::{assign_channels, ColoringStrategy, InterferenceGraph};
+use mcast_core::ApId;
+use mcast_topology::Point;
+
+fn random_graph() -> impl Strategy<Value = InterferenceGraph> {
+    (2usize..20).prop_flat_map(|n| {
+        vec(
+            (0u32..(n as u32), 0u32..(n as u32)),
+            0..(n * (n - 1) / 2).max(1),
+        )
+        .prop_map(move |pairs| {
+            let edges: Vec<(u32, u32)> = pairs.into_iter().filter(|&(a, b)| a != b).collect();
+            InterferenceGraph::from_edges(n, &edges)
+        })
+    })
+}
+
+fn random_positions() -> impl Strategy<Value = Vec<Point>> {
+    vec((0.0f64..1000.0, 0.0f64..1000.0), 1..30)
+        .prop_map(|ps| ps.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn assignment_covers_every_ap_within_budget(
+        graph in random_graph(),
+        n_channels in 1u16..13,
+    ) {
+        for strategy in [ColoringStrategy::Greedy, ColoringStrategy::Dsatur] {
+            let asg = assign_channels(&graph, n_channels, strategy);
+            prop_assert_eq!(asg.channels().len(), graph.n_aps());
+            for &c in asg.channels() {
+                prop_assert!(c.0 < n_channels);
+            }
+        }
+    }
+
+    #[test]
+    fn conflicts_exactly_the_cochannel_edges(
+        graph in random_graph(),
+        n_channels in 1u16..13,
+    ) {
+        let asg = assign_channels(&graph, n_channels, ColoringStrategy::Dsatur);
+        // Recompute conflicts from scratch; must match the report.
+        let mut expected = Vec::new();
+        for a in 0..graph.n_aps() as u32 {
+            for &b in graph.neighbors(ApId(a)) {
+                if b.0 > a && asg.channel(ApId(a)) == asg.channel(b) {
+                    expected.push((ApId(a), b));
+                }
+            }
+        }
+        expected.sort();
+        prop_assert_eq!(asg.conflicts(), &expected[..]);
+    }
+
+    #[test]
+    fn enough_channels_means_no_conflicts(graph in random_graph()) {
+        // Greedy coloring needs at most maxdeg + 1 colors.
+        let budget = (graph.max_degree() + 1) as u16;
+        for strategy in [ColoringStrategy::Greedy, ColoringStrategy::Dsatur] {
+            let asg = assign_channels(&graph, budget, strategy);
+            prop_assert!(
+                asg.conflicts().is_empty(),
+                "{strategy:?} conflicted with {} channels on max degree {}",
+                budget,
+                graph.max_degree()
+            );
+        }
+    }
+
+    #[test]
+    fn more_channels_never_more_conflicts(graph in random_graph()) {
+        let mut previous = usize::MAX;
+        for n_channels in 1u16..=8 {
+            let asg = assign_channels(&graph, n_channels, ColoringStrategy::Dsatur);
+            prop_assert!(
+                asg.conflicts().len() <= previous,
+                "conflicts increased at {n_channels} channels"
+            );
+            previous = asg.conflicts().len();
+        }
+    }
+
+    #[test]
+    fn geometric_graph_is_symmetric_and_threshold_exact(
+        positions in random_positions(),
+        range in 50.0f64..500.0,
+    ) {
+        let g = InterferenceGraph::from_positions(&positions, range);
+        for i in 0..positions.len() {
+            for j in 0..positions.len() {
+                if i == j { continue; }
+                let expect = positions[i].distance(&positions[j]) <= range;
+                prop_assert_eq!(g.interferes(ApId(i as u32), ApId(j as u32)), expect);
+                prop_assert_eq!(
+                    g.interferes(ApId(i as u32), ApId(j as u32)),
+                    g.interferes(ApId(j as u32), ApId(i as u32))
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,668 @@
+//! Association state and exact multicast load accounting.
+//!
+//! The load model is Definition 1 of the paper: an AP multicasting session
+//! `s` to member set `M` transmits at `min_{u∈M} r(a,u)` (multi-rate
+//! policy) or at the basic rate (basic-only), contributing
+//! `rate(s) / tx_rate` to the AP's load; an AP's load is the sum over the
+//! sessions it serves, and the network's total load is the sum over APs.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{ApId, SessionId, UserId};
+use crate::instance::Instance;
+use crate::load::Load;
+use crate::rate::Kbps;
+
+/// A (partial) assignment of users to APs.
+///
+/// `None` means the user is unsatisfied — it receives no multicast service.
+/// This type is plain data; all load computations take the [`Instance`]
+/// explicitly (or use the incremental [`LoadLedger`]).
+///
+/// # Example
+///
+/// ```
+/// use mcast_core::examples_paper::figure1_instance;
+/// use mcast_core::{ApId, Association, Kbps, Load, UserId};
+///
+/// let inst = figure1_instance(Kbps::from_mbps(1));
+/// let mut assoc = Association::empty(inst.n_users());
+/// assoc.set(UserId(0), Some(ApId(0)));
+/// assoc.set(UserId(2), Some(ApId(0)));
+/// // a1 serves session s1 at min(3, 4) = 3 Mbps: load 1/3.
+/// assert_eq!(assoc.ap_load(ApId(0), &inst), Load::from_ratio(1, 3));
+/// assert_eq!(assoc.satisfied_count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Association {
+    by_user: Vec<Option<ApId>>,
+}
+
+/// Errors from [`Association::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AssocError {
+    /// A user is associated with an AP out of its radio range.
+    OutOfRange {
+        /// The user.
+        user: UserId,
+        /// The AP it is (wrongly) associated with.
+        ap: ApId,
+    },
+    /// An AP's multicast load exceeds its budget.
+    OverBudget {
+        /// The overloaded AP.
+        ap: ApId,
+        /// Its computed load.
+        load: Load,
+        /// Its budget.
+        budget: Load,
+    },
+    /// The association vector length does not match the instance.
+    WrongSize {
+        /// Length of the association vector.
+        got: usize,
+        /// Number of users in the instance.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for AssocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssocError::OutOfRange { user, ap } => {
+                write!(f, "user {user} associated with out-of-range AP {ap}")
+            }
+            AssocError::OverBudget { ap, load, budget } => {
+                write!(f, "AP {ap} load {load} exceeds budget {budget}")
+            }
+            AssocError::WrongSize { got, expected } => {
+                write!(f, "association covers {got} users, instance has {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AssocError {}
+
+impl Association {
+    /// An association with every user unsatisfied.
+    pub fn empty(n_users: usize) -> Association {
+        Association {
+            by_user: vec![None; n_users],
+        }
+    }
+
+    /// Builds from an explicit per-user vector.
+    pub fn from_vec(by_user: Vec<Option<ApId>>) -> Association {
+        Association { by_user }
+    }
+
+    /// The AP user `u` is associated with, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn ap_of(&self, u: UserId) -> Option<ApId> {
+        self.by_user[u.index()]
+    }
+
+    /// Associates `u` with `a` (or disassociates with `None`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn set(&mut self, u: UserId, a: Option<ApId>) {
+        self.by_user[u.index()] = a;
+    }
+
+    /// Number of users receiving service.
+    pub fn satisfied_count(&self) -> usize {
+        self.by_user.iter().filter(|a| a.is_some()).count()
+    }
+
+    /// Number of users without service.
+    pub fn unsatisfied_count(&self) -> usize {
+        self.by_user.len() - self.satisfied_count()
+    }
+
+    /// Per-user view, indexable by `UserId::index`.
+    pub fn as_slice(&self) -> &[Option<ApId>] {
+        &self.by_user
+    }
+
+    /// The members of AP `a` requesting session `s`.
+    pub fn members_of(&self, a: ApId, s: SessionId, inst: &Instance) -> Vec<UserId> {
+        self.by_user
+            .iter()
+            .enumerate()
+            .filter(|(u, &ap)| ap == Some(a) && inst.user_session(UserId(*u as u32)) == s)
+            .map(|(u, _)| UserId(u as u32))
+            .collect()
+    }
+
+    /// The rate AP `a` must use for session `s` — the minimum multicast
+    /// rate over its members for `s` — or `None` if it serves no such member.
+    pub fn ap_session_rate(&self, a: ApId, s: SessionId, inst: &Instance) -> Option<Kbps> {
+        self.by_user
+            .iter()
+            .enumerate()
+            .filter(|(u, &ap)| ap == Some(a) && inst.user_session(UserId(*u as u32)) == s)
+            .map(|(u, _)| {
+                inst.multicast_rate_to(a, UserId(u as u32))
+                    .expect("associated user must be in range")
+            })
+            .min()
+    }
+
+    /// The multicast load of AP `a` (Definition 1).
+    pub fn ap_load(&self, a: ApId, inst: &Instance) -> Load {
+        inst.sessions()
+            .filter_map(|s| {
+                self.ap_session_rate(a, s, inst)
+                    .map(|tx| Load::per_transmission(inst.session_rate(s), tx))
+            })
+            .sum()
+    }
+
+    /// All AP loads, indexable by `ApId::index`.
+    pub fn loads(&self, inst: &Instance) -> Vec<Load> {
+        inst.aps().map(|a| self.ap_load(a, inst)).collect()
+    }
+
+    /// The total multicast load of the network.
+    pub fn total_load(&self, inst: &Instance) -> Load {
+        self.loads(inst).into_iter().sum()
+    }
+
+    /// The maximum AP load.
+    pub fn max_load(&self, inst: &Instance) -> Load {
+        self.loads(inst).into_iter().max().unwrap_or(Load::ZERO)
+    }
+
+    /// Checks structural validity and budget feasibility.
+    ///
+    /// # Errors
+    ///
+    /// See [`AssocError`].
+    pub fn validate(&self, inst: &Instance) -> Result<(), AssocError> {
+        if self.by_user.len() != inst.n_users() {
+            return Err(AssocError::WrongSize {
+                got: self.by_user.len(),
+                expected: inst.n_users(),
+            });
+        }
+        for (u, &ap) in self.by_user.iter().enumerate() {
+            if let Some(a) = ap {
+                if inst.link_rate(a, UserId(u as u32)).is_none() {
+                    return Err(AssocError::OutOfRange {
+                        user: UserId(u as u32),
+                        ap: a,
+                    });
+                }
+            }
+        }
+        for a in inst.aps() {
+            let load = self.ap_load(a, inst);
+            if load > inst.budget(a) {
+                return Err(AssocError::OverBudget {
+                    ap: a,
+                    load,
+                    budget: inst.budget(a),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// True if [`validate`](Association::validate) passes.
+    pub fn is_feasible(&self, inst: &Instance) -> bool {
+        self.validate(inst).is_ok()
+    }
+
+    /// Drops assignments that are invalid for `inst` — users out of their
+    /// AP's range become unsatisfied. Used to carry an association across
+    /// mobility epochs: moved users that left coverage of their AP must
+    /// re-associate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the association length does not match `inst`.
+    pub fn restricted_to(&self, inst: &Instance) -> Association {
+        assert_eq!(self.by_user.len(), inst.n_users(), "association size");
+        Association {
+            by_user: self
+                .by_user
+                .iter()
+                .enumerate()
+                .map(|(u, &ap)| ap.filter(|&a| inst.link_rate(a, UserId(u as u32)).is_some()))
+                .collect(),
+        }
+    }
+}
+
+/// Incrementally maintained load state used by the distributed algorithms:
+/// supports O(log) joins/leaves and O(1) load queries, plus *hypothetical*
+/// deltas ("what would AP `a`'s load be if I joined / if I left?") that the
+/// paper's users compute from AP query responses.
+///
+/// # Example
+///
+/// ```
+/// use mcast_core::examples_paper::figure1_instance;
+/// use mcast_core::{ApId, Kbps, Load, LoadLedger, UserId};
+///
+/// let inst = figure1_instance(Kbps::from_mbps(1));
+/// let mut ledger = LoadLedger::fresh(&inst);
+/// // "What would a1's load be if u3 joined?" — without joining.
+/// assert_eq!(
+///     ledger.load_if_joined(UserId(2), ApId(0)),
+///     Some(Load::from_ratio(1, 4))
+/// );
+/// ledger.join(UserId(2), ApId(0));
+/// assert_eq!(ledger.ap_load(ApId(0)), Load::from_ratio(1, 4));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoadLedger<'a> {
+    inst: &'a Instance,
+    assoc: Association,
+    /// Per (AP, session): multiset of member multicast rates.
+    members: Vec<BTreeMap<Kbps, u32>>,
+    ap_load: Vec<Load>,
+}
+
+impl<'a> LoadLedger<'a> {
+    /// Starts from an existing association.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the association is structurally invalid for `inst`
+    /// (wrong size or out-of-range assignment). Budgets are *not* checked —
+    /// ledgers are also used to explore infeasible intermediate states.
+    pub fn new(inst: &'a Instance, assoc: Association) -> LoadLedger<'a> {
+        assert_eq!(assoc.as_slice().len(), inst.n_users(), "association size");
+        let mut ledger = LoadLedger {
+            inst,
+            assoc: Association::empty(inst.n_users()),
+            members: vec![BTreeMap::new(); inst.n_aps() * inst.n_sessions()],
+            ap_load: vec![Load::ZERO; inst.n_aps()],
+        };
+        for (u, &ap) in assoc.as_slice().iter().enumerate() {
+            if let Some(a) = ap {
+                ledger.join(UserId(u as u32), a);
+            }
+        }
+        ledger
+    }
+
+    /// Starts with every user unsatisfied.
+    pub fn fresh(inst: &'a Instance) -> LoadLedger<'a> {
+        LoadLedger::new(inst, Association::empty(inst.n_users()))
+    }
+
+    fn slot(&self, a: ApId, s: SessionId) -> usize {
+        a.index() * self.inst.n_sessions() + s.index()
+    }
+
+    /// The load AP `a` currently carries.
+    pub fn ap_load(&self, a: ApId) -> Load {
+        self.ap_load[a.index()]
+    }
+
+    /// The AP user `u` is currently associated with.
+    pub fn ap_of(&self, u: UserId) -> Option<ApId> {
+        self.assoc.ap_of(u)
+    }
+
+    /// The current association (cheap clone of plain data).
+    pub fn association(&self) -> &Association {
+        &self.assoc
+    }
+
+    /// Consumes the ledger, returning the association.
+    pub fn into_association(self) -> Association {
+        self.assoc
+    }
+
+    /// Total load over all APs.
+    pub fn total_load(&self) -> Load {
+        self.ap_load.iter().copied().sum()
+    }
+
+    /// Maximum AP load.
+    pub fn max_load(&self) -> Load {
+        self.ap_load.iter().copied().max().unwrap_or(Load::ZERO)
+    }
+
+    /// The transmission rate AP `a` uses for session `s`, if it serves it.
+    pub fn ap_session_rate(&self, a: ApId, s: SessionId) -> Option<Kbps> {
+        self.members[self.slot(a, s)].keys().next().copied()
+    }
+
+    /// The load AP `a` would have if user `u` joined it (without joining).
+    ///
+    /// Returns `None` if `u` is out of `a`'s range.
+    pub fn load_if_joined(&self, u: UserId, a: ApId) -> Option<Load> {
+        let s = self.inst.user_session(u);
+        let u_rate = self.inst.multicast_rate_to(a, u)?;
+        let stream = self.inst.session_rate(s);
+        let cur = self.ap_session_rate(a, s);
+        let new_tx = match cur {
+            Some(tx) => tx.min(u_rate),
+            None => u_rate,
+        };
+        let old_part = cur.map_or(Load::ZERO, |tx| Load::per_transmission(stream, tx));
+        Some(self.ap_load[a.index()] - old_part + Load::per_transmission(stream, new_tx))
+    }
+
+    /// The load user `u`'s current AP would have if `u` left it
+    /// (the "load of `a` if it leaves AP `a`" the paper's users query).
+    ///
+    /// Returns `None` if `u` is not associated.
+    pub fn load_if_left(&self, u: UserId) -> Option<Load> {
+        let a = self.assoc.ap_of(u)?;
+        let s = self.inst.user_session(u);
+        let stream = self.inst.session_rate(s);
+        let u_rate = self
+            .inst
+            .multicast_rate_to(a, u)
+            .expect("associated user in range");
+        let slot = &self.members[self.slot(a, s)];
+        let cur_tx = *slot.keys().next().expect("member present");
+        let old_part = Load::per_transmission(stream, cur_tx);
+        // Remaining members after u leaves: remove one instance of u_rate.
+        let new_tx = if slot[&u_rate] > 1 {
+            Some(cur_tx) // another member shares u's rate; min unchanged
+        } else {
+            slot.keys().copied().find(|&r| r != u_rate).map(|r| {
+                if u_rate == cur_tx {
+                    r // u was the unique slowest; next-slowest takes over
+                } else {
+                    cur_tx
+                }
+            })
+        };
+        let new_part = new_tx.map_or(Load::ZERO, |tx| Load::per_transmission(stream, tx));
+        Some(self.ap_load[a.index()] - old_part + new_part)
+    }
+
+    /// Associates `u` with `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is already associated or out of `a`'s range.
+    pub fn join(&mut self, u: UserId, a: ApId) {
+        assert!(self.assoc.ap_of(u).is_none(), "user {u} already associated");
+        let new_load = self
+            .load_if_joined(u, a)
+            .unwrap_or_else(|| panic!("user {u} out of range of AP {a}"));
+        let s = self.inst.user_session(u);
+        let u_rate = self.inst.multicast_rate_to(a, u).expect("checked in range");
+        let slot_idx = self.slot(a, s);
+        *self.members[slot_idx].entry(u_rate).or_insert(0) += 1;
+        self.ap_load[a.index()] = new_load;
+        self.assoc.set(u, Some(a));
+    }
+
+    /// Disassociates `u` from its current AP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not associated.
+    pub fn leave(&mut self, u: UserId) {
+        let new_load = self
+            .load_if_left(u)
+            .unwrap_or_else(|| panic!("user {u} is not associated"));
+        let a = self.assoc.ap_of(u).expect("checked associated");
+        let s = self.inst.user_session(u);
+        let u_rate = self.inst.multicast_rate_to(a, u).expect("in range");
+        let slot_idx = self.slot(a, s);
+        let count = self.members[slot_idx].get_mut(&u_rate).expect("member");
+        *count -= 1;
+        if *count == 0 {
+            self.members[slot_idx].remove(&u_rate);
+        }
+        self.ap_load[a.index()] = new_load;
+        self.assoc.set(u, None);
+    }
+
+    /// Moves `u` to `a` (leaving its current AP first, if any).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of `a`'s range.
+    pub fn reassociate(&mut self, u: UserId, a: ApId) {
+        if self.assoc.ap_of(u) == Some(a) {
+            return;
+        }
+        if self.assoc.ap_of(u).is_some() {
+            self.leave(u);
+        }
+        self.join(u, a);
+    }
+
+    /// The instance this ledger is built over.
+    pub fn instance(&self) -> &'a Instance {
+        self.inst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples_paper::figure1_instance;
+    use crate::instance::InstanceBuilder;
+
+    fn mbps(m: u32) -> Kbps {
+        Kbps::from_mbps(m)
+    }
+
+    /// §3.2 MLA example: sessions at 1 Mbps, everyone on a1 → 1/3 + 1/4.
+    #[test]
+    fn figure1_all_on_a1_total_load() {
+        let inst = figure1_instance(mbps(1));
+        let mut assoc = Association::empty(5);
+        for u in 0..5 {
+            assoc.set(UserId(u), Some(ApId(0)));
+        }
+        assert_eq!(
+            assoc.ap_load(ApId(0), &inst),
+            Load::from_ratio(1, 3) + Load::from_ratio(1, 4)
+        );
+        assert_eq!(assoc.total_load(&inst), Load::from_ratio(7, 12));
+        assert_eq!(assoc.max_load(&inst), Load::from_ratio(7, 12));
+        assert!(assoc.is_feasible(&inst));
+    }
+
+    /// §3.2 BLA example: u1,u2,u3 on a1; u4,u5 on a2 → loads 1/2 and 1/3.
+    #[test]
+    fn figure1_bla_optimal_loads() {
+        let inst = figure1_instance(mbps(1));
+        let assoc = Association::from_vec(vec![
+            Some(ApId(0)),
+            Some(ApId(0)),
+            Some(ApId(0)),
+            Some(ApId(1)),
+            Some(ApId(1)),
+        ]);
+        let loads = assoc.loads(&inst);
+        assert_eq!(loads[0], Load::from_ratio(1, 2));
+        assert_eq!(loads[1], Load::from_ratio(1, 3));
+        assert_eq!(assoc.max_load(&inst), Load::from_ratio(1, 2));
+    }
+
+    /// §3.2 MNU example: 3 Mbps sessions; u2,u4,u5 on a1, u3 on a2.
+    #[test]
+    fn figure1_mnu_optimal_loads() {
+        let inst = figure1_instance(mbps(3));
+        let assoc = Association::from_vec(vec![
+            None,
+            Some(ApId(0)),
+            Some(ApId(1)),
+            Some(ApId(0)),
+            Some(ApId(0)),
+        ]);
+        let loads = assoc.loads(&inst);
+        assert_eq!(loads[0], Load::from_ratio(3, 4));
+        assert_eq!(loads[1], Load::from_ratio(3, 5));
+        assert_eq!(assoc.satisfied_count(), 4);
+        assert_eq!(assoc.unsatisfied_count(), 1);
+        assert!(assoc.is_feasible(&inst));
+    }
+
+    /// §3.2: serving both u1 and u2 from a1 at 3 Mbps is infeasible.
+    #[test]
+    fn figure1_mnu_infeasible_pair() {
+        let inst = figure1_instance(mbps(3));
+        let mut assoc = Association::empty(5);
+        assoc.set(UserId(0), Some(ApId(0)));
+        assoc.set(UserId(1), Some(ApId(0)));
+        // Load = 3/3 + 3/6 = 3/2 > 1.
+        assert_eq!(assoc.ap_load(ApId(0), &inst), Load::from_ratio(3, 2));
+        assert!(matches!(
+            assoc.validate(&inst).unwrap_err(),
+            AssocError::OverBudget { ap: ApId(0), .. }
+        ));
+    }
+
+    #[test]
+    fn validate_catches_out_of_range_and_size() {
+        let inst = figure1_instance(mbps(1));
+        let mut assoc = Association::empty(5);
+        assoc.set(UserId(0), Some(ApId(1))); // u1 unreachable from a2
+        assert!(matches!(
+            assoc.validate(&inst).unwrap_err(),
+            AssocError::OutOfRange {
+                user: UserId(0),
+                ap: ApId(1)
+            }
+        ));
+        let short = Association::empty(3);
+        assert!(matches!(
+            short.validate(&inst).unwrap_err(),
+            AssocError::WrongSize {
+                got: 3,
+                expected: 5
+            }
+        ));
+    }
+
+    #[test]
+    fn ledger_matches_batch_computation() {
+        let inst = figure1_instance(mbps(1));
+        let mut ledger = LoadLedger::fresh(&inst);
+        ledger.join(UserId(0), ApId(0));
+        ledger.join(UserId(1), ApId(0));
+        ledger.join(UserId(2), ApId(0));
+        ledger.join(UserId(3), ApId(1));
+        ledger.join(UserId(4), ApId(1));
+        let assoc = ledger.association().clone();
+        assert_eq!(ledger.ap_load(ApId(0)), assoc.ap_load(ApId(0), &inst));
+        assert_eq!(ledger.ap_load(ApId(1)), assoc.ap_load(ApId(1), &inst));
+        assert_eq!(ledger.total_load(), assoc.total_load(&inst));
+        assert_eq!(ledger.max_load(), assoc.max_load(&inst));
+    }
+
+    #[test]
+    fn ledger_hypothetical_join_and_leave() {
+        let inst = figure1_instance(mbps(1));
+        let mut ledger = LoadLedger::fresh(&inst);
+        // u3 (rate 4 from a1) joins a1: load 1/4.
+        assert_eq!(
+            ledger.load_if_joined(UserId(2), ApId(0)),
+            Some(Load::from_ratio(1, 4))
+        );
+        ledger.join(UserId(2), ApId(0));
+        // u1 (rate 3) would drag the session rate down to 3: 1/3.
+        assert_eq!(
+            ledger.load_if_joined(UserId(0), ApId(0)),
+            Some(Load::from_ratio(1, 3))
+        );
+        ledger.join(UserId(0), ApId(0));
+        assert_eq!(ledger.ap_load(ApId(0)), Load::from_ratio(1, 3));
+        // If u1 left, rate returns to 4.
+        assert_eq!(ledger.load_if_left(UserId(0)), Some(Load::from_ratio(1, 4)));
+        // If u3 left instead, u1 still pins rate 3: load unchanged.
+        assert_eq!(ledger.load_if_left(UserId(2)), Some(Load::from_ratio(1, 3)));
+        // Out-of-range join is None.
+        assert_eq!(ledger.load_if_joined(UserId(0), ApId(1)), None);
+        // Actually leave and verify.
+        ledger.leave(UserId(0));
+        assert_eq!(ledger.ap_load(ApId(0)), Load::from_ratio(1, 4));
+        assert_eq!(ledger.ap_of(UserId(0)), None);
+    }
+
+    #[test]
+    fn ledger_duplicate_rates_leave_keeps_min() {
+        // Two members at the same (minimum) rate: one leaving must not
+        // change the transmission rate.
+        let mut b = InstanceBuilder::new();
+        b.supported_rates([mbps(3), mbps(6)]);
+        let s = b.add_session(mbps(1));
+        let a = b.add_ap(Load::ONE);
+        let u0 = b.add_user(s);
+        let u1 = b.add_user(s);
+        let u2 = b.add_user(s);
+        b.link(a, u0, mbps(3)).unwrap();
+        b.link(a, u1, mbps(3)).unwrap();
+        b.link(a, u2, mbps(6)).unwrap();
+        let inst = b.build().unwrap();
+        let mut ledger = LoadLedger::fresh(&inst);
+        ledger.join(u0, a);
+        ledger.join(u1, a);
+        ledger.join(u2, a);
+        assert_eq!(ledger.ap_session_rate(a, s), Some(mbps(3)));
+        assert_eq!(ledger.load_if_left(u0), Some(Load::from_ratio(1, 3)));
+        ledger.leave(u0);
+        assert_eq!(ledger.ap_session_rate(a, s), Some(mbps(3)));
+        ledger.leave(u1);
+        assert_eq!(ledger.ap_session_rate(a, s), Some(mbps(6)));
+        ledger.leave(u2);
+        assert_eq!(ledger.ap_session_rate(a, s), None);
+        assert_eq!(ledger.ap_load(a), Load::ZERO);
+    }
+
+    #[test]
+    fn reassociate_moves_user() {
+        let inst = figure1_instance(mbps(1));
+        let mut ledger = LoadLedger::fresh(&inst);
+        ledger.join(UserId(3), ApId(0));
+        ledger.reassociate(UserId(3), ApId(1));
+        assert_eq!(ledger.ap_of(UserId(3)), Some(ApId(1)));
+        assert_eq!(ledger.ap_load(ApId(0)), Load::ZERO);
+        assert_eq!(ledger.ap_load(ApId(1)), Load::from_ratio(1, 5));
+        // Reassociating to the same AP is a no-op.
+        ledger.reassociate(UserId(3), ApId(1));
+        assert_eq!(ledger.ap_load(ApId(1)), Load::from_ratio(1, 5));
+    }
+
+    #[test]
+    fn restricted_to_drops_out_of_range_assignments() {
+        let inst = figure1_instance(mbps(1));
+        // u1 on a2 is invalid (no link); u3 on a2 is fine.
+        let assoc = Association::from_vec(vec![
+            Some(ApId(1)),
+            Some(ApId(0)),
+            Some(ApId(1)),
+            None,
+            Some(ApId(0)),
+        ]);
+        let fixed = assoc.restricted_to(&inst);
+        assert_eq!(fixed.ap_of(UserId(0)), None);
+        assert_eq!(fixed.ap_of(UserId(1)), Some(ApId(0)));
+        assert_eq!(fixed.ap_of(UserId(2)), Some(ApId(1)));
+        assert_eq!(fixed.ap_of(UserId(3)), None);
+        assert!(fixed.validate(&inst).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "already associated")]
+    fn double_join_panics() {
+        let inst = figure1_instance(mbps(1));
+        let mut ledger = LoadLedger::fresh(&inst);
+        ledger.join(UserId(0), ApId(0));
+        ledger.join(UserId(0), ApId(0));
+    }
+}

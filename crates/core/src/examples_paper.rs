@@ -1,0 +1,134 @@
+//! The paper's worked-example scenarios (Figures 1 and 4), used throughout
+//! the test suite and the quickstart example.
+
+use crate::ids::{ApId, UserId};
+use crate::instance::{Instance, InstanceBuilder};
+use crate::load::Load;
+use crate::rate::Kbps;
+
+/// Builds the Figure 1 WLAN: two APs, five users, two sessions.
+///
+/// * From `a1`: rates to `u1..u5` are 3, 6, 4, 4, 4 Mbps.
+/// * From `a2`: rates to `u3, u4, u5` are 5, 5, 3 Mbps (`u1`, `u2`
+///   unreachable).
+/// * `u1`, `u3` request session `s1`; `u2`, `u4`, `u5` request `s2`.
+/// * Both APs have multicast budget 1.
+///
+/// Both sessions stream at `session_rate` — the paper uses 3 Mbps for the
+/// MNU walk-through and 1 Mbps for BLA/MLA.
+///
+/// Ids map as `a1 → ApId(0)`, `u1 → UserId(0)`, etc.
+pub fn figure1_instance(session_rate: Kbps) -> Instance {
+    let mut b = InstanceBuilder::new();
+    b.supported_rates([
+        Kbps::from_mbps(3),
+        Kbps::from_mbps(4),
+        Kbps::from_mbps(5),
+        Kbps::from_mbps(6),
+    ]);
+    let s1 = b.add_session(session_rate);
+    let s2 = b.add_session(session_rate);
+    let a1 = b.add_ap(Load::ONE);
+    let a2 = b.add_ap(Load::ONE);
+    let u1 = b.add_user(s1);
+    let u2 = b.add_user(s2);
+    let u3 = b.add_user(s1);
+    let u4 = b.add_user(s2);
+    let u5 = b.add_user(s2);
+    b.link(a1, u1, Kbps::from_mbps(3)).unwrap();
+    b.link(a1, u2, Kbps::from_mbps(6)).unwrap();
+    b.link(a1, u3, Kbps::from_mbps(4)).unwrap();
+    b.link(a1, u4, Kbps::from_mbps(4)).unwrap();
+    b.link(a1, u5, Kbps::from_mbps(4)).unwrap();
+    b.link(a2, u3, Kbps::from_mbps(5)).unwrap();
+    b.link(a2, u4, Kbps::from_mbps(5)).unwrap();
+    b.link(a2, u5, Kbps::from_mbps(3)).unwrap();
+    b.build().expect("figure 1 instance is valid")
+}
+
+/// Builds the Figure 4 WLAN — the counterexample showing that simultaneous
+/// local decisions may oscillate forever.
+///
+/// * `a1` reaches `u1, u2, u3` at 5, 4, 4 Mbps.
+/// * `a2` reaches `u2, u3, u4` at 4, 4, 5 Mbps.
+/// * All four users request the same 1 Mbps session.
+///
+/// (The paper's figure labels the fourth user `u5` in one place and `u4`
+/// in another; we use `u4`.) The oscillating start state associates
+/// `u1, u2 → a1` and `u3, u4 → a2`; `u2` and `u3` then each see a
+/// unilateral improvement and swap forever.
+pub fn figure4_instance() -> Instance {
+    let mut b = InstanceBuilder::new();
+    b.supported_rates([Kbps::from_mbps(4), Kbps::from_mbps(5)]);
+    let s1 = b.add_session(Kbps::from_mbps(1));
+    let a1 = b.add_ap(Load::ONE);
+    let a2 = b.add_ap(Load::ONE);
+    let u1 = b.add_user(s1);
+    let u2 = b.add_user(s1);
+    let u3 = b.add_user(s1);
+    let u4 = b.add_user(s1);
+    b.link(a1, u1, Kbps::from_mbps(5)).unwrap();
+    b.link(a1, u2, Kbps::from_mbps(4)).unwrap();
+    b.link(a1, u3, Kbps::from_mbps(4)).unwrap();
+    b.link(a2, u2, Kbps::from_mbps(4)).unwrap();
+    b.link(a2, u3, Kbps::from_mbps(4)).unwrap();
+    b.link(a2, u4, Kbps::from_mbps(5)).unwrap();
+    b.build().expect("figure 4 instance is valid")
+}
+
+/// The oscillating start state for [`figure4_instance`]:
+/// `u1, u2 → a1`; `u3, u4 → a2`.
+pub fn figure4_start() -> crate::assoc::Association {
+    crate::assoc::Association::from_vec(vec![
+        Some(ApId(0)),
+        Some(ApId(0)),
+        Some(ApId(1)),
+        Some(ApId(1)),
+    ])
+}
+
+/// Convenience: the paper's user/AP names for tests (`u(1)` = `UserId(0)`).
+pub fn u(paper_index: u32) -> UserId {
+    assert!(paper_index >= 1, "paper indices are 1-based");
+    UserId(paper_index - 1)
+}
+
+/// Convenience: `a(1)` = `ApId(0)`.
+pub fn a(paper_index: u32) -> ApId {
+    assert!(paper_index >= 1, "paper indices are 1-based");
+    ApId(paper_index - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_links_match_paper() {
+        let inst = figure1_instance(Kbps::from_mbps(3));
+        assert_eq!(inst.link_rate(a(1), u(1)), Some(Kbps::from_mbps(3)));
+        assert_eq!(inst.link_rate(a(1), u(2)), Some(Kbps::from_mbps(6)));
+        assert_eq!(inst.link_rate(a(2), u(1)), None);
+        assert_eq!(inst.link_rate(a(2), u(5)), Some(Kbps::from_mbps(3)));
+        assert_eq!(inst.n_sessions(), 2);
+        assert_eq!(inst.user_session(u(1)), inst.user_session(u(3)));
+        assert_ne!(inst.user_session(u(1)), inst.user_session(u(2)));
+    }
+
+    #[test]
+    fn figure4_symmetric_start_load() {
+        let inst = figure4_instance();
+        let start = figure4_start();
+        // Paper: each AP's load is 1/4; total 1/2.
+        let loads = start.loads(&inst);
+        assert_eq!(loads[0], Load::from_ratio(1, 4));
+        assert_eq!(loads[1], Load::from_ratio(1, 4));
+        assert_eq!(start.total_load(&inst), Load::from_ratio(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zero_paper_index_panics() {
+        let _ = u(0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Strongly typed identifiers for the WLAN model.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies an access point (index into the instance's AP list).
+    ApId,
+    "ap"
+);
+id_type!(
+    /// Identifies a user (index into the instance's user list).
+    UserId,
+    "u"
+);
+id_type!(
+    /// Identifies a multicast session (index into the session list).
+    SessionId,
+    "s"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(ApId(3).to_string(), "ap3");
+        assert_eq!(UserId(0).to_string(), "u0");
+        assert_eq!(SessionId(7).to_string(), "s7");
+        assert_eq!(ApId(3).index(), 3);
+        assert_eq!(ApId::from(5), ApId(5));
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(UserId(1) < UserId(2));
+        let mut v = vec![ApId(2), ApId(0), ApId(1)];
+        v.sort();
+        assert_eq!(v, vec![ApId(0), ApId(1), ApId(2)]);
+    }
+}

@@ -1,0 +1,586 @@
+//! The WLAN problem instance: APs, users, sessions, link rates, budgets.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{ApId, SessionId, UserId};
+use crate::load::Load;
+use crate::rate::{Kbps, RatePolicy, RateTable};
+
+/// Received signal strength of a link, in an abstract monotone unit —
+/// larger is stronger. The SSA baseline associates each user with the AP of
+/// strongest signal. Topology generators set this to the negated distance
+/// (in millimeters); hand-built instances default it to the link rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SignalStrength(pub i64);
+
+/// A multicast session (stream) offered by the WLAN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SessionSpec {
+    /// Stream bit-rate.
+    pub rate: Kbps,
+}
+
+/// A user and the single session it requests (§3.1: one stream per user).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct UserSpec {
+    /// The requested multicast session.
+    pub session: SessionId,
+}
+
+/// Errors detected while building an [`Instance`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstanceError {
+    /// A link or budget referenced an AP that was never added.
+    UnknownAp(ApId),
+    /// A link referenced a user that was never added.
+    UnknownUser(UserId),
+    /// A user referenced a session that was never added.
+    UnknownSession(SessionId),
+    /// A link rate is not one of the supported discrete rates.
+    UnsupportedLinkRate {
+        /// The AP side of the link.
+        ap: ApId,
+        /// The user side of the link.
+        user: UserId,
+        /// The offending rate.
+        rate: Kbps,
+    },
+    /// A session has a zero stream rate.
+    ZeroSessionRate(SessionId),
+    /// The supported-rate list is empty.
+    NoSupportedRates,
+    /// A budget is negative.
+    NegativeBudget(ApId),
+}
+
+impl fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstanceError::UnknownAp(a) => write!(f, "unknown AP {a}"),
+            InstanceError::UnknownUser(u) => write!(f, "unknown user {u}"),
+            InstanceError::UnknownSession(s) => write!(f, "unknown session {s}"),
+            InstanceError::UnsupportedLinkRate { ap, user, rate } => {
+                write!(
+                    f,
+                    "link {ap}–{user} rate {rate} not in the supported rate set"
+                )
+            }
+            InstanceError::ZeroSessionRate(s) => {
+                write!(f, "session {s} has zero stream rate")
+            }
+            InstanceError::NoSupportedRates => write!(f, "no supported rates given"),
+            InstanceError::NegativeBudget(a) => write!(f, "AP {a} has a negative budget"),
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {}
+
+/// Builder for [`Instance`].
+///
+/// # Example
+///
+/// ```
+/// use mcast_core::{InstanceBuilder, Kbps, Load};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = InstanceBuilder::new();
+/// b.supported_rates([Kbps::from_mbps(3), Kbps::from_mbps(6)]);
+/// let s = b.add_session(Kbps::from_mbps(3));
+/// let a = b.add_ap(Load::ONE);
+/// let u = b.add_user(s);
+/// b.link(a, u, Kbps::from_mbps(6))?;
+/// let instance = b.build()?;
+/// assert_eq!(instance.n_users(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct InstanceBuilder {
+    sessions: Vec<SessionSpec>,
+    users: Vec<UserSpec>,
+    budgets: Vec<Load>,
+    links: Vec<(ApId, UserId, Kbps, Option<SignalStrength>)>,
+    supported_rates: Vec<Kbps>,
+    rate_policy: RatePolicy,
+}
+
+impl Default for InstanceBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InstanceBuilder {
+    /// Starts an empty builder with the Table 1 (802.11a) supported rates
+    /// and the [`RatePolicy::MultiRate`] policy.
+    pub fn new() -> Self {
+        InstanceBuilder {
+            sessions: Vec::new(),
+            users: Vec::new(),
+            budgets: Vec::new(),
+            links: Vec::new(),
+            supported_rates: RateTable::ieee80211a().rates().collect(),
+            rate_policy: RatePolicy::MultiRate,
+        }
+    }
+
+    /// Replaces the discrete set of rates the WLAN supports.
+    pub fn supported_rates<I: IntoIterator<Item = Kbps>>(&mut self, rates: I) -> &mut Self {
+        self.supported_rates = rates.into_iter().collect();
+        self
+    }
+
+    /// Sets the multicast rate policy (multi-rate vs basic-rate-only).
+    pub fn rate_policy(&mut self, policy: RatePolicy) -> &mut Self {
+        self.rate_policy = policy;
+        self
+    }
+
+    /// Adds a session with the given stream rate.
+    pub fn add_session(&mut self, rate: Kbps) -> SessionId {
+        let id = SessionId(self.sessions.len() as u32);
+        self.sessions.push(SessionSpec { rate });
+        id
+    }
+
+    /// Adds an AP with the given multicast load budget.
+    pub fn add_ap(&mut self, budget: Load) -> ApId {
+        let id = ApId(self.budgets.len() as u32);
+        self.budgets.push(budget);
+        id
+    }
+
+    /// Adds a user requesting `session`.
+    pub fn add_user(&mut self, session: SessionId) -> UserId {
+        let id = UserId(self.users.len() as u32);
+        self.users.push(UserSpec { session });
+        id
+    }
+
+    /// Declares a link with the given maximum data rate; signal strength
+    /// defaults to the rate in kbps (higher rate ⇒ stronger signal).
+    ///
+    /// # Errors
+    ///
+    /// [`InstanceError::UnknownAp`] / [`InstanceError::UnknownUser`] if the
+    /// endpoints were not added first.
+    pub fn link(&mut self, ap: ApId, user: UserId, rate: Kbps) -> Result<&mut Self, InstanceError> {
+        self.link_with_signal(ap, user, rate, SignalStrength(i64::from(rate.0)))
+    }
+
+    /// Declares a link with an explicit signal strength.
+    ///
+    /// # Errors
+    ///
+    /// [`InstanceError::UnknownAp`] / [`InstanceError::UnknownUser`] if the
+    /// endpoints were not added first.
+    pub fn link_with_signal(
+        &mut self,
+        ap: ApId,
+        user: UserId,
+        rate: Kbps,
+        signal: SignalStrength,
+    ) -> Result<&mut Self, InstanceError> {
+        if ap.index() >= self.budgets.len() {
+            return Err(InstanceError::UnknownAp(ap));
+        }
+        if user.index() >= self.users.len() {
+            return Err(InstanceError::UnknownUser(user));
+        }
+        self.links.push((ap, user, rate, Some(signal)));
+        Ok(self)
+    }
+
+    /// Finalizes and validates the instance.
+    ///
+    /// # Errors
+    ///
+    /// See [`InstanceError`]. Duplicate links keep the last declaration.
+    pub fn build(self) -> Result<Instance, InstanceError> {
+        let n_aps = self.budgets.len();
+        let n_users = self.users.len();
+        let n_sessions = self.sessions.len();
+
+        let mut rates = self.supported_rates;
+        if rates.is_empty() {
+            return Err(InstanceError::NoSupportedRates);
+        }
+        rates.sort_unstable();
+        rates.dedup();
+
+        for (s, spec) in self.sessions.iter().enumerate() {
+            if spec.rate.0 == 0 {
+                return Err(InstanceError::ZeroSessionRate(SessionId(s as u32)));
+            }
+        }
+        for (a, b) in self.budgets.iter().enumerate() {
+            if b.is_negative() {
+                return Err(InstanceError::NegativeBudget(ApId(a as u32)));
+            }
+        }
+        for user in &self.users {
+            if user.session.index() >= n_sessions {
+                return Err(InstanceError::UnknownSession(user.session));
+            }
+        }
+
+        let mut link = vec![None; n_aps * n_users];
+        let mut signal = vec![None; n_aps * n_users];
+        for (ap, user, rate, sig) in self.links {
+            if rates.binary_search(&rate).is_err() {
+                return Err(InstanceError::UnsupportedLinkRate { ap, user, rate });
+            }
+            let idx = ap.index() * n_users + user.index();
+            link[idx] = Some(rate);
+            signal[idx] = sig;
+        }
+
+        let mut user_aps: Vec<Vec<(ApId, Kbps)>> = vec![Vec::new(); n_users];
+        let mut ap_users: Vec<Vec<UserId>> = vec![Vec::new(); n_aps];
+        for a in 0..n_aps {
+            for u in 0..n_users {
+                if let Some(r) = link[a * n_users + u] {
+                    user_aps[u].push((ApId(a as u32), r));
+                    ap_users[a].push(UserId(u as u32));
+                }
+            }
+        }
+
+        Ok(Instance {
+            sessions: self.sessions,
+            users: self.users,
+            budgets: self.budgets,
+            link,
+            signal,
+            user_aps,
+            ap_users,
+            rates,
+            rate_policy: self.rate_policy,
+        })
+    }
+}
+
+/// An immutable, validated WLAN multicast-association instance.
+///
+/// All three problems (MNU, BLA, MLA), the distributed algorithms, and the
+/// SSA baseline operate on this type.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Instance {
+    sessions: Vec<SessionSpec>,
+    users: Vec<UserSpec>,
+    budgets: Vec<Load>,
+    link: Vec<Option<Kbps>>,
+    signal: Vec<Option<SignalStrength>>,
+    user_aps: Vec<Vec<(ApId, Kbps)>>,
+    ap_users: Vec<Vec<UserId>>,
+    rates: Vec<Kbps>,
+    rate_policy: RatePolicy,
+}
+
+impl Instance {
+    /// Number of access points.
+    pub fn n_aps(&self) -> usize {
+        self.budgets.len()
+    }
+
+    /// Number of users.
+    pub fn n_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Number of sessions.
+    pub fn n_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Iterator over all AP ids.
+    pub fn aps(&self) -> impl Iterator<Item = ApId> {
+        (0..self.n_aps() as u32).map(ApId)
+    }
+
+    /// Iterator over all user ids.
+    pub fn users(&self) -> impl Iterator<Item = UserId> {
+        (0..self.n_users() as u32).map(UserId)
+    }
+
+    /// Iterator over all session ids.
+    pub fn sessions(&self) -> impl Iterator<Item = SessionId> {
+        (0..self.n_sessions() as u32).map(SessionId)
+    }
+
+    /// The stream rate of session `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn session_rate(&self, s: SessionId) -> Kbps {
+        self.sessions[s.index()].rate
+    }
+
+    /// The session user `u` requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn user_session(&self, u: UserId) -> SessionId {
+        self.users[u.index()].session
+    }
+
+    /// The multicast load budget of AP `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    pub fn budget(&self, a: ApId) -> Load {
+        self.budgets[a.index()]
+    }
+
+    /// The maximum data rate of the `a`–`u` link, or `None` if out of range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `u` is out of range.
+    pub fn link_rate(&self, a: ApId, u: UserId) -> Option<Kbps> {
+        self.link[a.index() * self.n_users() + u.index()]
+    }
+
+    /// The signal strength of the `a`–`u` link, or `None` if out of range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `u` is out of range.
+    pub fn signal(&self, a: ApId, u: UserId) -> Option<SignalStrength> {
+        self.signal[a.index() * self.n_users() + u.index()]
+    }
+
+    /// The APs user `u` can hear, with link rates (ascending `ApId`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn candidate_aps(&self, u: UserId) -> &[(ApId, Kbps)] {
+        &self.user_aps[u.index()]
+    }
+
+    /// The users AP `a` can reach (ascending `UserId`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    pub fn reachable_users(&self, a: ApId) -> &[UserId] {
+        &self.ap_users[a.index()]
+    }
+
+    /// The discrete rates the WLAN supports, ascending.
+    pub fn supported_rates(&self) -> &[Kbps] {
+        &self.rates
+    }
+
+    /// The basic (lowest supported) rate.
+    pub fn basic_rate(&self) -> Kbps {
+        self.rates[0]
+    }
+
+    /// The configured multicast rate policy.
+    pub fn rate_policy(&self) -> RatePolicy {
+        self.rate_policy
+    }
+
+    /// The rates an AP may use for *multicast* under the configured policy:
+    /// every supported rate for [`RatePolicy::MultiRate`], only the basic
+    /// rate for [`RatePolicy::BasicOnly`].
+    pub fn multicast_rates(&self) -> &[Kbps] {
+        match self.rate_policy {
+            RatePolicy::MultiRate => &self.rates,
+            RatePolicy::BasicOnly => &self.rates[..1],
+        }
+    }
+
+    /// The transmission rate AP `a` must use to multicast to member user
+    /// `u` under the configured policy: the link rate for multi-rate, the
+    /// basic rate for basic-only. `None` if `u` is out of `a`'s range.
+    pub fn multicast_rate_to(&self, a: ApId, u: UserId) -> Option<Kbps> {
+        let link = self.link_rate(a, u)?;
+        Some(match self.rate_policy {
+            RatePolicy::MultiRate => link,
+            RatePolicy::BasicOnly => self.basic_rate(),
+        })
+    }
+
+    /// Users requesting session `s` (ascending id).
+    pub fn session_users(&self, s: SessionId) -> impl Iterator<Item = UserId> + '_ {
+        self.users
+            .iter()
+            .enumerate()
+            .filter(move |(_, spec)| spec.session == s)
+            .map(|(i, _)| UserId(i as u32))
+    }
+
+    /// True if some AP can reach user `u`.
+    pub fn user_coverable(&self, u: UserId) -> bool {
+        !self.user_aps[u.index()].is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mbps(m: u32) -> Kbps {
+        Kbps::from_mbps(m)
+    }
+
+    fn two_ap_instance() -> Instance {
+        let mut b = InstanceBuilder::new();
+        b.supported_rates([mbps(3), mbps(4), mbps(5), mbps(6)]);
+        let s1 = b.add_session(mbps(3));
+        let a1 = b.add_ap(Load::ONE);
+        let a2 = b.add_ap(Load::ONE);
+        let u1 = b.add_user(s1);
+        let u2 = b.add_user(s1);
+        b.link(a1, u1, mbps(3)).unwrap();
+        b.link(a1, u2, mbps(6)).unwrap();
+        b.link(a2, u2, mbps(5)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let inst = two_ap_instance();
+        assert_eq!(inst.n_aps(), 2);
+        assert_eq!(inst.n_users(), 2);
+        assert_eq!(inst.n_sessions(), 1);
+        assert_eq!(inst.session_rate(SessionId(0)), mbps(3));
+        assert_eq!(inst.user_session(UserId(1)), SessionId(0));
+        assert_eq!(inst.link_rate(ApId(0), UserId(0)), Some(mbps(3)));
+        assert_eq!(inst.link_rate(ApId(1), UserId(0)), None);
+        assert_eq!(
+            inst.candidate_aps(UserId(1)),
+            &[(ApId(0), mbps(6)), (ApId(1), mbps(5))]
+        );
+        assert_eq!(inst.reachable_users(ApId(0)), &[UserId(0), UserId(1)]);
+        assert_eq!(inst.basic_rate(), mbps(3));
+        assert!(inst.user_coverable(UserId(0)));
+        assert_eq!(
+            inst.session_users(SessionId(0)).collect::<Vec<_>>(),
+            vec![UserId(0), UserId(1)]
+        );
+    }
+
+    #[test]
+    fn default_signal_is_rate() {
+        let inst = two_ap_instance();
+        assert_eq!(inst.signal(ApId(0), UserId(1)), Some(SignalStrength(6000)));
+        assert_eq!(inst.signal(ApId(1), UserId(0)), None);
+    }
+
+    #[test]
+    fn basic_only_policy_restricts_rates() {
+        let mut b = InstanceBuilder::new();
+        b.supported_rates([mbps(3), mbps(6)]);
+        b.rate_policy(RatePolicy::BasicOnly);
+        let s = b.add_session(mbps(1));
+        let a = b.add_ap(Load::ONE);
+        let u = b.add_user(s);
+        b.link(a, u, mbps(6)).unwrap();
+        let inst = b.build().unwrap();
+        assert_eq!(inst.multicast_rates(), &[mbps(3)]);
+        assert_eq!(inst.multicast_rate_to(a, u), Some(mbps(3)));
+    }
+
+    #[test]
+    fn multirate_policy_uses_link_rate() {
+        let inst = two_ap_instance();
+        assert_eq!(inst.multicast_rate_to(ApId(0), UserId(1)), Some(mbps(6)));
+        assert_eq!(inst.multicast_rate_to(ApId(1), UserId(0)), None);
+    }
+
+    #[test]
+    fn rejects_unsupported_link_rate() {
+        let mut b = InstanceBuilder::new();
+        b.supported_rates([mbps(6)]);
+        let s = b.add_session(mbps(1));
+        let a = b.add_ap(Load::ONE);
+        let u = b.add_user(s);
+        b.link(a, u, mbps(7)).unwrap();
+        assert!(matches!(
+            b.build().unwrap_err(),
+            InstanceError::UnsupportedLinkRate { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_endpoints_and_sessions() {
+        let mut b = InstanceBuilder::new();
+        let s = b.add_session(mbps(1));
+        let a = b.add_ap(Load::ONE);
+        let u = b.add_user(s);
+        assert!(matches!(
+            b.link(ApId(9), u, mbps(6)).unwrap_err(),
+            InstanceError::UnknownAp(_)
+        ));
+        assert!(matches!(
+            b.link(a, UserId(9), mbps(6)).unwrap_err(),
+            InstanceError::UnknownUser(_)
+        ));
+        // A user pointing at a bogus session is caught at build time.
+        let mut b2 = InstanceBuilder::new();
+        b2.add_ap(Load::ONE);
+        b2.users.push(UserSpec {
+            session: SessionId(5),
+        });
+        assert!(matches!(
+            b2.build().unwrap_err(),
+            InstanceError::UnknownSession(_)
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_session_rate_and_negative_budget() {
+        let mut b = InstanceBuilder::new();
+        b.add_session(Kbps(0));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            InstanceError::ZeroSessionRate(_)
+        ));
+
+        let mut b = InstanceBuilder::new();
+        b.add_ap(Load::new(-1, 2));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            InstanceError::NegativeBudget(_)
+        ));
+
+        let mut b = InstanceBuilder::new();
+        b.supported_rates(std::iter::empty());
+        assert!(matches!(
+            b.build().unwrap_err(),
+            InstanceError::NoSupportedRates
+        ));
+    }
+
+    #[test]
+    fn duplicate_link_keeps_last() {
+        let mut b = InstanceBuilder::new();
+        b.supported_rates([mbps(3), mbps(6)]);
+        let s = b.add_session(mbps(1));
+        let a = b.add_ap(Load::ONE);
+        let u = b.add_user(s);
+        b.link(a, u, mbps(3)).unwrap();
+        b.link(a, u, mbps(6)).unwrap();
+        let inst = b.build().unwrap();
+        assert_eq!(inst.link_rate(a, u), Some(mbps(6)));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let inst = two_ap_instance();
+        let json = serde_json::to_string(&inst).unwrap();
+        let back: Instance = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.n_users(), inst.n_users());
+        assert_eq!(back.link_rate(ApId(0), UserId(0)), Some(mbps(3)));
+    }
+}

@@ -1,0 +1,165 @@
+//! The revenue models motivating the three objectives (paper §3.2).
+//!
+//! The paper justifies each objective with a service-provider revenue
+//! model; this module makes those models computable so the evaluation can
+//! check the fit empirically (the `revenue` experiment):
+//!
+//! * **Pay-per-view** (MNU): unicast is a flat monthly charge; multicast
+//!   is billed per served stream-hour — revenue is proportional to the
+//!   number of satisfied users.
+//! * **Concave unicast** (BLA): one multicast flow is bundled in the
+//!   monthly charge; unicast revenue grows with available bandwidth with
+//!   *diminishing returns* (the paper calls the function "convex" while
+//!   describing it as "marginally decreasing with increasing bandwidth" —
+//!   i.e. concave in the modern convention, which is what makes
+//!   uniformly-distributed resources optimal per its Kelly citation).
+//!   Balancing the multicast load maximizes the sum of per-AP concave
+//!   returns on leftover airtime.
+//! * **Per-byte unicast** (MLA): unicast is billed per byte under
+//!   saturated demand — revenue is proportional to total leftover
+//!   airtime, i.e. maximized by minimizing the total multicast load.
+//!
+//! All revenues are reported in abstract units via `f64` (they are
+//! reporting-side quantities; exactness lives in [`Load`]).
+
+use crate::assoc::Association;
+use crate::instance::Instance;
+use crate::load::Load;
+
+/// Pay-per-view revenue: `rate_per_user` per satisfied multicast user.
+///
+/// # Example
+///
+/// ```
+/// use mcast_core::examples_paper::figure1_instance;
+/// use mcast_core::revenue::pay_per_view;
+/// use mcast_core::{solve_mnu, Kbps};
+///
+/// let inst = figure1_instance(Kbps::from_mbps(3));
+/// let sol = solve_mnu(&inst); // serves 3 users
+/// assert_eq!(pay_per_view(&sol.association, 2.5), 7.5);
+/// ```
+pub fn pay_per_view(assoc: &Association, rate_per_user: f64) -> f64 {
+    assoc.satisfied_count() as f64 * rate_per_user
+}
+
+/// Concave unicast revenue: `Σ_a √(max(0, 1 − load_a))` — diminishing
+/// returns on each AP's leftover airtime. Maximized (for a fixed total
+/// multicast load) when the load is spread evenly; BLA's target.
+pub fn concave_unicast(assoc: &Association, inst: &Instance) -> f64 {
+    assoc
+        .loads(inst)
+        .into_iter()
+        .map(|l| leftover(l).sqrt())
+        .sum()
+}
+
+/// Per-byte unicast revenue: `Σ_a max(0, 1 − load_a)` — total leftover
+/// airtime, linear in the total multicast load; MLA's target.
+pub fn per_byte_unicast(assoc: &Association, inst: &Instance) -> f64 {
+    assoc.loads(inst).into_iter().map(leftover).sum()
+}
+
+/// Jain's fairness index of per-AP leftover airtime:
+/// `(Σx)² / (n · Σx²)` — 1.0 is perfectly even, `1/n` maximally skewed.
+/// Returns 1.0 for an empty network or all-zero leftovers.
+pub fn jain_fairness(assoc: &Association, inst: &Instance) -> f64 {
+    let xs: Vec<f64> = assoc.loads(inst).into_iter().map(leftover).collect();
+    let n = xs.len() as f64;
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if n == 0.0 || sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (n * sq)
+}
+
+fn leftover(load: Load) -> f64 {
+    (1.0 - load.as_f64()).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples_paper::figure1_instance;
+    use crate::ids::ApId;
+    use crate::rate::Kbps;
+
+    fn inst() -> Instance {
+        figure1_instance(Kbps::from_mbps(1))
+    }
+
+    fn all_on_a1() -> Association {
+        Association::from_vec(vec![Some(ApId(0)); 5])
+    }
+
+    fn balanced() -> Association {
+        Association::from_vec(vec![
+            Some(ApId(0)),
+            Some(ApId(0)),
+            Some(ApId(0)),
+            Some(ApId(1)),
+            Some(ApId(1)),
+        ])
+    }
+
+    #[test]
+    fn pay_per_view_counts_satisfied() {
+        let inst = inst();
+        let _ = &inst;
+        assert_eq!(pay_per_view(&all_on_a1(), 2.0), 10.0);
+        let mut partial = all_on_a1();
+        partial.set(crate::ids::UserId(0), None);
+        assert_eq!(pay_per_view(&partial, 2.0), 8.0);
+    }
+
+    #[test]
+    fn concave_rewards_balancing() {
+        let inst = inst();
+        // Balanced (1/2, 1/3) vs concentrated (7/12, 0): concentrated has
+        // *less* total load yet the concave model can still prefer
+        // balance when loads are comparable; here we simply check the
+        // exact values.
+        let bal = concave_unicast(&balanced(), &inst);
+        let conc = concave_unicast(&all_on_a1(), &inst);
+        let expect_bal = (0.5f64).sqrt() + (2.0f64 / 3.0).sqrt();
+        let expect_conc = (1.0f64 - 7.0 / 12.0).sqrt() + 1.0;
+        assert!((bal - expect_bal).abs() < 1e-12);
+        assert!((conc - expect_conc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_byte_tracks_total_load_exactly() {
+        let inst = inst();
+        // 2 APs: revenue = 2 − total load.
+        let v = per_byte_unicast(&all_on_a1(), &inst);
+        assert!((v - (2.0 - 7.0 / 12.0)).abs() < 1e-12);
+        let v2 = per_byte_unicast(&balanced(), &inst);
+        assert!((v2 - (2.0 - 0.5 - 1.0 / 3.0)).abs() < 1e-12);
+        // Lower total load ⇒ strictly more per-byte revenue.
+        assert!(v > v2);
+    }
+
+    #[test]
+    fn jain_prefers_even_leftovers() {
+        let inst = inst();
+        let j_bal = jain_fairness(&balanced(), &inst);
+        let j_conc = jain_fairness(&all_on_a1(), &inst);
+        assert!(j_bal > j_conc, "balanced {j_bal} vs concentrated {j_conc}");
+        assert!(j_bal <= 1.0 + 1e-12 && j_conc >= 0.5 - 1e-12);
+        // Empty association: leftovers all 1 -> perfectly fair.
+        let empty = Association::empty(5);
+        assert!((jain_fairness(&empty, &inst) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overloaded_aps_clamp_to_zero_leftover() {
+        // Loads above 1 contribute zero leftover, not negative revenue.
+        let inst3 = figure1_instance(Kbps::from_mbps(3));
+        let mut assoc = Association::empty(5);
+        assoc.set(crate::ids::UserId(0), Some(ApId(0)));
+        assoc.set(crate::ids::UserId(1), Some(ApId(0))); // load 3/2 > 1
+        assert_eq!(per_byte_unicast(&assoc, &inst3), 1.0); // only a2's 1.0
+        assert_eq!(concave_unicast(&assoc, &inst3), 1.0);
+    }
+}

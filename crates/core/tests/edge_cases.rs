@@ -1,0 +1,238 @@
+//! Edge cases of the core model and algorithms: boundaries, degenerate
+//! shapes, heterogeneous sessions, and exact tie behavior.
+
+use mcast_core::examples_paper::figure1_instance;
+use mcast_core::{
+    run_distributed, solve_bla, solve_mla, solve_mnu, solve_ssa, Association, DistributedConfig,
+    Instance, InstanceBuilder, Kbps, Load, Objective, Policy, RatePolicy, UserId,
+};
+
+fn mbps(m: u32) -> Kbps {
+    Kbps::from_mbps(m)
+}
+
+/// Budget exactly equal to the load: feasibility is `<=`, so it fits.
+#[test]
+fn budget_boundary_is_inclusive() {
+    let mut b = InstanceBuilder::new();
+    b.supported_rates([mbps(6)]);
+    let s = b.add_session(mbps(3));
+    let ap = b.add_ap(Load::from_ratio(1, 2)); // exactly 3/6
+    let u = b.add_user(s);
+    b.link(ap, u, mbps(6)).unwrap();
+    let inst = b.build().unwrap();
+    let sol = solve_mnu(&inst);
+    assert_eq!(sol.satisfied, 1);
+    assert_eq!(sol.total_load, Load::from_ratio(1, 2));
+
+    // One kbps over the boundary and it no longer fits.
+    let mut b = InstanceBuilder::new();
+    b.supported_rates([mbps(6)]);
+    let s = b.add_session(Kbps(3001));
+    let ap = b.add_ap(Load::from_ratio(1, 2));
+    let u = b.add_user(s);
+    b.link(ap, u, mbps(6)).unwrap();
+    let inst = b.build().unwrap();
+    assert_eq!(solve_mnu(&inst).satisfied, 0);
+}
+
+/// Zero users: every solver returns an empty, feasible, zero-load answer.
+#[test]
+fn zero_users() {
+    let mut b = InstanceBuilder::new();
+    b.add_session(mbps(1));
+    b.add_ap(Load::ONE);
+    let inst = b.build().unwrap();
+    assert_eq!(inst.n_users(), 0);
+    let mla = solve_mla(&inst).unwrap();
+    assert_eq!(mla.total_load, Load::ZERO);
+    let bla = solve_bla(&inst).unwrap();
+    assert_eq!(bla.max_load, Load::ZERO);
+    assert_eq!(solve_mnu(&inst).satisfied, 0);
+    assert_eq!(solve_ssa(&inst, Objective::Mla).satisfied, 0);
+    let out = run_distributed(&inst, &DistributedConfig::default(), Association::empty(0));
+    assert!(out.converged);
+}
+
+/// Sessions with different stream rates: the Figure 1 network where s1
+/// streams at 2 Mbps and s2 at 1 Mbps — loads follow each session's rate.
+#[test]
+fn heterogeneous_session_rates_in_core() {
+    let mut b = InstanceBuilder::new();
+    b.supported_rates([mbps(3), mbps(4), mbps(5), mbps(6)]);
+    let s1 = b.add_session(mbps(2));
+    let s2 = b.add_session(mbps(1));
+    let a1 = b.add_ap(Load::ONE);
+    let u1 = b.add_user(s1); // rate 3 from a1
+    let u2 = b.add_user(s2); // rate 6 from a1
+    b.link(a1, u1, mbps(3)).unwrap();
+    b.link(a1, u2, mbps(6)).unwrap();
+    let inst = b.build().unwrap();
+    let mut assoc = Association::empty(2);
+    assoc.set(UserId(0), Some(mcast_core::ApId(0)));
+    assoc.set(UserId(1), Some(mcast_core::ApId(0)));
+    // 2/3 + 1/6 = 5/6.
+    assert_eq!(assoc.total_load(&inst), Load::from_ratio(5, 6));
+    let sol = solve_mla(&inst).unwrap();
+    assert_eq!(sol.total_load, Load::from_ratio(5, 6));
+}
+
+/// A session nobody requests adds no sets, no load, no trouble.
+#[test]
+fn unrequested_session_is_inert() {
+    let mut b = InstanceBuilder::new();
+    b.supported_rates([mbps(6)]);
+    let s1 = b.add_session(mbps(1));
+    let _ghost = b.add_session(mbps(50));
+    let ap = b.add_ap(Load::ONE);
+    let u = b.add_user(s1);
+    b.link(ap, u, mbps(6)).unwrap();
+    let inst = b.build().unwrap();
+    let sol = solve_mla(&inst).unwrap();
+    assert_eq!(sol.total_load, Load::from_ratio(1, 6));
+}
+
+/// Every user requesting the same session from one AP costs exactly one
+/// transmission at the slowest member rate, regardless of head-count.
+#[test]
+fn one_session_one_ap_single_transmission() {
+    let mut b = InstanceBuilder::new();
+    b.supported_rates([mbps(6), mbps(12), mbps(24)]);
+    let s = b.add_session(mbps(2));
+    let ap = b.add_ap(Load::ONE);
+    for rate in [6, 12, 24, 24, 12, 6, 24] {
+        let u = b.add_user(s);
+        b.link(ap, u, mbps(rate)).unwrap();
+    }
+    let inst = b.build().unwrap();
+    for sol in [solve_mla(&inst).unwrap(), solve_bla(&inst).unwrap()] {
+        assert_eq!(sol.satisfied, 7);
+        assert_eq!(sol.total_load, Load::from_ratio(2, 6));
+    }
+}
+
+/// MNU under BasicOnly: the basic rate makes every set cost the same, so
+/// admission reduces to counting; budgets still bind correctly.
+#[test]
+fn mnu_basic_only_counts_transmissions() {
+    let mut b = InstanceBuilder::new();
+    b.supported_rates([mbps(6), mbps(54)]);
+    b.rate_policy(RatePolicy::BasicOnly);
+    // Budget fits exactly two basic-rate transmissions of 1 Mbps streams.
+    let ap = b.add_ap(Load::from_ratio(2, 6));
+    for _ in 0..3 {
+        let s = b.add_session(mbps(1));
+        let u = b.add_user(s);
+        b.link(ap, u, mbps(54)).unwrap();
+    }
+    let inst = b.build().unwrap();
+    let sol = solve_mnu(&inst);
+    assert_eq!(sol.satisfied, 2);
+    assert_eq!(sol.total_load, Load::from_ratio(2, 6));
+}
+
+/// SSA determinism under exact signal ties across APs.
+#[test]
+fn ssa_tie_break_is_stable() {
+    let mut b = InstanceBuilder::new();
+    b.supported_rates([mbps(6)]);
+    let s = b.add_session(mbps(1));
+    let a0 = b.add_ap(Load::ONE);
+    let a1 = b.add_ap(Load::ONE);
+    let a2 = b.add_ap(Load::ONE);
+    let u = b.add_user(s);
+    for a in [a2, a1, a0] {
+        b.link(a, u, mbps(6)).unwrap(); // identical default signals
+    }
+    let inst = b.build().unwrap();
+    let sol = solve_ssa(&inst, Objective::Mla);
+    assert_eq!(sol.association.ap_of(u), Some(a0)); // lowest id wins ties
+}
+
+/// The distributed engines tolerate a user with zero candidates mid-run.
+#[test]
+fn distributed_with_islanded_user() {
+    let mut b = InstanceBuilder::new();
+    b.supported_rates([mbps(6)]);
+    let s = b.add_session(mbps(1));
+    let ap = b.add_ap(Load::ONE);
+    let near = b.add_user(s);
+    let _island = b.add_user(s); // no links at all
+    b.link(ap, near, mbps(6)).unwrap();
+    let inst = b.build().unwrap();
+    for policy in [Policy::MinTotalLoad, Policy::MinMaxVector] {
+        let out = run_distributed(
+            &inst,
+            &DistributedConfig {
+                policy,
+                ..DistributedConfig::default()
+            },
+            Association::empty(2),
+        );
+        assert!(out.converged);
+        assert_eq!(out.association.satisfied_count(), 1);
+    }
+}
+
+/// Instance accessors behave on the 400-user paper-scale shape (spot
+/// check that candidate lists stay sorted and reciprocal).
+#[test]
+fn adjacency_reciprocity_at_scale() {
+    let scenario = mcast_topology::ScenarioConfig::paper_default()
+        .with_seed(3)
+        .generate();
+    let inst: &Instance = &scenario.instance;
+    for u in inst.users() {
+        let mut last = None;
+        for &(a, rate) in inst.candidate_aps(u) {
+            assert_eq!(inst.link_rate(a, u), Some(rate));
+            assert!(inst.reachable_users(a).binary_search(&u).is_ok());
+            if let Some(prev) = last {
+                assert!(a > prev, "candidate list not sorted");
+            }
+            last = Some(a);
+        }
+    }
+}
+
+/// The three solvers agree on a network where the optimum is forced
+/// (every user has exactly one AP): there is only one answer.
+#[test]
+fn forced_unique_solution() {
+    let mut b = InstanceBuilder::new();
+    b.supported_rates([mbps(6), mbps(12)]);
+    let s1 = b.add_session(mbps(1));
+    let s2 = b.add_session(mbps(1));
+    let a0 = b.add_ap(Load::ONE);
+    let a1 = b.add_ap(Load::ONE);
+    let pairs = [(a0, s1, 6), (a0, s2, 12), (a1, s1, 12), (a1, s2, 6)];
+    for (ap, sess, rate) in pairs {
+        let u = b.add_user(sess);
+        b.link(ap, u, mbps(rate)).unwrap();
+    }
+    let inst = b.build().unwrap();
+    let expect = Load::from_ratio(1, 6) + Load::from_ratio(1, 12);
+    for sol in [solve_mla(&inst).unwrap(), solve_bla(&inst).unwrap()] {
+        assert_eq!(sol.total_load, expect + expect);
+        assert_eq!(sol.max_load, expect);
+    }
+    let ssa = solve_ssa(&inst, Objective::Mla);
+    assert_eq!(ssa.total_load, expect + expect);
+}
+
+/// Figure 1 with both stream-rate variants in one run: instances are
+/// independent (no shared state anywhere).
+#[test]
+fn instances_are_independent() {
+    let light = figure1_instance(mbps(1));
+    let heavy = figure1_instance(mbps(3));
+    let l = solve_mla(&light).unwrap();
+    let h = solve_mnu(&heavy);
+    assert_eq!(l.total_load, Load::from_ratio(7, 12));
+    assert_eq!(h.satisfied, 3);
+    // Re-solving light is unaffected by having solved heavy.
+    assert_eq!(
+        solve_mla(&light).unwrap().total_load,
+        Load::from_ratio(7, 12)
+    );
+}

@@ -1,0 +1,418 @@
+//! The [`SetSystem`] covering instance: ground set, weighted subsets, groups.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cost::Cost;
+
+/// Identifies an element of the ground set (`0..n_elements`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ElementId(pub u32);
+
+impl fmt::Display for ElementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Identifies a set within a [`SetSystem`] (index into its set list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SetId(pub u32);
+
+impl fmt::Display for SetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// Identifies a group of sets (index into the group list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GroupId(pub u32);
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "G{}", self.0)
+    }
+}
+
+/// One weighted subset of the ground set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SetDef<C> {
+    members: Vec<ElementId>,
+    cost: C,
+    group: GroupId,
+}
+
+impl<C: Cost> SetDef<C> {
+    /// The elements of this set, sorted ascending and duplicate-free.
+    pub fn members(&self) -> &[ElementId] {
+        &self.members
+    }
+
+    /// The cost of selecting this set. Strictly positive.
+    pub fn cost(&self) -> &C {
+        &self.cost
+    }
+
+    /// The group this set belongs to.
+    pub fn group(&self) -> GroupId {
+        self.group
+    }
+
+    /// Whether `e` is a member of this set (binary search).
+    pub fn contains(&self, e: ElementId) -> bool {
+        self.members.binary_search(&e).is_ok()
+    }
+}
+
+/// Errors detected while constructing a [`SetSystem`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A set referenced an element `>= n_elements`.
+    ElementOutOfRange {
+        /// The offending element.
+        element: ElementId,
+        /// Size of the ground set.
+        n_elements: usize,
+    },
+    /// A set was given a non-positive cost.
+    NonPositiveCost {
+        /// Index the set would have received.
+        set: SetId,
+    },
+    /// A set had an empty member list.
+    EmptySet {
+        /// Index the set would have received.
+        set: SetId,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::ElementOutOfRange {
+                element,
+                n_elements,
+            } => write!(
+                f,
+                "set member {element} out of range for ground set of {n_elements} elements"
+            ),
+            BuildError::NonPositiveCost { set } => {
+                write!(f, "set {set} has non-positive cost")
+            }
+            BuildError::EmptySet { set } => write!(f, "set {set} has no members"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Incremental builder for a [`SetSystem`].
+///
+/// Groups are created implicitly: pushing a set with group index `g`
+/// guarantees groups `0..=g` exist in the built system (possibly empty).
+#[derive(Debug, Clone)]
+pub struct SetSystemBuilder<C> {
+    n_elements: usize,
+    sets: Vec<SetDef<C>>,
+    min_groups: usize,
+}
+
+impl<C: Cost> SetSystemBuilder<C> {
+    /// Starts a builder for a ground set `{0, …, n_elements - 1}`.
+    pub fn new(n_elements: usize) -> Self {
+        SetSystemBuilder {
+            n_elements,
+            sets: Vec::new(),
+            min_groups: 0,
+        }
+    }
+
+    /// Guarantees the built system has at least `n` groups, even if some
+    /// end up empty (e.g. an AP that reaches no user still needs a budget
+    /// slot in the MNU reduction).
+    pub fn ensure_groups(&mut self, n: usize) -> &mut Self {
+        self.min_groups = self.min_groups.max(n);
+        self
+    }
+
+    /// Adds a set and returns its id.
+    ///
+    /// `members` may arrive in any order and with duplicates; they are
+    /// sorted and deduplicated.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::ElementOutOfRange`] if a member is outside the ground
+    /// set, [`BuildError::NonPositiveCost`] for a cost `<= 0`, and
+    /// [`BuildError::EmptySet`] for an empty member list.
+    pub fn push_set<I>(&mut self, members: I, cost: C, group: u32) -> Result<SetId, BuildError>
+    where
+        I: IntoIterator<Item = u32>,
+    {
+        let id = SetId(self.sets.len() as u32);
+        let mut members: Vec<ElementId> = members.into_iter().map(ElementId).collect();
+        members.sort_unstable();
+        members.dedup();
+        if members.is_empty() {
+            return Err(BuildError::EmptySet { set: id });
+        }
+        if let Some(&bad) = members.iter().find(|e| e.0 as usize >= self.n_elements) {
+            return Err(BuildError::ElementOutOfRange {
+                element: bad,
+                n_elements: self.n_elements,
+            });
+        }
+        if cost <= C::zero() {
+            return Err(BuildError::NonPositiveCost { set: id });
+        }
+        self.min_groups = self.min_groups.max(group as usize + 1);
+        self.sets.push(SetDef {
+            members,
+            cost,
+            group: GroupId(group),
+        });
+        Ok(id)
+    }
+
+    /// Removes exact-duplicate sets: within each group, if two sets have
+    /// identical member lists, only the cheapest survives. Removing such a
+    /// set never changes the quality reachable by the greedy solvers.
+    ///
+    /// Returns the number of sets dropped. Call before [`build`]; set ids
+    /// are assigned at build time, so pruning does not invalidate anything.
+    ///
+    /// [`build`]: SetSystemBuilder::build
+    pub fn prune_duplicates(&mut self) -> usize {
+        let mut best: HashMap<(GroupId, Vec<ElementId>), usize> = HashMap::new();
+        let mut keep = vec![true; self.sets.len()];
+        for (i, set) in self.sets.iter().enumerate() {
+            let key = (set.group, set.members.clone());
+            match best.get(&key) {
+                Some(&j) if self.sets[j].cost <= set.cost => keep[i] = false,
+                Some(&j) => {
+                    keep[j] = false;
+                    best.insert(key, i);
+                }
+                None => {
+                    best.insert(key, i);
+                }
+            }
+        }
+        let before = self.sets.len();
+        let mut iter = keep.iter();
+        self.sets
+            .retain(|_| *iter.next().expect("keep mask length"));
+        before - self.sets.len()
+    }
+
+    /// Finalizes the system.
+    pub fn build(self) -> Result<SetSystem<C>, BuildError> {
+        let mut groups: Vec<Vec<SetId>> = vec![Vec::new(); self.min_groups];
+        let mut covering: Vec<Vec<SetId>> = vec![Vec::new(); self.n_elements];
+        for (i, set) in self.sets.iter().enumerate() {
+            let id = SetId(i as u32);
+            groups[set.group.0 as usize].push(id);
+            for e in &set.members {
+                covering[e.0 as usize].push(id);
+            }
+        }
+        Ok(SetSystem {
+            n_elements: self.n_elements,
+            sets: self.sets,
+            groups,
+            covering,
+        })
+    }
+}
+
+/// A covering instance: ground set `{0, …, n-1}`, weighted subsets, and a
+/// partition of the subsets into groups.
+///
+/// In the WLAN reduction each group is an access point and each set is one
+/// `(AP, session, transmission-rate)` choice whose members are the users the
+/// AP would reach at that rate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SetSystem<C> {
+    n_elements: usize,
+    sets: Vec<SetDef<C>>,
+    groups: Vec<Vec<SetId>>,
+    /// For each element, the ids of the sets containing it.
+    covering: Vec<Vec<SetId>>,
+}
+
+impl<C: Cost> SetSystem<C> {
+    /// Size of the ground set.
+    pub fn n_elements(&self) -> usize {
+        self.n_elements
+    }
+
+    /// Number of sets.
+    pub fn n_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Number of groups (some may be empty).
+    pub fn n_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The set with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn set(&self, id: SetId) -> &SetDef<C> {
+        &self.sets[id.0 as usize]
+    }
+
+    /// All sets, indexable by `SetId.0`.
+    pub fn sets(&self) -> &[SetDef<C>] {
+        &self.sets
+    }
+
+    /// The ids of the sets in group `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn group_sets(&self, g: GroupId) -> &[SetId] {
+        &self.groups[g.0 as usize]
+    }
+
+    /// The ids of the sets containing element `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn covering_sets(&self, e: ElementId) -> &[SetId] {
+        &self.covering[e.0 as usize]
+    }
+
+    /// True if every element belongs to at least one set.
+    pub fn all_coverable(&self) -> bool {
+        self.covering.iter().all(|c| !c.is_empty())
+    }
+
+    /// Elements not contained in any set.
+    pub fn uncoverable_elements(&self) -> Vec<ElementId> {
+        self.covering
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_empty())
+            .map(|(i, _)| ElementId(i as u32))
+            .collect()
+    }
+
+    /// The largest single-set cost, or `None` for an empty system.
+    pub fn max_set_cost(&self) -> Option<&C> {
+        self.sets.iter().map(|s| &s.cost).max()
+    }
+
+    /// The smallest single-set cost, or `None` for an empty system.
+    pub fn min_set_cost(&self) -> Option<&C> {
+        self.sets.iter().map(|s| &s.cost).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SetSystem<u64> {
+        let mut b = SetSystemBuilder::new(4);
+        b.push_set([0, 1], 2, 0).unwrap();
+        b.push_set([1, 2, 3], 3, 0).unwrap();
+        b.push_set([3], 1, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn build_indexes_groups_and_covering() {
+        let s = small();
+        assert_eq!(s.n_elements(), 4);
+        assert_eq!(s.n_sets(), 3);
+        assert_eq!(s.n_groups(), 2);
+        assert_eq!(s.group_sets(GroupId(0)), &[SetId(0), SetId(1)]);
+        assert_eq!(s.group_sets(GroupId(1)), &[SetId(2)]);
+        assert_eq!(s.covering_sets(ElementId(1)), &[SetId(0), SetId(1)]);
+        assert_eq!(s.covering_sets(ElementId(3)), &[SetId(1), SetId(2)]);
+        assert!(s.all_coverable());
+    }
+
+    #[test]
+    fn members_sorted_and_deduped() {
+        let mut b = SetSystemBuilder::<u64>::new(5);
+        let id = b.push_set([3, 1, 3, 0], 1, 0).unwrap();
+        let s = b.build().unwrap();
+        assert_eq!(
+            s.set(id).members(),
+            &[ElementId(0), ElementId(1), ElementId(3)]
+        );
+        assert!(s.set(id).contains(ElementId(3)));
+        assert!(!s.set(id).contains(ElementId(2)));
+    }
+
+    #[test]
+    fn rejects_out_of_range_member() {
+        let mut b = SetSystemBuilder::<u64>::new(2);
+        let err = b.push_set([0, 2], 1, 0).unwrap_err();
+        assert!(matches!(err, BuildError::ElementOutOfRange { .. }));
+    }
+
+    #[test]
+    fn rejects_zero_cost_and_empty_set() {
+        let mut b = SetSystemBuilder::<u64>::new(2);
+        assert!(matches!(
+            b.push_set([0], 0, 0).unwrap_err(),
+            BuildError::NonPositiveCost { .. }
+        ));
+        assert!(matches!(
+            b.push_set(std::iter::empty(), 1, 0).unwrap_err(),
+            BuildError::EmptySet { .. }
+        ));
+    }
+
+    #[test]
+    fn uncoverable_elements_reported() {
+        let mut b = SetSystemBuilder::<u64>::new(3);
+        b.push_set([0], 1, 0).unwrap();
+        let s = b.build().unwrap();
+        assert!(!s.all_coverable());
+        assert_eq!(s.uncoverable_elements(), vec![ElementId(1), ElementId(2)]);
+    }
+
+    #[test]
+    fn prune_duplicates_keeps_cheapest_per_group() {
+        let mut b = SetSystemBuilder::<u64>::new(3);
+        b.push_set([0, 1], 5, 0).unwrap();
+        b.push_set([0, 1], 3, 0).unwrap(); // cheaper duplicate, same group
+        b.push_set([0, 1], 2, 1).unwrap(); // other group: kept separately
+        b.push_set([0, 2], 5, 0).unwrap(); // different members: kept
+        let dropped = b.prune_duplicates();
+        assert_eq!(dropped, 1);
+        let s = b.build().unwrap();
+        assert_eq!(s.n_sets(), 3);
+        let costs: Vec<u64> = s.sets().iter().map(|s| *s.cost()).collect();
+        assert!(
+            costs.contains(&3) && !costs.contains(&5)
+                || costs.iter().filter(|&&c| c == 5).count() == 1
+        );
+        // group 0 retains the cost-3 copy of {0,1} and the {0,2} set.
+        let g0: Vec<u64> = s
+            .group_sets(GroupId(0))
+            .iter()
+            .map(|&id| *s.set(id).cost())
+            .collect();
+        assert_eq!(g0, vec![3, 5]);
+    }
+
+    #[test]
+    fn min_max_cost() {
+        let s = small();
+        assert_eq!(s.min_set_cost(), Some(&1));
+        assert_eq!(s.max_set_cost(), Some(&3));
+    }
+}

@@ -1,0 +1,90 @@
+//! Verification helpers: used by tests, debug assertions, and the exact
+//! solvers to certify candidate solutions.
+
+use crate::cost::Cost;
+use crate::system::{SetId, SetSystem};
+
+/// Number of distinct elements covered by the union of `sets`.
+pub fn coverage_count<C: Cost>(system: &SetSystem<C>, sets: &[SetId]) -> usize {
+    let mut covered = vec![false; system.n_elements()];
+    for &sid in sets {
+        for e in system.set(sid).members() {
+            covered[e.0 as usize] = true;
+        }
+    }
+    covered.into_iter().filter(|&c| c).count()
+}
+
+/// True if the union of `sets` covers the whole ground set.
+pub fn check_cover<C: Cost>(system: &SetSystem<C>, sets: &[SetId]) -> bool {
+    coverage_count(system, sets) == system.n_elements()
+}
+
+/// Sum of the costs of `sets` (duplicates counted as many times as listed).
+pub fn total_cost<C: Cost>(system: &SetSystem<C>, sets: &[SetId]) -> C {
+    sets.iter()
+        .fold(C::zero(), |acc, &sid| acc.add(system.set(sid).cost()))
+}
+
+/// Per-group accumulated cost of `sets`, indexed by group id.
+pub fn group_costs<C: Cost>(system: &SetSystem<C>, sets: &[SetId]) -> Vec<C> {
+    let mut gc = vec![C::zero(); system.n_groups()];
+    for &sid in sets {
+        let set = system.set(sid);
+        let g = set.group().0 as usize;
+        gc[g] = gc[g].add(set.cost());
+    }
+    gc
+}
+
+/// True if every group's accumulated cost is within its budget.
+///
+/// # Panics
+///
+/// Panics if `budgets.len() != system.n_groups()`.
+pub fn check_budgets<C: Cost>(system: &SetSystem<C>, sets: &[SetId], budgets: &[C]) -> bool {
+    assert_eq!(budgets.len(), system.n_groups());
+    group_costs(system, sets)
+        .iter()
+        .zip(budgets)
+        .all(|(c, b)| c <= b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SetSystemBuilder;
+
+    fn system() -> SetSystem<u64> {
+        let mut b = SetSystemBuilder::new(4);
+        b.push_set([0, 1], 2, 0).unwrap();
+        b.push_set([1, 2], 3, 0).unwrap();
+        b.push_set([3], 1, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn coverage_counts_union() {
+        let s = system();
+        assert_eq!(coverage_count(&s, &[SetId(0)]), 2);
+        assert_eq!(coverage_count(&s, &[SetId(0), SetId(1)]), 3);
+        assert!(!check_cover(&s, &[SetId(0), SetId(1)]));
+        assert!(check_cover(&s, &[SetId(0), SetId(1), SetId(2)]));
+    }
+
+    #[test]
+    fn costs_accumulate_per_group() {
+        let s = system();
+        let all = [SetId(0), SetId(1), SetId(2)];
+        assert_eq!(total_cost(&s, &all), 6);
+        assert_eq!(group_costs(&s, &all), vec![5, 1]);
+        assert!(check_budgets(&s, &all, &[5, 1]));
+        assert!(!check_budgets(&s, &all, &[4, 1]));
+    }
+
+    #[test]
+    fn duplicate_selection_counted_twice() {
+        let s = system();
+        assert_eq!(total_cost(&s, &[SetId(2), SetId(2)]), 2);
+    }
+}

@@ -1,0 +1,251 @@
+//! Integer rescaling of rational covering instances.
+
+use mcast_core::Load;
+use mcast_covering::{SetId, SetSystem};
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.abs()
+}
+
+fn lcm(a: i128, b: i128) -> i128 {
+    (a / gcd(a, b)).checked_mul(b).expect("lcm overflow")
+}
+
+/// A covering instance with all costs and budgets rescaled to exact `u64`
+/// integers (multiplied by the least common denominator), plus the
+/// adjacency indexes the branch-and-bound solvers need.
+#[derive(Debug, Clone)]
+pub struct ScaledSystem {
+    /// Scale factor: `scaled = load * unit`.
+    unit: i128,
+    n_elements: usize,
+    n_groups: usize,
+    /// Per set: scaled cost.
+    costs: Vec<u64>,
+    /// Per set: group index.
+    groups: Vec<usize>,
+    /// Per set: member elements (sorted).
+    members: Vec<Vec<u32>>,
+    /// Per element: sets containing it.
+    covering: Vec<Vec<SetId>>,
+    /// Per group: scaled budget (`u64::MAX` when no budgets supplied).
+    budgets: Vec<u64>,
+}
+
+impl ScaledSystem {
+    /// Rescales `system` (and optional per-group `budgets`) to integers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cost or budget is negative, or if the common denominator
+    /// overflows `i128` (impossible for rate-table-derived instances).
+    pub fn new(system: &SetSystem<Load>, budgets: Option<&[Load]>) -> ScaledSystem {
+        let mut denom: i128 = 1;
+        for set in system.sets() {
+            assert!(set.cost().numer() > 0, "costs must be positive");
+            denom = lcm(denom, set.cost().denom());
+        }
+        if let Some(budgets) = budgets {
+            for b in budgets {
+                assert!(!b.is_negative(), "budgets must be non-negative");
+                denom = lcm(denom, b.denom());
+            }
+        }
+
+        let to_scaled = |l: &Load| -> u64 {
+            let v = l
+                .numer()
+                .checked_mul(denom / l.denom())
+                .expect("scaled cost overflow");
+            u64::try_from(v).expect("scaled cost fits u64")
+        };
+
+        let costs: Vec<u64> = system.sets().iter().map(|s| to_scaled(s.cost())).collect();
+        let groups: Vec<usize> = system.sets().iter().map(|s| s.group().0 as usize).collect();
+        let members: Vec<Vec<u32>> = system
+            .sets()
+            .iter()
+            .map(|s| s.members().iter().map(|e| e.0).collect())
+            .collect();
+        let covering: Vec<Vec<SetId>> = (0..system.n_elements())
+            .map(|e| {
+                system
+                    .covering_sets(mcast_covering::ElementId(e as u32))
+                    .to_vec()
+            })
+            .collect();
+        let scaled_budgets = match budgets {
+            Some(bs) => bs.iter().map(|b| to_scaled_budget(b, denom)).collect(),
+            None => vec![u64::MAX; system.n_groups()],
+        };
+
+        ScaledSystem {
+            unit: denom,
+            n_elements: system.n_elements(),
+            n_groups: system.n_groups(),
+            costs,
+            groups,
+            members,
+            covering,
+            budgets: scaled_budgets,
+        }
+    }
+
+    /// The scale factor (`scaled = load × unit`).
+    pub fn unit(&self) -> i128 {
+        self.unit
+    }
+
+    /// Converts a scaled integer value back to an exact [`Load`].
+    pub fn to_load(&self, scaled: u64) -> Load {
+        Load::new(scaled as i128, self.unit)
+    }
+
+    /// Ground-set size.
+    pub fn n_elements(&self) -> usize {
+        self.n_elements
+    }
+
+    /// Number of groups.
+    pub fn n_groups(&self) -> usize {
+        self.n_groups
+    }
+
+    /// Number of sets.
+    pub fn n_sets(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Scaled cost of set `s`.
+    pub fn cost(&self, s: SetId) -> u64 {
+        self.costs[s.0 as usize]
+    }
+
+    /// Group of set `s`.
+    pub fn group(&self, s: SetId) -> usize {
+        self.groups[s.0 as usize]
+    }
+
+    /// Members of set `s`.
+    pub fn members(&self, s: SetId) -> &[u32] {
+        &self.members[s.0 as usize]
+    }
+
+    /// Sets containing element `e`.
+    pub fn covering(&self, e: u32) -> &[SetId] {
+        &self.covering[e as usize]
+    }
+
+    /// Scaled budget of group `g` (`u64::MAX` = unconstrained).
+    pub fn budget(&self, g: usize) -> u64 {
+        self.budgets[g]
+    }
+
+    /// True if every element belongs to at least one set.
+    pub fn all_coverable(&self) -> bool {
+        self.covering.iter().all(|c| !c.is_empty())
+    }
+
+    /// For each element, a lower bound on the cheapest per-element "share"
+    /// `min over S ∋ e of cost(S) / |S|`, in `1/sub_unit` sub-units of the
+    /// scaled cost (rounded *down*, so the bound stays admissible).
+    ///
+    /// Any cover pays at least the sum of the true shares over the
+    /// uncovered elements: covering element `e` with set `S` charges `e`
+    /// at least `cost(S)/|S|`, and a set's members charge it at most its
+    /// cost in total. Summing the rounded-down shares therefore never
+    /// exceeds the cost of any remaining cover.
+    pub fn fractional_shares(&self) -> (Vec<u64>, u64) {
+        const SUB_UNIT: u64 = 1 << 20;
+        let shares = (0..self.n_elements as u32)
+            .map(|e| {
+                self.covering(e)
+                    .iter()
+                    .map(|&s| {
+                        let size = self.members(s).len() as u128;
+                        let scaled = u128::from(self.cost(s)) * u128::from(SUB_UNIT) / size;
+                        u64::try_from(scaled).expect("share fits u64")
+                    })
+                    .min()
+                    .unwrap_or(0)
+            })
+            .collect();
+        (shares, SUB_UNIT)
+    }
+}
+
+fn to_scaled_budget(b: &Load, denom: i128) -> u64 {
+    if b.numer() == 0 {
+        return 0;
+    }
+    let v = b
+        .numer()
+        .checked_mul(denom / b.denom())
+        .expect("scaled budget overflow");
+    u64::try_from(v).expect("scaled budget fits u64")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_covering::SetSystemBuilder;
+
+    fn system() -> SetSystem<Load> {
+        let mut b = SetSystemBuilder::<Load>::new(3);
+        b.push_set([0, 1], Load::from_ratio(1, 6), 0).unwrap();
+        b.push_set([1, 2], Load::from_ratio(1, 4), 0).unwrap();
+        b.push_set([2], Load::from_ratio(1, 3), 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn scaling_uses_lcm() {
+        let s = ScaledSystem::new(&system(), None);
+        assert_eq!(s.unit(), 12);
+        assert_eq!(s.cost(SetId(0)), 2);
+        assert_eq!(s.cost(SetId(1)), 3);
+        assert_eq!(s.cost(SetId(2)), 4);
+        assert_eq!(s.to_load(5), Load::from_ratio(5, 12));
+        assert_eq!(s.budget(0), u64::MAX);
+    }
+
+    #[test]
+    fn budgets_extend_the_denominator() {
+        let budgets = vec![Load::permille(900), Load::from_ratio(1, 2)];
+        let s = ScaledSystem::new(&system(), Some(&budgets));
+        // lcm(6,4,3,10,2) = 60.
+        assert_eq!(s.unit(), 60);
+        assert_eq!(s.budget(0), 54);
+        assert_eq!(s.budget(1), 30);
+        assert_eq!(s.cost(SetId(0)), 10);
+    }
+
+    #[test]
+    fn adjacency_preserved() {
+        let s = ScaledSystem::new(&system(), None);
+        assert_eq!(s.n_elements(), 3);
+        assert_eq!(s.n_groups(), 2);
+        assert_eq!(s.members(SetId(0)), &[0, 1]);
+        assert_eq!(s.covering(1), &[SetId(0), SetId(1)]);
+        assert_eq!(s.group(SetId(2)), 1);
+        assert!(s.all_coverable());
+    }
+
+    #[test]
+    fn fractional_shares_are_admissible() {
+        let s = ScaledSystem::new(&system(), None);
+        let (shares, sub) = s.fractional_shares();
+        // Shares (in 1/sub units of scaled cost): e0: S0 only → 2/2 = 1;
+        // e1: min(2/2, 3/2) = 1; e2: min(3/2, 4/1) = 3/2.
+        assert_eq!(shares, vec![sub, sub, 3 * sub / 2]);
+        // LB for covering all: (1 + 1 + 1.5) = 3.5 scaled units; the true
+        // optimum {S0, S2} costs 6 — the bound is below it, as required.
+        let lb: u64 = shares.iter().sum();
+        assert!(lb <= 6 * sub);
+    }
+}

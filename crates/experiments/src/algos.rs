@@ -1,0 +1,243 @@
+//! The algorithm zoo the paper evaluates, behind one uniform interface.
+
+use mcast_core::{
+    run_distributed, solve_bla, solve_mla, solve_mnu, Association, DistributedConfig, Instance,
+    Objective, Policy, Solution,
+};
+use mcast_exact::{optimal_bla, optimal_mla, optimal_mnu, SearchLimits};
+
+/// An algorithm under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algo {
+    /// Centralized MLA (greedy set cover).
+    MlaC,
+    /// Distributed MLA (min total-load rule, serial).
+    MlaD,
+    /// Centralized BLA (SCG via iterated MCG).
+    BlaC,
+    /// Distributed BLA (min sorted-load-vector rule, serial).
+    BlaD,
+    /// Centralized MNU (MCG greedy + partition).
+    MnuC,
+    /// Distributed MNU (min total-load rule with budgets, serial).
+    MnuD,
+    /// Strongest-signal association (the paper's baseline).
+    Ssa,
+    /// Certified-optimal MLA (branch-and-bound; Figure 12).
+    OptMla,
+    /// Certified-optimal BLA.
+    OptBla,
+    /// Certified-optimal MNU.
+    OptMnu,
+}
+
+impl Algo {
+    /// The label used in tables/CSV (matches the paper's legends).
+    pub fn label(self) -> &'static str {
+        match self {
+            Algo::MlaC => "MLA-C",
+            Algo::MlaD => "MLA-D",
+            Algo::BlaC => "BLA-C",
+            Algo::BlaD => "BLA-D",
+            Algo::MnuC => "MNU-C",
+            Algo::MnuD => "MNU-D",
+            Algo::Ssa => "SSA",
+            Algo::OptMla => "OPT",
+            Algo::OptBla => "OPT",
+            Algo::OptMnu => "OPT",
+        }
+    }
+}
+
+/// What one algorithm run produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measured {
+    /// Users served.
+    pub satisfied: usize,
+    /// Users left without service.
+    pub unsatisfied: usize,
+    /// Realized total multicast load.
+    pub total_load: f64,
+    /// Realized maximum AP load.
+    pub max_load: f64,
+    /// For exact solvers: whether optimality was certified.
+    pub proved_optimal: Option<bool>,
+}
+
+impl Measured {
+    fn of(sol: &Solution, inst: &Instance, proved: Option<bool>) -> Measured {
+        Measured {
+            satisfied: sol.satisfied,
+            unsatisfied: inst.n_users() - sol.satisfied,
+            total_load: sol.total_load.as_f64(),
+            max_load: sol.max_load.as_f64(),
+            proved_optimal: proved,
+        }
+    }
+
+    /// Extracts one metric as an f64.
+    pub fn metric(&self, metric: Metric) -> f64 {
+        match metric {
+            Metric::TotalLoad => self.total_load,
+            Metric::MaxLoad => self.max_load,
+            Metric::Satisfied => self.satisfied as f64,
+            Metric::Unsatisfied => self.unsatisfied as f64,
+        }
+    }
+}
+
+/// The y-axis quantity of a figure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Sum of AP multicast loads (Figure 9, 12a).
+    TotalLoad,
+    /// Maximum AP multicast load (Figure 10, 12b).
+    MaxLoad,
+    /// Satisfied users (Figure 11).
+    Satisfied,
+    /// Unsatisfied users (Figure 12c).
+    Unsatisfied,
+}
+
+impl Metric {
+    /// Axis label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Metric::TotalLoad => "total AP load",
+            Metric::MaxLoad => "max AP load",
+            Metric::Satisfied => "satisfied users",
+            Metric::Unsatisfied => "unsatisfied users",
+        }
+    }
+}
+
+/// Runs `algo` on `inst`.
+///
+/// The full-coverage solvers (MLA/BLA and their optima) treat an
+/// uncoverable instance as a bug in scenario generation and panic; the
+/// generators guarantee coverage.
+pub fn run(algo: Algo, inst: &Instance, limits: SearchLimits) -> Measured {
+    match algo {
+        Algo::MlaC => {
+            let sol = solve_mla(inst).expect("scenario guarantees coverage");
+            Measured::of(&sol, inst, None)
+        }
+        Algo::BlaC => {
+            let sol = solve_bla(inst).expect("scenario guarantees coverage");
+            Measured::of(&sol, inst, None)
+        }
+        Algo::MnuC => {
+            let sol = solve_mnu(inst);
+            Measured::of(&sol, inst, None)
+        }
+        Algo::MlaD | Algo::MnuD => {
+            let out = run_distributed(
+                inst,
+                &DistributedConfig::default(),
+                Association::empty(inst.n_users()),
+            );
+            let sol = Solution::evaluate(
+                if algo == Algo::MlaD {
+                    Objective::Mla
+                } else {
+                    Objective::Mnu
+                },
+                out.association,
+                inst,
+                None,
+            );
+            Measured::of(&sol, inst, None)
+        }
+        Algo::BlaD => {
+            let out = run_distributed(
+                inst,
+                &DistributedConfig {
+                    policy: Policy::MinMaxVector,
+                    ..DistributedConfig::default()
+                },
+                Association::empty(inst.n_users()),
+            );
+            let sol = Solution::evaluate(Objective::Bla, out.association, inst, None);
+            Measured::of(&sol, inst, None)
+        }
+        Algo::Ssa => {
+            let sol = mcast_core::solve_ssa(inst, Objective::Mla);
+            Measured::of(&sol, inst, None)
+        }
+        Algo::OptMla => {
+            let out = optimal_mla(inst, limits).expect("coverage");
+            Measured::of(&out.solution, inst, Some(out.proved_optimal))
+        }
+        Algo::OptBla => {
+            let out = optimal_bla(inst, limits).expect("coverage");
+            Measured::of(&out.solution, inst, Some(out.proved_optimal))
+        }
+        Algo::OptMnu => {
+            let out = optimal_mnu(inst, limits);
+            Measured::of(&out.solution, inst, Some(out.proved_optimal))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_core::examples_paper::figure1_instance;
+    use mcast_core::Kbps;
+
+    #[test]
+    fn all_algorithms_run_on_figure1() {
+        let inst = figure1_instance(Kbps::from_mbps(1));
+        for algo in [
+            Algo::MlaC,
+            Algo::MlaD,
+            Algo::BlaC,
+            Algo::BlaD,
+            Algo::MnuC,
+            Algo::MnuD,
+            Algo::Ssa,
+            Algo::OptMla,
+            Algo::OptBla,
+            Algo::OptMnu,
+        ] {
+            let m = run(algo, &inst, SearchLimits::default());
+            assert!(m.satisfied + m.unsatisfied == 5);
+            assert!(m.total_load >= m.max_load);
+            assert!(m.max_load >= 0.0);
+        }
+    }
+
+    #[test]
+    fn optimal_never_worse_than_greedy_on_figure1() {
+        let inst = figure1_instance(Kbps::from_mbps(1));
+        let limits = SearchLimits::default();
+        assert!(
+            run(Algo::OptMla, &inst, limits).total_load
+                <= run(Algo::MlaC, &inst, limits).total_load + 1e-12
+        );
+        assert!(
+            run(Algo::OptBla, &inst, limits).max_load
+                <= run(Algo::BlaC, &inst, limits).max_load + 1e-12
+        );
+        let inst3 = figure1_instance(Kbps::from_mbps(3));
+        assert!(
+            run(Algo::OptMnu, &inst3, limits).satisfied
+                >= run(Algo::MnuC, &inst3, limits).satisfied
+        );
+    }
+
+    #[test]
+    fn metric_extraction() {
+        let m = Measured {
+            satisfied: 3,
+            unsatisfied: 2,
+            total_load: 0.5,
+            max_load: 0.3,
+            proved_optimal: None,
+        };
+        assert_eq!(m.metric(Metric::TotalLoad), 0.5);
+        assert_eq!(m.metric(Metric::MaxLoad), 0.3);
+        assert_eq!(m.metric(Metric::Satisfied), 3.0);
+        assert_eq!(m.metric(Metric::Unsatisfied), 2.0);
+    }
+}

@@ -1,0 +1,368 @@
+//! `repro gen` / `repro solve`: scenario files for reproducible one-off
+//! runs (generate once, solve many ways, diff outputs).
+
+use std::path::Path;
+
+use mcast_core::{
+    run_distributed, solve_bla, solve_mla, solve_mla_with, solve_mnu, solve_ssa, Association,
+    DistributedConfig, Load, MlaAlgorithm, Objective, Policy, Solution,
+};
+use mcast_exact::{optimal_bla, optimal_mla, optimal_mnu, SearchLimits};
+use mcast_topology::{Scenario, ScenarioConfig};
+
+/// Options for `repro gen`.
+#[derive(Debug, Clone)]
+pub struct GenOptions {
+    /// RNG seed.
+    pub seed: u64,
+    /// AP count.
+    pub aps: usize,
+    /// User count.
+    pub users: usize,
+    /// Session count.
+    pub sessions: usize,
+    /// Budget in permille (e.g. 900 = 0.9).
+    pub budget_permille: u32,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        GenOptions {
+            seed: 0,
+            aps: 200,
+            users: 400,
+            sessions: 5,
+            budget_permille: 900,
+        }
+    }
+}
+
+/// Generates a scenario and writes it as JSON.
+///
+/// # Errors
+///
+/// I/O or serialization failures.
+pub fn generate_to_file(opts: &GenOptions, path: &Path) -> Result<(), String> {
+    let scenario = ScenarioConfig {
+        n_aps: opts.aps,
+        n_users: opts.users,
+        n_sessions: opts.sessions,
+        budget: Load::permille(opts.budget_permille),
+        ..ScenarioConfig::paper_default()
+    }
+    .with_seed(opts.seed)
+    .try_generate()
+    .map_err(|e| format!("generation failed: {e}"))?;
+    let json = serde_json::to_string(&scenario).map_err(|e| e.to_string())?;
+    std::fs::write(path, json).map_err(|e| e.to_string())?;
+    println!(
+        "wrote scenario: {} APs, {} users, {} sessions, budget {} (seed {}) -> {}",
+        opts.aps,
+        opts.users,
+        opts.sessions,
+        Load::permille(opts.budget_permille),
+        opts.seed,
+        path.display()
+    );
+    Ok(())
+}
+
+/// Loads a scenario JSON file.
+///
+/// # Errors
+///
+/// I/O or deserialization failures.
+pub fn load_scenario(path: &Path) -> Result<Scenario, String> {
+    let json = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    serde_json::from_str(&json).map_err(|e| format!("bad scenario file: {e}"))
+}
+
+/// Runs `algo` on a loaded scenario and prints a summary; optionally
+/// writes the association JSON.
+///
+/// # Errors
+///
+/// Unknown algorithm names, solver failures, or I/O failures.
+pub fn solve_file(path: &Path, algo: &str, assoc_out: Option<&Path>) -> Result<(), String> {
+    let scenario = load_scenario(path)?;
+    let inst = &scenario.instance;
+    let limits = SearchLimits::default();
+    let (solution, note): (Solution, Option<String>) = match algo {
+        "ssa" => (solve_ssa(inst, Objective::Mla), None),
+        "mla" => (solve_mla(inst).map_err(|e| e.to_string())?, None),
+        "mla-pd" => (
+            solve_mla_with(inst, MlaAlgorithm::PrimalDual).map_err(|e| e.to_string())?,
+            None,
+        ),
+        "bla" => (solve_bla(inst).map_err(|e| e.to_string())?, None),
+        "mnu" => (solve_mnu(inst), None),
+        "mla-d" | "mnu-d" => {
+            let out = run_distributed(
+                inst,
+                &DistributedConfig::default(),
+                Association::empty(inst.n_users()),
+            );
+            let objective = if algo == "mla-d" { Objective::Mla } else { Objective::Mnu };
+            (
+                Solution::evaluate(objective, out.association, inst, None),
+                Some(format!("converged: {} in {} rounds", out.converged, out.rounds)),
+            )
+        }
+        "bla-d" => {
+            let out = run_distributed(
+                inst,
+                &DistributedConfig {
+                    policy: Policy::MinMaxVector,
+                    ..DistributedConfig::default()
+                },
+                Association::empty(inst.n_users()),
+            );
+            (
+                Solution::evaluate(Objective::Bla, out.association, inst, None),
+                Some(format!("converged: {} in {} rounds", out.converged, out.rounds)),
+            )
+        }
+        "opt-mla" => {
+            let out = optimal_mla(inst, limits).map_err(|e| e.to_string())?;
+            (out.solution, Some(format!("certified optimal: {}", out.proved_optimal)))
+        }
+        "opt-bla" => {
+            let out = optimal_bla(inst, limits).map_err(|e| e.to_string())?;
+            (out.solution, Some(format!("certified optimal: {}", out.proved_optimal)))
+        }
+        "opt-mnu" => {
+            let out = optimal_mnu(inst, limits);
+            (out.solution, Some(format!("certified optimal: {}", out.proved_optimal)))
+        }
+        other => {
+            return Err(format!(
+                "unknown algorithm '{other}' (want ssa|mla|mla-pd|mla-d|bla|bla-d|mnu|mnu-d|opt-mla|opt-bla|opt-mnu)"
+            ))
+        }
+    };
+
+    println!("scenario   : {}", path.display());
+    println!("algorithm  : {algo}");
+    println!("satisfied  : {}/{}", solution.satisfied, inst.n_users());
+    println!(
+        "total load : {} = {:.4}",
+        solution.total_load,
+        solution.total_load.as_f64()
+    );
+    println!(
+        "max load   : {} = {:.4}",
+        solution.max_load,
+        solution.max_load.as_f64()
+    );
+    if let Some(note) = note {
+        println!("note       : {note}");
+    }
+    if let Some(out) = assoc_out {
+        let json = serde_json::to_string(&solution.association).map_err(|e| e.to_string())?;
+        std::fs::write(out, json).map_err(|e| e.to_string())?;
+        println!("association written to {}", out.display());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("mcast_cli_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn gen_and_solve_roundtrip() {
+        let path = tmp("scenario.json");
+        let opts = GenOptions {
+            seed: 3,
+            aps: 10,
+            users: 25,
+            sessions: 3,
+            budget_permille: 900,
+        };
+        generate_to_file(&opts, &path).unwrap();
+        let scenario = load_scenario(&path).unwrap();
+        assert_eq!(scenario.instance.n_aps(), 10);
+        assert_eq!(scenario.instance.n_users(), 25);
+
+        for algo in ["ssa", "mla", "mla-pd", "bla", "mnu", "mla-d", "bla-d"] {
+            solve_file(&path, algo, None).unwrap();
+        }
+        let out = tmp("assoc.json");
+        solve_file(&path, "mla", Some(&out)).unwrap();
+        let assoc: Association =
+            serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        assert_eq!(assoc.satisfied_count(), 25);
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(out);
+    }
+
+    #[test]
+    fn unknown_algorithm_is_an_error() {
+        let path = tmp("scenario2.json");
+        generate_to_file(
+            &GenOptions {
+                aps: 3,
+                users: 5,
+                sessions: 1,
+                ..GenOptions::default()
+            },
+            &path,
+        )
+        .unwrap();
+        assert!(solve_file(&path, "nonsense", None).is_err());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        assert!(load_scenario(Path::new("/nonexistent/file.json")).is_err());
+    }
+}
+
+/// One parsed CSV row: `(figure, series, x) → (mean, min, max)`.
+type ResultKey = (String, String, String);
+type ResultRow = (f64, f64, f64);
+
+/// Reads every `*.csv` written by the harness in `dir` into a map.
+///
+/// # Errors
+///
+/// I/O failures; malformed rows are skipped with a warning on stderr.
+pub fn read_results_dir(
+    dir: &Path,
+) -> Result<std::collections::BTreeMap<ResultKey, ResultRow>, String> {
+    let mut map = std::collections::BTreeMap::new();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("csv") {
+            continue;
+        }
+        let content = std::fs::read_to_string(&path).map_err(|e| e.to_string())?;
+        for line in content.lines().skip(1) {
+            let parts: Vec<&str> = line.split(',').collect();
+            if parts.len() != 7 {
+                eprintln!(
+                    "warning: skipping malformed row in {}: {line}",
+                    path.display()
+                );
+                continue;
+            }
+            let key = (
+                parts[0].to_string(),
+                parts[1].to_string(),
+                parts[2].to_string(),
+            );
+            let parse = |s: &str| s.parse::<f64>().map_err(|e| e.to_string());
+            map.insert(key, (parse(parts[3])?, parse(parts[4])?, parse(parts[5])?));
+        }
+    }
+    Ok(map)
+}
+
+/// Compares two harness result directories and prints per-point relative
+/// mean deltas, flagging those beyond `tolerance` (fraction, e.g. 0.05).
+/// Returns the number of flagged regressions.
+///
+/// # Errors
+///
+/// I/O or parse failures.
+pub fn compare_results(dir_a: &Path, dir_b: &Path, tolerance: f64) -> Result<usize, String> {
+    let a = read_results_dir(dir_a)?;
+    let b = read_results_dir(dir_b)?;
+    let mut flagged = 0usize;
+    let mut compared = 0usize;
+    println!(
+        "{:<26} {:<22} {:>8} | {:>10} {:>10} {:>8}",
+        "figure", "series", "x", "A mean", "B mean", "delta"
+    );
+    for (key, (mean_a, _, _)) in &a {
+        let Some((mean_b, _, _)) = b.get(key) else {
+            println!("{:<26} {:<22} {:>8} | only in A", key.0, key.1, key.2);
+            continue;
+        };
+        compared += 1;
+        let denom = mean_a.abs().max(1e-12);
+        let delta = (mean_b - mean_a) / denom;
+        let marker = if delta.abs() > tolerance {
+            flagged += 1;
+            "  <-- exceeds tolerance"
+        } else {
+            ""
+        };
+        println!(
+            "{:<26} {:<22} {:>8} | {:>10.4} {:>10.4} {:>+7.2}%{marker}",
+            key.0,
+            key.1,
+            key.2,
+            mean_a,
+            mean_b,
+            delta * 100.0
+        );
+    }
+    for key in b.keys() {
+        if !a.contains_key(key) {
+            println!("{:<26} {:<22} {:>8} | only in B", key.0, key.1, key.2);
+        }
+    }
+    println!(
+        "\ncompared {compared} points; {flagged} beyond ±{:.1}%",
+        tolerance * 100.0
+    );
+    Ok(flagged)
+}
+
+#[cfg(test)]
+mod compare_tests {
+    use super::*;
+    use crate::report::write_csv;
+    use crate::stats::{Figure, Series, Summary};
+
+    fn dir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("mcast_cmp_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn fig(mean: f64) -> Figure {
+        Figure {
+            id: "figX".into(),
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![Series {
+                label: "S".into(),
+                points: vec![(1.0, Summary::of(&[mean]))],
+            }],
+        }
+    }
+
+    #[test]
+    fn identical_dirs_flag_nothing() {
+        let (a, b) = (dir("a1"), dir("b1"));
+        write_csv(&fig(2.0), &a).unwrap();
+        write_csv(&fig(2.0), &b).unwrap();
+        assert_eq!(compare_results(&a, &b, 0.05).unwrap(), 0);
+    }
+
+    #[test]
+    fn large_delta_is_flagged() {
+        let (a, b) = (dir("a2"), dir("b2"));
+        write_csv(&fig(2.0), &a).unwrap();
+        write_csv(&fig(3.0), &b).unwrap();
+        assert_eq!(compare_results(&a, &b, 0.05).unwrap(), 1);
+        // A generous tolerance accepts it.
+        assert_eq!(compare_results(&a, &b, 0.60).unwrap(), 0);
+    }
+
+    #[test]
+    fn missing_dir_is_an_error() {
+        assert!(read_results_dir(Path::new("/nonexistent")).is_err());
+    }
+}

@@ -1,0 +1,448 @@
+//! Ablations beyond the paper's figures, exercising the design choices
+//! DESIGN.md calls out:
+//!
+//! * **rate-policy** — multi-rate multicast vs basic-rate-only (§3.1 notes
+//!   the problems stay NP-hard and the algorithms still beat SSA).
+//! * **power** — uniform transmit-power scaling (§8 future work), trading
+//!   coverage for rate.
+//! * **mnu-augment** — the extension pass that admits leftover users onto
+//!   realized-load slack after the covering-model MCG run.
+//! * **model-vs-realized** — how much the realized (Definition 1) load
+//!   undercuts the covering-model cost that the approximation bounds are
+//!   stated against.
+
+use mcast_core::{
+    run_distributed, solve_bla, solve_mla, solve_mla_with, solve_mnu_with, solve_ssa, Association,
+    DecisionOrder, DistributedConfig, DualAssociation, Instance, Load, MlaAlgorithm, MnuConfig,
+    Objective, RatePolicy,
+};
+use mcast_topology::{optimize_power, ScenarioConfig, SessionPopularity};
+
+use crate::algos::{Algo, Metric};
+use crate::figures::sweep;
+use crate::stats::{Figure, Series, Summary};
+use crate::Options;
+
+/// Runs every ablation.
+pub fn run(opts: &Options) -> Vec<Figure> {
+    vec![
+        rate_policy(opts),
+        power(opts),
+        power_per_ap(opts),
+        mnu_augment(opts),
+        model_vs_realized(opts),
+        dual_headroom(opts),
+        mla_algorithms(opts),
+        popularity(opts),
+        order_sensitivity(opts),
+    ]
+}
+
+/// How much does the serial decision order matter? Runs the distributed
+/// MLA rule under the id order and several shuffled orders on the same
+/// scenarios; the spread of final total loads measures order sensitivity
+/// (Lemma 1 guarantees convergence for *every* order, not the same
+/// optimum).
+fn order_sensitivity(opts: &Options) -> Figure {
+    let n_orders = 8u64;
+    let cfg = ScenarioConfig {
+        n_aps: 60,
+        n_users: 150,
+        n_sessions: 5,
+        ..ScenarioConfig::paper_default()
+    };
+    let mut id_series = Series {
+        label: "id order".into(),
+        points: Vec::new(),
+    };
+    let mut shuffle_mean = Series {
+        label: "shuffled (8 orders)".into(),
+        points: Vec::new(),
+    };
+    let seeds = if opts.quick { 2 } else { opts.seeds.min(10) };
+    let mut v_id = Vec::new();
+    let mut v_shuffled = Vec::new();
+    for seed in 0..seeds {
+        let scenario = cfg.clone().with_seed(seed).generate();
+        let inst = &scenario.instance;
+        let run_with = |order: DecisionOrder| {
+            run_distributed(
+                inst,
+                &DistributedConfig {
+                    order,
+                    ..DistributedConfig::default()
+                },
+                Association::empty(inst.n_users()),
+            )
+            .association
+            .total_load(inst)
+            .as_f64()
+        };
+        v_id.push(run_with(DecisionOrder::ById));
+        for k in 0..n_orders {
+            v_shuffled.push(run_with(DecisionOrder::Shuffled(k)));
+        }
+    }
+    id_series.points.push((1.0, Summary::of(&v_id)));
+    shuffle_mean.points.push((1.0, Summary::of(&v_shuffled)));
+    Figure {
+        id: "ablation_order".into(),
+        title: "Distributed MLA total load vs serial decision order (60 APs, 150 users)".into(),
+        x_label: "-".into(),
+        y_label: "total AP load".into(),
+        series: vec![id_series, shuffle_mean],
+    }
+}
+
+/// Uniform vs Zipf session popularity: when a few channels carry most
+/// viewers, one transmission serves many and the association-control
+/// advantage over SSA changes shape.
+fn popularity(opts: &Options) -> Figure {
+    let exponents = if opts.quick {
+        vec![0.0, 1.2]
+    } else {
+        vec![0.0, 0.6, 0.9, 1.2, 1.5]
+    };
+    let mut series = vec![
+        Series {
+            label: "MLA-C".into(),
+            points: Vec::new(),
+        },
+        Series {
+            label: "SSA".into(),
+            points: Vec::new(),
+        },
+    ];
+    for &exponent in &exponents {
+        let cfg = ScenarioConfig {
+            n_aps: 100,
+            n_users: 300,
+            n_sessions: 12,
+            popularity: if exponent == 0.0 {
+                SessionPopularity::Uniform
+            } else {
+                SessionPopularity::Zipf { exponent }
+            },
+            ..ScenarioConfig::paper_default()
+        };
+        let mut v_mla = Vec::new();
+        let mut v_ssa = Vec::new();
+        for seed in 0..opts.seeds {
+            let scenario = cfg.clone().with_seed(seed).generate();
+            let inst = &scenario.instance;
+            v_mla.push(solve_mla(inst).expect("coverage").total_load.as_f64());
+            v_ssa.push(solve_ssa(inst, Objective::Mla).total_load.as_f64());
+        }
+        series[0].points.push((exponent, Summary::of(&v_mla)));
+        series[1].points.push((exponent, Summary::of(&v_ssa)));
+    }
+    Figure {
+        id: "ablation_popularity".into(),
+        title: "Total load vs Zipf popularity exponent (100 APs, 300 users, 12 sessions)".into(),
+        x_label: "zipf s".into(),
+        y_label: "total AP load".into(),
+        series,
+    }
+}
+
+/// Greedy (`ln n + 1`) vs primal–dual layering (`f`) MLA — the §6.1
+/// remark. Over 40 seeds the two cross over: the primal–dual variant
+/// (with reverse delete) edges out the greedy up to ~200 users and falls
+/// ~5% behind at 400, while always carrying a certified dual lower
+/// bound — worth more than the paper's "can also be used" suggests.
+fn mla_algorithms(opts: &Options) -> Figure {
+    let xs = if opts.quick {
+        vec![100.0, 300.0]
+    } else {
+        vec![100.0, 200.0, 300.0, 400.0]
+    };
+    let mut greedy = Series {
+        label: "greedy (ln n + 1)".into(),
+        points: Vec::new(),
+    };
+    let mut pd = Series {
+        label: "primal-dual (f)".into(),
+        points: Vec::new(),
+    };
+    for &x in &xs {
+        let cfg = ScenarioConfig {
+            n_users: x as usize,
+            ..ScenarioConfig::paper_default()
+        };
+        let mut v_greedy = Vec::new();
+        let mut v_pd = Vec::new();
+        for seed in 0..opts.seeds {
+            let scenario = cfg.clone().with_seed(seed).generate();
+            let inst = &scenario.instance;
+            v_greedy.push(solve_mla(inst).expect("coverage").total_load.as_f64());
+            v_pd.push(
+                solve_mla_with(inst, MlaAlgorithm::PrimalDual)
+                    .expect("coverage")
+                    .total_load
+                    .as_f64(),
+            );
+        }
+        greedy.points.push((x, Summary::of(&v_greedy)));
+        pd.points.push((x, Summary::of(&v_pd)));
+    }
+    Figure {
+        id: "ablation_mla_algorithms".into(),
+        title: "MLA total load: greedy vs primal-dual layering (200 APs)".into(),
+        x_label: "users".into(),
+        y_label: "total AP load".into(),
+        series: vec![greedy, pd],
+    }
+}
+
+/// Per-AP adaptive power control (§8): coordinate-descent over discrete
+/// levels vs the best uniform settings, judged by MLA total load.
+fn power_per_ap(opts: &Options) -> Figure {
+    let seeds = if opts.quick { 2 } else { opts.seeds.min(8) };
+    let cfg = ScenarioConfig {
+        n_aps: 30,
+        n_users: 80,
+        n_sessions: 3,
+        ..ScenarioConfig::paper_default()
+    };
+    let objective = |inst: &Instance| -> f64 {
+        solve_mla(inst).map_or(f64::INFINITY, |s| s.total_load.as_f64())
+    };
+    let mut uniform_lo = Vec::new();
+    let mut uniform_hi = Vec::new();
+    let mut optimized = Vec::new();
+    for seed in 0..seeds {
+        let scenario = cfg.clone().with_seed(seed).generate();
+        uniform_lo.push(objective(&scenario.instance));
+        let hi =
+            mcast_topology::instance_with_power(&scenario, &vec![1.5; scenario.ap_positions.len()]);
+        uniform_hi.push(objective(&hi));
+        let out = optimize_power(&scenario, &[0.75, 1.0, 1.25, 1.5], 2, objective);
+        optimized.push(out.objective);
+    }
+    let series = vec![
+        Series {
+            label: "uniform 1.0".into(),
+            points: vec![(1.0, Summary::of(&uniform_lo))],
+        },
+        Series {
+            label: "uniform 1.5".into(),
+            points: vec![(1.0, Summary::of(&uniform_hi))],
+        },
+        Series {
+            label: "per-AP optimized".into(),
+            points: vec![(1.0, Summary::of(&optimized))],
+        },
+    ];
+    Figure {
+        id: "ablation_power_per_ap".into(),
+        title: "MLA total load: uniform power vs per-AP coordinate descent (30 APs, 80 users)"
+            .into(),
+        x_label: "-".into(),
+        y_label: "total AP load".into(),
+        series,
+    }
+}
+
+/// Dual association (§3.1): unicast headroom left network-wide when the
+/// multicast AP is chosen by SSA vs MLA vs BLA (unicast always strongest
+/// signal; 5% airtime demand per unicast user).
+fn dual_headroom(opts: &Options) -> Figure {
+    let xs = if opts.quick {
+        vec![100.0, 300.0]
+    } else {
+        vec![100.0, 200.0, 300.0, 400.0]
+    };
+    let demand = Load::from_ratio(1, 20);
+    let cfg = |users: f64| ScenarioConfig {
+        n_users: users as usize,
+        n_aps: 100,
+        ..ScenarioConfig::paper_default()
+    };
+    type McastSolver = fn(&Instance) -> mcast_core::Association;
+    let solvers: [(&str, McastSolver); 3] = [
+        ("SSA multicast", |i| {
+            solve_ssa(i, Objective::Mla).association
+        }),
+        ("MLA multicast", |i| {
+            solve_mla(i).expect("coverage").association
+        }),
+        ("BLA multicast", |i| {
+            solve_bla(i).expect("coverage").association
+        }),
+    ];
+    let mut series: Vec<Series> = solvers
+        .iter()
+        .map(|(name, _)| Series {
+            label: (*name).to_string(),
+            points: Vec::new(),
+        })
+        .collect();
+    for &x in &xs {
+        let mut values = vec![Vec::new(); solvers.len()];
+        for seed in 0..opts.seeds {
+            let scenario = cfg(x).with_seed(seed).generate();
+            let inst = &scenario.instance;
+            for (si, (_, solve)) in solvers.iter().enumerate() {
+                let dual = DualAssociation::with_ssa_unicast(inst, solve(inst));
+                values[si].push(dual.unicast_headroom(inst, demand).as_f64());
+            }
+        }
+        for (si, vals) in values.iter().enumerate() {
+            series[si].points.push((x, Summary::of(vals)));
+        }
+    }
+    Figure {
+        id: "ablation_dual_headroom".into(),
+        title: "Network-wide unicast headroom under dual association (100 APs)".into(),
+        x_label: "users".into(),
+        y_label: "unicast headroom".into(),
+        series,
+    }
+}
+
+fn rate_policy(opts: &Options) -> Figure {
+    let xs = if opts.quick {
+        vec![100.0, 400.0]
+    } else {
+        vec![100.0, 200.0, 300.0, 400.0]
+    };
+    let multi = sweep(
+        &xs,
+        |users| ScenarioConfig {
+            n_users: users as usize,
+            ..ScenarioConfig::paper_default()
+        },
+        &[Algo::MlaC, Algo::Ssa],
+        Metric::TotalLoad,
+        opts,
+    );
+    let basic = sweep(
+        &xs,
+        |users| ScenarioConfig {
+            n_users: users as usize,
+            rate_policy: RatePolicy::BasicOnly,
+            ..ScenarioConfig::paper_default()
+        },
+        &[Algo::MlaC, Algo::Ssa],
+        Metric::TotalLoad,
+        opts,
+    );
+    let mut series = Vec::new();
+    for (mut s, suffix) in multi
+        .into_iter()
+        .map(|s| (s, "multi-rate"))
+        .chain(basic.into_iter().map(|s| (s, "basic-only")))
+    {
+        s.label = format!("{} ({suffix})", s.label);
+        series.push(s);
+    }
+    Figure {
+        id: "ablation_rate_policy".into(),
+        title: "Total load: multi-rate vs basic-rate-only multicast (200 APs)".into(),
+        x_label: "users".into(),
+        y_label: "total AP load".into(),
+        series,
+    }
+}
+
+fn power(opts: &Options) -> Figure {
+    let scales = [0.75, 1.0, 1.25, 1.5];
+    let series = sweep(
+        &scales.map(f64::from),
+        |scale| ScenarioConfig {
+            power_scale: scale,
+            ..ScenarioConfig::paper_default()
+        },
+        &[Algo::MlaC, Algo::BlaC, Algo::Ssa],
+        Metric::TotalLoad,
+        opts,
+    );
+    Figure {
+        id: "ablation_power".into(),
+        title: "Total load vs transmit-power scale (range multiplier)".into(),
+        x_label: "power".into(),
+        y_label: "total AP load".into(),
+        series,
+    }
+}
+
+fn mnu_augment(opts: &Options) -> Figure {
+    let budgets = if opts.quick {
+        vec![20.0, 40.0]
+    } else {
+        vec![10.0, 20.0, 30.0, 40.0, 60.0]
+    };
+    let mut plain = Series {
+        label: "MNU-C".into(),
+        points: Vec::new(),
+    };
+    let mut augmented = Series {
+        label: "MNU-C+augment".into(),
+        points: Vec::new(),
+    };
+    for &b in &budgets {
+        let cfg = ScenarioConfig {
+            n_users: 400,
+            n_aps: 100,
+            n_sessions: 18,
+            budget: Load::permille(b as u32),
+            ..ScenarioConfig::paper_default()
+        };
+        let mut v_plain = Vec::new();
+        let mut v_aug = Vec::new();
+        for seed in 0..opts.seeds {
+            let sc = cfg.clone().with_seed(seed).generate();
+            v_plain
+                .push(solve_mnu_with(&sc.instance, &MnuConfig { augment: false }).satisfied as f64);
+            v_aug.push(solve_mnu_with(&sc.instance, &MnuConfig { augment: true }).satisfied as f64);
+        }
+        plain.points.push((b / 1000.0, Summary::of(&v_plain)));
+        augmented.points.push((b / 1000.0, Summary::of(&v_aug)));
+    }
+    Figure {
+        id: "ablation_mnu_augment".into(),
+        title: "MNU satisfied users with/without the slack-augmentation pass".into(),
+        x_label: "budget".into(),
+        y_label: "satisfied users".into(),
+        series: vec![plain, augmented],
+    }
+}
+
+fn model_vs_realized(opts: &Options) -> Figure {
+    let xs = if opts.quick {
+        vec![100.0, 400.0]
+    } else {
+        vec![100.0, 200.0, 300.0, 400.0]
+    };
+    let mut model = Series {
+        label: "MLA-C model cost".into(),
+        points: Vec::new(),
+    };
+    let mut realized = Series {
+        label: "MLA-C realized load".into(),
+        points: Vec::new(),
+    };
+    for &x in &xs {
+        let cfg = ScenarioConfig {
+            n_users: x as usize,
+            ..ScenarioConfig::paper_default()
+        };
+        let mut v_model = Vec::new();
+        let mut v_real = Vec::new();
+        for seed in 0..opts.seeds {
+            let sc = cfg.clone().with_seed(seed).generate();
+            let sol = solve_mla(&sc.instance).expect("coverage");
+            v_model.push(sol.model_cost.expect("mla model cost").as_f64());
+            v_real.push(sol.total_load.as_f64());
+        }
+        model.points.push((x, Summary::of(&v_model)));
+        realized.points.push((x, Summary::of(&v_real)));
+    }
+    Figure {
+        id: "ablation_model_vs_realized".into(),
+        title: "Covering-model cost vs realized Definition-1 load (MLA-C, 200 APs)".into(),
+        x_label: "users".into(),
+        y_label: "total AP load".into(),
+        series: vec![model, realized],
+    }
+}

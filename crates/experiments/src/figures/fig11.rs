@@ -1,0 +1,54 @@
+//! **Figure 11** — satisfied users vs per-AP multicast load budget
+//! (MNU-C, MNU-D, SSA) with 400 users, 100 APs, 18 sessions.
+//!
+//! Paper headline: MNU-C / MNU-D serve ≈ 36.9% / 20.2% more users than
+//! SSA at budget 0.04.
+
+use mcast_core::Load;
+use mcast_topology::ScenarioConfig;
+
+use crate::algos::{Algo, Metric};
+use crate::figures::{pick_points, sweep};
+use crate::stats::Figure;
+use crate::Options;
+
+const ALGOS: [Algo; 3] = [Algo::MnuC, Algo::MnuD, Algo::Ssa];
+
+/// Runs the budget sweep.
+pub fn run(opts: &Options) -> Vec<Figure> {
+    // Budgets in permille: 10‰ .. 100‰ (0.01 .. 0.10).
+    let xs = pick_points(
+        &[10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0],
+        opts.quick,
+    );
+    let series = sweep(
+        &xs,
+        |budget_permille| ScenarioConfig {
+            n_users: 400,
+            n_aps: 100,
+            n_sessions: 18,
+            budget: Load::permille(budget_permille as u32),
+            ..ScenarioConfig::paper_default()
+        },
+        &ALGOS,
+        Metric::Satisfied,
+        opts,
+    );
+    // Report x in load units, not permille.
+    let series = series
+        .into_iter()
+        .map(|mut s| {
+            for p in &mut s.points {
+                p.0 /= 1000.0;
+            }
+            s
+        })
+        .collect();
+    vec![Figure {
+        id: "fig11".into(),
+        title: "Satisfied users vs multicast load budget (400 users, 100 APs, 18 sessions)".into(),
+        x_label: "budget".into(),
+        y_label: "satisfied users".into(),
+        series,
+    }]
+}

@@ -1,0 +1,94 @@
+//! **Figure 9** — total AP load for multicast sessions (MLA-C, MLA-D, SSA).
+//!
+//! Panel (a) varies users (50–400) at 200 APs; panel (b) varies APs
+//! (25–200) at 100 users; panel (c) varies sessions (1–25) at 200 APs and
+//! 200 users. Paper headline: MLA-C / MLA-D total load ≈ 31.1% / 30.1%
+//! below SSA at 400 users; the distributed variant within ~5% of the
+//! centralized one.
+
+use mcast_topology::ScenarioConfig;
+
+use crate::algos::{Algo, Metric};
+use crate::figures::{pick_points, sweep};
+use crate::stats::Figure;
+use crate::Options;
+
+const ALGOS: [Algo; 3] = [Algo::MlaC, Algo::MlaD, Algo::Ssa];
+
+/// Runs all three panels.
+pub fn run(opts: &Options) -> Vec<Figure> {
+    vec![panel_a(opts), panel_b(opts), panel_c(opts)]
+}
+
+fn panel_a(opts: &Options) -> Figure {
+    let xs = pick_points(
+        &[50.0, 100.0, 150.0, 200.0, 250.0, 300.0, 350.0, 400.0],
+        opts.quick,
+    );
+    let series = sweep(
+        &xs,
+        |users| ScenarioConfig {
+            n_users: users as usize,
+            n_aps: 200,
+            ..ScenarioConfig::paper_default()
+        },
+        &ALGOS,
+        Metric::TotalLoad,
+        opts,
+    );
+    Figure {
+        id: "fig9a".into(),
+        title: "Total AP load vs number of users (200 APs, 5 sessions)".into(),
+        x_label: "users".into(),
+        y_label: "total AP load".into(),
+        series,
+    }
+}
+
+fn panel_b(opts: &Options) -> Figure {
+    let xs = pick_points(
+        &[25.0, 50.0, 75.0, 100.0, 125.0, 150.0, 175.0, 200.0],
+        opts.quick,
+    );
+    let series = sweep(
+        &xs,
+        |aps| ScenarioConfig {
+            n_aps: aps as usize,
+            n_users: 100,
+            ..ScenarioConfig::paper_default()
+        },
+        &ALGOS,
+        Metric::TotalLoad,
+        opts,
+    );
+    Figure {
+        id: "fig9b".into(),
+        title: "Total AP load vs number of APs (100 users, 5 sessions)".into(),
+        x_label: "APs".into(),
+        y_label: "total AP load".into(),
+        series,
+    }
+}
+
+fn panel_c(opts: &Options) -> Figure {
+    let xs = pick_points(&[1.0, 5.0, 10.0, 15.0, 20.0, 25.0], opts.quick);
+    let series = sweep(
+        &xs,
+        |sessions| ScenarioConfig {
+            n_sessions: sessions as usize,
+            n_aps: 200,
+            n_users: 200,
+            ..ScenarioConfig::paper_default()
+        },
+        &ALGOS,
+        Metric::TotalLoad,
+        opts,
+    );
+    Figure {
+        id: "fig9c".into(),
+        title: "Total AP load vs number of sessions (200 APs, 200 users)".into(),
+        x_label: "sessions".into(),
+        y_label: "total AP load".into(),
+        series,
+    }
+}

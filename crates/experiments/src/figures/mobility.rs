@@ -1,0 +1,123 @@
+//! **mobility** — the quasi-static assumption under test (paper §3.1).
+//!
+//! The paper assumes users "stay at one place for a relatively long time
+//! period before changing their location". This experiment runs epochs:
+//! each epoch a fraction of the users takes a Gaussian step, stale
+//! associations out of coverage are dropped, and the serial distributed
+//! algorithm repairs the association from where it stands. Reported per
+//! mobility fraction: re-association churn per epoch (moves / users) and
+//! how far the repaired total load drifts from a from-scratch solve.
+
+use mcast_core::{run_distributed, DistributedConfig, Instance, Load};
+use mcast_topology::ScenarioConfig;
+
+use crate::stats::{Figure, Series, Summary};
+use crate::Options;
+
+/// Runs the mobility-fraction sweep.
+pub fn run(opts: &Options) -> Vec<Figure> {
+    let fractions: &[f64] = if opts.quick {
+        &[0.05, 0.50]
+    } else {
+        &[0.02, 0.05, 0.10, 0.25, 0.50]
+    };
+    let epochs = 6usize;
+    let step_sigma = 120.0;
+    let cfg = ScenarioConfig {
+        n_aps: 60,
+        n_users: 150,
+        n_sessions: 4,
+        ..ScenarioConfig::paper_default()
+    };
+
+    // Two policies: the paper's rule, and the same rule with a small
+    // hysteresis (1/50 ≈ 0.02 load units) that suppresses marginal moves.
+    let variants: [(&str, Load); 2] = [
+        ("paper rule", Load::ZERO),
+        ("hysteresis 1/50", Load::from_ratio(1, 50)),
+    ];
+
+    let mut churn_series: Vec<Series> = variants
+        .iter()
+        .map(|(name, _)| Series {
+            label: format!("moves/user ({name})"),
+            points: Vec::new(),
+        })
+        .collect();
+    let mut drift_series: Vec<Series> = variants
+        .iter()
+        .map(|(name, _)| Series {
+            label: format!("repaired/scratch ({name})"),
+            points: Vec::new(),
+        })
+        .collect();
+
+    for &fraction in fractions {
+        for (vi, &(_, hysteresis)) in variants.iter().enumerate() {
+            let config = DistributedConfig {
+                hysteresis,
+                ..DistributedConfig::default()
+            };
+            let mut churn_vals = Vec::new();
+            let mut drift_vals = Vec::new();
+            for seed in 0..opts.seeds.min(10) {
+                let mut scenario = cfg.clone().with_seed(seed).generate();
+                // Initial association from scratch.
+                let mut assoc = solve_serial(&scenario.instance, None);
+                for epoch in 0..epochs {
+                    scenario = scenario.perturb(seed * 1000 + epoch as u64, fraction, step_sigma);
+                    let inst = &scenario.instance;
+                    let carried = assoc.restricted_to(inst);
+                    let out = run_distributed(inst, &config, carried.clone());
+                    // Churn: users whose AP differs from what they carried.
+                    let moves = carried
+                        .as_slice()
+                        .iter()
+                        .zip(out.association.as_slice())
+                        .filter(|(a, b)| a != b)
+                        .count();
+                    churn_vals.push(moves as f64 / inst.n_users() as f64);
+                    let repaired = out.association.total_load(inst).as_f64();
+                    let scratch = solve_serial(inst, None).total_load(inst).as_f64();
+                    drift_vals.push(if scratch > 0.0 {
+                        repaired / scratch
+                    } else {
+                        1.0
+                    });
+                    assoc = out.association;
+                }
+            }
+            churn_series[vi]
+                .points
+                .push((fraction, Summary::of(&churn_vals)));
+            drift_series[vi]
+                .points
+                .push((fraction, Summary::of(&drift_vals)));
+        }
+    }
+
+    vec![
+        Figure {
+            id: "mobility_churn".into(),
+            title: "Re-association churn per epoch vs mobility fraction (60 APs, 150 users)".into(),
+            x_label: "fraction".into(),
+            y_label: "moves per user".into(),
+            series: churn_series,
+        },
+        Figure {
+            id: "mobility_drift".into(),
+            title: "Incrementally repaired vs from-scratch total load".into(),
+            x_label: "fraction".into(),
+            y_label: "load ratio".into(),
+            series: drift_series,
+        },
+    ]
+}
+
+fn solve_serial(
+    inst: &Instance,
+    initial: Option<mcast_core::Association>,
+) -> mcast_core::Association {
+    let start = initial.unwrap_or_else(|| mcast_core::Association::empty(inst.n_users()));
+    run_distributed(inst, &DistributedConfig::default(), start).association
+}

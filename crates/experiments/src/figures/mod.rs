@@ -1,0 +1,94 @@
+//! One module per reproduced figure/table.
+
+pub mod ablations;
+pub mod channels;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig9;
+pub mod mobility;
+pub mod revenue;
+pub mod table1;
+pub mod validate;
+
+use mcast_exact::SearchLimits;
+use mcast_topology::ScenarioConfig;
+
+use crate::algos::{run, Algo, Metric};
+use crate::stats::{Series, Summary};
+use crate::Options;
+
+/// Certification statistics for the exact-solver runs in a sweep.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProofStats {
+    /// Exact-solver runs whose optimum was certified within the node cap.
+    pub certified: usize,
+    /// Total exact-solver runs.
+    pub total: usize,
+}
+
+/// Sweeps `xs`, generating `opts.seeds` scenarios per point from
+/// `cfg_of(x)` (seeded 0..seeds), running every algorithm on each, and
+/// summarizing `metric` per (algorithm, x).
+pub(crate) fn sweep(
+    xs: &[f64],
+    cfg_of: impl Fn(f64) -> ScenarioConfig,
+    algos: &[Algo],
+    metric: Metric,
+    opts: &Options,
+) -> Vec<Series> {
+    sweep_with_proofs(xs, cfg_of, algos, metric, opts).0
+}
+
+/// [`sweep`], additionally reporting how many exact-solver runs were
+/// certified optimal (Figure 12 reports this alongside the series).
+pub(crate) fn sweep_with_proofs(
+    xs: &[f64],
+    cfg_of: impl Fn(f64) -> ScenarioConfig,
+    algos: &[Algo],
+    metric: Metric,
+    opts: &Options,
+) -> (Vec<Series>, ProofStats) {
+    let limits = SearchLimits {
+        max_nodes: opts.max_nodes,
+    };
+    let mut proofs = ProofStats::default();
+    let mut series: Vec<Series> = algos
+        .iter()
+        .map(|a| Series {
+            label: a.label().to_string(),
+            points: Vec::new(),
+        })
+        .collect();
+    for &x in xs {
+        let template = cfg_of(x);
+        // Generate each seed's scenario once, share across algorithms.
+        let scenarios: Vec<_> = (0..opts.seeds)
+            .map(|seed| template.clone().with_seed(seed).generate())
+            .collect();
+        for (ai, &algo) in algos.iter().enumerate() {
+            let values: Vec<f64> = scenarios
+                .iter()
+                .map(|sc| {
+                    let m = run(algo, &sc.instance, limits);
+                    if let Some(proved) = m.proved_optimal {
+                        proofs.total += 1;
+                        proofs.certified += usize::from(proved);
+                    }
+                    m.metric(metric)
+                })
+                .collect();
+            series[ai].points.push((x, Summary::of(&values)));
+        }
+    }
+    (series, proofs)
+}
+
+/// Sweep points helper: full list normally, a subset in `--quick` mode.
+pub(crate) fn pick_points(full: &[f64], quick: bool) -> Vec<f64> {
+    if quick && full.len() > 3 {
+        vec![full[0], full[full.len() / 2], full[full.len() - 1]]
+    } else {
+        full.to_vec()
+    }
+}

@@ -1,0 +1,53 @@
+//! **Table 1** — transmission rate vs distance threshold (the 802.11a
+//! model the whole evaluation runs on).
+//!
+//! This experiment prints the table verbatim from the implementation and
+//! cross-validates the staircase lookup on a dense distance grid, so the
+//! constants driving every other figure are pinned by an executable check.
+
+use mcast_core::RateTable;
+
+/// Renders Table 1 and runs the staircase validation.
+///
+/// Returns the rendered table; panics if the staircase lookup disagrees
+/// with the thresholds (cannot happen unless the constants are edited).
+pub fn run() -> String {
+    let table = RateTable::ieee80211a();
+    let mut out = String::new();
+    out.push_str("## table1 — Transmission Rate vs. Distance Threshold (802.11a)\n\n");
+    out.push_str("Rate (Mbps)            |");
+    for s in table.steps() {
+        out.push_str(&format!(" {:>4}", s.rate.0 / 1000));
+    }
+    out.push_str("\nDistance threshold (m) |");
+    for s in table.steps() {
+        out.push_str(&format!(" {:>4}", s.max_distance_m));
+    }
+    out.push('\n');
+
+    // Validation: on a 1 m grid, the lookup returns exactly the highest
+    // rate whose threshold is >= the distance.
+    for d10 in 0..=2005u32 {
+        let d = f64::from(d10) / 10.0;
+        let expect = table
+            .steps()
+            .iter()
+            .filter(|s| s.max_distance_m >= d)
+            .map(|s| s.rate)
+            .max();
+        assert_eq!(table.rate_at(d), expect, "staircase mismatch at {d} m");
+    }
+    out.push_str("\nstaircase lookup validated on a 0.1 m grid over [0, 200.5] m\n\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table1_renders_and_validates() {
+        let out = super::run();
+        assert!(out.contains("54"));
+        assert!(out.contains("200"));
+        assert!(out.contains("validated"));
+    }
+}

@@ -1,0 +1,96 @@
+//! Cross-validation of the discrete-event simulator against the analytic
+//! model: the message-level protocol must land exactly where the
+//! round-based engine lands, and measured airtime must equal the
+//! Definition-1 load.
+
+use mcast_core::{run_distributed, Association, DistributedConfig, Policy};
+use mcast_sim::{measure_airtime, SimConfig, Simulator, Time, WakeSchedule};
+use mcast_topology::ScenarioConfig;
+
+use crate::Options;
+
+/// Runs the validation and returns a human-readable report.
+///
+/// # Panics
+///
+/// Panics if the simulator diverges from the round-based engine or the
+/// measured airtime disagrees with the analytic load — either would be a
+/// reproduction-invalidating bug.
+pub fn run(opts: &Options) -> String {
+    let mut out = String::new();
+    out.push_str("## validate — simulator vs analytic model\n\n");
+    let seeds = if opts.quick { 3 } else { opts.seeds.min(10) };
+    let cfg = ScenarioConfig {
+        n_aps: 25,
+        n_users: 60,
+        n_sessions: 4,
+        ..ScenarioConfig::paper_default()
+    };
+    let mut max_err = 0.0f64;
+    let mut total_msgs = 0u64;
+    let mut lock_cycles = Vec::new();
+    let mut join_latencies_ms = Vec::new();
+    for seed in 0..seeds {
+        let sc = cfg.clone().with_seed(seed).generate();
+        let inst = &sc.instance;
+        for policy in [Policy::MinTotalLoad, Policy::MinMaxVector] {
+            let sim = Simulator::new(
+                inst,
+                SimConfig {
+                    policy,
+                    ..SimConfig::default()
+                },
+            )
+            .run();
+            assert!(sim.converged, "seed {seed} {policy:?}: no convergence");
+            let round = run_distributed(
+                inst,
+                &DistributedConfig {
+                    policy,
+                    ..DistributedConfig::default()
+                },
+                Association::empty(inst.n_users()),
+            );
+            assert_eq!(
+                sim.association, round.association,
+                "seed {seed} {policy:?}: simulator diverged from round-based engine"
+            );
+            let airtime = measure_airtime(
+                inst,
+                &sim.association,
+                Time::from_secs(10),
+                Time::from_millis(100),
+            );
+            max_err = max_err.max(airtime.max_abs_error());
+            total_msgs += sim.total_messages();
+            if let Some(m) = sim.median_join_latency() {
+                join_latencies_ms.push(m.as_secs_f64() * 1000.0);
+            }
+        }
+        // Lock-coordination mode must converge even under synchronized
+        // wake-ups.
+        let locked = Simulator::new(
+            inst,
+            SimConfig {
+                schedule: WakeSchedule::SynchronizedLocked,
+                max_cycles: 100,
+                ..SimConfig::default()
+            },
+        )
+        .run();
+        assert!(locked.converged, "seed {seed}: lock mode did not converge");
+        lock_cycles.push(locked.cycles as f64);
+    }
+    out.push_str(&format!(
+        "seeds checked            : {seeds}\n\
+         sim == round-based       : yes (both policies, every seed)\n\
+         airtime max |error|      : {max_err:.2e} (must be < 1e-9)\n\
+         control frames (total)   : {total_msgs}\n\
+         lock-mode convergence    : yes; cycles avg {:.1}\n\
+         median join latency      : {:.1} ms (avg over runs)\n\n",
+        lock_cycles.iter().sum::<f64>() / lock_cycles.len() as f64,
+        join_latencies_ms.iter().sum::<f64>() / join_latencies_ms.len().max(1) as f64
+    ));
+    assert!(max_err < 1e-9);
+    out
+}

@@ -1,0 +1,49 @@
+//! Evaluation harness regenerating every table and figure of the paper's
+//! §7 (Performance Evaluation).
+//!
+//! Each `figures::*` module reproduces one figure: it sweeps the paper's
+//! parameter, runs the algorithms over `--seeds` random scenarios per
+//! point (the paper uses 40), and reports avg/min/max series exactly like
+//! the paper's plots. The `repro` binary drives them:
+//!
+//! ```text
+//! cargo run -p mcast-experiments --release -- all --seeds 40
+//! cargo run -p mcast-experiments --release -- fig9 --quick
+//! ```
+//!
+//! Results print as aligned tables and are also written as CSV under
+//! `results/`. `EXPERIMENTS.md` records paper-vs-measured per figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algos;
+pub mod cli;
+pub mod figures;
+pub mod plot;
+pub mod report;
+pub mod stats;
+
+/// Harness-wide options parsed from the command line.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Random scenarios per sweep point (paper: 40).
+    pub seeds: u64,
+    /// Output directory for CSV files.
+    pub out_dir: std::path::PathBuf,
+    /// Node budget for the exact (Figure 12) solvers.
+    pub max_nodes: u64,
+    /// Quick mode: fewer seeds and sweep points (for smoke tests).
+    pub quick: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            seeds: 40,
+            out_dir: std::path::PathBuf::from("results"),
+            max_nodes: 2_000_000,
+            quick: false,
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <command> [--seeds N] [--out DIR] [--max-nodes N] [--quick]
+//!
+//! commands:
+//!   table1      Table 1 (rate vs distance threshold) + staircase check
+//!   fig9        Figure 9 a/b/c — total load (MLA-C, MLA-D, SSA)
+//!   fig10       Figure 10 a/b/c — max load (BLA-C, BLA-D, SSA)
+//!   fig11       Figure 11 — satisfied users vs budget (MNU-C, MNU-D, SSA)
+//!   fig12       Figure 12 a/b/c — greedy vs certified optimum
+//!   ablations   rate-policy / power / MNU-augment / model-vs-realized
+//!   channels    §8 interference modeling: channel budget sweep
+//!   mobility    quasi-static user movement: churn & repaired-load drift
+//!   revenue     the §3.2 revenue models across algorithms
+//!   gen/solve   write a scenario JSON / run one algorithm on it
+//!   compare     diff two results/ CSV directories (regression check)
+//!   validate    simulator vs analytic cross-checks
+//!   all         everything above
+//! ```
+
+use std::process::ExitCode;
+
+use mcast_experiments::figures::{
+    ablations, channels, fig10, fig11, fig12, fig9, mobility, revenue, table1, validate,
+};
+use mcast_experiments::report::{render_table, write_csv};
+use mcast_experiments::stats::Figure;
+use mcast_experiments::Options;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().cloned() else {
+        eprintln!("usage: repro <table1|fig9|fig10|fig11|fig12|ablations|channels|mobility|revenue|validate|all|gen|solve|compare> [--seeds N] [--out DIR] [--max-nodes N] [--quick] [--plot]");
+        return ExitCode::FAILURE;
+    };
+    let mut opts = Options::default();
+    let mut plot = false;
+    let mut i = 1;
+    // `gen` and `solve` own their argument grammar (positional paths).
+    let generic_flags = !matches!(command.as_str(), "gen" | "solve" | "compare");
+    while generic_flags && i < args.len() {
+        match args[i].as_str() {
+            "--seeds" => {
+                i += 1;
+                opts.seeds = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| bad_flag("--seeds"));
+            }
+            "--out" => {
+                i += 1;
+                opts.out_dir = args
+                    .get(i)
+                    .map(std::path::PathBuf::from)
+                    .unwrap_or_else(|| bad_flag("--out"));
+            }
+            "--max-nodes" => {
+                i += 1;
+                opts.max_nodes = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| bad_flag("--max-nodes"));
+            }
+            "--quick" => {
+                opts.quick = true;
+                opts.seeds = opts.seeds.min(5);
+            }
+            "--plot" => plot = true,
+            other => {
+                eprintln!("unknown flag: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let run_figs = |figs: Vec<Figure>, opts: &Options| {
+        for fig in figs {
+            print!("{}", render_table(&fig));
+            if plot {
+                println!("{}", mcast_experiments::plot::render_ascii(&fig, 64, 16));
+            }
+            if let Err(e) = write_csv(&fig, &opts.out_dir) {
+                eprintln!("warning: failed to write CSV for {}: {e}", fig.id);
+            }
+        }
+    };
+
+    match command.as_str() {
+        "table1" => print!("{}", table1::run()),
+        "fig9" => run_figs(fig9::run(&opts), &opts),
+        "fig10" => run_figs(fig10::run(&opts), &opts),
+        "fig11" => run_figs(fig11::run(&opts), &opts),
+        "fig12" => run_figs(fig12::run(&opts), &opts),
+        "ablations" => run_figs(ablations::run(&opts), &opts),
+        "channels" => run_figs(channels::run(&opts), &opts),
+        "mobility" => run_figs(mobility::run(&opts), &opts),
+        "revenue" => run_figs(revenue::run(&opts), &opts),
+        "gen" => {
+            // repro gen <out.json> [--seed N] [--aps N] [--users N]
+            //                      [--sessions N] [--budget PERMILLE]
+            let mut gen_opts = mcast_experiments::cli::GenOptions::default();
+            let mut out = None;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--seed" => {
+                        i += 1;
+                        gen_opts.seed = parse_num(&args, i);
+                    }
+                    "--aps" => {
+                        i += 1;
+                        gen_opts.aps = parse_num(&args, i) as usize;
+                    }
+                    "--users" => {
+                        i += 1;
+                        gen_opts.users = parse_num(&args, i) as usize;
+                    }
+                    "--sessions" => {
+                        i += 1;
+                        gen_opts.sessions = parse_num(&args, i) as usize;
+                    }
+                    "--budget" => {
+                        i += 1;
+                        gen_opts.budget_permille = parse_num(&args, i) as u32;
+                    }
+                    other if out.is_none() => out = Some(std::path::PathBuf::from(other)),
+                    other => {
+                        eprintln!("unknown flag: {other}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                i += 1;
+            }
+            let Some(out) = out else {
+                eprintln!("usage: repro gen <out.json> [--seed N] [--aps N] [--users N] [--sessions N] [--budget PERMILLE]");
+                return ExitCode::FAILURE;
+            };
+            if let Err(e) = mcast_experiments::cli::generate_to_file(&gen_opts, &out) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+            return ExitCode::SUCCESS;
+        }
+        "compare" => {
+            // repro compare <dirA> <dirB> [--tol FRACTION]
+            let mut dirs: Vec<std::path::PathBuf> = Vec::new();
+            let mut tol = 0.05f64;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--tol" => {
+                        i += 1;
+                        tol = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(0.05);
+                    }
+                    other => dirs.push(std::path::PathBuf::from(other)),
+                }
+                i += 1;
+            }
+            if dirs.len() != 2 {
+                eprintln!("usage: repro compare <dirA> <dirB> [--tol FRACTION]");
+                return ExitCode::FAILURE;
+            }
+            match mcast_experiments::cli::compare_results(&dirs[0], &dirs[1], tol) {
+                Ok(0) => return ExitCode::SUCCESS,
+                Ok(_) => return ExitCode::FAILURE,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        "solve" => {
+            // repro solve <scenario.json> --algo NAME [--assoc-out FILE]
+            let mut file = None;
+            let mut algo = None;
+            let mut assoc_out = None;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--algo" => {
+                        i += 1;
+                        algo = args.get(i).cloned();
+                    }
+                    "--assoc-out" => {
+                        i += 1;
+                        assoc_out = args.get(i).map(std::path::PathBuf::from);
+                    }
+                    other if file.is_none() => file = Some(std::path::PathBuf::from(other)),
+                    other => {
+                        eprintln!("unknown flag: {other}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                i += 1;
+            }
+            let (Some(file), Some(algo)) = (file, algo) else {
+                eprintln!("usage: repro solve <scenario.json> --algo <ssa|mla|mla-pd|mla-d|bla|bla-d|mnu|mnu-d|opt-mla|opt-bla|opt-mnu> [--assoc-out FILE]");
+                return ExitCode::FAILURE;
+            };
+            if let Err(e) = mcast_experiments::cli::solve_file(&file, &algo, assoc_out.as_deref()) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+            return ExitCode::SUCCESS;
+        }
+        "validate" => print!("{}", validate::run(&opts)),
+        "all" => {
+            print!("{}", table1::run());
+            run_figs(fig9::run(&opts), &opts);
+            run_figs(fig10::run(&opts), &opts);
+            run_figs(fig11::run(&opts), &opts);
+            run_figs(fig12::run(&opts), &opts);
+            run_figs(ablations::run(&opts), &opts);
+            run_figs(channels::run(&opts), &opts);
+            run_figs(mobility::run(&opts), &opts);
+            run_figs(revenue::run(&opts), &opts);
+            print!("{}", validate::run(&opts));
+        }
+        other => {
+            eprintln!("unknown command: {other}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn parse_num(args: &[String], i: usize) -> u64 {
+    args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("expected a number after {}", args[i.saturating_sub(1)]);
+        std::process::exit(2)
+    })
+}
+
+fn bad_flag(flag: &str) -> ! {
+    eprintln!("{flag} requires a value");
+    std::process::exit(2)
+}

@@ -1,0 +1,200 @@
+//! Terminal plotting: renders a [`Figure`] as an ASCII chart so the
+//! paper's figure *shapes* are visible directly in the harness output
+//! (series means as scatter lines over an auto-scaled grid).
+
+use crate::stats::Figure;
+
+/// Marker glyphs assigned to series in order.
+const MARKERS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+
+/// Renders the figure as an ASCII chart of the given size (plot area,
+/// excluding margins). Series are drawn in order, later series win
+/// collisions; the legend maps glyphs to labels.
+pub fn render_ascii(fig: &Figure, width: usize, height: usize) -> String {
+    let width = width.max(16);
+    let height = height.max(6);
+
+    // Gather points (x, mean) per series.
+    let series: Vec<(&str, Vec<(f64, f64)>)> = fig
+        .series
+        .iter()
+        .map(|s| {
+            (
+                s.label.as_str(),
+                s.points.iter().map(|&(x, sum)| (x, sum.mean)).collect(),
+            )
+        })
+        .collect();
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|(_, p)| p.iter().copied()).collect();
+    if all.is_empty() {
+        return format!("{} — (no data)\n", fig.id);
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    // Ground the y axis at zero when everything is non-negative and near
+    // it (loads, counts) so shapes aren't exaggerated.
+    if y_min > 0.0 && y_min < 0.5 * y_max {
+        y_min = 0.0;
+    }
+    if (x_max - x_min).abs() < f64::EPSILON {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < f64::EPSILON {
+        y_max = y_min + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    let to_col = |x: f64| -> usize {
+        (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize
+    };
+    let to_row = |y: f64| -> usize {
+        let r = ((y - y_min) / (y_max - y_min)) * (height - 1) as f64;
+        height - 1 - r.round() as usize
+    };
+    for (si, (_, points)) in series.iter().enumerate() {
+        let marker = MARKERS[si % MARKERS.len()];
+        // Connect consecutive points with linear interpolation dots.
+        for w in points.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            let steps = (to_col(x1).abs_diff(to_col(x0))).max(1);
+            for k in 0..=steps {
+                let t = k as f64 / steps as f64;
+                let col = to_col(x0 + t * (x1 - x0));
+                let row = to_row(y0 + t * (y1 - y0));
+                if grid[row][col] == ' ' {
+                    grid[row][col] = '.';
+                }
+            }
+        }
+        for &(x, y) in points {
+            grid[to_row(y)][to_col(x)] = marker;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{} — {}\n", fig.id, fig.title));
+    let y_label_width = 9;
+    for (r, row) in grid.iter().enumerate() {
+        let y_tick = if r == 0 {
+            format!("{:>y_label_width$.3}", y_max)
+        } else if r == height - 1 {
+            format!("{:>y_label_width$.3}", y_min)
+        } else {
+            " ".repeat(y_label_width)
+        };
+        out.push_str(&y_tick);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(y_label_width));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "{}{:<w$.3}{:>w2$.3}  ({})\n",
+        " ".repeat(y_label_width + 1),
+        x_min,
+        x_max,
+        fig.x_label,
+        w = width / 2,
+        w2 = width - width / 2 - 2,
+    ));
+    out.push_str(&" ".repeat(y_label_width + 1));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(si, (label, _))| format!("{} {}", MARKERS[si % MARKERS.len()], label))
+        .collect();
+    out.push_str(&legend.join("   "));
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{Series, Summary};
+
+    fn fig() -> Figure {
+        Figure {
+            id: "t".into(),
+            title: "test figure".into(),
+            x_label: "users".into(),
+            y_label: "load".into(),
+            series: vec![
+                Series {
+                    label: "A".into(),
+                    points: vec![
+                        (0.0, Summary::of(&[0.0])),
+                        (50.0, Summary::of(&[2.0])),
+                        (100.0, Summary::of(&[4.0])),
+                    ],
+                },
+                Series {
+                    label: "B".into(),
+                    points: vec![(0.0, Summary::of(&[4.0])), (100.0, Summary::of(&[0.0]))],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn renders_markers_axes_and_legend() {
+        let s = render_ascii(&fig(), 40, 10);
+        assert!(s.contains("test figure"));
+        assert!(s.contains('*') && s.contains('o'));
+        assert!(s.contains("* A") && s.contains("o B"));
+        assert!(s.contains("users"));
+        // Axis ticks: min 0 and max 4 appear.
+        assert!(s.contains("4.000"));
+        assert!(s.contains("0.000"));
+    }
+
+    #[test]
+    fn rising_series_rises() {
+        let s = render_ascii(&fig(), 40, 10);
+        let rows: Vec<&str> = s.lines().collect();
+        // Series A's first point (0,0) is near the bottom-left; its last
+        // point (100,4) near the top-right.
+        let top_rows = &rows[1..4].join("");
+        let bottom_rows = &rows[8..11].join("");
+        assert!(top_rows.contains('*'));
+        assert!(bottom_rows.contains('*'));
+    }
+
+    #[test]
+    fn empty_figure_degrades_gracefully() {
+        let empty = Figure {
+            id: "e".into(),
+            title: "".into(),
+            x_label: "".into(),
+            y_label: "".into(),
+            series: vec![],
+        };
+        assert!(render_ascii(&empty, 40, 10).contains("no data"));
+    }
+
+    #[test]
+    fn single_point_series() {
+        let one = Figure {
+            id: "s".into(),
+            title: "one".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![Series {
+                label: "only".into(),
+                points: vec![(5.0, Summary::of(&[3.0]))],
+            }],
+        };
+        let s = render_ascii(&one, 30, 8);
+        assert!(s.contains('*'));
+    }
+}

@@ -1,0 +1,85 @@
+//! Seed-aggregation statistics: the paper depicts "the average, min and
+//! max values for 40 random scenarios".
+
+use serde::Serialize;
+
+/// Mean / min / max over a set of per-seed measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+    /// Number of observations.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarizes a non-empty sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn of(values: &[f64]) -> Summary {
+        assert!(!values.is_empty(), "cannot summarize an empty sample");
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary { mean, min, max, n }
+    }
+}
+
+/// One plotted series: a labeled sequence of (x, summary) points.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Legend label, e.g. "MLA-C".
+    pub label: String,
+    /// Sweep points.
+    pub points: Vec<(f64, Summary)>,
+}
+
+/// One figure (or panel): everything needed to print/plot it.
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure {
+    /// Identifier, e.g. "fig9a".
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// X axis meaning.
+    pub x_label: String,
+    /// Y axis meaning.
+    pub y_label: String,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 6.0]);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 6.0);
+        assert_eq!(s.n, 3);
+    }
+
+    #[test]
+    fn summary_single_value() {
+        let s = Summary::of(&[4.5]);
+        assert_eq!(s.mean, 4.5);
+        assert_eq!(s.min, 4.5);
+        assert_eq!(s.max, 4.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn summary_empty_panics() {
+        Summary::of(&[]);
+    }
+}

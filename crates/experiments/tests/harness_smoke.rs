@@ -1,0 +1,101 @@
+//! Smoke tests of the evaluation harness itself: every figure module
+//! produces well-formed series with tiny options, tables render, CSV
+//! writes, and the ASCII plotter accepts every figure.
+
+use mcast_experiments::figures::{
+    ablations, channels, fig10, fig11, fig12, fig9, mobility, revenue, table1,
+};
+use mcast_experiments::plot::render_ascii;
+use mcast_experiments::report::{render_table, write_csv};
+use mcast_experiments::stats::Figure;
+use mcast_experiments::Options;
+
+fn tiny() -> Options {
+    Options {
+        seeds: 1,
+        quick: true,
+        max_nodes: 200_000,
+        out_dir: std::env::temp_dir().join(format!("mcast_smoke_{}", std::process::id())),
+    }
+}
+
+fn well_formed(figs: &[Figure]) {
+    assert!(!figs.is_empty());
+    for fig in figs {
+        assert!(!fig.id.is_empty());
+        assert!(!fig.series.is_empty(), "{} has no series", fig.id);
+        let n_points = fig.series[0].points.len();
+        assert!(n_points > 0, "{} series empty", fig.id);
+        for s in &fig.series {
+            assert_eq!(s.points.len(), n_points, "{} ragged series", fig.id);
+            for (x, sum) in &s.points {
+                assert!(x.is_finite());
+                assert!(sum.mean.is_finite());
+                assert!(sum.min <= sum.mean + 1e-12 && sum.mean <= sum.max + 1e-12);
+                // Some modules aggregate over epochs or fixed seed floors,
+                // so the sample count is at least the seed count.
+                assert!(sum.n >= 1, "{} empty sample", fig.id);
+            }
+        }
+        // Table, CSV and plot must all accept the figure.
+        let table = render_table(fig);
+        assert!(table.contains(&fig.id));
+        write_csv(fig, &tiny().out_dir).expect("csv writes");
+        let plot = render_ascii(fig, 48, 12);
+        assert!(plot.contains(&fig.id));
+    }
+}
+
+#[test]
+fn fig9_smoke() {
+    well_formed(&fig9::run(&tiny()));
+}
+
+#[test]
+fn fig10_smoke() {
+    well_formed(&fig10::run(&tiny()));
+}
+
+#[test]
+fn fig11_smoke() {
+    well_formed(&fig11::run(&tiny()));
+}
+
+#[test]
+fn fig12_smoke() {
+    well_formed(&fig12::run(&tiny()));
+}
+
+#[test]
+fn ablations_smoke() {
+    well_formed(&ablations::run(&tiny()));
+}
+
+#[test]
+fn channels_smoke() {
+    well_formed(&channels::run(&tiny()));
+}
+
+#[test]
+fn mobility_smoke() {
+    well_formed(&mobility::run(&tiny()));
+}
+
+#[test]
+fn revenue_smoke() {
+    well_formed(&revenue::run(&tiny()));
+}
+
+#[test]
+fn table1_smoke() {
+    let out = table1::run();
+    assert!(out.contains("54"));
+    assert!(out.contains("validated"));
+}
+
+#[test]
+fn fig9_quick_points_are_subset_of_full() {
+    let quick = fig9::run(&tiny());
+    let quick_xs: Vec<f64> = quick[0].series[0].points.iter().map(|p| p.0).collect();
+    assert_eq!(quick_xs, vec![50.0, 250.0, 400.0]);
+}

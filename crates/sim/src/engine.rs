@@ -1,0 +1,722 @@
+//! The discrete-event engine: user agents, AP agents, and the wake-cycle
+//! driver.
+
+use std::collections::BTreeMap;
+
+use mcast_core::{
+    local_decision, ApId, ApStateView, Association, Instance, Kbps, Load, LoadLedger, Policy,
+    SessionId, UserId,
+};
+
+use crate::event::{EventQueue, Time};
+use crate::messages::{Message, MessageBody, Node};
+use crate::report::{AssociationChange, SimReport};
+
+/// When users become active (start scanning and associating).
+///
+/// The paper's Lemma 1 covers both regimes: an already-populated static
+/// network, and "a new user joins the network" — arrivals model the
+/// latter at message level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Activation {
+    /// Everyone is present from cycle 0 (the default).
+    #[default]
+    AllAtStart,
+    /// `per_cycle` users (in id order) activate at the start of each
+    /// cycle; inactive users neither wake nor answer.
+    Arrivals {
+        /// New users per cycle (minimum 1 to guarantee progress).
+        per_cycle: usize,
+    },
+}
+
+/// How user re-evaluation timers fire within a wake cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeSchedule {
+    /// Users wake one after another, separated by more than a full
+    /// query-decide-associate exchange: decisions serialize and the
+    /// algorithms converge (Lemmas 1–2).
+    Staggered,
+    /// All users wake at the same instant: everyone queries the same
+    /// stale state and decisions race (the paper's Figure 4 oscillation).
+    Synchronized,
+    /// Synchronized wake-ups, but each user acquires locks on all its
+    /// neighboring APs (in ascending `ApId` order) before querying and
+    /// committing — the paper's §8 coordination idea. Restores
+    /// convergence at the cost of lock traffic and retries.
+    SynchronizedLocked,
+}
+
+/// Simulator configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The decision rule users apply.
+    pub policy: Policy,
+    /// Wake scheduling model.
+    pub schedule: WakeSchedule,
+    /// Enforce AP budgets at admission time.
+    pub respect_budget: bool,
+    /// Maximum wake cycles before giving up on convergence.
+    pub max_cycles: usize,
+    /// Wake period (cycle length).
+    pub period: Time,
+    /// One-way control-frame latency base (propagation + MAC).
+    pub base_latency: Time,
+    /// Control channel bit-rate for serialization delay.
+    pub control_rate: Kbps,
+    /// Lock retries within a cycle before deferring to the next.
+    pub max_lock_retries: usize,
+    /// Independent per-frame loss probability (failure injection).
+    /// A user whose exchange stalls on a lost frame abandons it at its
+    /// next wake (the periodic timer doubles as the retry timeout).
+    pub loss_prob: f64,
+    /// Seed for the loss process (only consumed when `loss_prob > 0`).
+    pub loss_seed: u64,
+    /// Lock lease: an AP steals a lock held longer than this, so a lost
+    /// `LockRelease` cannot starve other users.
+    pub lock_lease: Time,
+    /// Consecutive change-free cycles required to declare convergence.
+    /// Two suffice without loss; under loss a user's whole exchange can
+    /// vanish for a cycle or two, so more patience avoids declaring
+    /// convergence while a straggler still wants to move.
+    pub quiet_cycles: usize,
+    /// User arrival model.
+    pub activation: Activation,
+    /// Optional departure wave: at the start of the given cycle, the
+    /// first `count` users disassociate and go silent for the rest of the
+    /// run — freeing their APs' airtime so the remaining users can
+    /// re-optimize (the network stays convergent after churn).
+    pub departure: Option<Departure>,
+}
+
+/// A scheduled departure wave (see [`SimConfig::departure`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Departure {
+    /// Cycle index at whose start the wave happens.
+    pub at_cycle: usize,
+    /// How many users (lowest ids first) leave.
+    pub count: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            policy: Policy::MinTotalLoad,
+            schedule: WakeSchedule::Staggered,
+            respect_budget: true,
+            max_cycles: 50,
+            period: Time::from_millis(1000),
+            base_latency: Time(200),
+            control_rate: Kbps::from_mbps(6),
+            max_lock_retries: 3,
+            loss_prob: 0.0,
+            loss_seed: 0,
+            lock_lease: Time::from_millis(100),
+            quiet_cycles: 2,
+            activation: Activation::AllAtStart,
+            departure: None,
+        }
+    }
+}
+
+/// A user agent's protocol phase.
+#[derive(Debug, Clone, PartialEq)]
+enum Phase {
+    Idle,
+    Scanning {
+        heard: Vec<ApId>,
+        pending: usize,
+    },
+    Locking {
+        heard: Vec<ApId>,
+        granted: Vec<ApId>,
+        retries: usize,
+    },
+    Querying {
+        heard: Vec<ApId>,
+        responses: BTreeMap<ApId, ResponseData>,
+        pending: usize,
+        locked: bool,
+    },
+    AwaitingAssoc {
+        locked: bool,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct ResponseData {
+    sessions: Vec<(SessionId, Kbps)>,
+    load: Load,
+    load_without: Option<Load>,
+}
+
+/// The user-side knowledge assembled from `LoadResponse`s; implements the
+/// same [`ApStateView`] the round-based engine uses, proving the decision
+/// needs no global information.
+struct QueryView<'a> {
+    inst: &'a Instance,
+    user: UserId,
+    current: Option<ApId>,
+    responses: &'a BTreeMap<ApId, ResponseData>,
+}
+
+impl ApStateView for QueryView<'_> {
+    fn instance(&self) -> &Instance {
+        self.inst
+    }
+
+    fn ap_of(&self, u: UserId) -> Option<ApId> {
+        debug_assert_eq!(u, self.user, "view only knows the querying user");
+        self.current
+    }
+
+    fn ap_load(&self, a: ApId) -> Load {
+        self.responses
+            .get(&a)
+            .map(|r| r.load)
+            .expect("decision only inspects queried neighbors")
+    }
+
+    fn load_if_joined(&self, u: UserId, a: ApId) -> Option<Load> {
+        debug_assert_eq!(u, self.user);
+        let r = self.responses.get(&a)?;
+        let s = self.inst.user_session(u);
+        let my_rate = self.inst.multicast_rate_to(a, u)?;
+        let stream = self.inst.session_rate(s);
+        match r.sessions.iter().find(|(sid, _)| *sid == s) {
+            Some(&(_, tx)) => {
+                let new_tx = tx.min(my_rate);
+                Some(
+                    r.load - Load::per_transmission(stream, tx)
+                        + Load::per_transmission(stream, new_tx),
+                )
+            }
+            None => Some(r.load + Load::per_transmission(stream, my_rate)),
+        }
+    }
+
+    fn load_if_left(&self, u: UserId) -> Option<Load> {
+        debug_assert_eq!(u, self.user);
+        let cur = self.current?;
+        self.responses.get(&cur).and_then(|r| r.load_without)
+    }
+}
+
+/// Events the engine processes.
+#[derive(Debug)]
+enum SimEvent {
+    Wake(UserId),
+    Deliver(Message),
+}
+
+/// The discrete-event simulator.
+///
+/// # Example
+///
+/// ```
+/// use mcast_core::examples_paper::figure1_instance;
+/// use mcast_core::Kbps;
+/// use mcast_sim::{SimConfig, Simulator};
+///
+/// let inst = figure1_instance(Kbps::from_mbps(1));
+/// let report = Simulator::new(&inst, SimConfig::default()).run();
+/// assert!(report.converged);
+/// assert_eq!(report.association.satisfied_count(), 5);
+/// ```
+pub struct Simulator<'a> {
+    inst: &'a Instance,
+    config: SimConfig,
+    queue: EventQueue<SimEvent>,
+    now: Time,
+    ledger: LoadLedger<'a>,
+    phases: Vec<Phase>,
+    /// Per AP: the lock holder and when the lock was granted.
+    locks: Vec<Option<(UserId, Time)>>,
+    lock_retries: Vec<usize>,
+    changes: Vec<AssociationChange>,
+    message_counts: BTreeMap<&'static str, u64>,
+    cycle_changes: usize,
+    loss_rng: rand_chacha::ChaCha8Rng,
+    frames_lost: u64,
+    first_wake: Vec<Option<Time>>,
+    first_joined: Vec<Option<Time>>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Builds a simulator over `inst`, starting with no associations.
+    pub fn new(inst: &'a Instance, config: SimConfig) -> Simulator<'a> {
+        Simulator::with_initial(inst, config, Association::empty(inst.n_users()))
+    }
+
+    /// Builds a simulator starting from an existing association.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is structurally invalid for `inst`.
+    pub fn with_initial(
+        inst: &'a Instance,
+        config: SimConfig,
+        initial: Association,
+    ) -> Simulator<'a> {
+        let loss_rng = {
+            use rand::SeedableRng;
+            rand_chacha::ChaCha8Rng::seed_from_u64(config.loss_seed)
+        };
+        Simulator {
+            inst,
+            config,
+            queue: EventQueue::new(),
+            now: Time::ZERO,
+            ledger: LoadLedger::new(inst, initial),
+            phases: vec![Phase::Idle; inst.n_users()],
+            locks: vec![None; inst.n_aps()],
+            lock_retries: vec![0; inst.n_users()],
+            changes: Vec::new(),
+            message_counts: BTreeMap::new(),
+            cycle_changes: 0,
+            loss_rng,
+            frames_lost: 0,
+            first_wake: vec![None; inst.n_users()],
+            first_joined: vec![None; inst.n_users()],
+        }
+    }
+
+    fn latency_for(&self, body: &MessageBody) -> Time {
+        let bits = (body.size_bytes() * 8) as u64;
+        // Serialization at the control rate (kbps → bits/µs = kbps/1000).
+        let ser_us = bits * 1000 / u64::from(self.config.control_rate.0);
+        self.config.base_latency + Time(ser_us.max(1))
+    }
+
+    fn send(&mut self, from: Node, to: Node, body: MessageBody) {
+        let name = match &body {
+            MessageBody::ProbeRequest => "probe_req",
+            MessageBody::ProbeResponse => "probe_resp",
+            MessageBody::LoadQuery => "load_query",
+            MessageBody::LoadResponse { .. } => "load_resp",
+            MessageBody::AssocRequest { .. } => "assoc_req",
+            MessageBody::AssocResponse { .. } => "assoc_resp",
+            MessageBody::Disassoc => "disassoc",
+            MessageBody::LockRequest => "lock_req",
+            MessageBody::LockGrant => "lock_grant",
+            MessageBody::LockDeny => "lock_deny",
+            MessageBody::LockRelease => "lock_release",
+        };
+        *self.message_counts.entry(name).or_insert(0) += 1;
+        if self.config.loss_prob > 0.0 {
+            use rand::Rng;
+            if self.loss_rng.gen::<f64>() < self.config.loss_prob {
+                self.frames_lost += 1;
+                return; // frame lost in the air
+            }
+        }
+        let at = self.now + self.latency_for(&body);
+        self.queue
+            .push(at, SimEvent::Deliver(Message { from, to, body }));
+    }
+
+    /// Runs wake cycles until convergence (`quiet_cycles` consecutive
+    /// change-free cycles, counted only once every user is active) or
+    /// `max_cycles`, and returns the report.
+    pub fn run(mut self) -> SimReport {
+        let mut quiet_cycles = 0;
+        let mut cycles = 0;
+        let mut active = match self.config.activation {
+            Activation::AllAtStart => self.inst.n_users(),
+            Activation::Arrivals { .. } => 0,
+        };
+        let mut departed = 0usize;
+        for cycle in 0..self.config.max_cycles {
+            cycles = cycle + 1;
+            if let Activation::Arrivals { per_cycle } = self.config.activation {
+                active = (active + per_cycle.max(1)).min(self.inst.n_users());
+            }
+            if let Some(dep) = self.config.departure {
+                if cycle == dep.at_cycle && departed == 0 {
+                    departed = dep.count.min(self.inst.n_users());
+                    for u in self.inst.users().take(departed) {
+                        if self.ledger.ap_of(u).is_some() {
+                            let from = self.ledger.ap_of(u);
+                            self.ledger.leave(u);
+                            self.changes.push(AssociationChange {
+                                at: self.now,
+                                user: u,
+                                from,
+                                to: None,
+                            });
+                        }
+                        self.phases[u.index()] = Phase::Idle;
+                    }
+                }
+            }
+            let cycle_start = Time(self.now.0.max(cycle as u64 * self.config.period.0));
+            self.schedule_wakes(cycle_start, active, departed);
+            self.cycle_changes = 0;
+            self.drain();
+            let departure_pending = self
+                .config
+                .departure
+                .is_some_and(|d| d.count > 0 && departed == 0);
+            if self.cycle_changes == 0 && active == self.inst.n_users() && !departure_pending {
+                quiet_cycles += 1;
+                if quiet_cycles >= self.config.quiet_cycles {
+                    break;
+                }
+            } else {
+                quiet_cycles = 0;
+            }
+        }
+        let converged = quiet_cycles >= self.config.quiet_cycles;
+        SimReport {
+            association: self.ledger.association().clone(),
+            cycles,
+            converged,
+            oscillating: !converged && self.changes.len() >= self.inst.n_users(),
+            changes: self.changes,
+            message_counts: self.message_counts,
+            frames_lost: self.frames_lost,
+            join_latencies: self
+                .first_wake
+                .iter()
+                .zip(&self.first_joined)
+                .map(|(w, j)| match (w, j) {
+                    (Some(w), Some(j)) if j.0 >= w.0 => Some(Time(j.0 - w.0)),
+                    _ => None,
+                })
+                .collect(),
+            finished_at: self.now,
+        }
+    }
+
+    fn schedule_wakes(&mut self, start: Time, active: usize, departed: usize) {
+        // A full exchange takes ~6 round trips; the stagger gap must
+        // exceed it so decisions serialize.
+        let gap = Time(self.latency_for(&MessageBody::ProbeRequest).0 * 40);
+        for u in self.inst.users().take(active).skip(departed) {
+            let at = match self.config.schedule {
+                WakeSchedule::Staggered => Time(start.0 + u.0 as u64 * gap.0),
+                WakeSchedule::Synchronized | WakeSchedule::SynchronizedLocked => start,
+            };
+            self.queue.push(at, SimEvent::Wake(u));
+        }
+    }
+
+    fn drain(&mut self) {
+        while let Some((t, ev)) = self.queue.pop() {
+            self.now = t;
+            match ev {
+                SimEvent::Wake(u) => self.on_wake(u),
+                SimEvent::Deliver(m) => self.on_deliver(m),
+            }
+        }
+    }
+
+    fn on_wake(&mut self, u: UserId) {
+        if self.first_wake[u.index()].is_none() {
+            self.first_wake[u.index()] = Some(self.now);
+        }
+        if self.phases[u.index()] != Phase::Idle {
+            if self.config.loss_prob > 0.0 {
+                // The periodic timer doubles as the loss-recovery timeout:
+                // abandon the stalled exchange and start over. Any locks
+                // believed held are released explicitly (a lost release is
+                // further covered by the AP-side lease).
+                if matches!(self.phases[u.index()], Phase::Locking { .. })
+                    || matches!(self.phases[u.index()], Phase::Querying { locked: true, .. })
+                {
+                    let heard: Vec<ApId> =
+                        self.inst.candidate_aps(u).iter().map(|&(a, _)| a).collect();
+                    for a in heard {
+                        self.send(Node::User(u), Node::Ap(a), MessageBody::LockRelease);
+                    }
+                }
+                self.phases[u.index()] = Phase::Idle;
+            } else {
+                return; // still mid-exchange from a previous wake
+            }
+        }
+        let heard: Vec<ApId> = self.inst.candidate_aps(u).iter().map(|&(a, _)| a).collect();
+        if heard.is_empty() {
+            return;
+        }
+        // Active scan: probe every channel; APs in range answer.
+        for &a in &heard {
+            self.send(Node::User(u), Node::Ap(a), MessageBody::ProbeRequest);
+        }
+        self.phases[u.index()] = Phase::Scanning {
+            pending: heard.len(),
+            heard: Vec::new(),
+        };
+    }
+
+    fn on_deliver(&mut self, m: Message) {
+        match (m.to, m.body) {
+            // ---- AP side ----
+            (Node::Ap(a), MessageBody::ProbeRequest) => {
+                let Node::User(u) = m.from else { return };
+                self.send(Node::Ap(a), Node::User(u), MessageBody::ProbeResponse);
+            }
+            (Node::Ap(a), MessageBody::LoadQuery) => {
+                let Node::User(u) = m.from else { return };
+                let sessions: Vec<(SessionId, Kbps)> = self
+                    .inst
+                    .sessions()
+                    .filter_map(|s| self.ledger.ap_session_rate(a, s).map(|r| (s, r)))
+                    .collect();
+                let load = self.ledger.ap_load(a);
+                let load_without = if self.ledger.ap_of(u) == Some(a) {
+                    self.ledger.load_if_left(u)
+                } else {
+                    None
+                };
+                self.send(
+                    Node::Ap(a),
+                    Node::User(u),
+                    MessageBody::LoadResponse {
+                        sessions,
+                        load,
+                        load_without,
+                    },
+                );
+            }
+            (Node::Ap(a), MessageBody::AssocRequest { leaving }) => {
+                let Node::User(u) = m.from else { return };
+                let admitted = match self.ledger.load_if_joined(u, a) {
+                    Some(load) => !self.config.respect_budget || load <= self.inst.budget(a),
+                    None => false,
+                };
+                if admitted {
+                    let from_ap = self.ledger.ap_of(u);
+                    debug_assert_eq!(from_ap, leaving);
+                    if let Some(old) = from_ap {
+                        self.send(Node::User(u), Node::Ap(old), MessageBody::Disassoc);
+                    }
+                    self.ledger.reassociate(u, a);
+                    if self.first_joined[u.index()].is_none() {
+                        self.first_joined[u.index()] = Some(self.now);
+                    }
+                    self.changes.push(AssociationChange {
+                        at: self.now,
+                        user: u,
+                        from: from_ap,
+                        to: Some(a),
+                    });
+                    self.cycle_changes += 1;
+                }
+                self.send(
+                    Node::Ap(a),
+                    Node::User(u),
+                    MessageBody::AssocResponse { granted: admitted },
+                );
+            }
+            (Node::Ap(_), MessageBody::Disassoc) => {
+                // Membership bookkeeping already applied via the ledger at
+                // grant time; the frame models the over-the-air traffic.
+            }
+            (Node::Ap(a), MessageBody::LockRequest) => {
+                let Node::User(u) = m.from else { return };
+                let grantable = match self.locks[a.index()] {
+                    None => true,
+                    Some((holder, _)) if holder == u => true,
+                    // Lease expiry: a holder that never released (lost
+                    // frame, crashed exchange) cannot starve others.
+                    Some((_, since)) => self.now.0 - since.0 > self.config.lock_lease.0,
+                };
+                let body = if grantable {
+                    self.locks[a.index()] = Some((u, self.now));
+                    MessageBody::LockGrant
+                } else {
+                    MessageBody::LockDeny
+                };
+                self.send(Node::Ap(a), Node::User(u), body);
+            }
+            (Node::Ap(a), MessageBody::LockRelease) => {
+                let Node::User(u) = m.from else { return };
+                if matches!(self.locks[a.index()], Some((holder, _)) if holder == u) {
+                    self.locks[a.index()] = None;
+                }
+            }
+
+            // ---- User side ----
+            (Node::User(u), MessageBody::ProbeResponse) => {
+                let Node::Ap(a) = m.from else { return };
+                let Phase::Scanning { heard, pending } = &mut self.phases[u.index()] else {
+                    return;
+                };
+                heard.push(a);
+                *pending -= 1;
+                if *pending == 0 {
+                    let mut heard = std::mem::take(heard);
+                    heard.sort();
+                    match self.config.schedule {
+                        WakeSchedule::SynchronizedLocked => {
+                            let retries = self.lock_retries[u.index()];
+                            self.start_locking(u, heard, retries);
+                        }
+                        _ => self.start_querying(u, heard, false),
+                    }
+                }
+            }
+            (Node::User(u), MessageBody::LockGrant) => {
+                let Phase::Locking {
+                    heard,
+                    granted,
+                    retries,
+                } = &mut self.phases[u.index()]
+                else {
+                    return;
+                };
+                let Node::Ap(a) = m.from else { return };
+                granted.push(a);
+                // Ordered acquisition: request the next AP, or proceed.
+                let next = heard.iter().find(|ap| !granted.contains(ap)).copied();
+                match next {
+                    Some(next_ap) => {
+                        self.send(Node::User(u), Node::Ap(next_ap), MessageBody::LockRequest)
+                    }
+                    None => {
+                        let heard = heard.clone();
+                        let _ = retries;
+                        self.lock_retries[u.index()] = 0;
+                        self.start_querying(u, heard, true);
+                    }
+                }
+            }
+            (Node::User(u), MessageBody::LockDeny) => {
+                let Phase::Locking {
+                    granted, retries, ..
+                } = &self.phases[u.index()]
+                else {
+                    return;
+                };
+                let granted = granted.clone();
+                let retries = *retries;
+                for a in granted {
+                    self.send(Node::User(u), Node::Ap(a), MessageBody::LockRelease);
+                }
+                self.phases[u.index()] = Phase::Idle;
+                if retries < self.config.max_lock_retries {
+                    // Deterministic, collision-breaking backoff: the retry
+                    // wake rescans and re-locks with the bumped counter.
+                    self.lock_retries[u.index()] = retries + 1;
+                    let backoff = Time(
+                        self.config.base_latency.0 * 50 * (retries as u64 + 1 + u.0 as u64 % 7),
+                    );
+                    let at = self.now + backoff;
+                    self.queue.push(at, SimEvent::Wake(u));
+                } else {
+                    self.lock_retries[u.index()] = 0; // defer to next cycle
+                }
+            }
+            (
+                Node::User(u),
+                MessageBody::LoadResponse {
+                    sessions,
+                    load,
+                    load_without,
+                },
+            ) => {
+                let Phase::Querying {
+                    heard,
+                    responses,
+                    pending,
+                    locked,
+                } = &mut self.phases[u.index()]
+                else {
+                    return;
+                };
+                let Node::Ap(a) = m.from else { return };
+                responses.insert(
+                    a,
+                    ResponseData {
+                        sessions,
+                        load,
+                        load_without,
+                    },
+                );
+                *pending -= 1;
+                if *pending > 0 {
+                    return;
+                }
+                let locked = *locked;
+                let heard = heard.clone();
+                let responses = std::mem::take(responses);
+                self.decide_and_act(u, heard, responses, locked);
+            }
+            (Node::User(u), MessageBody::AssocResponse { granted: _ }) => {
+                let Phase::AwaitingAssoc { locked } = self.phases[u.index()] else {
+                    return;
+                };
+                if locked {
+                    let heard: Vec<ApId> =
+                        self.inst.candidate_aps(u).iter().map(|&(a, _)| a).collect();
+                    for a in heard {
+                        self.send(Node::User(u), Node::Ap(a), MessageBody::LockRelease);
+                    }
+                }
+                self.phases[u.index()] = Phase::Idle;
+            }
+            _ => {}
+        }
+    }
+
+    fn start_locking(&mut self, u: UserId, heard: Vec<ApId>, retries: usize) {
+        let first = heard[0];
+        self.phases[u.index()] = Phase::Locking {
+            heard,
+            granted: Vec::new(),
+            retries,
+        };
+        self.send(Node::User(u), Node::Ap(first), MessageBody::LockRequest);
+    }
+
+    fn start_querying(&mut self, u: UserId, heard: Vec<ApId>, locked: bool) {
+        let pending = heard.len();
+        for &a in &heard {
+            self.send(Node::User(u), Node::Ap(a), MessageBody::LoadQuery);
+        }
+        self.phases[u.index()] = Phase::Querying {
+            heard,
+            responses: BTreeMap::new(),
+            pending,
+            locked,
+        };
+    }
+
+    fn decide_and_act(
+        &mut self,
+        u: UserId,
+        _heard: Vec<ApId>,
+        responses: BTreeMap<ApId, ResponseData>,
+        locked: bool,
+    ) {
+        let view = QueryView {
+            inst: self.inst,
+            user: u,
+            current: self.ledger.ap_of(u),
+            responses: &responses,
+        };
+        let decision = local_decision(&view, u, self.config.policy, self.config.respect_budget);
+        match decision {
+            Some(a) => {
+                let leaving = self.ledger.ap_of(u);
+                self.phases[u.index()] = Phase::AwaitingAssoc { locked };
+                self.send(
+                    Node::User(u),
+                    Node::Ap(a),
+                    MessageBody::AssocRequest { leaving },
+                );
+            }
+            None => {
+                if locked {
+                    let heard: Vec<ApId> =
+                        self.inst.candidate_aps(u).iter().map(|&(a, _)| a).collect();
+                    for a in heard {
+                        self.send(Node::User(u), Node::Ap(a), MessageBody::LockRelease);
+                    }
+                }
+                self.phases[u.index()] = Phase::Idle;
+            }
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! The over-the-air control messages of the association protocols.
+
+use mcast_core::{ApId, Kbps, Load, SessionId, UserId};
+use serde::{Deserialize, Serialize};
+
+/// One control frame in flight.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Message {
+    /// Sending node (for accounting; delivery is point-to-point).
+    pub from: Node,
+    /// Destination node.
+    pub to: Node,
+    /// Payload.
+    pub body: MessageBody,
+}
+
+/// A network endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Node {
+    /// An access point.
+    Ap(ApId),
+    /// A user station.
+    User(UserId),
+}
+
+/// Protocol payloads. The first four realize the paper's §4.2/§5.2/§6.2
+/// query mechanism; the `Lock*` messages realize the §8 coordination
+/// extension.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MessageBody {
+    /// Active-scan probe.
+    ProbeRequest,
+    /// Probe answer: "I exist".
+    ProbeResponse,
+    /// "Which sessions do you transmit, at what rates, and what is your
+    /// load (also without me, if I am a member)?"
+    LoadQuery,
+    /// The AP's answer, carrying everything the local decision rule needs.
+    LoadResponse {
+        /// Sessions currently transmitted, with their transmission rates.
+        sessions: Vec<(SessionId, Kbps)>,
+        /// Current multicast load of the AP.
+        load: Load,
+        /// The AP's load if the querying user left it (`None` when the
+        /// user is not a member).
+        load_without: Option<Load>,
+    },
+    /// Request to join this AP (leaving `leaving`, if any).
+    AssocRequest {
+        /// The AP the user is simultaneously leaving, if any.
+        leaving: Option<ApId>,
+    },
+    /// Admission decision (budget check at grant time).
+    AssocResponse {
+        /// True if the AP admitted the user.
+        granted: bool,
+    },
+    /// Notification that the user left the AP.
+    Disassoc,
+    /// §8 lock protocol: request exclusive decision rights at this AP.
+    LockRequest,
+    /// Lock granted.
+    LockGrant,
+    /// Lock denied (held by another user).
+    LockDeny,
+    /// Release a held (or requested) lock.
+    LockRelease,
+}
+
+impl MessageBody {
+    /// Rough frame size in bytes, used for latency modeling.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            MessageBody::ProbeRequest | MessageBody::ProbeResponse => 32,
+            MessageBody::LoadQuery => 24,
+            MessageBody::LoadResponse { sessions, .. } => 48 + sessions.len() * 8,
+            MessageBody::AssocRequest { .. } => 32,
+            MessageBody::AssocResponse { .. } => 24,
+            MessageBody::Disassoc => 16,
+            MessageBody::LockRequest
+            | MessageBody::LockGrant
+            | MessageBody::LockDeny
+            | MessageBody::LockRelease => 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_scale_with_session_count() {
+        let small = MessageBody::LoadResponse {
+            sessions: vec![],
+            load: Load::ZERO,
+            load_without: None,
+        };
+        let big = MessageBody::LoadResponse {
+            sessions: vec![(SessionId(0), Kbps::from_mbps(6)); 5],
+            load: Load::ZERO,
+            load_without: None,
+        };
+        assert!(big.size_bytes() > small.size_bytes());
+        assert_eq!(MessageBody::ProbeRequest.size_bytes(), 32);
+    }
+}

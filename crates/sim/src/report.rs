@@ -1,0 +1,71 @@
+//! Simulation outcome reporting.
+
+use std::collections::BTreeMap;
+
+use mcast_core::{ApId, Association, UserId};
+
+use crate::event::Time;
+
+/// One association change observed during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AssociationChange {
+    /// When the AP granted the (re)association.
+    pub at: Time,
+    /// The moving user.
+    pub user: UserId,
+    /// Previous AP (`None` = was unassociated).
+    pub from: Option<ApId>,
+    /// New AP.
+    pub to: Option<ApId>,
+}
+
+/// The outcome of a [`Simulator`](crate::Simulator) run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// The association when the run ended.
+    pub association: Association,
+    /// Wake cycles executed.
+    pub cycles: usize,
+    /// True if two consecutive cycles passed without any change.
+    pub converged: bool,
+    /// Heuristic: the run hit its cycle limit while still churning at
+    /// least as many changes as there are users — a live oscillation
+    /// (always true for the Figure 4 gadget under synchronized wake-ups).
+    pub oscillating: bool,
+    /// Every association change, in order.
+    pub changes: Vec<AssociationChange>,
+    /// Control frames sent, by type.
+    pub message_counts: BTreeMap<&'static str, u64>,
+    /// Control frames dropped by the loss process (failure injection).
+    pub frames_lost: u64,
+    /// Per user: time from its first wake to its first granted
+    /// association (`None` if it never associated). Indexable by
+    /// `UserId::index`.
+    pub join_latencies: Vec<Option<Time>>,
+    /// Simulated clock when the run ended.
+    pub finished_at: Time,
+}
+
+impl SimReport {
+    /// Total control frames sent.
+    pub fn total_messages(&self) -> u64 {
+        self.message_counts.values().sum()
+    }
+
+    /// Changes after the first `k` cycles — useful to separate the initial
+    /// join wave from steady-state churn.
+    pub fn changes_after(&self, t: Time) -> usize {
+        self.changes.iter().filter(|c| c.at > t).count()
+    }
+
+    /// Median time from a user's first wake to its first granted
+    /// association, over users that did associate. `None` if nobody did.
+    pub fn median_join_latency(&self) -> Option<Time> {
+        let mut v: Vec<Time> = self.join_latencies.iter().flatten().copied().collect();
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_unstable();
+        Some(v[v.len() / 2])
+    }
+}

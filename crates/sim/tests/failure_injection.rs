@@ -1,0 +1,122 @@
+//! Failure injection: the protocol must survive control-frame loss —
+//! stalled exchanges recover at the next wake, lost lock releases are
+//! covered by the AP-side lease, and the association still converges to a
+//! feasible state.
+
+use mcast_core::examples_paper::{figure1_instance, figure4_instance, figure4_start};
+use mcast_core::{Kbps, Load, Policy};
+use mcast_sim::{SimConfig, Simulator, WakeSchedule};
+use mcast_topology::ScenarioConfig;
+
+fn lossy(loss_prob: f64, seed: u64) -> SimConfig {
+    SimConfig {
+        loss_prob,
+        loss_seed: seed,
+        max_cycles: 200,
+        // Under loss, a straggler's whole exchange can vanish for a few
+        // cycles; more quiet cycles make the convergence claim honest.
+        quiet_cycles: 8,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn loss_free_runs_report_zero_lost_frames() {
+    let inst = figure1_instance(Kbps::from_mbps(1));
+    let report = Simulator::new(&inst, SimConfig::default()).run();
+    assert_eq!(report.frames_lost, 0);
+}
+
+#[test]
+fn converges_under_moderate_loss() {
+    let inst = figure1_instance(Kbps::from_mbps(1));
+    for seed in 0..10 {
+        let report = Simulator::new(&inst, lossy(0.10, seed)).run();
+        assert!(report.converged, "seed {seed} did not converge");
+        assert!(report.association.is_feasible(&inst), "seed {seed}");
+        // Everyone still gets service, and the local optimum reached is
+        // never worse than the loss-free serial one (losses only permute
+        // the decision order; 9/20 and 7/12 are both reachable optima).
+        assert_eq!(report.association.satisfied_count(), 5, "seed {seed}");
+        assert!(
+            report.association.total_load(&inst) <= Load::from_ratio(7, 12),
+            "seed {seed}"
+        );
+        assert!(report.frames_lost > 0, "seed {seed}: no frame was lost");
+    }
+}
+
+#[test]
+fn generated_scenario_converges_under_loss() {
+    let scenario = ScenarioConfig {
+        n_aps: 15,
+        n_users: 40,
+        n_sessions: 3,
+        ..ScenarioConfig::paper_default()
+    }
+    .with_seed(4)
+    .generate();
+    let inst = &scenario.instance;
+    for policy in [Policy::MinTotalLoad, Policy::MinMaxVector] {
+        let report = Simulator::new(
+            inst,
+            SimConfig {
+                policy,
+                ..lossy(0.05, 7)
+            },
+        )
+        .run();
+        assert!(report.converged, "{policy:?}");
+        assert!(report.association.is_feasible(inst));
+        // Everyone eventually finds service (coverage is guaranteed and
+        // budgets are loose at 0.9).
+        assert_eq!(report.association.satisfied_count(), inst.n_users());
+    }
+}
+
+#[test]
+fn lock_lease_prevents_starvation_under_loss() {
+    // Lock mode with loss: releases can vanish, but the lease lets other
+    // users reclaim the APs, so the system still converges.
+    let inst = figure4_instance();
+    for seed in 0..10 {
+        let report = Simulator::with_initial(
+            &inst,
+            SimConfig {
+                schedule: WakeSchedule::SynchronizedLocked,
+                ..lossy(0.10, seed)
+            },
+            figure4_start(),
+        )
+        .run();
+        assert!(report.converged, "seed {seed} starved");
+        assert!(report.association.is_feasible(&inst));
+    }
+}
+
+#[test]
+fn heavy_loss_still_terminates_cleanly() {
+    // At 40% loss most exchanges die; the run must still terminate with a
+    // structurally valid (possibly partial) association.
+    let inst = figure1_instance(Kbps::from_mbps(1));
+    let report = Simulator::new(
+        &inst,
+        SimConfig {
+            max_cycles: 30,
+            ..lossy(0.40, 99)
+        },
+    )
+    .run();
+    assert!(report.association.validate(&inst).is_ok());
+    assert!(report.frames_lost > 0);
+}
+
+#[test]
+fn loss_process_is_seed_deterministic() {
+    let inst = figure1_instance(Kbps::from_mbps(1));
+    let a = Simulator::new(&inst, lossy(0.15, 5)).run();
+    let b = Simulator::new(&inst, lossy(0.15, 5)).run();
+    assert_eq!(a.association, b.association);
+    assert_eq!(a.frames_lost, b.frames_lost);
+    assert_eq!(a.changes.len(), b.changes.len());
+}

@@ -1,0 +1,120 @@
+//! Property tests for the simulator: equivalence with the round-based
+//! engine across random scenarios, and robustness of the dynamic modes.
+
+use proptest::prelude::*;
+
+use mcast_core::{run_distributed, Association, DistributedConfig, Policy};
+use mcast_sim::{Activation, SimConfig, Simulator, WakeSchedule};
+use mcast_topology::{Scenario, ScenarioConfig};
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    (3usize..15, 5usize..35, 1usize..4, 0u64..500).prop_map(|(n_aps, n_users, n_sessions, seed)| {
+        ScenarioConfig {
+            n_aps,
+            n_users,
+            n_sessions,
+            width_m: 700.0,
+            height_m: 700.0,
+            ..ScenarioConfig::paper_default()
+        }
+        .with_seed(seed)
+        .generate()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The staggered message-level run lands exactly where the round-based
+    /// serial engine lands, for both policies, on arbitrary scenarios —
+    /// the central correctness property of the protocol realization.
+    #[test]
+    fn sim_equals_round_based(scenario in scenario_strategy()) {
+        let inst = &scenario.instance;
+        for policy in [Policy::MinTotalLoad, Policy::MinMaxVector] {
+            let sim = Simulator::new(
+                inst,
+                SimConfig { policy, ..SimConfig::default() },
+            )
+            .run();
+            let round = run_distributed(
+                inst,
+                &DistributedConfig { policy, ..DistributedConfig::default() },
+                Association::empty(inst.n_users()),
+            );
+            prop_assert!(sim.converged);
+            prop_assert_eq!(&sim.association, &round.association, "policy {:?}", policy);
+        }
+    }
+
+    /// Arrivals terminate, serve everyone coverable, and never break
+    /// feasibility, regardless of the trickle rate.
+    #[test]
+    fn arrivals_always_converge(scenario in scenario_strategy(), per_cycle in 1usize..8) {
+        let inst = &scenario.instance;
+        let report = Simulator::new(
+            inst,
+            SimConfig {
+                activation: Activation::Arrivals { per_cycle },
+                max_cycles: inst.n_users() + 30,
+                ..SimConfig::default()
+            },
+        )
+        .run();
+        prop_assert!(report.converged);
+        prop_assert!(report.association.is_feasible(inst));
+        prop_assert_eq!(report.association.satisfied_count(), inst.n_users());
+    }
+
+    /// Under loss, runs terminate with structurally valid associations and
+    /// the loss accounting is consistent.
+    #[test]
+    fn lossy_runs_stay_structurally_valid(
+        scenario in scenario_strategy(),
+        loss in 0.01f64..0.3,
+        loss_seed in 0u64..100,
+    ) {
+        let inst = &scenario.instance;
+        let report = Simulator::new(
+            inst,
+            SimConfig {
+                loss_prob: loss,
+                loss_seed,
+                max_cycles: 60,
+                quiet_cycles: 4,
+                ..SimConfig::default()
+            },
+        )
+        .run();
+        prop_assert!(report.association.validate(inst).is_ok());
+        // Frames lost is bounded by frames sent.
+        prop_assert!(report.frames_lost <= report.total_messages());
+        // Join latencies only exist for served users.
+        for u in inst.users() {
+            if report.join_latencies[u.index()].is_some() {
+                prop_assert!(report.association.ap_of(u).is_some()
+                    // ...or the user later moved/left in churn; it must at
+                    // least have joined once:
+                    || report.changes.iter().any(|c| c.user == u));
+            }
+        }
+    }
+
+    /// Lock mode converges on arbitrary scenarios under synchronized
+    /// wake-ups (the §8 claim, beyond the Figure 4 gadget).
+    #[test]
+    fn locks_converge_everywhere(scenario in scenario_strategy()) {
+        let inst = &scenario.instance;
+        let report = Simulator::new(
+            inst,
+            SimConfig {
+                schedule: WakeSchedule::SynchronizedLocked,
+                max_cycles: 150,
+                ..SimConfig::default()
+            },
+        )
+        .run();
+        prop_assert!(report.converged);
+        prop_assert!(report.association.is_feasible(inst));
+    }
+}

@@ -1,0 +1,348 @@
+//! Message-level protocol tests: convergence, oscillation, locks, and
+//! agreement with the round-based engine.
+
+use mcast_core::examples_paper::{figure1_instance, figure4_instance, figure4_start};
+use mcast_core::{run_distributed, Association, DistributedConfig, Kbps, Load, Policy};
+use mcast_sim::{measure_airtime, SimConfig, Simulator, Time, WakeSchedule};
+use mcast_topology::ScenarioConfig;
+
+#[test]
+fn staggered_figure1_matches_round_based_mla() {
+    let inst = figure1_instance(Kbps::from_mbps(1));
+    let report = Simulator::new(&inst, SimConfig::default()).run();
+    assert!(report.converged);
+    let round = run_distributed(
+        &inst,
+        &DistributedConfig::default(),
+        Association::empty(inst.n_users()),
+    );
+    assert_eq!(report.association, round.association);
+    // Paper §6.2: everyone ends on a1, total load 7/12.
+    assert_eq!(
+        report.association.total_load(&inst),
+        Load::from_ratio(7, 12)
+    );
+}
+
+#[test]
+fn staggered_figure1_bla_policy() {
+    let inst = figure1_instance(Kbps::from_mbps(1));
+    let report = Simulator::new(
+        &inst,
+        SimConfig {
+            policy: Policy::MinMaxVector,
+            ..SimConfig::default()
+        },
+    )
+    .run();
+    assert!(report.converged);
+    let loads = report.association.loads(&inst);
+    assert_eq!(loads[0], Load::from_ratio(1, 2));
+    assert_eq!(loads[1], Load::from_ratio(1, 3));
+}
+
+#[test]
+fn synchronized_figure4_oscillates() {
+    let inst = figure4_instance();
+    let report = Simulator::with_initial(
+        &inst,
+        SimConfig {
+            schedule: WakeSchedule::Synchronized,
+            max_cycles: 20,
+            ..SimConfig::default()
+        },
+        figure4_start(),
+    )
+    .run();
+    assert!(!report.converged, "figure 4 must not converge synchronized");
+    assert!(report.oscillating);
+    // u2 and u3 swap every cycle: roughly 2 changes per cycle.
+    assert!(report.changes.len() >= 20);
+}
+
+#[test]
+fn staggered_figure4_converges() {
+    let inst = figure4_instance();
+    let report = Simulator::with_initial(
+        &inst,
+        SimConfig {
+            schedule: WakeSchedule::Staggered,
+            ..SimConfig::default()
+        },
+        figure4_start(),
+    )
+    .run();
+    assert!(report.converged);
+    // One swap settles it (total 9/20, the paper's serial outcome).
+    assert_eq!(
+        report.association.total_load(&inst),
+        Load::from_ratio(9, 20)
+    );
+}
+
+#[test]
+fn locks_restore_convergence_under_synchronized_wakes() {
+    let inst = figure4_instance();
+    let report = Simulator::with_initial(
+        &inst,
+        SimConfig {
+            schedule: WakeSchedule::SynchronizedLocked,
+            max_cycles: 30,
+            ..SimConfig::default()
+        },
+        figure4_start(),
+    )
+    .run();
+    assert!(
+        report.converged,
+        "lock coordination must converge (changes: {:?})",
+        report.changes
+    );
+    assert!(report.message_counts.contains_key("lock_req"));
+    // Locks serialized the swap: the final state is a local optimum.
+    assert_eq!(
+        report.association.total_load(&inst),
+        Load::from_ratio(9, 20)
+    );
+}
+
+#[test]
+fn lock_denies_occur_under_contention() {
+    let inst = figure4_instance();
+    let report = Simulator::with_initial(
+        &inst,
+        SimConfig {
+            schedule: WakeSchedule::SynchronizedLocked,
+            ..SimConfig::default()
+        },
+        figure4_start(),
+    )
+    .run();
+    // u2 and u3 share both APs and wake simultaneously: someone is denied.
+    assert!(report.message_counts.get("lock_deny").copied().unwrap_or(0) > 0);
+    // Every grant is eventually released (no lock leaks): counts match.
+    let grants = report
+        .message_counts
+        .get("lock_grant")
+        .copied()
+        .unwrap_or(0);
+    let releases = report
+        .message_counts
+        .get("lock_release")
+        .copied()
+        .unwrap_or(0);
+    assert!(releases >= grants, "grants {grants} releases {releases}");
+}
+
+#[test]
+fn generated_scenario_sim_matches_round_based() {
+    // A mid-size generated scenario: the staggered message-level run must
+    // land exactly where the round-based serial engine lands.
+    let scenario = ScenarioConfig {
+        n_aps: 12,
+        n_users: 30,
+        n_sessions: 3,
+        ..ScenarioConfig::paper_default()
+    }
+    .with_seed(5)
+    .generate();
+    let inst = &scenario.instance;
+    for policy in [Policy::MinTotalLoad, Policy::MinMaxVector] {
+        let sim = Simulator::new(
+            inst,
+            SimConfig {
+                policy,
+                ..SimConfig::default()
+            },
+        )
+        .run();
+        let round = run_distributed(
+            inst,
+            &DistributedConfig {
+                policy,
+                ..DistributedConfig::default()
+            },
+            Association::empty(inst.n_users()),
+        );
+        assert!(sim.converged, "policy {policy:?} did not converge");
+        assert_eq!(
+            sim.association, round.association,
+            "policy {policy:?} diverged from round-based result"
+        );
+    }
+}
+
+#[test]
+fn airtime_of_simulated_association_matches_analytic() {
+    let scenario = ScenarioConfig {
+        n_aps: 10,
+        n_users: 25,
+        n_sessions: 2,
+        ..ScenarioConfig::paper_default()
+    }
+    .with_seed(8)
+    .generate();
+    let inst = &scenario.instance;
+    let report = Simulator::new(inst, SimConfig::default()).run();
+    let airtime = measure_airtime(
+        inst,
+        &report.association,
+        Time::from_secs(10),
+        Time::from_millis(100),
+    );
+    assert!(airtime.max_abs_error() < 1e-9);
+}
+
+#[test]
+fn message_counts_are_plausible() {
+    let inst = figure1_instance(Kbps::from_mbps(1));
+    let report = Simulator::new(&inst, SimConfig::default()).run();
+    // Every probe gets an answer; every query gets a response.
+    assert_eq!(
+        report.message_counts["probe_req"],
+        report.message_counts["probe_resp"]
+    );
+    assert_eq!(
+        report.message_counts["load_query"],
+        report.message_counts["load_resp"]
+    );
+    // Association churn: 5 joins at minimum.
+    assert!(report.message_counts["assoc_req"] >= 5);
+    assert!(report.total_messages() > 0);
+    assert!(report.finished_at > Time::ZERO);
+}
+
+#[test]
+fn budget_respected_at_admission() {
+    let inst = figure1_instance(Kbps::from_mbps(3));
+    let report = Simulator::new(&inst, SimConfig::default()).run();
+    assert!(report.converged);
+    assert!(report.association.is_feasible(&inst));
+    // Same outcome as the round-based distributed MNU: 4 users served.
+    assert_eq!(report.association.satisfied_count(), 4);
+}
+
+#[test]
+fn arrivals_reach_the_same_place_as_all_at_start() {
+    // Lemma 1's "new user joins the network" case: users trickling in a
+    // few per cycle must still converge, serve everyone, and (for the
+    // serial total-load rule) land on a feasible local optimum.
+    use mcast_sim::Activation;
+    let scenario = ScenarioConfig {
+        n_aps: 12,
+        n_users: 30,
+        n_sessions: 3,
+        ..ScenarioConfig::paper_default()
+    }
+    .with_seed(13)
+    .generate();
+    let inst = &scenario.instance;
+    let arrivals = Simulator::new(
+        inst,
+        SimConfig {
+            activation: Activation::Arrivals { per_cycle: 4 },
+            max_cycles: 60,
+            ..SimConfig::default()
+        },
+    )
+    .run();
+    assert!(arrivals.converged);
+    assert_eq!(arrivals.association.satisfied_count(), inst.n_users());
+    assert!(arrivals.association.is_feasible(inst));
+
+    // Same decision rule from a cold start: both are local optima; the
+    // arrival order may land elsewhere, but never unserved or infeasible.
+    let cold = Simulator::new(inst, SimConfig::default()).run();
+    assert_eq!(cold.association.satisfied_count(), inst.n_users());
+}
+
+#[test]
+fn arrivals_one_per_cycle_terminates() {
+    use mcast_sim::Activation;
+    let inst = figure1_instance(Kbps::from_mbps(1));
+    let report = Simulator::new(
+        &inst,
+        SimConfig {
+            activation: Activation::Arrivals { per_cycle: 1 },
+            max_cycles: 20,
+            ..SimConfig::default()
+        },
+    )
+    .run();
+    assert!(report.converged);
+    assert_eq!(report.association.satisfied_count(), 5);
+    // At least 5 cycles were needed just to activate everyone.
+    assert!(report.cycles >= 6);
+}
+
+#[test]
+fn join_latency_is_measured_for_every_served_user() {
+    let inst = figure1_instance(Kbps::from_mbps(1));
+    let report = Simulator::new(&inst, SimConfig::default()).run();
+    for u in inst.users() {
+        let served = report.association.ap_of(u).is_some();
+        assert_eq!(
+            report.join_latencies[u.index()].is_some(),
+            served,
+            "latency recorded iff served ({u})"
+        );
+    }
+    let median = report.median_join_latency().expect("someone joined");
+    // A join takes at least one probe + query + assoc round trip.
+    assert!(median > Time::ZERO);
+    // And comfortably under a wake period in a 2-AP network.
+    assert!(median < Time::from_millis(1000), "median {median}");
+}
+
+#[test]
+fn departures_free_airtime_and_survivors_reoptimize() {
+    use mcast_sim::Departure;
+    // Tight budgets: initially only some users fit. After half the users
+    // depart, the survivors (and previously blocked ones) re-optimize.
+    let scenario = ScenarioConfig {
+        n_aps: 10,
+        n_users: 40,
+        n_sessions: 4,
+        budget: Load::from_ratio(1, 10),
+        ..ScenarioConfig::paper_default()
+    }
+    .with_seed(21)
+    .generate();
+    let inst = &scenario.instance;
+    let baseline = Simulator::new(inst, SimConfig::default()).run();
+    let with_departure = Simulator::new(
+        inst,
+        SimConfig {
+            departure: Some(Departure {
+                at_cycle: 6,
+                count: 20,
+            }),
+            max_cycles: 60,
+            ..SimConfig::default()
+        },
+    )
+    .run();
+    assert!(with_departure.converged);
+    // The departed users are gone...
+    for u in inst.users().take(20) {
+        assert_eq!(with_departure.association.ap_of(u), None, "{u} still on");
+    }
+    // ...and the survivors are served at least as well as in the full
+    // network (less contention can only help them).
+    let survivors_before = baseline
+        .association
+        .as_slice()
+        .iter()
+        .skip(20)
+        .filter(|a| a.is_some())
+        .count();
+    let survivors_after = with_departure
+        .association
+        .as_slice()
+        .iter()
+        .skip(20)
+        .filter(|a| a.is_some())
+        .count();
+    assert!(survivors_after >= survivors_before);
+    assert!(with_departure.association.is_feasible(inst));
+}

@@ -1,0 +1,192 @@
+//! PHY-level derivation of rate–distance tables.
+//!
+//! The paper's Table 1 takes its thresholds from Manshaei & Turletti's
+//! 802.11a simulation study. This module derives such staircases from
+//! first principles — a log-distance path-loss model plus per-rate SNR
+//! requirements — so the evaluation can run on PHYs the paper never
+//! measured (different environments, bands, or standards) while keeping
+//! Table 1 as the calibrated default.
+//!
+//! Link budget at distance `d` (dB): received SNR =
+//! `tx_power − PL(d₀) − 10·γ·log₁₀(d/d₀) − noise_floor`. Rate `r` is
+//! usable while its SNR requirement is met, i.e. up to
+//! `d_r = d₀ · 10^((tx_power − PL(d₀) − noise_floor − snr_r) / (10 γ))`.
+
+use mcast_core::{Kbps, RateStep, RateTable, RateTableError};
+use serde::{Deserialize, Serialize};
+
+/// A log-distance path-loss channel model with per-rate SNR requirements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathLossModel {
+    /// Transmit power plus antenna gains (dBm).
+    pub tx_power_dbm: f64,
+    /// Path loss at the reference distance (dB).
+    pub pl0_db: f64,
+    /// Reference distance (m), usually 1.
+    pub d0_m: f64,
+    /// Path-loss exponent γ (≈2 free space, 2.7–3.5 urban, 4–6 indoor
+    /// obstructed).
+    pub exponent: f64,
+    /// Receiver noise floor (dBm), thermal noise + noise figure.
+    pub noise_floor_dbm: f64,
+    /// Per rate: the minimum SNR (dB) at which it decodes.
+    pub snr_requirements_db: Vec<(Kbps, f64)>,
+}
+
+impl PathLossModel {
+    /// An 802.11a-flavored model calibrated so that the derived staircase
+    /// approximates the paper's Table 1 (6 Mbps reaching ≈200 m, 54 Mbps
+    /// ≈35 m) with a path-loss exponent of 3.0.
+    pub fn ieee80211a_calibrated() -> PathLossModel {
+        PathLossModel {
+            // EIRP including antenna gains: yields a 71 dB link budget
+            // (25 − 47 + 93) at the 1 m reference, which places 6 Mbps at
+            // ≈200 m and 54 Mbps at ≈35 m under γ = 3.
+            tx_power_dbm: 25.0,
+            pl0_db: 47.0,
+            d0_m: 1.0,
+            exponent: 3.0,
+            noise_floor_dbm: -93.0,
+            // OFDM SNR requirements (dB), textbook values nudged so the
+            // thresholds land near Table 1 under this link budget.
+            snr_requirements_db: vec![
+                (Kbps::from_mbps(6), 2.0),
+                (Kbps::from_mbps(12), 6.2),
+                (Kbps::from_mbps(18), 10.4),
+                (Kbps::from_mbps(24), 13.2),
+                (Kbps::from_mbps(36), 17.7),
+                (Kbps::from_mbps(48), 23.0),
+                (Kbps::from_mbps(54), 24.7),
+            ],
+        }
+    }
+
+    /// Received SNR (dB) at distance `d_m` meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_m` is not strictly positive.
+    pub fn snr_at(&self, d_m: f64) -> f64 {
+        assert!(d_m > 0.0, "distance must be positive");
+        let d = d_m.max(self.d0_m);
+        let path_loss = self.pl0_db + 10.0 * self.exponent * (d / self.d0_m).log10();
+        self.tx_power_dbm - path_loss - self.noise_floor_dbm
+    }
+
+    /// The maximum distance (m) at which `snr_db` is still achieved.
+    pub fn range_for_snr(&self, snr_db: f64) -> f64 {
+        let budget = self.tx_power_dbm - self.pl0_db - self.noise_floor_dbm - snr_db;
+        self.d0_m * 10f64.powf(budget / (10.0 * self.exponent))
+    }
+
+    /// Derives the rate–distance staircase.
+    ///
+    /// # Errors
+    ///
+    /// [`RateTableError`] if the derived steps are not strictly monotonic
+    /// (e.g. two rates given the same SNR requirement) or no rate has
+    /// positive range.
+    pub fn derive_table(&self) -> Result<RateTable, RateTableError> {
+        let steps: Vec<RateStep> = self
+            .snr_requirements_db
+            .iter()
+            .map(|&(rate, snr)| RateStep {
+                rate,
+                max_distance_m: self.range_for_snr(snr),
+            })
+            .collect();
+        RateTable::new(steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snr_decreases_with_distance() {
+        let m = PathLossModel::ieee80211a_calibrated();
+        assert!(m.snr_at(10.0) > m.snr_at(50.0));
+        assert!(m.snr_at(50.0) > m.snr_at(200.0));
+    }
+
+    #[test]
+    fn range_inverts_snr() {
+        let m = PathLossModel::ieee80211a_calibrated();
+        for snr in [3.0, 10.0, 20.0] {
+            let d = m.range_for_snr(snr);
+            assert!((m.snr_at(d) - snr).abs() < 1e-9, "snr {snr} at {d} m");
+        }
+    }
+
+    /// The calibrated model lands within ~20% of every Table 1 threshold —
+    /// close enough that experiments swapping in the derived table keep
+    /// the paper's geometry.
+    #[test]
+    fn calibration_approximates_table1() {
+        let derived = PathLossModel::ieee80211a_calibrated()
+            .derive_table()
+            .unwrap();
+        let reference = RateTable::ieee80211a();
+        for (d, r) in derived.steps().iter().zip(reference.steps()) {
+            assert_eq!(d.rate, r.rate);
+            let rel = (d.max_distance_m - r.max_distance_m).abs() / r.max_distance_m;
+            assert!(
+                rel < 0.20,
+                "{}: derived {:.1} m vs Table 1 {:.1} m ({:.0}%)",
+                d.rate,
+                d.max_distance_m,
+                r.max_distance_m,
+                rel * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn higher_exponent_shrinks_every_threshold() {
+        let free = PathLossModel {
+            exponent: 2.5,
+            ..PathLossModel::ieee80211a_calibrated()
+        };
+        let dense = PathLossModel {
+            exponent: 4.0,
+            ..PathLossModel::ieee80211a_calibrated()
+        };
+        let t_free = free.derive_table().unwrap();
+        let t_dense = dense.derive_table().unwrap();
+        for (a, b) in t_free.steps().iter().zip(t_dense.steps()) {
+            assert!(a.max_distance_m > b.max_distance_m);
+        }
+    }
+
+    #[test]
+    fn derived_table_runs_a_scenario() {
+        use crate::scenario::ScenarioConfig;
+        let table = PathLossModel::ieee80211a_calibrated()
+            .derive_table()
+            .unwrap();
+        let scenario = ScenarioConfig {
+            n_aps: 30,
+            n_users: 60,
+            rate_table: table,
+            ..ScenarioConfig::paper_default()
+        }
+        .with_seed(2)
+        .generate();
+        let sol = mcast_core::solve_mla(&scenario.instance).unwrap();
+        assert_eq!(sol.satisfied, 60);
+    }
+
+    #[test]
+    fn equal_snr_requirements_rejected() {
+        let mut m = PathLossModel::ieee80211a_calibrated();
+        m.snr_requirements_db[1].1 = m.snr_requirements_db[0].1;
+        assert!(m.derive_table().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_distance_panics() {
+        PathLossModel::ieee80211a_calibrated().snr_at(0.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Node placement models.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::Point;
+
+/// How a set of nodes is placed over the `width × height` area.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Placement {
+    /// Independently uniform over the area (the paper's model).
+    Uniform,
+    /// A near-square grid with the given per-node jitter (m). Models
+    /// planned AP deployments.
+    Grid {
+        /// Uniform jitter applied to each grid position, in meters.
+        jitter_m: f64,
+    },
+    /// Gaussian clusters around uniformly drawn centers. Models hotspot
+    /// user crowds (stresses MNU).
+    Clustered {
+        /// Number of cluster centers.
+        clusters: usize,
+        /// Standard deviation of the offsets from the center (m).
+        sigma_m: f64,
+    },
+}
+
+impl Placement {
+    /// Draws `n` positions within `[0, width] × [0, height]`.
+    pub fn sample<R: Rng>(&self, n: usize, width: f64, height: f64, rng: &mut R) -> Vec<Point> {
+        let clamp = |p: Point| Point {
+            x: p.x.clamp(0.0, width),
+            y: p.y.clamp(0.0, height),
+        };
+        match self {
+            Placement::Uniform => (0..n)
+                .map(|_| Point::new(rng.gen::<f64>() * width, rng.gen::<f64>() * height))
+                .collect(),
+            Placement::Grid { jitter_m } => {
+                let cols = (n as f64 * width / height).sqrt().ceil().max(1.0) as usize;
+                let rows = n.div_ceil(cols);
+                let dx = width / cols as f64;
+                let dy = height / rows as f64;
+                (0..n)
+                    .map(|i| {
+                        let (r, c) = (i / cols, i % cols);
+                        let jitter = |rng: &mut R| (rng.gen::<f64>() * 2.0 - 1.0) * jitter_m;
+                        clamp(Point::new(
+                            (c as f64 + 0.5) * dx + jitter(rng),
+                            (r as f64 + 0.5) * dy + jitter(rng),
+                        ))
+                    })
+                    .collect()
+            }
+            Placement::Clustered { clusters, sigma_m } => {
+                let k = (*clusters).max(1);
+                let centers: Vec<Point> = (0..k)
+                    .map(|_| Point::new(rng.gen::<f64>() * width, rng.gen::<f64>() * height))
+                    .collect();
+                (0..n)
+                    .map(|_| {
+                        let c = &centers[rng.gen_range(0..k)];
+                        // Box–Muller for a Gaussian offset.
+                        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                        let u2: f64 = rng.gen();
+                        let r = (-2.0 * u1.ln()).sqrt() * sigma_m;
+                        let theta = 2.0 * std::f64::consts::PI * u2;
+                        clamp(Point::new(c.x + r * theta.cos(), c.y + r * theta.sin()))
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds_and_is_seed_deterministic() {
+        let pts1 = Placement::Uniform.sample(100, 500.0, 300.0, &mut rng(1));
+        let pts2 = Placement::Uniform.sample(100, 500.0, 300.0, &mut rng(1));
+        let pts3 = Placement::Uniform.sample(100, 500.0, 300.0, &mut rng(2));
+        assert_eq!(pts1, pts2);
+        assert_ne!(pts1, pts3);
+        for p in &pts1 {
+            assert!((0.0..=500.0).contains(&p.x));
+            assert!((0.0..=300.0).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn grid_covers_area_roughly_evenly() {
+        let pts = Placement::Grid { jitter_m: 0.0 }.sample(16, 400.0, 400.0, &mut rng(3));
+        assert_eq!(pts.len(), 16);
+        // 4x4 grid: distinct positions, spaced 100 m.
+        assert!((pts[0].x - 50.0).abs() < 1e-9);
+        assert!((pts[1].x - 150.0).abs() < 1e-9);
+        for p in &pts {
+            assert!((0.0..=400.0).contains(&p.x) && (0.0..=400.0).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn clustered_concentrates_users() {
+        let pts = Placement::Clustered {
+            clusters: 1,
+            sigma_m: 10.0,
+        }
+        .sample(200, 1000.0, 1000.0, &mut rng(4));
+        // With one tight cluster the spread must be far below uniform.
+        let cx = pts.iter().map(|p| p.x).sum::<f64>() / pts.len() as f64;
+        let cy = pts.iter().map(|p| p.y).sum::<f64>() / pts.len() as f64;
+        let mean_dist = pts
+            .iter()
+            .map(|p| p.distance(&Point::new(cx, cy)))
+            .sum::<f64>()
+            / pts.len() as f64;
+        assert!(mean_dist < 50.0, "mean distance {mean_dist} too spread");
+        for p in &pts {
+            assert!((0.0..=1000.0).contains(&p.x) && (0.0..=1000.0).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn requested_count_always_honored() {
+        for placement in [
+            Placement::Uniform,
+            Placement::Grid { jitter_m: 5.0 },
+            Placement::Clustered {
+                clusters: 3,
+                sigma_m: 40.0,
+            },
+        ] {
+            for n in [0, 1, 7, 33] {
+                assert_eq!(placement.sample(n, 100.0, 100.0, &mut rng(5)).len(), n);
+            }
+        }
+    }
+}

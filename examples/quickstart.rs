@@ -1,0 +1,75 @@
+//! Quickstart: the paper's Figure 1 WLAN, all three objectives, against
+//! the strongest-signal baseline.
+//!
+//! ```text
+//! cargo run -p mcast-experiments --release --example quickstart
+//! ```
+
+use mcast_core::examples_paper::figure1_instance;
+use mcast_core::{
+    run_min_max_vector, run_min_total, solve_bla, solve_mla, solve_mnu, solve_ssa, Kbps, Objective,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== The paper's Figure 1 WLAN: 2 APs, 5 users, 2 sessions ==\n");
+
+    // --- MNU: 3 Mbps streams are too heavy to serve everyone (§3.2). ---
+    let heavy = figure1_instance(Kbps::from_mbps(3));
+    let mnu = solve_mnu(&heavy);
+    let mnu_d = run_min_total(&heavy);
+    let ssa = solve_ssa(&heavy, Objective::Mnu);
+    println!("MNU (3 Mbps streams, budget 1.0 per AP):");
+    println!("  centralized : {} of 5 users served", mnu.satisfied);
+    println!(
+        "  distributed : {} of 5 users served (converged: {})",
+        mnu_d.association.satisfied_count(),
+        mnu_d.converged
+    );
+    println!("  SSA         : {} of 5 users served\n", ssa.satisfied);
+
+    // --- MLA / BLA: 1 Mbps streams, everyone can be served (§3.2). ---
+    let light = figure1_instance(Kbps::from_mbps(1));
+    let mla = solve_mla(&light)?;
+    let bla = solve_bla(&light)?;
+    let bla_d = run_min_max_vector(&light);
+    let ssa_l = solve_ssa(&light, Objective::Mla);
+
+    println!("MLA (1 Mbps streams) — minimize total load:");
+    println!(
+        "  centralized : total load {} = {:.4}",
+        mla.total_load,
+        mla.total_load.as_f64()
+    );
+    println!(
+        "  SSA         : total load {} = {:.4}\n",
+        ssa_l.total_load,
+        ssa_l.total_load.as_f64()
+    );
+
+    println!("BLA (1 Mbps streams) — minimize the maximum AP load:");
+    println!(
+        "  centralized : max load {} = {:.4}",
+        bla.max_load,
+        bla.max_load.as_f64()
+    );
+    let bla_d_max = bla_d.association.max_load(&light);
+    println!(
+        "  distributed : max load {} = {:.4} (the optimum, as in §5.2)",
+        bla_d_max,
+        bla_d_max.as_f64()
+    );
+    println!(
+        "  SSA         : max load {} = {:.4}",
+        ssa_l.max_load,
+        ssa_l.max_load.as_f64()
+    );
+
+    println!("\nPer-user association under MLA:");
+    for u in light.users() {
+        match mla.association.ap_of(u) {
+            Some(a) => println!("  {u} -> {a}"),
+            None => println!("  {u} -> unsatisfied"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Stadium replay channels: an overloaded hotspot where not every
+//! multicast request can be met — the MNU regime.
+//!
+//! A stadium bowl with 40 APs serves 600 spectators requesting one of 12
+//! replay streams, under a tight multicast budget (most airtime is
+//! reserved for unicast). The example sweeps the budget and compares how
+//! many spectators get their stream under SSA, centralized MNU, greedy
+//! MNU plus the slack-augmentation extension, and distributed MNU.
+//!
+//! ```text
+//! cargo run -p mcast-experiments --release --example stadium_mnu
+//! ```
+
+use mcast_core::{
+    run_min_total, solve_mnu, solve_mnu_with, solve_ssa, Kbps, Load, MnuConfig, Objective,
+};
+use mcast_topology::{Placement, ScenarioConfig};
+
+fn main() {
+    let base = ScenarioConfig {
+        n_aps: 40,
+        n_users: 600,
+        n_sessions: 12,
+        session_rate: Kbps::from_mbps(1),
+        width_m: 400.0,
+        height_m: 300.0,
+        ap_placement: Placement::Grid { jitter_m: 5.0 },
+        user_placement: Placement::Clustered {
+            clusters: 4,
+            sigma_m: 60.0,
+        },
+        ..ScenarioConfig::paper_default()
+    };
+
+    println!("== Stadium: 40 APs, 600 spectators, 12 replay channels ==\n");
+    println!(
+        "{:>7} | {:>6} | {:>6} | {:>10} | {:>6}",
+        "budget", "SSA", "MNU-C", "MNU-C+aug", "MNU-D"
+    );
+    println!("{}", "-".repeat(50));
+
+    for budget_permille in [20u32, 40, 60, 80, 120] {
+        let mut totals = [0usize; 4];
+        let seeds = 5;
+        for seed in 0..seeds {
+            let scenario = ScenarioConfig {
+                budget: Load::permille(budget_permille),
+                ..base.clone()
+            }
+            .with_seed(seed)
+            .generate();
+            let inst = &scenario.instance;
+            totals[0] += solve_ssa(inst, Objective::Mnu).satisfied;
+            totals[1] += solve_mnu(inst).satisfied;
+            totals[2] += solve_mnu_with(inst, &MnuConfig { augment: true }).satisfied;
+            totals[3] += run_min_total(inst).association.satisfied_count();
+        }
+        let avg = |t: usize| t as f64 / seeds as f64;
+        println!(
+            "{:>7.3} | {:>6.1} | {:>6.1} | {:>10.1} | {:>6.1}",
+            f64::from(budget_permille) / 1000.0,
+            avg(totals[0]),
+            avg(totals[1]),
+            avg(totals[2]),
+            avg(totals[3]),
+        );
+    }
+
+    println!(
+        "\nUnder tight budgets, association control serves substantially more\n\
+         spectators than strongest-signal association; the augmentation pass\n\
+         (an extension beyond the paper) squeezes out the realized-load slack\n\
+         the covering model leaves behind."
+    );
+}

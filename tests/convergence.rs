@@ -1,0 +1,191 @@
+//! Convergence behaviour across the whole stack: Lemmas 1–2 (serial
+//! convergence), the Figure 4 oscillation, and the §8 lock-based fix, at
+//! both the round level (`mcast-core`) and the message level
+//! (`mcast-sim`).
+
+use mcast_core::examples_paper::{figure4_instance, figure4_start};
+use mcast_core::{run_distributed, Association, DistributedConfig, ExecutionMode, Load, Policy};
+use mcast_sim::{SimConfig, Simulator, WakeSchedule};
+use mcast_topology::{Placement, ScenarioConfig};
+
+/// Lemma 1 / Lemma 2 at scale: serial rounds converge on generated
+/// topologies for both policies, from both empty and adversarial starts.
+#[test]
+fn serial_rounds_converge_on_generated_wlans() {
+    for seed in 0..8 {
+        let scenario = ScenarioConfig {
+            n_aps: 30,
+            n_users: 80,
+            n_sessions: 4,
+            ..ScenarioConfig::paper_default()
+        }
+        .with_seed(seed)
+        .generate();
+        let inst = &scenario.instance;
+        for policy in [Policy::MinTotalLoad, Policy::MinMaxVector] {
+            let out = run_distributed(
+                inst,
+                &DistributedConfig {
+                    policy,
+                    ..DistributedConfig::default()
+                },
+                Association::empty(inst.n_users()),
+            );
+            assert!(out.converged, "seed {seed} {policy:?}");
+            assert!(out.association.is_feasible(inst));
+
+            // Adversarial start: everyone on their strongest AP.
+            let ssa = mcast_core::solve_ssa(inst, mcast_core::Objective::Mla).association;
+            let out2 = run_distributed(
+                inst,
+                &DistributedConfig {
+                    policy,
+                    ..DistributedConfig::default()
+                },
+                ssa,
+            );
+            assert!(out2.converged, "seed {seed} {policy:?} from SSA start");
+        }
+    }
+}
+
+/// The total load is monotone non-increasing over serial MinTotalLoad
+/// rounds once everyone has joined — the heart of the Lemma 1 proof.
+#[test]
+fn total_load_monotone_after_join_wave() {
+    let scenario = ScenarioConfig {
+        n_aps: 15,
+        n_users: 40,
+        n_sessions: 3,
+        ..ScenarioConfig::paper_default()
+    }
+    .with_seed(3)
+    .generate();
+    let inst = &scenario.instance;
+    // Join everyone via SSA, then watch the improvement rounds.
+    let start = mcast_core::solve_ssa(inst, mcast_core::Objective::Mla).association;
+    let mut previous = start.total_load(inst);
+    let mut current = start;
+    for _round in 0..10 {
+        let out = run_distributed(
+            inst,
+            &DistributedConfig {
+                max_rounds: 1,
+                ..DistributedConfig::default()
+            },
+            current.clone(),
+        );
+        let now = out.association.total_load(inst);
+        assert!(now <= previous, "round increased total load");
+        if out.association == current {
+            break;
+        }
+        previous = now;
+        current = out.association;
+    }
+}
+
+/// Figure 4 at round level: simultaneous decisions cycle; the round engine
+/// detects the repeated global state.
+#[test]
+fn figure4_round_level_cycle_detection() {
+    let inst = figure4_instance();
+    let out = run_distributed(
+        &inst,
+        &DistributedConfig {
+            mode: ExecutionMode::Simultaneous,
+            max_rounds: 50,
+            ..DistributedConfig::default()
+        },
+        figure4_start(),
+    );
+    assert!(!out.converged);
+    assert!(out.cycle_detected);
+    // The oscillation never changes the total load (both states cost 1/2).
+    assert_eq!(out.association.total_load(&inst), Load::from_ratio(1, 2));
+}
+
+/// Figure 4 at message level, plus the lock fix: synchronized wake-ups
+/// oscillate; adding the §8 lock protocol restores convergence to the
+/// 9/20 local optimum that serial execution reaches.
+#[test]
+fn figure4_message_level_with_and_without_locks() {
+    let inst = figure4_instance();
+    let sync = Simulator::with_initial(
+        &inst,
+        SimConfig {
+            schedule: WakeSchedule::Synchronized,
+            max_cycles: 30,
+            ..SimConfig::default()
+        },
+        figure4_start(),
+    )
+    .run();
+    assert!(!sync.converged);
+    assert!(sync.oscillating);
+
+    for schedule in [WakeSchedule::Staggered, WakeSchedule::SynchronizedLocked] {
+        let fixed = Simulator::with_initial(
+            &inst,
+            SimConfig {
+                schedule,
+                max_cycles: 30,
+                ..SimConfig::default()
+            },
+            figure4_start(),
+        )
+        .run();
+        assert!(fixed.converged, "{schedule:?}");
+        assert_eq!(
+            fixed.association.total_load(&inst),
+            Load::from_ratio(9, 20),
+            "{schedule:?}"
+        );
+    }
+}
+
+/// Lock coordination converges on larger synchronized populations too —
+/// a hotspot where many users share APs and wake simultaneously.
+#[test]
+fn locks_converge_on_contended_hotspot() {
+    let scenario = ScenarioConfig {
+        n_aps: 8,
+        n_users: 40,
+        n_sessions: 2,
+        width_m: 350.0,
+        height_m: 350.0,
+        user_placement: Placement::Clustered {
+            clusters: 2,
+            sigma_m: 40.0,
+        },
+        ..ScenarioConfig::paper_default()
+    }
+    .with_seed(9)
+    .generate();
+    let inst = &scenario.instance;
+    let report = Simulator::new(
+        inst,
+        SimConfig {
+            schedule: WakeSchedule::SynchronizedLocked,
+            max_cycles: 120,
+            ..SimConfig::default()
+        },
+    )
+    .run();
+    assert!(report.converged);
+    assert!(report.association.is_feasible(inst));
+    // Contention existed (someone was denied at least once)…
+    assert!(report.message_counts.get("lock_deny").copied().unwrap_or(0) > 0);
+    // …and no lock leaked (every grant eventually released).
+    let grants = report
+        .message_counts
+        .get("lock_grant")
+        .copied()
+        .unwrap_or(0);
+    let releases = report
+        .message_counts
+        .get("lock_release")
+        .copied()
+        .unwrap_or(0);
+    assert!(releases >= grants);
+}

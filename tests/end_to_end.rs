@@ -1,0 +1,209 @@
+//! Whole-pipeline integration: scenario generation → algorithms → exact
+//! optima → simulator → airtime, on paper-scale inputs.
+
+use mcast_core::{
+    run_distributed, solve_bla, solve_mla, solve_mnu, solve_ssa, Association, DistributedConfig,
+    Load, Objective, Policy, RatePolicy,
+};
+use mcast_exact::{optimal_bla, optimal_mla, optimal_mnu, SearchLimits};
+use mcast_sim::{measure_airtime, SimConfig, Simulator, Time};
+use mcast_topology::ScenarioConfig;
+
+/// A paper-default-scale scenario runs the full algorithm suite with all
+/// invariants intact.
+#[test]
+fn paper_scale_pipeline() {
+    let scenario = ScenarioConfig::paper_default().with_seed(17).generate();
+    let inst = &scenario.instance;
+    assert_eq!(inst.n_aps(), 200);
+    assert_eq!(inst.n_users(), 400);
+
+    let ssa = solve_ssa(inst, Objective::Mla);
+    let mla = solve_mla(inst).unwrap();
+    let bla = solve_bla(inst).unwrap();
+    let mnu = solve_mnu(inst);
+
+    // Full coverage objectives serve everyone; budgets loose at 0.9.
+    assert_eq!(mla.satisfied, 400);
+    assert_eq!(bla.satisfied, 400);
+    assert!(mla.association.is_feasible(inst));
+    assert!(bla.association.is_feasible(inst));
+    assert!(mnu.association.is_feasible(inst));
+
+    // The objective-specific algorithm beats SSA on its own metric at
+    // this scale (holds for every seed we pin; the paper reports the
+    // same dominance on averages).
+    assert!(mla.total_load < ssa.total_load);
+    assert!(bla.max_load <= ssa.max_load);
+}
+
+/// Figure 12 scale: greedy sandwiched between optimal and SSA.
+#[test]
+fn figure12_scale_sandwich() {
+    for seed in 0..5 {
+        let scenario = ScenarioConfig::figure12_default()
+            .with_seed(seed)
+            .generate();
+        let inst = &scenario.instance;
+        let limits = SearchLimits::default();
+
+        let mla = solve_mla(inst).unwrap();
+        let opt_mla = optimal_mla(inst, limits).unwrap();
+        assert!(opt_mla.solution.total_load <= mla.total_load, "seed {seed}");
+
+        let bla = solve_bla(inst).unwrap();
+        let opt_bla = optimal_bla(inst, limits).unwrap();
+        assert!(opt_bla.solution.max_load <= bla.max_load, "seed {seed}");
+
+        let mnu = solve_mnu(inst);
+        let opt_mnu = optimal_mnu(inst, limits);
+        assert!(opt_mnu.solution.satisfied >= mnu.satisfied, "seed {seed}");
+    }
+}
+
+/// The simulator's converged association measures an airtime exactly
+/// equal to the analytic Definition-1 load — end-to-end, on a generated
+/// WLAN.
+#[test]
+fn simulated_airtime_closes_the_loop() {
+    let scenario = ScenarioConfig {
+        n_aps: 20,
+        n_users: 50,
+        n_sessions: 3,
+        ..ScenarioConfig::paper_default()
+    }
+    .with_seed(23)
+    .generate();
+    let inst = &scenario.instance;
+    let report = Simulator::new(inst, SimConfig::default()).run();
+    assert!(report.converged);
+    let airtime = measure_airtime(
+        inst,
+        &report.association,
+        Time::from_secs(5),
+        Time::from_millis(50),
+    );
+    assert!(airtime.max_abs_error() < 1e-9);
+}
+
+/// Basic-rate-only mode (§3.1 ablation): the pipeline still runs and the
+/// association algorithms still beat SSA, at strictly higher loads than
+/// multi-rate.
+#[test]
+fn basic_rate_only_ablation() {
+    let multi = ScenarioConfig {
+        n_aps: 50,
+        n_users: 100,
+        ..ScenarioConfig::paper_default()
+    }
+    .with_seed(31);
+    let basic = ScenarioConfig {
+        rate_policy: RatePolicy::BasicOnly,
+        ..multi.clone()
+    };
+    let im = multi.generate();
+    let ib = basic.generate();
+
+    let mla_m = solve_mla(&im.instance).unwrap();
+    let mla_b = solve_mla(&ib.instance).unwrap();
+    let ssa_b = solve_ssa(&ib.instance, Objective::Mla);
+
+    // Pinning multicast to 6 Mbps can only cost airtime.
+    assert!(mla_b.total_load >= mla_m.total_load);
+    // …but association control still beats SSA (the paper's §3.1 claim).
+    assert!(mla_b.total_load <= ssa_b.total_load);
+}
+
+/// Session-rate scaling: doubling every stream rate exactly doubles the
+/// realized loads of a fixed association (pure rational arithmetic).
+#[test]
+fn load_scales_linearly_with_stream_rate() {
+    let one = ScenarioConfig {
+        n_aps: 15,
+        n_users: 30,
+        session_rate: mcast_core::Kbps::from_mbps(1),
+        ..ScenarioConfig::paper_default()
+    }
+    .with_seed(41);
+    let two = ScenarioConfig {
+        session_rate: mcast_core::Kbps::from_mbps(2),
+        ..one.clone()
+    };
+    let i1 = one.generate();
+    let i2 = two.generate();
+    // Same geometry and sessions (same seed); same association applies.
+    let assoc = solve_ssa(&i1.instance, Objective::Mla).association;
+    let l1 = assoc.total_load(&i1.instance);
+    let l2 = assoc.total_load(&i2.instance);
+    assert_eq!(l2, l1 + l1);
+}
+
+/// Determinism of the full stack: identical seeds give identical results
+/// across independent runs, for every algorithm.
+#[test]
+fn full_stack_determinism() {
+    let cfg = ScenarioConfig {
+        n_aps: 40,
+        n_users: 90,
+        ..ScenarioConfig::paper_default()
+    }
+    .with_seed(53);
+    let a = cfg.clone().generate();
+    let b = cfg.generate();
+    assert_eq!(
+        solve_mla(&a.instance).unwrap().association,
+        solve_mla(&b.instance).unwrap().association
+    );
+    assert_eq!(
+        solve_bla(&a.instance).unwrap().association,
+        solve_bla(&b.instance).unwrap().association
+    );
+    assert_eq!(
+        solve_mnu(&a.instance).association,
+        solve_mnu(&b.instance).association
+    );
+    let da = run_distributed(
+        &a.instance,
+        &DistributedConfig {
+            policy: Policy::MinMaxVector,
+            ..DistributedConfig::default()
+        },
+        Association::empty(a.instance.n_users()),
+    );
+    let db = run_distributed(
+        &b.instance,
+        &DistributedConfig {
+            policy: Policy::MinMaxVector,
+            ..DistributedConfig::default()
+        },
+        Association::empty(b.instance.n_users()),
+    );
+    assert_eq!(da.association, db.association);
+}
+
+/// A long-running property at moderate scale: across seeds, the realized
+/// loads reported by the solution structs always re-derive from scratch.
+#[test]
+fn reported_metrics_rederive() {
+    for seed in 0..6 {
+        let scenario = ScenarioConfig {
+            n_aps: 25,
+            n_users: 60,
+            ..ScenarioConfig::paper_default()
+        }
+        .with_seed(seed)
+        .generate();
+        let inst = &scenario.instance;
+        for sol in [
+            solve_mla(inst).unwrap(),
+            solve_bla(inst).unwrap(),
+            solve_mnu(inst),
+            solve_ssa(inst, Objective::Mla),
+        ] {
+            assert_eq!(sol.total_load, sol.association.total_load(inst));
+            assert_eq!(sol.max_load, sol.association.max_load(inst));
+            assert_eq!(sol.satisfied, sol.association.satisfied_count());
+            assert!(sol.max_load <= sol.total_load || sol.total_load == Load::ZERO);
+        }
+    }
+}

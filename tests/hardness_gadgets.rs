@@ -1,0 +1,170 @@
+//! The NP-hardness reduction gadgets of the paper's appendix, built as
+//! WLAN instances and solved exactly: the reproduction's solvers must
+//! recover the answers of the source problems.
+//!
+//! * Appendix A — Subset Sum → MNU (Theorem 7)
+//! * Appendix B — Minimum Makespan Scheduling → BLA (Theorem 8)
+//! * Appendix C — Set Cover (cardinality) → MLA (Theorem 9)
+
+use mcast_core::{InstanceBuilder, Kbps, Load};
+use mcast_exact::{optimal_bla, optimal_mla, optimal_mnu, SearchLimits};
+
+/// Appendix A: a subset-sum instance G = {g_i}, target T becomes one AP
+/// with budget T/D; session s_i has stream g_i (scaled) and g_i users at
+/// unit rate. The WLAN serves exactly T users iff a subset sums to T.
+fn subset_sum_wlan(g: &[u32], t: u32) -> mcast_core::Instance {
+    let d = 100; // scale loads below 1
+    let mut b = InstanceBuilder::new();
+    b.supported_rates([Kbps::from_mbps(d)]);
+    let ap = b.add_ap(Load::from_ratio(u64::from(t), u64::from(d)));
+    for &gi in g {
+        let s = b.add_session(Kbps::from_mbps(gi));
+        for _ in 0..gi {
+            let u = b.add_user(s);
+            b.link(ap, u, Kbps::from_mbps(d)).unwrap();
+        }
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn subset_sum_positive_instance() {
+    // {3, 5, 7}, T = 12 = 5 + 7: answer yes — exactly 12 users served.
+    let inst = subset_sum_wlan(&[3, 5, 7], 12);
+    let out = optimal_mnu(&inst, SearchLimits::default());
+    assert!(out.proved_optimal);
+    assert_eq!(out.solution.satisfied, 12);
+}
+
+#[test]
+fn subset_sum_negative_instance() {
+    // {3, 5, 7}, T = 11: no subset sums to 11; best is 10 (3 + 7).
+    let inst = subset_sum_wlan(&[3, 5, 7], 11);
+    let out = optimal_mnu(&inst, SearchLimits::default());
+    assert!(out.proved_optimal);
+    assert_eq!(out.solution.satisfied, 10);
+}
+
+#[test]
+fn subset_sum_all_selected() {
+    // T equals the total: everyone is served.
+    let inst = subset_sum_wlan(&[2, 4, 6], 12);
+    let out = optimal_mnu(&inst, SearchLimits::default());
+    assert_eq!(out.solution.satisfied, 12);
+}
+
+/// Appendix B: jobs p_i on m identical machines becomes m APs at one
+/// rate, n single-user sessions with stream p_i; the BLA optimum is the
+/// optimal makespan (scaled).
+fn makespan_wlan(jobs: &[u32], machines: u32) -> mcast_core::Instance {
+    let d = 100;
+    let mut b = InstanceBuilder::new();
+    b.supported_rates([Kbps::from_mbps(d)]);
+    let aps: Vec<_> = (0..machines)
+        .map(|_| b.add_ap(Load::from_ratio(10, 1))) // effectively unbounded
+        .collect();
+    for &p in jobs {
+        let s = b.add_session(Kbps::from_mbps(p));
+        let u = b.add_user(s);
+        for &a in &aps {
+            b.link(a, u, Kbps::from_mbps(d)).unwrap();
+        }
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn makespan_two_machines() {
+    // Jobs {3,3,2,2,2} on 2 machines: optimum makespan 6 (6/100 as load).
+    let inst = makespan_wlan(&[3, 3, 2, 2, 2], 2);
+    let out = optimal_bla(&inst, SearchLimits::default()).unwrap();
+    assert!(out.proved_optimal);
+    assert_eq!(out.solution.max_load, Load::from_ratio(6, 100));
+}
+
+#[test]
+fn makespan_three_machines() {
+    // Jobs {5,4,3,3,3} on 3 machines: total 18, optimum 6 = {5+... }:
+    // {5,3} > 6? 8. Partitions: {5}, {4,3}=7... optimum is 6? Check:
+    // {5,3}=8, no. Best balanced: {5},{4,3},{3,3} -> makespan 7? or
+    // {5,3}=8... The true optimum of {5,4,3,3,3} on 3 machines is 6:
+    // {3,3}, {3,... } no — 5 alone forces >=5; {4,3}=7 or {4}+... Let's
+    // verify the solver against brute force: all 3^5 assignments.
+    let jobs = [5u32, 4, 3, 3, 3];
+    let mut best = u32::MAX;
+    for mask in 0..3u32.pow(5) {
+        let mut m = mask;
+        let mut loads = [0u32; 3];
+        for &j in &jobs {
+            loads[(m % 3) as usize] += j;
+            m /= 3;
+        }
+        best = best.min(*loads.iter().max().unwrap());
+    }
+    let inst = makespan_wlan(&jobs, 3);
+    let out = optimal_bla(&inst, SearchLimits::default()).unwrap();
+    assert!(out.proved_optimal);
+    assert_eq!(
+        out.solution.max_load,
+        Load::from_ratio(u64::from(best), 100)
+    );
+}
+
+/// Appendix C: a cardinality set-cover instance becomes one AP per subset
+/// (reaching exactly that subset's users), all users on one unit-load
+/// session; the MLA optimum divided by the per-transmission cost is the
+/// minimum cover size.
+fn set_cover_wlan(subsets: &[&[u32]], n: u32) -> mcast_core::Instance {
+    let mut b = InstanceBuilder::new();
+    b.supported_rates([Kbps::from_mbps(10)]);
+    let s = b.add_session(Kbps::from_mbps(1));
+    let users: Vec<_> = (0..n).map(|_| b.add_user(s)).collect();
+    for subset in subsets {
+        let ap = b.add_ap(Load::ONE);
+        for &u in *subset {
+            b.link(ap, users[u as usize], Kbps::from_mbps(10)).unwrap();
+        }
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn set_cover_minimum_size_two() {
+    // X = {0..4}; subsets {0,1,2}, {2,3}, {3,4}, {0,4}: optimal cover size
+    // 2 ({0,1,2} + {3,4}); each transmission costs 1/10.
+    let inst = set_cover_wlan(&[&[0, 1, 2], &[2, 3], &[3, 4], &[0, 4]], 5);
+    let out = optimal_mla(&inst, SearchLimits::default()).unwrap();
+    assert!(out.proved_optimal);
+    assert_eq!(out.solution.total_load, Load::from_ratio(2, 10));
+}
+
+#[test]
+fn set_cover_forced_large_cover() {
+    // Disjoint singletons force a cover of size n.
+    let inst = set_cover_wlan(&[&[0], &[1], &[2]], 3);
+    let out = optimal_mla(&inst, SearchLimits::default()).unwrap();
+    assert_eq!(out.solution.total_load, Load::from_ratio(3, 10));
+}
+
+/// The greedy respects the classic ln(n) gap: on the standard tight
+/// set-cover family the greedy may pick the "diagonal" set while the
+/// optimum is 2 — but never does worse than the guarantee.
+#[test]
+fn greedy_vs_optimal_on_tight_family() {
+    let inst = set_cover_wlan(
+        &[
+            &[0, 1, 2, 3],       // diagonal bait (cheaper per element)
+            &[0, 1, 2, 3, 4, 5], // left half
+            &[4, 5],
+        ],
+        6,
+    );
+    let greedy = mcast_core::solve_mla(&inst).unwrap();
+    let exact = optimal_mla(&inst, SearchLimits::default()).unwrap();
+    assert!(exact.solution.total_load <= greedy.total_load);
+    let n = 6f64;
+    assert!(
+        greedy.model_cost.unwrap().as_f64()
+            <= (n.ln() + 1.0) * exact.solution.total_load.as_f64() + 1e-9
+    );
+}

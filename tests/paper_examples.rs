@@ -1,0 +1,150 @@
+//! End-to-end checks of every worked example in the paper (§3.2, §4, §5,
+//! §6): the reproduction must agree with the numbers printed in the text.
+
+use mcast_core::examples_paper::{a, figure1_instance, u};
+use mcast_core::reduction::Reduction;
+use mcast_core::{
+    run_min_max_vector, run_min_total, solve_bla, solve_mla, solve_mnu, solve_ssa, Kbps, Load,
+    Objective,
+};
+use mcast_exact::{optimal_bla, optimal_mla, optimal_mnu, SearchLimits};
+
+fn mbps(m: u32) -> Kbps {
+    Kbps::from_mbps(m)
+}
+
+/// §3.2 MNU example: at 3 Mbps the WLAN cannot serve all five users; an
+/// optimal solution serves four (u2, u4, u5 on a1; u3 on a2) with loads
+/// 3/4 and 3/5.
+#[test]
+fn section32_mnu_optimum() {
+    let inst = figure1_instance(mbps(3));
+    let exact = optimal_mnu(&inst, SearchLimits::default());
+    assert!(exact.proved_optimal);
+    assert_eq!(exact.solution.satisfied, 4);
+}
+
+/// §3.2 BLA example: at 1 Mbps the optimum max load is 1/2
+/// (u1, u2, u3 on a1; u4, u5 on a2 with loads 1/2 and 1/3).
+#[test]
+fn section32_bla_optimum() {
+    let inst = figure1_instance(mbps(1));
+    let exact = optimal_bla(&inst, SearchLimits::default()).unwrap();
+    assert!(exact.proved_optimal);
+    assert_eq!(exact.solution.max_load, Load::from_ratio(1, 2));
+}
+
+/// §3.2 MLA example: at 1 Mbps the optimum total load is
+/// 1/3 + 1/4 = 7/12 (everyone on a1).
+#[test]
+fn section32_mla_optimum() {
+    let inst = figure1_instance(mbps(1));
+    let exact = optimal_mla(&inst, SearchLimits::default()).unwrap();
+    assert!(exact.proved_optimal);
+    assert_eq!(exact.solution.total_load, Load::from_ratio(7, 12));
+}
+
+/// §4.1 "Example – Centralized MNU": greedy serves u2, u4, u5 (3 users);
+/// SSA only manages 2.
+#[test]
+fn section41_centralized_mnu_walkthrough() {
+    let inst = figure1_instance(mbps(3));
+    let sol = solve_mnu(&inst);
+    assert_eq!(sol.satisfied, 3);
+    for paper_u in [2, 4, 5] {
+        assert_eq!(sol.association.ap_of(u(paper_u)), Some(a(1)));
+    }
+    let ssa = solve_ssa(&inst, Objective::Mnu);
+    assert_eq!(ssa.satisfied, 2);
+}
+
+/// §4.2 "Example – Distributed MNU": 4 of 5 users get service
+/// (u1, u3 on a1; u4, u5 on a2; u2 blocked).
+#[test]
+fn section42_distributed_mnu_walkthrough() {
+    let inst = figure1_instance(mbps(3));
+    let out = run_min_total(&inst);
+    assert!(out.converged);
+    assert_eq!(out.association.satisfied_count(), 4);
+    assert_eq!(out.association.ap_of(u(2)), None);
+}
+
+/// §5.1 "Example – Centralized BLA": the greedy lands at max load 7/12
+/// (all users on a1) — within its (log₈⁄₇ n + 1)-approximation of the 1/2
+/// optimum; our candidate-grid version may find 1/2 itself but never
+/// worse than 7/12.
+#[test]
+fn section51_centralized_bla_walkthrough() {
+    let inst = figure1_instance(mbps(1));
+    let sol = solve_bla(&inst).unwrap();
+    assert!(sol.max_load <= Load::from_ratio(7, 12));
+    assert!(sol.max_load >= Load::from_ratio(1, 2));
+    assert_eq!(sol.satisfied, 5);
+}
+
+/// §5.2 "Example – Distributed BLA": loads settle at 1/2 and 1/3 — "which
+/// is also the optimal solution".
+#[test]
+fn section52_distributed_bla_walkthrough() {
+    let inst = figure1_instance(mbps(1));
+    let out = run_min_max_vector(&inst);
+    assert!(out.converged);
+    let loads = out.association.loads(&inst);
+    assert_eq!(loads[a(1).index()], Load::from_ratio(1, 2));
+    assert_eq!(loads[a(2).index()], Load::from_ratio(1, 3));
+}
+
+/// §6.1 "Example – Centralized MLA": greedy picks S4 then S2 — all users
+/// on a1, total load 7/12, "which is also the optimal solution".
+#[test]
+fn section61_centralized_mla_walkthrough() {
+    let inst = figure1_instance(mbps(1));
+    let sol = solve_mla(&inst).unwrap();
+    assert_eq!(sol.total_load, Load::from_ratio(7, 12));
+    for paper_u in 1..=5 {
+        assert_eq!(sol.association.ap_of(u(paper_u)), Some(a(1)));
+    }
+}
+
+/// §6.2 "Example – Distributed MLA": all users end on a1 — the optimum.
+#[test]
+fn section62_distributed_mla_walkthrough() {
+    let inst = figure1_instance(mbps(1));
+    let out = run_min_total(&inst);
+    assert!(out.converged);
+    assert_eq!(out.association.total_load(&inst), Load::from_ratio(7, 12));
+    for paper_u in 1..=5 {
+        assert_eq!(out.association.ap_of(u(paper_u)), Some(a(1)));
+    }
+}
+
+/// Figures 2/5/7: the reduction of the Figure 1 WLAN has exactly the
+/// paper's seven sets, for both stream rates.
+#[test]
+fn figures_2_5_7_reduction_shape() {
+    for rate in [1, 3] {
+        let inst = figure1_instance(mbps(rate));
+        let red = Reduction::build(&inst);
+        assert_eq!(red.system().n_sets(), 7, "rate {rate} Mbps");
+        assert_eq!(red.system().n_groups(), 2);
+        assert!(red.system().all_coverable());
+    }
+}
+
+/// The greedy/distributed solutions never beat the certified optimum, and
+/// SSA never beats the objective-specific algorithm on the paper's own
+/// example (sanity ordering across the whole stack).
+#[test]
+fn cross_algorithm_ordering_on_figure1() {
+    let inst = figure1_instance(mbps(1));
+    let limits = SearchLimits::default();
+    let opt_mla = optimal_mla(&inst, limits).unwrap().solution.total_load;
+    let mla = solve_mla(&inst).unwrap().total_load;
+    let ssa = solve_ssa(&inst, Objective::Mla).total_load;
+    assert!(opt_mla <= mla);
+    assert!(mla <= ssa);
+
+    let opt_bla = optimal_bla(&inst, limits).unwrap().solution.max_load;
+    let bla = solve_bla(&inst).unwrap().max_load;
+    assert!(opt_bla <= bla);
+}
