@@ -443,6 +443,54 @@ impl<'a> LoadLedger<'a> {
         self.join(u, a);
     }
 
+    /// Forcibly disassociates every user currently served by `a`
+    /// (modelling an AP crash), returning the evicted users in ascending
+    /// id order.
+    ///
+    /// Equivalent to each member leaving in turn, so every ledger
+    /// invariant (per-session rate multisets, cached loads) holds
+    /// afterwards and `ap_load(a)` is zero.
+    pub fn evict_ap(&mut self, a: ApId) -> Vec<UserId> {
+        let evicted: Vec<UserId> = self
+            .assoc
+            .as_slice()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, ap)| (*ap == Some(a)).then_some(UserId(i as u32)))
+            .collect();
+        for &u in &evicted {
+            self.leave(u);
+        }
+        debug_assert_eq!(self.ap_load(a), Load::ZERO);
+        evicted
+    }
+
+    /// Verifies the cached loads and per-session rate multisets against a
+    /// from-scratch recomputation from the association.
+    ///
+    /// A no-op in the happy path; fault-injection code calls it after
+    /// every forced disassociation to assert the ledger never drifts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cached value diverges from the recomputation.
+    pub fn assert_consistent(&self) {
+        for a in self.inst.aps() {
+            assert_eq!(
+                self.ap_load(a),
+                self.assoc.ap_load(a, self.inst),
+                "cached load of {a} diverged from its association"
+            );
+            for s in self.inst.sessions() {
+                assert_eq!(
+                    self.ap_session_rate(a, s),
+                    self.assoc.ap_session_rate(a, s, self.inst),
+                    "cached rate of ({a}, {s}) diverged from its association"
+                );
+            }
+        }
+    }
+
     /// The instance this ledger is built over.
     pub fn instance(&self) -> &'a Instance {
         self.inst

@@ -155,6 +155,19 @@ pub struct DistributedOutcome {
 pub trait ApStateView {
     /// The instance being played.
     fn instance(&self) -> &Instance;
+    /// The neighboring APs the view actually has load information for.
+    /// Decision rules only consider these. The default — every candidate
+    /// AP of the instance — fits an omniscient ledger; a message-level
+    /// view restricts it to the APs that answered its queries, because
+    /// under failure injection a silent AP may be crashed or out of
+    /// range and its load is simply unknown.
+    fn reachable_aps(&self, u: UserId) -> Vec<ApId> {
+        self.instance()
+            .candidate_aps(u)
+            .iter()
+            .map(|&(a, _)| a)
+            .collect()
+    }
     /// The AP user `u` is currently associated with, if any.
     fn ap_of(&self, u: UserId) -> Option<ApId>;
     /// The current multicast load of AP `a`.
@@ -212,8 +225,9 @@ pub fn local_decision_with<V: ApStateView>(
     let current = ledger.ap_of(u);
 
     // Feasible candidates (excluding the current AP — staying is the
-    // baseline, not a move).
-    let candidates = inst.candidate_aps(u).iter().filter_map(|&(a, _)| {
+    // baseline, not a move), drawn from the APs the view has data for.
+    let reachable = ledger.reachable_aps(u);
+    let candidates = reachable.iter().filter_map(|&a| {
         if Some(a) == current {
             return None;
         }
@@ -255,7 +269,7 @@ pub fn local_decision_with<V: ApStateView>(
             // Sorted non-increasing load vector of u's neighboring APs
             // under each hypothesis; lexicographically smaller wins
             // (footnote 5 of the paper).
-            let neighbors: Vec<ApId> = inst.candidate_aps(u).iter().map(|&(a, _)| a).collect();
+            let neighbors: &[ApId] = &reachable;
             let vector_if = |target: Option<ApId>| -> Vec<Load> {
                 let mut v: Vec<Load> = neighbors
                     .iter()

@@ -12,6 +12,7 @@
 //!   ablations   rate-policy / power / MNU-augment / model-vs-realized
 //!   channels    §8 interference modeling: channel budget sweep
 //!   mobility    quasi-static user movement: churn & repaired-load drift
+//!   faults      fault injection: recovery after a coordinated AP outage
 //!   revenue     the §3.2 revenue models across algorithms
 //!   gen/solve   write a scenario JSON / run one algorithm on it
 //!   compare     diff two results/ CSV directories (regression check)
@@ -22,7 +23,7 @@
 use std::process::ExitCode;
 
 use mcast_experiments::figures::{
-    ablations, channels, fig10, fig11, fig12, fig9, mobility, revenue, table1, validate,
+    ablations, channels, faults, fig10, fig11, fig12, fig9, mobility, revenue, table1, validate,
 };
 use mcast_experiments::report::{render_table, write_csv};
 use mcast_experiments::stats::Figure;
@@ -31,7 +32,7 @@ use mcast_experiments::Options;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().cloned() else {
-        eprintln!("usage: repro <table1|fig9|fig10|fig11|fig12|ablations|channels|mobility|revenue|validate|all|gen|solve|compare> [--seeds N] [--out DIR] [--max-nodes N] [--quick] [--plot]");
+        eprintln!("usage: repro <table1|fig9|fig10|fig11|fig12|ablations|channels|mobility|faults|revenue|validate|all|gen|solve|compare> [--seeds N] [--out DIR] [--max-nodes N] [--quick] [--plot]");
         return ExitCode::FAILURE;
     };
     let mut opts = Options::default();
@@ -96,6 +97,11 @@ fn main() -> ExitCode {
         "ablations" => run_figs(ablations::run(&opts), &opts),
         "channels" => run_figs(channels::run(&opts), &opts),
         "mobility" => run_figs(mobility::run(&opts), &opts),
+        "faults" => {
+            let json = faults::run(&opts);
+            write_faults_json(&json, &opts);
+            println!("{json}");
+        }
         "revenue" => run_figs(revenue::run(&opts), &opts),
         "gen" => {
             // repro gen <out.json> [--seed N] [--aps N] [--users N]
@@ -215,6 +221,11 @@ fn main() -> ExitCode {
             run_figs(ablations::run(&opts), &opts);
             run_figs(channels::run(&opts), &opts);
             run_figs(mobility::run(&opts), &opts);
+            {
+                let json = faults::run(&opts);
+                write_faults_json(&json, &opts);
+                println!("{json}");
+            }
             run_figs(revenue::run(&opts), &opts);
             print!("{}", validate::run(&opts));
         }
@@ -224,6 +235,15 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+fn write_faults_json(json: &str, opts: &Options) {
+    let path = opts.out_dir.join("faults.json");
+    if let Err(e) =
+        std::fs::create_dir_all(&opts.out_dir).and_then(|()| std::fs::write(&path, json.as_bytes()))
+    {
+        eprintln!("warning: failed to write {}: {e}", path.display());
+    }
 }
 
 fn parse_num(args: &[String], i: usize) -> u64 {

@@ -7,6 +7,7 @@ use mcast_core::{
     local_decision, ApId, ApStateView, Association, Instance, Kbps, Load, LoadLedger, Policy,
     SessionId, UserId,
 };
+use mcast_faults::{FaultEventKind, FaultPlan, FaultTimeline, MessageClass};
 
 use crate::event::{EventQueue, Time};
 use crate::messages::{Message, MessageBody, Node};
@@ -87,6 +88,13 @@ pub struct SimConfig {
     /// run — freeing their APs' airtime so the remaining users can
     /// re-optimize (the network stays convergent after churn).
     pub departure: Option<Departure>,
+    /// Fault plan: AP failure/recovery windows, per-message-class
+    /// control-plane faults, and user churn/mobility. The plan is
+    /// compiled to a deterministic timeline at construction, so a
+    /// `(plan, seeds)` pair always reproduces the same run.
+    /// [`FaultPlan::none()`] (the default) makes the run event-for-event
+    /// identical to one with no fault layer at all.
+    pub faults: FaultPlan,
 }
 
 /// A scheduled departure wave (see [`SimConfig::departure`]).
@@ -115,6 +123,7 @@ impl Default for SimConfig {
             quiet_cycles: 2,
             activation: Activation::AllAtStart,
             departure: None,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -165,6 +174,14 @@ impl ApStateView for QueryView<'_> {
         self.inst
     }
 
+    fn reachable_aps(&self, u: UserId) -> Vec<ApId> {
+        debug_assert_eq!(u, self.user);
+        // Only the APs that answered the load query: under failure
+        // injection a silent neighbor may be crashed or out of range, and
+        // the decision must not pretend to know its load.
+        self.responses.keys().copied().collect()
+    }
+
     fn ap_of(&self, u: UserId) -> Option<ApId> {
         debug_assert_eq!(u, self.user, "view only knows the querying user");
         self.current
@@ -202,11 +219,35 @@ impl ApStateView for QueryView<'_> {
     }
 }
 
+/// The fault class a control frame belongs to.
+fn class_of(body: &MessageBody) -> MessageClass {
+    match body {
+        MessageBody::ProbeRequest | MessageBody::ProbeResponse => MessageClass::Probe,
+        MessageBody::LoadQuery | MessageBody::LoadResponse { .. } => MessageClass::Query,
+        MessageBody::LockRequest
+        | MessageBody::LockGrant
+        | MessageBody::LockDeny
+        | MessageBody::LockRelease => MessageClass::Lock,
+        MessageBody::AssocRequest { .. }
+        | MessageBody::AssocResponse { .. }
+        | MessageBody::Disassoc => MessageClass::Association,
+    }
+}
+
 /// Events the engine processes.
 #[derive(Debug)]
 enum SimEvent {
     Wake(UserId),
     Deliver(Message),
+    /// A compiled fault-plan event falls due.
+    Fault(FaultEventKind),
+    /// Loss-recovery timer for an exchange phase; `epoch` guards against
+    /// firing on a later exchange. Only scheduled when a fault plan is
+    /// active.
+    Timeout {
+        user: UserId,
+        epoch: u64,
+    },
 }
 
 /// The discrete-event simulator.
@@ -240,6 +281,34 @@ pub struct Simulator<'a> {
     frames_lost: u64,
     first_wake: Vec<Option<Time>>,
     first_joined: Vec<Option<Time>>,
+    /// Compiled fault schedule; consumed cycle by cycle.
+    fault_timeline: FaultTimeline,
+    /// Dedicated stream for per-frame fault rolls (drop/dup/jitter), so
+    /// fault sampling never perturbs the `loss_prob` process.
+    fault_rng: rand_chacha::ChaCha8Rng,
+    /// True when a fault plan is active: exchange timeouts are armed.
+    timeouts_enabled: bool,
+    /// True when any failure injection is on (`loss_prob` or a plan):
+    /// gates the stuck-phase recovery at wake.
+    faulty: bool,
+    /// Worst per-frame jitter any class can add (sizes the timeouts).
+    max_jitter_us: u64,
+    /// Per AP: currently crashed.
+    ap_down: Vec<bool>,
+    /// Per user: departed for good (churn).
+    user_gone: Vec<bool>,
+    /// Per (user, AP) candidate link: still in radio range. All true
+    /// until a mobility jump re-rolls a user's row.
+    link_ok: Vec<bool>,
+    /// Per user: bumped on every exchange-phase entry; stale timeouts
+    /// carry an older value and are ignored.
+    phase_epochs: Vec<u64>,
+    fault_epochs: Vec<Time>,
+    fault_events: u64,
+    abandoned_exchanges: u64,
+    assoc_denied: u64,
+    peak_max_load: Load,
+    initial_satisfied: usize,
 }
 
 impl<'a> Simulator<'a> {
@@ -258,16 +327,31 @@ impl<'a> Simulator<'a> {
         config: SimConfig,
         initial: Association,
     ) -> Simulator<'a> {
-        let loss_rng = {
-            use rand::SeedableRng;
-            rand_chacha::ChaCha8Rng::seed_from_u64(config.loss_seed)
-        };
+        use rand::SeedableRng;
+        let loss_rng = rand_chacha::ChaCha8Rng::seed_from_u64(config.loss_seed);
+        // A distinct stream for the fault plan's per-frame rolls; the
+        // constant keeps it apart from the plan's compile-time streams.
+        let fault_rng = rand_chacha::ChaCha8Rng::seed_from_u64(config.faults.seed ^ 0x51_7E_AF);
+        let horizon_us = config.max_cycles as u64 * config.period.0;
+        let fault_timeline = config
+            .faults
+            .compile(inst.n_aps(), inst.n_users(), horizon_us);
+        let timeouts_enabled = !config.faults.is_none();
+        let faulty = config.loss_prob > 0.0 || timeouts_enabled;
+        let max_jitter_us = MessageClass::ALL
+            .iter()
+            .map(|&c| config.faults.faults_for(c).jitter.max_us)
+            .max()
+            .unwrap_or(0);
+        let initial_satisfied = initial.satisfied_count();
+        let ledger = LoadLedger::new(inst, initial);
+        let peak_max_load = ledger.max_load();
         Simulator {
             inst,
             config,
             queue: EventQueue::new(),
             now: Time::ZERO,
-            ledger: LoadLedger::new(inst, initial),
+            ledger,
             phases: vec![Phase::Idle; inst.n_users()],
             locks: vec![None; inst.n_aps()],
             lock_retries: vec![0; inst.n_users()],
@@ -278,6 +362,60 @@ impl<'a> Simulator<'a> {
             frames_lost: 0,
             first_wake: vec![None; inst.n_users()],
             first_joined: vec![None; inst.n_users()],
+            fault_timeline,
+            fault_rng,
+            timeouts_enabled,
+            faulty,
+            max_jitter_us,
+            ap_down: vec![false; inst.n_aps()],
+            user_gone: vec![false; inst.n_users()],
+            link_ok: vec![true; inst.n_users() * inst.n_aps()],
+            phase_epochs: vec![0; inst.n_users()],
+            fault_epochs: Vec::new(),
+            fault_events: 0,
+            abandoned_exchanges: 0,
+            assoc_denied: 0,
+            peak_max_load,
+            initial_satisfied,
+        }
+    }
+
+    /// True if the candidate link `u → a` is currently in radio range
+    /// (mobility jumps re-roll a user's links).
+    fn link_up(&self, u: UserId, a: ApId) -> bool {
+        self.link_ok[u.index() * self.inst.n_aps() + a.index()]
+    }
+
+    /// The APs user `u` can currently hear: its candidate APs minus any
+    /// links a mobility jump has broken. (Crashed APs are still probed —
+    /// the user cannot know they are down; they just never answer.)
+    fn neighbors(&self, u: UserId) -> Vec<ApId> {
+        self.inst
+            .candidate_aps(u)
+            .iter()
+            .map(|&(a, _)| a)
+            .filter(|&a| self.link_up(u, a))
+            .collect()
+    }
+
+    /// Records the ledger's current max load into the running peak.
+    fn note_load_peak(&mut self) {
+        let ml = self.ledger.max_load();
+        if ml > self.peak_max_load {
+            self.peak_max_load = ml;
+        }
+    }
+
+    /// Enters a new exchange phase for `u`: bumps the phase epoch and,
+    /// when a fault plan is active, arms a loss-recovery timeout sized to
+    /// `steps` sequential round trips (plus worst-case injected jitter).
+    fn arm_timeout(&mut self, u: UserId, steps: u64) {
+        self.phase_epochs[u.index()] += 1;
+        if self.timeouts_enabled {
+            let rt = self.latency_for(&MessageBody::ProbeRequest).0;
+            let at = self.now + Time(rt * 8 * steps.max(1) + 2 * self.max_jitter_us);
+            let epoch = self.phase_epochs[u.index()];
+            self.queue.push(at, SimEvent::Timeout { user: u, epoch });
         }
     }
 
@@ -310,7 +448,35 @@ impl<'a> Simulator<'a> {
                 return; // frame lost in the air
             }
         }
-        let at = self.now + self.latency_for(&body);
+        let mut at = self.now + self.latency_for(&body);
+        let faults = *self.config.faults.faults_for(class_of(&body));
+        if !faults.is_none() {
+            use rand::Rng;
+            if faults.drop_prob > 0.0 && self.fault_rng.gen::<f64>() < faults.drop_prob {
+                self.frames_lost += 1;
+                return; // dropped by the fault plan
+            }
+            if !faults.jitter.is_none() {
+                at = at
+                    + Time(
+                        self.fault_rng
+                            .gen_range(faults.jitter.min_us..=faults.jitter.max_us),
+                    );
+            }
+            if faults.dup_prob > 0.0 && self.fault_rng.gen::<f64>() < faults.dup_prob {
+                // A retransmit whose ACK was lost: the same frame arrives
+                // again one serialization later.
+                let dup_at = at + self.latency_for(&body);
+                self.queue.push(
+                    dup_at,
+                    SimEvent::Deliver(Message {
+                        from,
+                        to,
+                        body: body.clone(),
+                    }),
+                );
+            }
+        }
         self.queue
             .push(at, SimEvent::Deliver(Message { from, to, body }));
     }
@@ -350,6 +516,18 @@ impl<'a> Simulator<'a> {
                 }
             }
             let cycle_start = Time(self.now.0.max(cycle as u64 * self.config.period.0));
+            // Release the fault events falling inside this cycle's window
+            // into the queue (late ones — the clock drifted past them —
+            // apply at the window start).
+            let window_end = cycle_start.0 + self.config.period.0;
+            while let Some(at_us) = self.fault_timeline.peek_at_us() {
+                if at_us >= window_end {
+                    break;
+                }
+                let ev = self.fault_timeline.pop_any().expect("peeked");
+                self.queue
+                    .push(Time(ev.at_us.max(cycle_start.0)), SimEvent::Fault(ev.kind));
+            }
             self.schedule_wakes(cycle_start, active, departed);
             self.cycle_changes = 0;
             self.drain();
@@ -357,7 +535,19 @@ impl<'a> Simulator<'a> {
                 .config
                 .departure
                 .is_some_and(|d| d.count > 0 && departed == 0);
-            if self.cycle_changes == 0 && active == self.inst.n_users() && !departure_pending {
+            // Quiet cycles only count once every scheduled fault inside
+            // the horizon has been applied — a run is not "converged"
+            // while an outage is still coming.
+            let horizon_us = self.config.max_cycles as u64 * self.config.period.0;
+            let faults_pending = self
+                .fault_timeline
+                .peek_at_us()
+                .is_some_and(|t| t < horizon_us);
+            if self.cycle_changes == 0
+                && active == self.inst.n_users()
+                && !departure_pending
+                && !faults_pending
+            {
                 quiet_cycles += 1;
                 if quiet_cycles >= self.config.quiet_cycles {
                     break;
@@ -385,6 +575,12 @@ impl<'a> Simulator<'a> {
                 })
                 .collect(),
             finished_at: self.now,
+            initial_satisfied: self.initial_satisfied,
+            fault_events: self.fault_events,
+            fault_epochs: self.fault_epochs,
+            abandoned_exchanges: self.abandoned_exchanges,
+            assoc_denied: self.assoc_denied,
+            peak_max_load: self.peak_max_load,
         }
     }
 
@@ -393,6 +589,9 @@ impl<'a> Simulator<'a> {
         // exceed it so decisions serialize.
         let gap = Time(self.latency_for(&MessageBody::ProbeRequest).0 * 40);
         for u in self.inst.users().take(active).skip(departed) {
+            if self.user_gone[u.index()] {
+                continue;
+            }
             let at = match self.config.schedule {
                 WakeSchedule::Staggered => Time(start.0 + u.0 as u64 * gap.0),
                 WakeSchedule::Synchronized | WakeSchedule::SynchronizedLocked => start,
@@ -407,16 +606,184 @@ impl<'a> Simulator<'a> {
             match ev {
                 SimEvent::Wake(u) => self.on_wake(u),
                 SimEvent::Deliver(m) => self.on_deliver(m),
+                SimEvent::Fault(kind) => self.on_fault(kind),
+                SimEvent::Timeout { user, epoch } => self.on_timeout(user, epoch),
+            }
+        }
+    }
+
+    /// Applies a fault-plan event at its due time.
+    fn on_fault(&mut self, kind: FaultEventKind) {
+        self.fault_events += 1;
+        // Simultaneous events (a coordinated outage) share one epoch.
+        if self.fault_epochs.last() != Some(&self.now) {
+            self.fault_epochs.push(self.now);
+        }
+        match kind {
+            FaultEventKind::ApDown(a) => self.apply_ap_down(a),
+            FaultEventKind::ApUp(a) => {
+                // Back with empty volatile state; users rediscover it at
+                // their next wake (it answers probes again).
+                self.ap_down[a.index()] = false;
+            }
+            FaultEventKind::UserDepart(u) => self.apply_user_depart(u),
+            FaultEventKind::UserJump { user, seed } => self.apply_user_jump(user, seed),
+        }
+        // The fault paths must never corrupt the load bookkeeping.
+        #[cfg(debug_assertions)]
+        self.ledger.assert_consistent();
+    }
+
+    fn apply_ap_down(&mut self, a: ApId) {
+        if self.ap_down[a.index()] {
+            return;
+        }
+        self.ap_down[a.index()] = true;
+        self.locks[a.index()] = None; // volatile lock state dies with the AP
+        let evicted = self.ledger.evict_ap(a);
+        let gap = Time(self.latency_for(&MessageBody::ProbeRequest).0 * 40);
+        // Beacon-loss detection: a station notices within a fraction of
+        // its wake period and restarts its wake cycle.
+        let detect = Time(self.config.period.0 / 8 + 1);
+        for (i, u) in evicted.into_iter().enumerate() {
+            self.changes.push(AssociationChange {
+                at: self.now,
+                user: u,
+                from: Some(a),
+                to: None,
+            });
+            self.cycle_changes += 1;
+            self.phases[u.index()] = Phase::Idle;
+            if self.user_gone[u.index()] {
+                continue;
+            }
+            let at = match self.config.schedule {
+                // Staggered recovery wakes keep the serialization the
+                // schedule promises; synchronized modes stampede by design.
+                WakeSchedule::Staggered => Time(self.now.0 + detect.0 + i as u64 * gap.0),
+                _ => self.now + detect,
+            };
+            self.queue.push(at, SimEvent::Wake(u));
+        }
+    }
+
+    fn apply_user_depart(&mut self, u: UserId) {
+        if self.user_gone[u.index()] {
+            return;
+        }
+        self.user_gone[u.index()] = true;
+        let from = self.ledger.ap_of(u);
+        if from.is_some() {
+            self.ledger.leave(u);
+            self.changes.push(AssociationChange {
+                at: self.now,
+                user: u,
+                from,
+                to: None,
+            });
+            self.cycle_changes += 1;
+        }
+        // Any locks it held are reclaimed by the AP-side lease.
+        self.phases[u.index()] = Phase::Idle;
+    }
+
+    fn apply_user_jump(&mut self, u: UserId, seed: u64) {
+        if self.user_gone[u.index()] {
+            return;
+        }
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let keep = self.config.faults.link_keep_prob();
+        let cands: Vec<ApId> = self.inst.candidate_aps(u).iter().map(|&(a, _)| a).collect();
+        for a in cands {
+            let idx = u.index() * self.inst.n_aps() + a.index();
+            self.link_ok[idx] = rng.gen::<f64>() < keep;
+        }
+        // The move tears down whatever exchange was in flight (the radio
+        // environment it was measuring no longer exists).
+        if self.phases[u.index()] != Phase::Idle {
+            let holds_locks = matches!(self.phases[u.index()], Phase::Locking { .. })
+                || matches!(self.phases[u.index()], Phase::Querying { locked: true, .. })
+                || matches!(
+                    self.phases[u.index()],
+                    Phase::AwaitingAssoc { locked: true }
+                );
+            if holds_locks {
+                for a in self.neighbors(u) {
+                    self.send(Node::User(u), Node::Ap(a), MessageBody::LockRelease);
+                }
+            }
+            self.abandoned_exchanges += 1;
+            self.phases[u.index()] = Phase::Idle;
+        }
+        if let Some(cur) = self.ledger.ap_of(u) {
+            if !self.link_up(u, cur) {
+                // Out of range of the old AP: the association is gone.
+                self.ledger.leave(u);
+                self.changes.push(AssociationChange {
+                    at: self.now,
+                    user: u,
+                    from: Some(cur),
+                    to: None,
+                });
+                self.cycle_changes += 1;
+                let detect = Time(self.config.period.0 / 8 + 1);
+                self.queue.push(self.now + detect, SimEvent::Wake(u));
+            }
+        }
+    }
+
+    /// A phase timeout fires: if the exchange it was armed for is still
+    /// in flight, recover — proceed with partial information where that
+    /// is sound (scan results), abandon otherwise.
+    fn on_timeout(&mut self, u: UserId, epoch: u64) {
+        if self.user_gone[u.index()] || self.phase_epochs[u.index()] != epoch {
+            return;
+        }
+        let phase = std::mem::replace(&mut self.phases[u.index()], Phase::Idle);
+        match phase {
+            Phase::Idle => {}
+            Phase::Scanning { mut heard, .. } if !heard.is_empty() => {
+                // Some APs never answered (down, or the frame vanished):
+                // proceed with the ones that did.
+                heard.sort();
+                match self.config.schedule {
+                    WakeSchedule::SynchronizedLocked => {
+                        let retries = self.lock_retries[u.index()];
+                        self.start_locking(u, heard, retries);
+                    }
+                    _ => self.start_querying(u, heard, false),
+                }
+            }
+            Phase::Scanning { .. } => {
+                self.abandoned_exchanges += 1; // nobody answered; retry next wake
+            }
+            Phase::Locking { granted, .. } => {
+                self.abandoned_exchanges += 1;
+                for a in granted {
+                    self.send(Node::User(u), Node::Ap(a), MessageBody::LockRelease);
+                }
+            }
+            Phase::Querying { locked, .. } | Phase::AwaitingAssoc { locked } => {
+                self.abandoned_exchanges += 1;
+                if locked {
+                    for a in self.neighbors(u) {
+                        self.send(Node::User(u), Node::Ap(a), MessageBody::LockRelease);
+                    }
+                }
             }
         }
     }
 
     fn on_wake(&mut self, u: UserId) {
+        if self.user_gone[u.index()] {
+            return;
+        }
         if self.first_wake[u.index()].is_none() {
             self.first_wake[u.index()] = Some(self.now);
         }
         if self.phases[u.index()] != Phase::Idle {
-            if self.config.loss_prob > 0.0 {
+            if self.faulty {
                 // The periodic timer doubles as the loss-recovery timeout:
                 // abandon the stalled exchange and start over. Any locks
                 // believed held are released explicitly (a lost release is
@@ -424,18 +791,17 @@ impl<'a> Simulator<'a> {
                 if matches!(self.phases[u.index()], Phase::Locking { .. })
                     || matches!(self.phases[u.index()], Phase::Querying { locked: true, .. })
                 {
-                    let heard: Vec<ApId> =
-                        self.inst.candidate_aps(u).iter().map(|&(a, _)| a).collect();
-                    for a in heard {
+                    for a in self.neighbors(u) {
                         self.send(Node::User(u), Node::Ap(a), MessageBody::LockRelease);
                     }
                 }
+                self.abandoned_exchanges += 1;
                 self.phases[u.index()] = Phase::Idle;
             } else {
                 return; // still mid-exchange from a previous wake
             }
         }
-        let heard: Vec<ApId> = self.inst.candidate_aps(u).iter().map(|&(a, _)| a).collect();
+        let heard: Vec<ApId> = self.neighbors(u);
         if heard.is_empty() {
             return;
         }
@@ -443,6 +809,7 @@ impl<'a> Simulator<'a> {
         for &a in &heard {
             self.send(Node::User(u), Node::Ap(a), MessageBody::ProbeRequest);
         }
+        self.arm_timeout(u, 1);
         self.phases[u.index()] = Phase::Scanning {
             pending: heard.len(),
             heard: Vec::new(),
@@ -450,6 +817,18 @@ impl<'a> Simulator<'a> {
     }
 
     fn on_deliver(&mut self, m: Message) {
+        // A crashed AP processes nothing (frames it sent before crashing
+        // still arrive); a departed user's frames die with it.
+        match m.to {
+            Node::Ap(a) if self.ap_down[a.index()] => return,
+            Node::User(u) if self.user_gone[u.index()] => return,
+            _ => {}
+        }
+        if let Node::User(u) = m.from {
+            if self.user_gone[u.index()] {
+                return;
+            }
+        }
         match (m.to, m.body) {
             // ---- AP side ----
             (Node::Ap(a), MessageBody::ProbeRequest) => {
@@ -481,17 +860,26 @@ impl<'a> Simulator<'a> {
             }
             (Node::Ap(a), MessageBody::AssocRequest { leaving }) => {
                 let Node::User(u) = m.from else { return };
-                let admitted = match self.ledger.load_if_joined(u, a) {
-                    Some(load) => !self.config.respect_budget || load <= self.inst.budget(a),
-                    None => false,
-                };
+                // A request whose `leaving` snapshot no longer matches the
+                // ledger is stale — a duplicate of an already-granted
+                // request, or overtaken by a forced disassociation. The AP
+                // denies it rather than corrupt the ledger; never happens
+                // without failure injection.
+                let fresh = self.ledger.ap_of(u) == leaving;
+                debug_assert!(fresh || self.faulty, "stale AssocRequest without faults");
+                let admitted = fresh
+                    && self.link_up(u, a)
+                    && match self.ledger.load_if_joined(u, a) {
+                        Some(load) => !self.config.respect_budget || load <= self.inst.budget(a),
+                        None => false,
+                    };
                 if admitted {
                     let from_ap = self.ledger.ap_of(u);
-                    debug_assert_eq!(from_ap, leaving);
                     if let Some(old) = from_ap {
                         self.send(Node::User(u), Node::Ap(old), MessageBody::Disassoc);
                     }
                     self.ledger.reassociate(u, a);
+                    self.note_load_peak();
                     if self.first_joined[u.index()].is_none() {
                         self.first_joined[u.index()] = Some(self.now);
                     }
@@ -502,6 +890,8 @@ impl<'a> Simulator<'a> {
                         to: Some(a),
                     });
                     self.cycle_changes += 1;
+                } else {
+                    self.assoc_denied += 1;
                 }
                 self.send(
                     Node::Ap(a),
@@ -543,6 +933,9 @@ impl<'a> Simulator<'a> {
                 let Phase::Scanning { heard, pending } = &mut self.phases[u.index()] else {
                     return;
                 };
+                if heard.contains(&a) {
+                    return; // duplicated response
+                }
                 heard.push(a);
                 *pending -= 1;
                 if *pending == 0 {
@@ -567,6 +960,9 @@ impl<'a> Simulator<'a> {
                     return;
                 };
                 let Node::Ap(a) = m.from else { return };
+                if granted.contains(&a) {
+                    return; // duplicated grant
+                }
                 granted.push(a);
                 // Ordered acquisition: request the next AP, or proceed.
                 let next = heard.iter().find(|ap| !granted.contains(ap)).copied();
@@ -626,14 +1022,19 @@ impl<'a> Simulator<'a> {
                     return;
                 };
                 let Node::Ap(a) = m.from else { return };
-                responses.insert(
-                    a,
-                    ResponseData {
-                        sessions,
-                        load,
-                        load_without,
-                    },
-                );
+                let dup = responses
+                    .insert(
+                        a,
+                        ResponseData {
+                            sessions,
+                            load,
+                            load_without,
+                        },
+                    )
+                    .is_some();
+                if dup {
+                    return; // duplicated response: don't double-count
+                }
                 *pending -= 1;
                 if *pending > 0 {
                     return;
@@ -648,9 +1049,7 @@ impl<'a> Simulator<'a> {
                     return;
                 };
                 if locked {
-                    let heard: Vec<ApId> =
-                        self.inst.candidate_aps(u).iter().map(|&(a, _)| a).collect();
-                    for a in heard {
+                    for a in self.neighbors(u) {
                         self.send(Node::User(u), Node::Ap(a), MessageBody::LockRelease);
                     }
                 }
@@ -662,6 +1061,9 @@ impl<'a> Simulator<'a> {
 
     fn start_locking(&mut self, u: UserId, heard: Vec<ApId>, retries: usize) {
         let first = heard[0];
+        // The lock chain is sequential over `heard`, so the timeout
+        // scales with its length.
+        self.arm_timeout(u, heard.len() as u64);
         self.phases[u.index()] = Phase::Locking {
             heard,
             granted: Vec::new(),
@@ -672,6 +1074,7 @@ impl<'a> Simulator<'a> {
 
     fn start_querying(&mut self, u: UserId, heard: Vec<ApId>, locked: bool) {
         let pending = heard.len();
+        self.arm_timeout(u, 1);
         for &a in &heard {
             self.send(Node::User(u), Node::Ap(a), MessageBody::LoadQuery);
         }
@@ -690,16 +1093,31 @@ impl<'a> Simulator<'a> {
         responses: BTreeMap<ApId, ResponseData>,
         locked: bool,
     ) {
+        let current = self.ledger.ap_of(u);
+        // Without its own AP's answer there is no stay-baseline to
+        // compare moves against — stay put and retry next wake. (Never
+        // happens without failure injection: every queried AP answers.)
+        if current.is_some_and(|cur| !responses.contains_key(&cur)) {
+            self.abandoned_exchanges += 1;
+            if locked {
+                for a in self.neighbors(u) {
+                    self.send(Node::User(u), Node::Ap(a), MessageBody::LockRelease);
+                }
+            }
+            self.phases[u.index()] = Phase::Idle;
+            return;
+        }
         let view = QueryView {
             inst: self.inst,
             user: u,
-            current: self.ledger.ap_of(u),
+            current,
             responses: &responses,
         };
         let decision = local_decision(&view, u, self.config.policy, self.config.respect_budget);
         match decision {
             Some(a) => {
-                let leaving = self.ledger.ap_of(u);
+                let leaving = current;
+                self.arm_timeout(u, 1);
                 self.phases[u.index()] = Phase::AwaitingAssoc { locked };
                 self.send(
                     Node::User(u),
@@ -709,9 +1127,7 @@ impl<'a> Simulator<'a> {
             }
             None => {
                 if locked {
-                    let heard: Vec<ApId> =
-                        self.inst.candidate_aps(u).iter().map(|&(a, _)| a).collect();
-                    for a in heard {
+                    for a in self.neighbors(u) {
                         self.send(Node::User(u), Node::Ap(a), MessageBody::LockRelease);
                     }
                 }

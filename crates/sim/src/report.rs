@@ -2,25 +2,37 @@
 
 use std::collections::BTreeMap;
 
-use mcast_core::{ApId, Association, UserId};
+use mcast_core::{ApId, Association, Load, UserId};
 
 use crate::event::Time;
 
 /// One association change observed during a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AssociationChange {
-    /// When the AP granted the (re)association.
+    /// When the AP granted the (re)association — or, for `to: None`
+    /// records, when the user departed or was forcibly disassociated.
     pub at: Time,
     /// The moving user.
     pub user: UserId,
     /// Previous AP (`None` = was unassociated).
     pub from: Option<ApId>,
-    /// New AP.
+    /// New AP (`None` = lost or gave up service).
     pub to: Option<ApId>,
 }
 
+impl AssociationChange {
+    /// Effect of this change on the satisfied-user count.
+    fn coverage_delta(&self) -> i64 {
+        match (self.from, self.to) {
+            (None, Some(_)) => 1,
+            (Some(_), None) => -1,
+            _ => 0,
+        }
+    }
+}
+
 /// The outcome of a [`Simulator`](crate::Simulator) run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// The association when the run ended.
     pub association: Association,
@@ -36,7 +48,8 @@ pub struct SimReport {
     pub changes: Vec<AssociationChange>,
     /// Control frames sent, by type.
     pub message_counts: BTreeMap<&'static str, u64>,
-    /// Control frames dropped by the loss process (failure injection).
+    /// Control frames dropped in the air (the crude `loss_prob` process
+    /// plus per-class fault-plan drops).
     pub frames_lost: u64,
     /// Per user: time from its first wake to its first granted
     /// association (`None` if it never associated). Indexable by
@@ -44,6 +57,22 @@ pub struct SimReport {
     pub join_latencies: Vec<Option<Time>>,
     /// Simulated clock when the run ended.
     pub finished_at: Time,
+    /// Satisfied users in the association the run started from.
+    pub initial_satisfied: usize,
+    /// Fault-plan events applied (AP down/up, departures, jumps).
+    pub fault_events: u64,
+    /// Distinct instants at which fault events were applied — the "fault
+    /// epochs" the recovery metrics are segmented by. Simultaneous events
+    /// (a coordinated multi-AP outage) form a single epoch.
+    pub fault_epochs: Vec<Time>,
+    /// Exchanges abandoned mid-flight (timeout or wake-over recovery).
+    pub abandoned_exchanges: u64,
+    /// Association requests the AP denied (stale, out of range, or over
+    /// budget).
+    pub assoc_denied: u64,
+    /// Highest per-AP load the ledger ever held during the run — the
+    /// transient overshoot faults cause before the protocol rebalances.
+    pub peak_max_load: Load,
 }
 
 impl SimReport {
@@ -67,5 +96,82 @@ impl SimReport {
         }
         v.sort_unstable();
         Some(v[v.len() / 2])
+    }
+
+    /// Retried work that bought nothing: lock denials, denied association
+    /// requests, and exchanges abandoned to a timeout or wake-over.
+    pub fn wasted_retries(&self) -> u64 {
+        self.message_counts.get("lock_deny").copied().unwrap_or(0)
+            + self.assoc_denied
+            + self.abandoned_exchanges
+    }
+
+    /// Per fault epoch: how long after the fault the association kept
+    /// changing — the time to reconvergence.
+    ///
+    /// The epoch's observation window runs to the next epoch (or the end
+    /// of the run). `Some(Time::ZERO)` means the fault caused no
+    /// re-association at all; `None` means the window is the last one and
+    /// the run never reconverged.
+    pub fn reconvergence_times(&self) -> Vec<Option<Time>> {
+        self.fault_epochs
+            .iter()
+            .enumerate()
+            .map(|(i, &start)| {
+                let end = self.fault_epochs.get(i + 1).copied();
+                let last = self
+                    .changes
+                    .iter()
+                    .filter(|c| c.at > start && end.is_none_or(|e| c.at <= e))
+                    .map(|c| c.at)
+                    .next_back();
+                match last {
+                    None => Some(Time::ZERO),
+                    Some(lc) if end.is_some() || self.converged => Some(Time(lc.0 - start.0)),
+                    Some(_) => None,
+                }
+            })
+            .collect()
+    }
+
+    /// Per fault epoch: the transient coverage loss, in user-microseconds.
+    ///
+    /// Replays the change log to reconstruct the satisfied-user count over
+    /// time, then integrates how far it stays below its pre-fault level
+    /// across the epoch's window (next epoch or end of run). An AP outage
+    /// that drops 12 users who rejoin within 2 s contributes about
+    /// 12 × 2 × 10⁶; permanent losses (departures) accrue until the
+    /// window closes.
+    pub fn coverage_loss_user_us(&self) -> Vec<u64> {
+        self.fault_epochs
+            .iter()
+            .enumerate()
+            .map(|(i, &start)| {
+                let end = self
+                    .fault_epochs
+                    .get(i + 1)
+                    .copied()
+                    .unwrap_or(self.finished_at)
+                    .max(start);
+                // Satisfied count just before the fault hit.
+                let mut sat = self.initial_satisfied as i64
+                    + self
+                        .changes
+                        .iter()
+                        .take_while(|c| c.at < start)
+                        .map(AssociationChange::coverage_delta)
+                        .sum::<i64>();
+                let baseline = sat;
+                let mut loss: u64 = 0;
+                let mut t = start;
+                for c in self.changes.iter().filter(|c| c.at >= start && c.at < end) {
+                    loss += (baseline - sat).max(0) as u64 * (c.at.0 - t.0);
+                    sat += c.coverage_delta();
+                    t = c.at;
+                }
+                loss += (baseline - sat).max(0) as u64 * end.0.saturating_sub(t.0);
+                loss
+            })
+            .collect()
     }
 }

@@ -1,0 +1,335 @@
+//! Offline drop-in replacement for the subset of the `rand` 0.8 API this
+//! workspace uses: [`RngCore`], [`SeedableRng`], and the [`Rng`] extension
+//! trait with `gen`, `gen_range`, and `gen_bool`.
+//!
+//! The workspace container builds without network access, so the real
+//! crates-io `rand` cannot be fetched; this vendored stand-in keeps the
+//! same call sites compiling with deterministic, seedable behaviour. It is
+//! *not* stream-compatible with upstream `rand` (generated values differ),
+//! which is fine here: all seeds live inside this repository and only
+//! self-consistency matters.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random-number source: the two word-level primitives everything
+/// else is derived from.
+pub trait RngCore {
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The fixed-size seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed via SplitMix64 (the same scheme
+    /// upstream `rand` 0.8 uses) and builds the generator from it.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = SplitMix64(state);
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Types that can be drawn uniformly from a generator (`rng.gen::<T>()`).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 uniform bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty => $via:ident),* $(,)?) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64,
+    usize => next_u64, i8 => next_u32, i16 => next_u32, i32 => next_u32, i64 => next_u64,
+    isize => next_u64);
+
+impl Standard for u128 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u128 {
+        (rng.next_u64() as u128) << 64 | rng.next_u64() as u128
+    }
+}
+
+impl Standard for i128 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> i128 {
+        u128::sample_standard(rng) as i128
+    }
+}
+
+/// Ranges a uniform value can be drawn from (`rng.gen_range(a..b)`).
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u128;
+                // Lemire widening-multiply mapping (slight bias is fine
+                // for simulation workloads; determinism is what matters).
+                let r = ((rng.next_u64() as u128).wrapping_mul(span) >> 64) as $t;
+                self.start + r
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u128 + 1;
+                let r = ((rng.next_u64() as u128).wrapping_mul(span) >> 64) as $t;
+                lo + r
+            }
+        }
+    )*};
+}
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let r = ((rng.next_u64() as u128).wrapping_mul(span) >> 64) as i128;
+                (self.start as i128 + r) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let r = ((rng.next_u64() as u128).wrapping_mul(span) >> 64) as i128;
+                (lo as i128 + r) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(i8, i16, i32, i64);
+
+impl SampleRange<i128> for Range<i128> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> i128 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = self.end.wrapping_sub(self.start) as u128;
+        let r = (u128::sample_standard(rng)) % span;
+        self.start.wrapping_add(r as i128)
+    }
+}
+
+impl SampleRange<i128> for RangeInclusive<i128> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> i128 {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        let span = hi.wrapping_sub(lo) as u128;
+        if span == u128::MAX {
+            return i128::sample_standard(rng);
+        }
+        let r = u128::sample_standard(rng) % (span + 1);
+        lo.wrapping_add(r as i128)
+    }
+}
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit = <$t as Standard>::sample_standard(rng);
+                self.start + unit * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                let unit = <$t as Standard>::sample_standard(rng);
+                lo + unit * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_sample_range_float!(f32, f64);
+
+/// User-facing extension methods, blanket-implemented for every source.
+pub trait Rng: RngCore {
+    /// Draws a uniform value of type `T` (`f64` in `[0, 1)`, full-width
+    /// integers, a fair `bool`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws a uniform value from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// `rand::rngs` stand-in (kept for path compatibility).
+pub mod rngs {
+    pub use super::mock::StepRng;
+}
+
+/// Simple deterministic generators for tests.
+pub mod mock {
+    use super::RngCore;
+
+    /// Counts up from `v` by `step` — handy in unit tests.
+    #[derive(Debug, Clone)]
+    pub struct StepRng {
+        v: u64,
+        step: u64,
+    }
+
+    impl StepRng {
+        /// A generator yielding `v`, `v + step`, `v + 2 * step`, …
+        pub fn new(v: u64, step: u64) -> StepRng {
+            StepRng { v, step }
+        }
+    }
+
+    impl RngCore for StepRng {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            let out = self.v;
+            self.v = self.v.wrapping_add(self.step);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(u64);
+    impl RngCore for Fixed {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            let mut sm = SplitMix64(self.0);
+            self.0 = sm.next();
+            self.0
+        }
+    }
+
+    #[test]
+    fn unit_interval_and_ranges() {
+        let mut rng = Fixed(7);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            let v = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&v));
+            let w = rng.gen_range(-5i128..5);
+            assert!((-5..5).contains(&w));
+            let x = rng.gen_range(1u64..=4);
+            assert!((1..=4).contains(&x));
+        }
+    }
+
+    #[test]
+    fn seed_expansion_is_deterministic() {
+        struct Seeded([u8; 16]);
+        impl SeedableRng for Seeded {
+            type Seed = [u8; 16];
+            fn from_seed(seed: [u8; 16]) -> Seeded {
+                Seeded(seed)
+            }
+        }
+        let a = Seeded::seed_from_u64(42).0;
+        let b = Seeded::seed_from_u64(42).0;
+        let c = Seeded::seed_from_u64(43).0;
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

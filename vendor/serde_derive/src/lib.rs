@@ -1,0 +1,624 @@
+//! Derive macros for the vendored `serde` crate.
+//!
+//! The workspace container has no network access, so `syn`/`quote` are not
+//! available either; parsing is done directly over `proc_macro` token
+//! trees. Supported input shapes are exactly what this workspace uses:
+//!
+//! - named structs, tuple structs (newtype and general), unit structs;
+//! - enums with unit, newtype, tuple, and struct variants (externally
+//!   tagged, like real serde's default representation);
+//! - plain type generics (`struct Foo<C> { .. }`), with the serialization
+//!   bound added to each parameter;
+//! - the `#[serde(default)]` field attribute and the container-level
+//!   `#[serde(try_from = "T", into = "T")]` attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree flavour).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize` (value-tree flavour).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Default)]
+struct ContainerAttrs {
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    let container_attrs = parse_attrs(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let kind = match &tokens[pos] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found {other}"),
+    };
+    pos += 1;
+    let name = match &tokens[pos] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("serde derive: expected type name, found {other}"),
+    };
+    pos += 1;
+    let generics = parse_generics(&tokens, &mut pos);
+
+    let body = match kind.as_str() {
+        "struct" => parse_struct_body(&tokens, &mut pos),
+        "enum" => Body::Enum(parse_enum_body(&tokens, &mut pos)),
+        other => panic!("serde derive: cannot derive for `{other}`"),
+    };
+
+    let bound = match mode {
+        Mode::Serialize => "::serde::Serialize",
+        Mode::Deserialize => "::serde::Deserialize",
+    };
+    let (impl_generics, ty_generics) = render_generics(&generics, bound);
+
+    let out = match mode {
+        Mode::Serialize => {
+            let body_code = if let Some(into_ty) = &container_attrs.into {
+                format!(
+                    "let __raw: {into_ty} = ::core::convert::Into::into(::core::clone::Clone::clone(self));\n\
+                     ::serde::Serialize::serialize_value(&__raw)"
+                )
+            } else {
+                serialize_body(&name, &body)
+            };
+            format!(
+                "impl{impl_generics} ::serde::Serialize for {name}{ty_generics} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{\n{body_code}\n}}\n\
+                 }}"
+            )
+        }
+        Mode::Deserialize => {
+            let body_code = if let Some(from_ty) = &container_attrs.try_from {
+                format!(
+                    "let __raw: {from_ty} = ::serde::Deserialize::deserialize_value(__v)?;\n\
+                     ::core::convert::TryFrom::try_from(__raw).map_err(::serde::DeError::custom)"
+                )
+            } else {
+                deserialize_body(&name, &body)
+            };
+            format!(
+                "impl{impl_generics} ::serde::Deserialize for {name}{ty_generics} {{\n\
+                     fn deserialize_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n{body_code}\n}}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse()
+        .unwrap_or_else(|e| panic!("serde derive: generated invalid code for `{name}`: {e}\n{out}"))
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// Consumes leading `#[...]` attributes, returning any serde container
+/// attrs found. (Field-level callers reuse this and read `default`.)
+fn parse_attrs(tokens: &[TokenTree], pos: &mut usize) -> ContainerAttrs {
+    let mut attrs = ContainerAttrs::default();
+    loop {
+        match (tokens.get(*pos), tokens.get(*pos + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                parse_serde_attr_group(&g.stream(), &mut attrs);
+                *pos += 2;
+            }
+            _ => return attrs,
+        }
+    }
+}
+
+/// Reads one `[...]` attribute body; if it is `serde(...)`, records the
+/// recognized keys.
+fn parse_serde_attr_group(stream: &TokenStream, attrs: &mut ContainerAttrs) {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+            let mut i = 0;
+            while i < inner.len() {
+                if let TokenTree::Ident(key) = &inner[i] {
+                    let key = key.to_string();
+                    let value = match (inner.get(i + 1), inner.get(i + 2)) {
+                        (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                            if eq.as_char() == '=' =>
+                        {
+                            i += 2;
+                            Some(unquote(&lit.to_string()))
+                        }
+                        _ => None,
+                    };
+                    match (key.as_str(), value) {
+                        ("try_from", Some(v)) => attrs.try_from = Some(v),
+                        ("into", Some(v)) => attrs.into = Some(v),
+                        _ => {} // `default` is field-level; unknown attrs ignored
+                    }
+                }
+                i += 1;
+            }
+        }
+        _ => {} // not a serde attr (doc comment etc.)
+    }
+}
+
+/// True if the token slice `#[serde(...)]` attrs at `pos` include
+/// `default`; consumes them along the way.
+fn parse_field_attrs(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut default = false;
+    loop {
+        match (tokens.get(*pos), tokens.get(*pos + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args))) =
+                    (toks.first(), toks.get(1))
+                {
+                    if name.to_string() == "serde" {
+                        for t in args.stream() {
+                            if let TokenTree::Ident(i) = t {
+                                if i.to_string() == "default" {
+                                    default = true;
+                                }
+                            }
+                        }
+                    }
+                }
+                *pos += 2;
+            }
+            _ => return default,
+        }
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(i)) = tokens.get(*pos) {
+        if i.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1; // pub(crate) etc.
+                }
+            }
+        }
+    }
+}
+
+/// Parses `<...>` generic parameters into their source text, one string
+/// per parameter (bounds kept, defaults stripped).
+fn parse_generics(tokens: &[TokenTree], pos: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    let Some(TokenTree::Punct(p)) = tokens.get(*pos) else {
+        return params;
+    };
+    if p.as_char() != '<' {
+        return params;
+    }
+    *pos += 1;
+    let mut depth = 1usize;
+    let mut current = String::new();
+    while depth > 0 {
+        let t = tokens
+            .get(*pos)
+            .unwrap_or_else(|| panic!("serde derive: unclosed generics"));
+        *pos += 1;
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                ',' if depth == 1 => {
+                    params.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push_str(&t.to_string());
+        current.push(' ');
+    }
+    if !current.trim().is_empty() {
+        params.push(current);
+    }
+    params
+        .into_iter()
+        .map(|p| p.split('=').next().unwrap().trim().to_string())
+        .filter(|p| !p.is_empty())
+        .collect()
+}
+
+/// `(impl_generics, ty_generics)` render of the parameter list, adding
+/// `bound` to every non-lifetime parameter.
+fn render_generics(params: &[String], bound: &str) -> (String, String) {
+    if params.is_empty() {
+        return (String::new(), String::new());
+    }
+    let mut impl_parts = Vec::new();
+    let mut ty_parts = Vec::new();
+    for p in params {
+        let ident = p.split(':').next().unwrap().trim().to_string();
+        ty_parts.push(ident.clone());
+        if ident.starts_with('\'') {
+            impl_parts.push(p.clone());
+        } else if p.contains(':') {
+            impl_parts.push(format!("{p} + {bound}"));
+        } else {
+            impl_parts.push(format!("{ident}: {bound}"));
+        }
+    }
+    (
+        format!("<{}>", impl_parts.join(", ")),
+        format!("<{}>", ty_parts.join(", ")),
+    )
+}
+
+fn parse_struct_body(tokens: &[TokenTree], pos: &mut usize) -> Body {
+    // Skip anything (e.g. a `where` clause) until the body group or `;`.
+    while let Some(t) = tokens.get(*pos) {
+        match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(&g.stream());
+                return Body::NamedStruct(fields);
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                return Body::TupleStruct(count_tuple_fields(&g.stream()));
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => return Body::UnitStruct,
+            _ => *pos += 1,
+        }
+    }
+    Body::UnitStruct
+}
+
+fn parse_named_fields(stream: &TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let default = parse_field_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            panic!(
+                "serde derive: expected field name, found {:?}",
+                tokens.get(i)
+            );
+        };
+        let name = name.to_string();
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Advances past a type, stopping after the top-level `,` (or at end).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(stream: &TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        parse_field_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if tokens.get(i).is_none() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_enum_body(tokens: &[TokenTree], pos: &mut usize) -> Vec<Variant> {
+    let group = loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.clone(),
+            Some(_) => *pos += 1,
+            None => panic!("serde derive: enum without a body"),
+        }
+    };
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        parse_field_attrs(&toks, &mut i); // tolerate (and ignore) variant attrs
+        let Some(TokenTree::Ident(name)) = toks.get(i) else {
+            panic!(
+                "serde derive: expected variant name, found {:?}",
+                toks.get(i)
+            );
+        };
+        let name = name.to_string();
+        i += 1;
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(&g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip to past the separating comma (covers discriminants).
+        while let Some(t) = toks.get(i) {
+            i += 1;
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ------------------------------------------------------------- generation
+
+fn serialize_body(name: &str, body: &Body) -> String {
+    match body {
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::TupleStruct(1) => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Body::NamedStruct(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{0}\".to_string(), ::serde::Serialize::serialize_value(&self.{0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", items.join(", "))
+        }
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Serialize::serialize_value(__f0))]),"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Serialize::serialize_value(__f{i})")
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Array(vec![{items}]))]),",
+                                binds = binds.join(", "),
+                                items = items.join(", ")
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{0}\".to_string(), ::serde::Serialize::serialize_value({0}))",
+                                        f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(vec![{items}]))]),",
+                                binds = binds.join(", "),
+                                items = items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{\n{}\n}}", arms.join("\n"))
+        }
+    }
+}
+
+fn named_fields_deserialization(fields: &[Field], source: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let fetch = if f.default {
+                format!(
+                    "match {source}.get(\"{0}\") {{ Some(__x) => ::serde::Deserialize::deserialize_value(__x)?, None => ::core::default::Default::default() }}",
+                    f.name
+                )
+            } else {
+                format!(
+                    "match {source}.get(\"{0}\") {{ Some(__x) => ::serde::Deserialize::deserialize_value(__x)?, None => return ::core::result::Result::Err(::serde::DeError(format!(\"missing field `{0}`\"))) }}",
+                    f.name
+                )
+            };
+            format!("let __field_{0} = {fetch};", f.name)
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn deserialize_body(name: &str, body: &Body) -> String {
+    match body {
+        Body::UnitStruct => format!("Ok({name})"),
+        Body::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::deserialize_value(__v)?))")
+        }
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Array(__items) if __items.len() == {n} => Ok({name}({items})),\n\
+                     __other => Err(::serde::DeError(format!(\"expected {n}-element array for `{name}`, found {{}}\", __other.kind()))),\n\
+                 }}",
+                items = items.join(", ")
+            )
+        }
+        Body::NamedStruct(fields) => {
+            let lets = named_fields_deserialization(fields, "__v");
+            let build: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{0}: __field_{0}", f.name))
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Object(_) => {{\n{lets}\nOk({name} {{ {build} }})\n}}\n\
+                     __other => Err(::serde::DeError(format!(\"expected object for `{name}`, found {{}}\", __other.kind()))),\n\
+                 }}",
+                build = build.join(", ")
+            )
+        }
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::deserialize_value(__inner)?)),"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::deserialize_value(&__items[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => match __inner {{\n\
+                                     ::serde::Value::Array(__items) if __items.len() == {n} => Ok({name}::{vn}({items})),\n\
+                                     __other => Err(::serde::DeError(format!(\"expected {n}-element array for variant `{vn}`, found {{}}\", __other.kind()))),\n\
+                                 }},",
+                                items = items.join(", ")
+                            ))
+                        }
+                        VariantShape::Struct(fields) => {
+                            let lets = named_fields_deserialization(fields, "__inner");
+                            let build: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{0}: __field_{0}", f.name))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => match __inner {{\n\
+                                     ::serde::Value::Object(_) => {{\n{lets}\nOk({name}::{vn} {{ {build} }})\n}}\n\
+                                     __other => Err(::serde::DeError(format!(\"expected object for variant `{vn}`, found {{}}\", __other.kind()))),\n\
+                                 }},",
+                                build = build.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => Err(::serde::DeError(format!(\"unknown unit variant `{{__other}}` for `{name}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__fields[0];\n\
+                         match __tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             __other => Err(::serde::DeError(format!(\"unknown variant `{{__other}}` for `{name}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => Err(::serde::DeError(format!(\"expected variant of `{name}`, found {{}}\", __other.kind()))),\n\
+                 }}",
+                unit_arms = unit_arms.join("\n"),
+                tagged_arms = tagged_arms.join("\n")
+            )
+        }
+    }
+}
