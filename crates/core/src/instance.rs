@@ -227,35 +227,54 @@ impl InstanceBuilder {
             }
         }
 
-        let mut link = vec![None; n_aps * n_users];
-        let mut signal = vec![None; n_aps * n_users];
-        for (ap, user, rate, sig) in self.links {
+        let mut user_deg = vec![0u32; n_users];
+        let mut ap_deg = vec![0u32; n_aps];
+        for &(ap, user, rate, _) in &self.links {
             if rates.binary_search(&rate).is_err() {
                 return Err(InstanceError::UnsupportedLinkRate { ap, user, rate });
             }
-            let idx = ap.index() * n_users + user.index();
-            link[idx] = Some(rate);
-            signal[idx] = sig;
+            user_deg[user.index()] += 1;
+            ap_deg[ap.index()] += 1;
         }
 
-        let mut user_aps: Vec<Vec<(ApId, Kbps)>> = vec![Vec::new(); n_users];
-        let mut ap_users: Vec<Vec<UserId>> = vec![Vec::new(); n_aps];
-        for a in 0..n_aps {
-            for u in 0..n_users {
-                if let Some(r) = link[a * n_users + u] {
-                    user_aps[u].push((ApId(a as u32), r));
-                    ap_users[a].push(UserId(u as u32));
-                }
+        // Sparse adjacency straight from the link list — O(L log L), never
+        // O(APs × users). Stable (ap, user, declaration-index) order means
+        // ascending ApId per user, ascending UserId per AP, and "last
+        // declaration wins" for duplicates, exactly as the former dense
+        // matrix produced.
+        type IndexedLink = (usize, (ApId, UserId, Kbps, Option<SignalStrength>));
+        let mut indexed: Vec<IndexedLink> = self.links.into_iter().enumerate().collect();
+        indexed.sort_unstable_by_key(|&(i, (a, u, _, _))| (a, u, i));
+        // Degrees count duplicate declarations too — a harmless capacity
+        // overestimate that keeps the fill loop reallocation-free.
+        let mut user_aps: Vec<Vec<(ApId, Kbps)>> = user_deg
+            .iter()
+            .map(|&d| Vec::with_capacity(d as usize))
+            .collect();
+        let mut user_signals: Vec<Vec<Option<SignalStrength>>> = user_deg
+            .iter()
+            .map(|&d| Vec::with_capacity(d as usize))
+            .collect();
+        let mut ap_users: Vec<Vec<UserId>> = ap_deg
+            .iter()
+            .map(|&d| Vec::with_capacity(d as usize))
+            .collect();
+        let mut it = indexed.into_iter().peekable();
+        while let Some((_, (a, u, r, s))) = it.next() {
+            if matches!(it.peek(), Some(&(_, (a2, u2, _, _))) if a2 == a && u2 == u) {
+                continue; // a later declaration of the same link supersedes this one
             }
+            user_aps[u.index()].push((a, r));
+            user_signals[u.index()].push(s);
+            ap_users[a.index()].push(u);
         }
 
         Ok(Instance {
             sessions: self.sessions,
             users: self.users,
             budgets: self.budgets,
-            link,
-            signal,
             user_aps,
+            user_signals,
             ap_users,
             rates,
             rate_policy: self.rate_policy,
@@ -267,8 +286,30 @@ impl InstanceBuilder {
 ///
 /// All three problems (MNU, BLA, MLA), the distributed algorithms, and the
 /// SSA baseline operate on this type.
+///
+/// Storage is sparse: per-user and per-AP adjacency lists, sized by the
+/// number of actual links rather than APs × users. Construction is
+/// O(L log L); [`Instance::link_rate`] and [`Instance::signal`] are
+/// O(log degree). The serialized form is unchanged — see [`DenseInstance`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(try_from = "DenseInstance", into = "DenseInstance")]
 pub struct Instance {
+    sessions: Vec<SessionSpec>,
+    users: Vec<UserSpec>,
+    budgets: Vec<Load>,
+    user_aps: Vec<Vec<(ApId, Kbps)>>,
+    user_signals: Vec<Vec<Option<SignalStrength>>>,
+    ap_users: Vec<Vec<UserId>>,
+    rates: Vec<Kbps>,
+    rate_policy: RatePolicy,
+}
+
+/// The wire format of [`Instance`]: the dense link/signal matrices of the
+/// original matrix-backed representation. Keeping it as the (de)serialized
+/// shape means scenario files written before the sparse refactor load
+/// unchanged, and new files stay byte-identical to old ones.
+#[derive(Clone, Serialize, Deserialize)]
+struct DenseInstance {
     sessions: Vec<SessionSpec>,
     users: Vec<UserSpec>,
     budgets: Vec<Load>,
@@ -278,6 +319,73 @@ pub struct Instance {
     ap_users: Vec<Vec<UserId>>,
     rates: Vec<Kbps>,
     rate_policy: RatePolicy,
+}
+
+impl From<Instance> for DenseInstance {
+    fn from(inst: Instance) -> DenseInstance {
+        let n_aps = inst.n_aps();
+        let n_users = inst.n_users();
+        let mut link = vec![None; n_aps * n_users];
+        let mut signal = vec![None; n_aps * n_users];
+        for (u, aps) in inst.user_aps.iter().enumerate() {
+            for (i, &(a, r)) in aps.iter().enumerate() {
+                let idx = a.index() * n_users + u;
+                link[idx] = Some(r);
+                signal[idx] = inst.user_signals[u][i];
+            }
+        }
+        DenseInstance {
+            sessions: inst.sessions,
+            users: inst.users,
+            budgets: inst.budgets,
+            link,
+            signal,
+            user_aps: inst.user_aps,
+            ap_users: inst.ap_users,
+            rates: inst.rates,
+            rate_policy: inst.rate_policy,
+        }
+    }
+}
+
+impl TryFrom<DenseInstance> for Instance {
+    type Error = String;
+
+    fn try_from(w: DenseInstance) -> Result<Instance, String> {
+        let n_aps = w.budgets.len();
+        let n_users = w.users.len();
+        if w.link.len() != n_aps * n_users || w.signal.len() != n_aps * n_users {
+            return Err(format!(
+                "instance matrices sized {}/{} for {n_aps} APs x {n_users} users",
+                w.link.len(),
+                w.signal.len()
+            ));
+        }
+        // The dense matrices are authoritative; adjacency is rebuilt from
+        // them (in the same AP-major scan order that built the wire lists).
+        let mut user_aps: Vec<Vec<(ApId, Kbps)>> = vec![Vec::new(); n_users];
+        let mut user_signals: Vec<Vec<Option<SignalStrength>>> = vec![Vec::new(); n_users];
+        let mut ap_users: Vec<Vec<UserId>> = vec![Vec::new(); n_aps];
+        for (a, users_of_a) in ap_users.iter_mut().enumerate() {
+            for u in 0..n_users {
+                if let Some(r) = w.link[a * n_users + u] {
+                    user_aps[u].push((ApId(a as u32), r));
+                    user_signals[u].push(w.signal[a * n_users + u]);
+                    users_of_a.push(UserId(u as u32));
+                }
+            }
+        }
+        Ok(Instance {
+            sessions: w.sessions,
+            users: w.users,
+            budgets: w.budgets,
+            user_aps,
+            user_signals,
+            ap_users,
+            rates: w.rates,
+            rate_policy: w.rate_policy,
+        })
+    }
 }
 
 impl Instance {
@@ -344,7 +452,11 @@ impl Instance {
     ///
     /// Panics if `a` or `u` is out of range.
     pub fn link_rate(&self, a: ApId, u: UserId) -> Option<Kbps> {
-        self.link[a.index() * self.n_users() + u.index()]
+        assert!(a.index() < self.n_aps(), "AP {a} out of range");
+        let aps = &self.user_aps[u.index()];
+        aps.binary_search_by_key(&a, |&(ap, _)| ap)
+            .ok()
+            .map(|i| aps[i].1)
     }
 
     /// The signal strength of the `a`–`u` link, or `None` if out of range.
@@ -353,7 +465,11 @@ impl Instance {
     ///
     /// Panics if `a` or `u` is out of range.
     pub fn signal(&self, a: ApId, u: UserId) -> Option<SignalStrength> {
-        self.signal[a.index() * self.n_users() + u.index()]
+        assert!(a.index() < self.n_aps(), "AP {a} out of range");
+        let aps = &self.user_aps[u.index()];
+        aps.binary_search_by_key(&a, |&(ap, _)| ap)
+            .ok()
+            .and_then(|i| self.user_signals[u.index()][i])
     }
 
     /// The APs user `u` can hear, with link rates (ascending `ApId`).

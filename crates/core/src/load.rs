@@ -170,6 +170,17 @@ impl Load {
         a.checked_mul(b)
             .expect("load arithmetic overflow: fraction denominators grew beyond i128")
     }
+
+    /// Whether both components fit in `i64`, so a pairwise `i128` product
+    /// cannot overflow and needs no checked multiplication. Reduced WLAN
+    /// fractions are tiny (rate ratios in lowest terms), so this is the
+    /// hot case — `i128::checked_mul` lowers to a slow overflow-detecting
+    /// routine that dominates comparison-heavy loops like the CELF heap.
+    #[inline]
+    fn fits_i64(&self) -> bool {
+        const LIM: i128 = i64::MAX as i128;
+        self.num.abs() <= LIM && self.den <= LIM
+    }
 }
 
 impl Default for Load {
@@ -197,6 +208,10 @@ impl PartialOrd for Load {
 impl Ord for Load {
     fn cmp(&self, other: &Self) -> Ordering {
         // a/b vs c/d  <=>  a*d vs c*b  (b, d > 0).
+        if self.fits_i64() && other.fits_i64() {
+            // |i64| * |i64| always fits in i128: plain multiplies suffice.
+            return (self.num * other.den).cmp(&(other.num * self.den));
+        }
         Load::checked_mul(self.num, other.den).cmp(&Load::checked_mul(other.num, self.den))
     }
 }
@@ -280,8 +295,24 @@ impl mcast_covering::Cost for Load {
         // n1*den1/num1 vs n2*den2/num2  <=>  n1*den1*num2 vs n2*den2*num1.
         // Costs are strictly positive so signs don't flip.
         debug_assert!(c1.num > 0 && c2.num > 0);
-        let lhs = Load::checked_mul(Load::checked_mul(n1 as i128, c1.den), c2.num);
-        let rhs = Load::checked_mul(Load::checked_mul(n2 as i128, c2.den), c1.num);
+        // Fast path: three factors each below 2^42 keep the triple product
+        // under 2^126, so unchecked i128 multiplies are exact. This is the
+        // hot comparison of the lazy-greedy heap (see crates/covering), and
+        // WLAN instances (gains ≤ users, reduced rate ratios) always hit it.
+        const LIM: i128 = 1 << 42;
+        let (a1, d1, m1) = (n1 as i128, c1.den, c1.num);
+        let (a2, d2, m2) = (n2 as i128, c2.den, c2.num);
+        if a1 < LIM
+            && a2 < LIM
+            && (0..LIM).contains(&d1)
+            && (0..LIM).contains(&d2)
+            && (0..LIM).contains(&m1)
+            && (0..LIM).contains(&m2)
+        {
+            return (a1 * d1 * m2).cmp(&(a2 * d2 * m1));
+        }
+        let lhs = Load::checked_mul(Load::checked_mul(a1, d1), m2);
+        let rhs = Load::checked_mul(Load::checked_mul(a2, d2), m1);
         lhs.cmp(&rhs)
     }
 }

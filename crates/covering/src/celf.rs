@@ -1,0 +1,107 @@
+//! CELF-style lazy-greedy machinery shared by the covering solvers.
+//!
+//! The classic greedy recomputes every set's marginal gain on every pick —
+//! O(picks × sets). Because coverage gain is submodular (a set's residual
+//! `|S ∩ X'|` only shrinks as elements get covered), a stale gain is always
+//! an *upper bound* on the fresh one. The lazy greedy therefore keeps the
+//! gains in a max-heap and re-evaluates only the popped top: if the popped
+//! entry is up to date it is provably the true maximum and can be selected
+//! without looking at anything else; otherwise it is re-inserted with its
+//! fresh gain (Leskovec et al.'s CELF). Each membership `(set, element)`
+//! pair can trigger at most one re-insertion, so a whole run costs
+//! O(membership × log sets) instead of O(picks × sets).
+//!
+//! Exact tie-break reproduction: the heap order is *effectiveness
+//! descending, then `tie` ascending* — the same total order the naive
+//! scan's "strictly greater replaces, first scanned wins" loop induces —
+//! so the lazy solvers select the identical set sequence bit for bit
+//! (property-tested in `tests/properties.rs`).
+
+use std::cmp::Ordering;
+
+use crate::cost::Cost;
+
+/// One heap entry: a possibly stale marginal gain for set `id`, plus the
+/// static tie-break key. The `Ord` impl makes `BinaryHeap` a max-heap by
+/// cost-effectiveness (`gain / cost`, compared exactly via
+/// [`Cost::cmp_effectiveness`]), breaking ties toward the *smallest*
+/// `tie` key.
+#[derive(Debug, Clone)]
+pub(crate) struct GainEntry<C> {
+    /// Last evaluated `|S ∩ X'|` — an upper bound on the current value.
+    pub gain: u64,
+    /// The set's cost (cloned so comparisons need no system lookup).
+    pub cost: C,
+    /// Tie-break key, ascending: `(group, id)` for the group-aware MCG
+    /// scan, `(0, id)` for the plain set-cover scan.
+    pub tie: (u32, u32),
+}
+
+impl<C: Cost> GainEntry<C> {
+    /// The set this entry scores.
+    pub fn set_index(&self) -> usize {
+        self.tie.1 as usize
+    }
+
+    /// The group component of the tie-break key.
+    pub fn group_index(&self) -> usize {
+        self.tie.0 as usize
+    }
+
+    /// Exact effectiveness comparison against another entry.
+    pub fn cmp_effectiveness(&self, other: &GainEntry<C>) -> Ordering {
+        C::cmp_effectiveness(self.gain, &self.cost, other.gain, &other.cost)
+    }
+}
+
+impl<C: Cost> PartialEq for GainEntry<C> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl<C: Cost> Eq for GainEntry<C> {}
+
+impl<C: Cost> PartialOrd for GainEntry<C> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<C: Cost> Ord for GainEntry<C> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_effectiveness(other)
+            .then_with(|| other.tie.cmp(&self.tie))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    fn entry(gain: u64, cost: u64, tie: (u32, u32)) -> GainEntry<u64> {
+        GainEntry { gain, cost, tie }
+    }
+
+    #[test]
+    fn orders_by_effectiveness_then_low_tie() {
+        let mut heap = BinaryHeap::new();
+        heap.push(entry(1, 1, (0, 0))); // eff 1
+        heap.push(entry(4, 2, (0, 1))); // eff 2
+        heap.push(entry(2, 1, (0, 2))); // eff 2, later id
+        heap.push(entry(2, 1, (1, 0))); // eff 2, later group
+        assert_eq!(heap.pop().unwrap().tie, (0, 1));
+        assert_eq!(heap.pop().unwrap().tie, (0, 2));
+        assert_eq!(heap.pop().unwrap().tie, (1, 0));
+        assert_eq!(heap.pop().unwrap().tie, (0, 0));
+    }
+
+    #[test]
+    fn zero_gain_sorts_last() {
+        let mut heap = BinaryHeap::new();
+        heap.push(entry(0, 1, (0, 0)));
+        heap.push(entry(1, 100, (0, 1)));
+        assert_eq!(heap.pop().unwrap().tie, (0, 1));
+    }
+}

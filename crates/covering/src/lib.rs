@@ -42,9 +42,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod celf;
 mod cost;
 mod mcg;
 mod primal_dual;
+pub mod reference;
 mod scg;
 mod set_cover;
 mod system;

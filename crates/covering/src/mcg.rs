@@ -1,6 +1,20 @@
 //! Greedy **Maximum Coverage with Group Budgets** — paper Fig. 3, after
 //! Chekuri & Kumar (APPROX 2004), cost version with no overall budget.
+//!
+//! The selection loop is a lazy greedy (see [`crate::celf`]): stale
+//! marginal gains live in a max-heap and only the popped top is
+//! re-evaluated. Because the naive scan's tie-break consults the *current*
+//! group costs, a fresh top entry alone does not determine the pick — all
+//! entries tying on effectiveness are drained, re-evaluated, and the
+//! winner chosen by `(group cost, group, set id)` ascending, which is
+//! exactly the order the reference scan's "strictly smaller group cost
+//! replaces, first scanned wins" rule induces. The selected sequence is
+//! bit-for-bit identical to [`crate::reference::greedy_mcg_opts`].
 
+use std::collections::binary_heap::PeekMut;
+use std::collections::BinaryHeap;
+
+use crate::celf::GainEntry;
 use crate::cost::Cost;
 use crate::set_cover::Cover;
 use crate::system::{ElementId, SetId, SetSystem};
@@ -48,6 +62,20 @@ impl<C: Cost> McgSolution<C> {
     /// Total elements covered by the raw selection `H`.
     pub fn all_covered_count(&self) -> usize {
         self.all_newly_covered.iter().map(Vec::len).sum()
+    }
+
+    pub(crate) fn new(
+        all: Vec<SetId>,
+        all_newly_covered: Vec<Vec<ElementId>>,
+        violating: Vec<bool>,
+        feasible: Cover<C>,
+    ) -> McgSolution<C> {
+        McgSolution {
+            all,
+            all_newly_covered,
+            violating,
+            feasible,
+        }
     }
 }
 
@@ -97,66 +125,157 @@ pub fn greedy_mcg_opts<C: Cost>(
 
     let n = system.n_elements();
     let mut covered = initially_covered.to_vec();
-    // Residual |S ∩ X'| per set.
-    let mut residual: Vec<u64> = system
-        .sets()
-        .iter()
-        .map(|s| {
-            s.members()
-                .iter()
-                .filter(|e| !covered[e.0 as usize])
-                .count() as u64
-        })
-        .collect();
+    let mut n_uncovered = covered.iter().filter(|&&c| !c).count();
+    // Residual |S ∩ X'| per set. With nothing initially covered (the plain
+    // `greedy_mcg` entry) that is just the set size — skip the O(total
+    // membership) per-element scan.
+    let mut residual: Vec<u64> = if n_uncovered == n {
+        system
+            .sets()
+            .iter()
+            .map(|s| s.members().len() as u64)
+            .collect()
+    } else {
+        system
+            .sets()
+            .iter()
+            .map(|s| {
+                s.members()
+                    .iter()
+                    .filter(|e| !covered[e.0 as usize])
+                    .count() as u64
+            })
+            .collect()
+    };
     let mut group_cost: Vec<C> = vec![C::zero(); system.n_groups()];
     let mut all: Vec<SetId> = Vec::new();
     let mut all_news: Vec<Vec<ElementId>> = Vec::new();
     let mut violating: Vec<bool> = Vec::new();
 
-    loop {
-        // Line 4–10 of Fig. 3: each group whose budget is not exhausted
-        // proposes its most cost-effective set; we additionally require the
-        // proposal to cover at least one new element (a zero-gain set can
-        // never improve coverage, only burn budget).
-        let mut best: Option<(SetId, u64)> = None;
-        for g in 0..system.n_groups() {
-            if group_cost[g] >= budgets[g] {
-                continue;
-            }
-            for &sid in system.group_sets(crate::system::GroupId(g as u32)) {
-                let set = system.set(sid);
-                if skip_unaffordable && *set.cost() > budgets[g] {
-                    continue; // unusable by any budget-feasible solution
-                }
-                let news = residual[sid.0 as usize];
-                if news == 0 {
-                    continue;
-                }
-                let better = match best {
-                    None => true,
-                    Some((bid, bnews)) => {
-                        match C::cmp_effectiveness(news, set.cost(), bnews, system.set(bid).cost())
-                        {
-                            std::cmp::Ordering::Greater => true,
-                            // Equal effectiveness: prefer the less-loaded
-                            // group (tie-breaking is unspecified in the
-                            // paper; this choice spreads load, which only
-                            // helps the SCG/BLA use and is neutral for
-                            // pure coverage).
-                            std::cmp::Ordering::Equal => {
-                                group_cost[g] < group_cost[system.set(bid).group().0 as usize]
-                            }
-                            std::cmp::Ordering::Less => false,
-                        }
-                    }
-                };
-                if better {
-                    best = Some((sid, news));
-                }
+    // Lazy-greedy heap over every potentially usable set. Unaffordable
+    // sets (under the skip rule) are excluded up front — budgets never
+    // change, so the naive scan would skip them on every pick anyway.
+    // Zero-gain sets are excluded too; gains only shrink.
+    let mut heap: BinaryHeap<GainEntry<C>> = system
+        .sets()
+        .iter()
+        .enumerate()
+        .filter(|&(i, set)| {
+            residual[i] > 0 && !(skip_unaffordable && *set.cost() > budgets[set.group().0 as usize])
+        })
+        .map(|(i, set)| GainEntry {
+            gain: residual[i],
+            cost: set.cost().clone(),
+            tie: (set.group().0, i as u32),
+        })
+        .collect();
+    // The current effectiveness-tie class, kept *outside* the heap across
+    // picks. Invariant at each pick: every heap entry's stored (stale,
+    // upper-bound) effectiveness is strictly below the class's, so any
+    // class member that re-validates (gain unchanged, group within budget)
+    // is still a true maximum and the next winner comes from the class with
+    // no heap traffic at all. Draining the often-large tie class back and
+    // forth through the heap was the dominant cost of this loop.
+    let mut tied: Vec<GainEntry<C>> = Vec::new();
+
+    while n_uncovered > 0 {
+        // Re-validate the carried class against the previous pick: discard
+        // members whose group is now exhausted or whose gain hit zero, and
+        // demote members whose gain shrank back into the heap (their fresh
+        // effectiveness is strictly below the class's, and it is exact, so
+        // the stale-upper-bound heap invariant holds).
+        let mut i = 0;
+        while i < tied.len() {
+            let g = tied[i].group_index();
+            let fresh = residual[tied[i].set_index()];
+            if group_cost[g] >= budgets[g] || fresh == 0 {
+                tied.swap_remove(i); // never usable again
+            } else if fresh < tied[i].gain {
+                let mut e = tied.swap_remove(i);
+                e.gain = fresh;
+                heap.push(e);
+            } else {
+                i += 1;
             }
         }
-        let Some((sid, _)) = best else { break };
 
+        if tied.is_empty() {
+            // Line 4–10 of Fig. 3: each group whose budget is not exhausted
+            // proposes its most cost-effective set; we additionally require
+            // the proposal to cover at least one new element (a zero-gain
+            // set can never improve coverage, only burn budget). Lazily:
+            // re-evaluate the top until it is current — it is then the true
+            // maximum. `peek_mut` refreshes stale gains in place (sift-down
+            // on drop), halving the heap traffic of a pop + push.
+            let lead = loop {
+                let Some(mut top) = heap.peek_mut() else {
+                    break None;
+                };
+                if group_cost[top.group_index()] >= budgets[top.group_index()] {
+                    PeekMut::pop(top); // group exhausted for good (costs only grow)
+                    continue;
+                }
+                let fresh = residual[top.set_index()];
+                if fresh == 0 {
+                    PeekMut::pop(top); // gains only shrink: never usable again
+                    continue;
+                }
+                if fresh < top.gain {
+                    top.gain = fresh; // drop re-sifts the refreshed entry
+                    continue;
+                }
+                break Some(PeekMut::pop(top));
+            };
+            let Some(lead) = lead else { break };
+
+            // The naive scan breaks effectiveness ties by the *current*
+            // group cost (prefer the less-loaded group, then scan order).
+            // Drain every entry whose stale gain still ties the lead — a
+            // stale tie's fresh effectiveness is strictly lower, so only
+            // up-to-date entries compete.
+            tied.push(lead);
+            loop {
+                let Some(mut top) = heap.peek_mut() else {
+                    break;
+                };
+                if top.cmp_effectiveness(&tied[0]) != std::cmp::Ordering::Equal {
+                    break;
+                }
+                if group_cost[top.group_index()] >= budgets[top.group_index()] {
+                    PeekMut::pop(top);
+                    continue;
+                }
+                let fresh = residual[top.set_index()];
+                if fresh == 0 {
+                    PeekMut::pop(top);
+                    continue;
+                }
+                if fresh < top.gain {
+                    // Strictly worse once refreshed, so it leaves the tie;
+                    // the drop sifts it down and the loop re-examines the
+                    // new top.
+                    top.gain = fresh;
+                    continue;
+                }
+                tied.push(PeekMut::pop(top));
+            }
+        }
+
+        // Pick the (group cost, group, id)-minimal class member — exactly
+        // the winner the reference scan's "strictly smaller group cost
+        // replaces, first scanned wins" rule induces. The rest of the class
+        // stays in `tied` for the next pick.
+        let wi = tied
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                (&group_cost[a.group_index()], a.tie).cmp(&(&group_cost[b.group_index()], b.tie))
+            })
+            .map(|(i, _)| i)
+            .expect("tied contains at least the lead");
+        let winner = tied.swap_remove(wi);
+
+        let sid = SetId(winner.tie.1);
         let set = system.set(sid);
         let g = set.group().0 as usize;
         let news: Vec<ElementId> = set
@@ -167,6 +286,7 @@ pub fn greedy_mcg_opts<C: Cost>(
             .collect();
         for &e in &news {
             covered[e.0 as usize] = true;
+            n_uncovered -= 1;
             for &other in system.covering_sets(e) {
                 residual[other.0 as usize] -= 1;
             }
@@ -175,10 +295,6 @@ pub fn greedy_mcg_opts<C: Cost>(
         violating.push(group_cost[g] > budgets[g]);
         all.push(sid);
         all_news.push(news);
-
-        if covered.iter().all(|&c| c) {
-            break;
-        }
     }
 
     // Partition H into H₁ (additions that stayed within budget) and H₂
@@ -194,7 +310,7 @@ pub fn greedy_mcg_opts<C: Cost>(
     }
 }
 
-fn better_half<C: Cost>(
+pub(crate) fn better_half<C: Cost>(
     system: &SetSystem<C>,
     n: usize,
     initially_covered: &[bool],

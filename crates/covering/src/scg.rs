@@ -97,6 +97,17 @@ pub fn solve_scg<C: Cost>(
     system: &SetSystem<C>,
     candidates: &[C],
 ) -> Result<ScgSolution<C>, ScgError> {
+    solve_scg_with(system, candidates, greedy_mcg_opts)
+}
+
+/// [`solve_scg`] parameterized over the MCG subroutine, so the reference
+/// (full-rescan) and lazy-greedy MCG drive the identical outer loop —
+/// used by `crate::reference` and the equivalence property tests.
+pub(crate) fn solve_scg_with<C: Cost>(
+    system: &SetSystem<C>,
+    candidates: &[C],
+    mcg: impl Fn(&SetSystem<C>, &[C], &[bool], bool) -> crate::mcg::McgSolution<C>,
+) -> Result<ScgSolution<C>, ScgError> {
     if !system.all_coverable() {
         return Err(ScgError::Uncoverable {
             elements: system.uncoverable_elements(),
@@ -130,7 +141,7 @@ pub fn solve_scg<C: Cost>(
                 if covered.iter().all(|&c| c) {
                     break true;
                 }
-                let sol = greedy_mcg_opts(system, &budgets, &covered, skip_unaffordable);
+                let sol = mcg(system, &budgets, &covered, skip_unaffordable);
                 // Per Fig. 6 (and the paper's worked example), each
                 // iteration contributes the *output* of Centralized MNU —
                 // the feasible half — which respects every group budget

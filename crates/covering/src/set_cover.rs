@@ -1,7 +1,10 @@
 //! Greedy weighted set cover — the paper's `CostSC` (Fig. 8).
 
+use std::collections::binary_heap::PeekMut;
+use std::collections::BinaryHeap;
 use std::fmt;
 
+use crate::celf::GainEntry;
 use crate::cost::Cost;
 use crate::system::{ElementId, SetId, SetSystem};
 
@@ -153,26 +156,38 @@ pub fn greedy_set_cover<C: Cost>(system: &SetSystem<C>) -> Result<Cover<C>, Cove
         .collect();
     let mut picks = Vec::new();
 
+    // Lazy greedy (CELF): gains are submodular, so a stale heap entry is an
+    // upper bound on the fresh gain. A popped entry whose gain is current is
+    // the true maximum — and the heap's (effectiveness desc, id asc) order
+    // matches the naive scan's "strictly greater replaces" rule exactly.
+    let mut heap: BinaryHeap<GainEntry<C>> = system
+        .sets()
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| residual[i] > 0)
+        .map(|(i, set)| GainEntry {
+            gain: residual[i],
+            cost: set.cost().clone(),
+            tie: (0, i as u32),
+        })
+        .collect();
+
     while n_uncovered > 0 {
-        let mut best: Option<(SetId, u64)> = None;
-        for (i, set) in system.sets().iter().enumerate() {
-            let id = SetId(i as u32);
-            let news = residual[i];
-            if news == 0 {
+        let id = loop {
+            let mut top = heap
+                .peek_mut()
+                .expect("all elements coverable implies progress");
+            let fresh = residual[top.set_index()];
+            if fresh == 0 {
+                PeekMut::pop(top); // gains only shrink: never usable again
                 continue;
             }
-            let better = match best {
-                None => true,
-                Some((bid, bnews)) => matches!(
-                    C::cmp_effectiveness(news, set.cost(), bnews, system.set(bid).cost()),
-                    std::cmp::Ordering::Greater
-                ),
-            };
-            if better {
-                best = Some((id, news));
+            if fresh < top.gain {
+                top.gain = fresh; // drop re-sifts the refreshed entry
+                continue;
             }
-        }
-        let (id, _) = best.expect("all elements coverable implies progress");
+            break SetId(PeekMut::pop(top).tie.1);
+        };
         let news: Vec<ElementId> = system
             .set(id)
             .members()

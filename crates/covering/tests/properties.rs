@@ -4,8 +4,8 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 
 use mcast_covering::{
-    check_budgets, check_cover, greedy_mcg, greedy_set_cover, group_costs, solve_scg, total_cost,
-    SetId, SetSystem, SetSystemBuilder,
+    check_budgets, check_cover, greedy_mcg, greedy_mcg_opts, greedy_set_cover, group_costs,
+    reference, solve_scg, total_cost, SetId, SetSystem, SetSystemBuilder,
 };
 
 /// Strategy: a random set system over `n` elements where every element is
@@ -144,6 +144,71 @@ proptest! {
         let gc = group_costs(&system, sol.cover().chosen());
         prop_assert_eq!(gc.into_iter().max().unwrap(), *sol.max_group_cost());
         prop_assert!(candidates.contains(sol.budget_used()));
+    }
+
+    // ---- Lazy-greedy vs full-rescan reference equivalence ----
+    //
+    // The fast solvers (CELF heap + carried tie class, see
+    // `crates/covering/src/celf.rs`) must select the *identical* set
+    // sequence as the verbatim pre-optimization scans kept in
+    // `mcast_covering::reference` — not just equally good covers. These
+    // properties pin that bit-for-bit claim on random systems, where
+    // effectiveness ties and budget-exhaustion edge cases are common.
+
+    #[test]
+    fn lazy_set_cover_selects_identical_sequence(system in coverable_system()) {
+        let fast = greedy_set_cover(&system).unwrap();
+        let slow = reference::greedy_set_cover(&system).unwrap();
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn lazy_mcg_selects_identical_sequence(
+        system in coverable_system(),
+        budget in 1u64..40,
+    ) {
+        let budgets = vec![budget; system.n_groups()];
+        let fast = greedy_mcg(&system, &budgets);
+        let slow = reference::greedy_mcg(&system, &budgets);
+        prop_assert_eq!(fast.all(), slow.all());
+        prop_assert_eq!(fast.violating(), slow.violating());
+        prop_assert_eq!(fast.all_newly_covered(), slow.all_newly_covered());
+        prop_assert_eq!(fast.feasible(), slow.feasible());
+    }
+
+    #[test]
+    fn lazy_mcg_opts_matches_reference_on_residual_instances(
+        system in coverable_system(),
+        budget in 1u64..40,
+        mask in 0u64..u64::MAX,
+        skip in proptest::bool::ANY,
+    ) {
+        // The SCG iteration calls the opts form with partial coverage and
+        // `skip_unaffordable = false`; exercise both rules.
+        let covered: Vec<bool> = (0..system.n_elements())
+            .map(|e| mask >> (e % 64) & 1 == 1)
+            .collect();
+        let budgets = vec![budget; system.n_groups()];
+        let fast = greedy_mcg_opts(&system, &budgets, &covered, skip);
+        let slow = reference::greedy_mcg_opts(&system, &budgets, &covered, skip);
+        prop_assert_eq!(fast.all(), slow.all());
+        prop_assert_eq!(fast.violating(), slow.violating());
+        prop_assert_eq!(fast.all_newly_covered(), slow.all_newly_covered());
+        prop_assert_eq!(fast.feasible(), slow.feasible());
+    }
+
+    #[test]
+    fn lazy_scg_selects_identical_solution(system in coverable_system()) {
+        let mut candidates: Vec<u64> = system.sets().iter().map(|s| *s.cost()).collect();
+        let all: Vec<SetId> = (0..system.n_sets()).map(|i| SetId(i as u32)).collect();
+        candidates.push(total_cost(&system, &all));
+        candidates.sort_unstable();
+        candidates.dedup();
+        let fast = solve_scg(&system, &candidates).unwrap();
+        let slow = reference::solve_scg(&system, &candidates).unwrap();
+        prop_assert_eq!(fast.cover(), slow.cover());
+        prop_assert_eq!(fast.max_group_cost(), slow.max_group_cost());
+        prop_assert_eq!(fast.budget_used(), slow.budget_used());
     }
 
     #[test]

@@ -1,0 +1,290 @@
+//! `repro bench` — the tracked performance trajectory.
+//!
+//! Times each fast path against the reference implementation it replaced,
+//! on pinned workloads, and writes the results as JSON so the speedups are
+//! recorded across PRs instead of living in commit messages:
+//!
+//! * `BENCH_greedy.json` — lazy-greedy (CELF) vs full-rescan greedy for
+//!   MCG, `CostSC` and SCG (the `crates/covering` fast paths);
+//! * `BENCH_topology.json` — spatial-grid vs all-pairs scenario
+//!   generation (the `crates/topology` fast path).
+//!
+//! Every comparison also asserts the two implementations produce
+//! identical outputs — a bench run doubles as an equivalence check on
+//! real workloads. `--quick` shrinks the workloads (CI smoke) but keeps
+//! the JSON keys identical, so consumers can rely on the schema.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use mcast_core::reduction::Reduction;
+use mcast_covering::{greedy_mcg, greedy_set_cover, reference, solve_scg, SetSystemBuilder};
+use mcast_topology::{Placement, ScenarioConfig};
+use serde::Serialize;
+
+use crate::Options;
+
+/// One fast-vs-reference comparison.
+#[derive(Debug, Serialize)]
+pub struct BenchEntry {
+    /// Human description of the pinned workload.
+    pub workload: String,
+    /// Reference (pre-optimization) wall-clock, milliseconds.
+    pub reference_ms: f64,
+    /// Fast-path wall-clock, milliseconds (best of 3).
+    pub fast_ms: f64,
+    /// `reference_ms / fast_ms`.
+    pub speedup: f64,
+    /// Whether the two implementations produced identical outputs.
+    pub outputs_identical: bool,
+}
+
+/// One report file: a named set of [`BenchEntry`]s.
+#[derive(Debug, Serialize)]
+pub struct BenchReport {
+    /// Report schema tag.
+    pub schema: String,
+    /// True when the workloads were shrunk by `--quick`.
+    pub quick: bool,
+    /// Entries by stable key (same keys in quick and full mode).
+    pub benches: BTreeMap<String, BenchEntry>,
+}
+
+fn time_once<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let t0 = Instant::now();
+    let out = f();
+    (t0.elapsed().as_secs_f64() * 1e3, out)
+}
+
+fn time_best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let (mut best_ms, mut out) = time_once(&mut f);
+    for _ in 1..reps {
+        let (ms, o) = time_once(&mut f);
+        if ms < best_ms {
+            best_ms = ms;
+            out = o;
+        }
+    }
+    (best_ms, out)
+}
+
+/// The covering-layer report: lazy-greedy vs full-rescan greedy.
+pub fn greedy_report(opts: &Options) -> BenchReport {
+    let (n_aps, n_users) = if opts.quick { (40, 150) } else { (200, 1000) };
+    let scenario = ScenarioConfig {
+        n_aps,
+        n_users,
+        ..ScenarioConfig::paper_default()
+    }
+    .with_seed(0)
+    .generate();
+    let red = Reduction::build(&scenario.instance);
+    let system = red.system();
+    let budgets = red.budgets();
+
+    let mut benches = BTreeMap::new();
+
+    let (ref_ms, ref_sol) = time_once(|| reference::greedy_mcg(system, budgets));
+    let (fast_ms, fast_sol) = time_best_of(3, || greedy_mcg(system, budgets));
+    benches.insert(
+        "mcg".to_string(),
+        BenchEntry {
+            workload: format!("MCG greedy, paper-density WLAN, {n_aps} APs / {n_users} users"),
+            reference_ms: ref_ms,
+            fast_ms,
+            speedup: ref_ms / fast_ms,
+            outputs_identical: ref_sol.all() == fast_sol.all()
+                && ref_sol.feasible() == fast_sol.feasible(),
+        },
+    );
+
+    let (ref_ms, ref_cover) = time_once(|| greedy_set_cover_ref(system));
+    let (fast_ms, fast_cover) = time_best_of(3, || greedy_set_cover(system).expect("coverable"));
+    benches.insert(
+        "costsc".to_string(),
+        BenchEntry {
+            workload: format!("CostSC greedy, paper-density WLAN, {n_aps} APs / {n_users} users"),
+            reference_ms: ref_ms,
+            fast_ms,
+            speedup: ref_ms / fast_ms,
+            outputs_identical: ref_cover == fast_cover,
+        },
+    );
+
+    // SCG multiplies the MCG cost by (candidates × iterations × 2 rules),
+    // so it runs on a synthetic mid-size system rather than the full WLAN.
+    let n = if opts.quick { 120 } else { 400 };
+    let system = synthetic_system(n, 20);
+    let candidates: Vec<u64> = vec![10, 20, 40, 80, 160, 1000];
+    let (ref_ms, ref_scg) = time_once(|| reference::solve_scg(&system, &candidates).unwrap());
+    let (fast_ms, fast_scg) = time_best_of(3, || solve_scg(&system, &candidates).unwrap());
+    benches.insert(
+        "scg".to_string(),
+        BenchEntry {
+            workload: format!("SCG over 6 candidate budgets, synthetic system, {n} elements"),
+            reference_ms: ref_ms,
+            fast_ms,
+            speedup: ref_ms / fast_ms,
+            outputs_identical: ref_scg.cover() == fast_scg.cover()
+                && ref_scg.max_group_cost() == fast_scg.max_group_cost(),
+        },
+    );
+
+    BenchReport {
+        schema: "mcast-bench-greedy/v1".to_string(),
+        quick: opts.quick,
+        benches,
+    }
+}
+
+/// The topology-layer report: spatial-grid vs all-pairs generation.
+pub fn topology_report(opts: &Options) -> BenchReport {
+    // 500 APs in hotspot clusters over a 14 km square — a metro-scale
+    // deployment where most of the area is out of coverage. Under
+    // `require_coverage`, user placement is rejection-sampled, which is
+    // exactly where the all-pairs reference pays O(APs) per draw and the
+    // grid pays O(1): the workload exercises the quadratic-rejection fix,
+    // not just the link-building loop. Quick mode shrinks to the default
+    // uniform layout.
+    let cfg = if opts.quick {
+        ScenarioConfig {
+            n_aps: 120,
+            n_users: 300,
+            ..ScenarioConfig::paper_default()
+        }
+    } else {
+        ScenarioConfig {
+            n_aps: 500,
+            n_users: 2000,
+            width_m: 14000.0,
+            height_m: 14000.0,
+            ap_placement: Placement::Clustered {
+                clusters: 25,
+                sigma_m: 80.0,
+            },
+            ..ScenarioConfig::paper_default()
+        }
+    }
+    .with_seed(0);
+
+    let mut benches = BTreeMap::new();
+    let (ref_ms, ref_sc) = time_once(|| cfg.generate_reference());
+    let (fast_ms, fast_sc) = time_best_of(3, || cfg.generate());
+    let identical = ref_sc.user_positions == fast_sc.user_positions
+        && serde_json::to_string(&ref_sc.instance).ok()
+            == serde_json::to_string(&fast_sc.instance).ok();
+    benches.insert(
+        "scenario_gen".to_string(),
+        BenchEntry {
+            workload: format!(
+                "scenario generation, {} APs / {} users, {:.0} m square, {} AP placement",
+                cfg.n_aps,
+                cfg.n_users,
+                cfg.width_m,
+                match cfg.ap_placement {
+                    Placement::Uniform => "uniform",
+                    Placement::Clustered { .. } => "25-cluster hotspot",
+                    Placement::Grid { .. } => "grid",
+                }
+            ),
+            reference_ms: ref_ms,
+            fast_ms,
+            speedup: ref_ms / fast_ms,
+            outputs_identical: identical,
+        },
+    );
+
+    BenchReport {
+        schema: "mcast-bench-topology/v1".to_string(),
+        quick: opts.quick,
+        benches,
+    }
+}
+
+/// Runs both reports, writes `BENCH_greedy.json` / `BENCH_topology.json`
+/// into the current directory, and returns a printable summary.
+///
+/// # Errors
+///
+/// Returns an error string when a report file cannot be written or an
+/// equivalence check failed.
+pub fn run(opts: &Options) -> Result<String, String> {
+    let mut out = String::new();
+    let mut all_identical = true;
+    for (path, report) in [
+        ("BENCH_greedy.json", greedy_report(opts)),
+        ("BENCH_topology.json", topology_report(opts)),
+    ] {
+        let json =
+            serde_json::to_string_pretty(&report).map_err(|e| format!("serialize {path}: {e}"))?;
+        std::fs::write(path, json.as_bytes()).map_err(|e| format!("write {path}: {e}"))?;
+        out.push_str(&format!("{path}:\n"));
+        for (key, b) in &report.benches {
+            all_identical &= b.outputs_identical;
+            out.push_str(&format!(
+                "  {key:<14} {:>9.1} ms -> {:>8.1} ms  ({:>5.1}x, outputs {})\n",
+                b.reference_ms,
+                b.fast_ms,
+                b.speedup,
+                if b.outputs_identical {
+                    "identical"
+                } else {
+                    "DIFFER"
+                }
+            ));
+        }
+    }
+    if all_identical {
+        Ok(out)
+    } else {
+        Err(format!(
+            "fast path diverged from reference:\n{out}\nThis is a correctness bug — see crates/covering/src/reference.rs"
+        ))
+    }
+}
+
+fn greedy_set_cover_ref(
+    system: &mcast_covering::SetSystem<mcast_core::Load>,
+) -> mcast_covering::Cover<mcast_core::Load> {
+    reference::greedy_set_cover(system).expect("coverable")
+}
+
+/// Deterministic synthetic system, mirroring `benches/covering.rs`.
+fn synthetic_system(n: usize, g: u32) -> mcast_covering::SetSystem<u64> {
+    let mut b = SetSystemBuilder::<u64>::new(n);
+    for e in 0..n {
+        b.push_set([e as u32], 3 + (e as u64 % 5), (e as u32) % g)
+            .unwrap();
+    }
+    for i in 0..n {
+        let members: Vec<u32> = (0..n as u32)
+            .filter(|&e| (e as usize * 7 + i * 13).is_multiple_of(5))
+            .collect();
+        if !members.is_empty() {
+            b.push_set(members, 2 + (i as u64 % 7), (i as u32) % g)
+                .unwrap();
+        }
+    }
+    b.build().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_reports_have_stable_keys() {
+        let opts = Options {
+            quick: true,
+            ..Options::default()
+        };
+        let g = greedy_report(&opts);
+        assert!(["mcg", "costsc", "scg"]
+            .iter()
+            .all(|k| g.benches.contains_key(*k)));
+        assert!(g.benches.values().all(|b| b.outputs_identical));
+        let t = topology_report(&opts);
+        assert!(t.benches.contains_key("scenario_gen"));
+        assert!(t.benches.values().all(|b| b.outputs_identical));
+    }
+}

@@ -18,6 +18,7 @@ use mcast_channels::{
 use mcast_core::{solve_bla, solve_mla, solve_ssa, Objective};
 use mcast_topology::ScenarioConfig;
 
+use crate::par::parallel_map;
 use crate::stats::{Figure, Series, Summary};
 use crate::Options;
 
@@ -45,10 +46,11 @@ pub fn run(opts: &Options) -> Vec<Figure> {
         .collect();
     let mut overhead: Vec<Series> = max_eff.clone();
 
+    let seeds: Vec<u64> = (0..opts.seeds).collect();
     for &budget in budgets {
-        let mut values_max = vec![Vec::new(); algos.len()];
-        let mut values_ovh = vec![Vec::new(); algos.len()];
-        for seed in 0..opts.seeds {
+        // Each seed's trial is independent; results come back in seed
+        // order so the Summary accumulation matches the serial run.
+        let per_seed: Vec<([f64; 4], [f64; 4])> = parallel_map(&seeds, |&seed| {
             let scenario = cfg.clone().with_seed(seed).generate();
             let inst = &scenario.instance;
             let graph = InterferenceGraph::from_positions(
@@ -64,10 +66,21 @@ pub fn run(opts: &Options) -> Vec<Figure> {
                 // one that actually sees the channel map.
                 run_interference_aware(inst, &graph, &assignment, 100).association,
             ];
+            let mut maxes = [0.0f64; 4];
+            let mut ovhs = [0.0f64; 4];
             for (ai, assoc) in associations.iter().enumerate() {
                 let eff = EffectiveLoads::compute(inst, assoc, &graph, &assignment);
-                values_max[ai].push(eff.max_effective().as_f64());
-                values_ovh[ai].push(eff.interference_overhead().as_f64());
+                maxes[ai] = eff.max_effective().as_f64();
+                ovhs[ai] = eff.interference_overhead().as_f64();
+            }
+            (maxes, ovhs)
+        });
+        let mut values_max = vec![Vec::new(); algos.len()];
+        let mut values_ovh = vec![Vec::new(); algos.len()];
+        for (maxes, ovhs) in &per_seed {
+            for ai in 0..algos.len() {
+                values_max[ai].push(maxes[ai]);
+                values_ovh[ai].push(ovhs[ai]);
             }
         }
         for ai in 0..algos.len() {

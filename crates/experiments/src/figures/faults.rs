@@ -26,6 +26,7 @@ use mcast_sim::{SimConfig, Simulator, WakeSchedule};
 use mcast_topology::ScenarioConfig;
 use serde::Serialize;
 
+use crate::par::parallel_map;
 use crate::Options;
 
 /// Shape of the scenario and outage, echoed into the JSON so a result is
@@ -103,8 +104,11 @@ pub fn run(opts: &Options) -> String {
     let (down_cycle, up_cycle) = (20u64, 45u64);
     let max_cycles = 150;
 
-    let mut runs = Vec::new();
-    for seed in 0..seeds {
+    // Seeds are independent; fan them out and flatten in seed order so the
+    // JSON rows keep the serial (seed, schedule, policy) order.
+    let seed_list: Vec<u64> = (0..seeds).collect();
+    let per_seed: Vec<Vec<RunRow>> = parallel_map(&seed_list, |&seed| {
+        let mut runs = Vec::new();
         let scenario = ScenarioConfig {
             n_aps,
             n_users,
@@ -186,7 +190,9 @@ pub fn run(opts: &Options) -> String {
                 });
             }
         }
-    }
+        runs
+    });
+    let runs: Vec<RunRow> = per_seed.into_iter().flatten().collect();
 
     let report = FaultsReport {
         setup: Setup {

@@ -11,6 +11,7 @@
 use mcast_core::{run_distributed, DistributedConfig, Instance, Load};
 use mcast_topology::ScenarioConfig;
 
+use crate::par::parallel_map;
 use crate::stats::{Figure, Series, Summary};
 use crate::Options;
 
@@ -58,9 +59,12 @@ pub fn run(opts: &Options) -> Vec<Figure> {
                 hysteresis,
                 ..DistributedConfig::default()
             };
-            let mut churn_vals = Vec::new();
-            let mut drift_vals = Vec::new();
-            for seed in 0..opts.seeds.min(10) {
+            // Each seed's epoch chain is serial internally but independent
+            // of other seeds; fan out seeds, then append in seed order.
+            let seeds: Vec<u64> = (0..opts.seeds.min(10)).collect();
+            let per_seed: Vec<(Vec<f64>, Vec<f64>)> = parallel_map(&seeds, |&seed| {
+                let mut churn = Vec::with_capacity(epochs);
+                let mut drift = Vec::with_capacity(epochs);
                 let mut scenario = cfg.clone().with_seed(seed).generate();
                 // Initial association from scratch.
                 let mut assoc = solve_serial(&scenario.instance, None);
@@ -76,16 +80,23 @@ pub fn run(opts: &Options) -> Vec<Figure> {
                         .zip(out.association.as_slice())
                         .filter(|(a, b)| a != b)
                         .count();
-                    churn_vals.push(moves as f64 / inst.n_users() as f64);
+                    churn.push(moves as f64 / inst.n_users() as f64);
                     let repaired = out.association.total_load(inst).as_f64();
                     let scratch = solve_serial(inst, None).total_load(inst).as_f64();
-                    drift_vals.push(if scratch > 0.0 {
+                    drift.push(if scratch > 0.0 {
                         repaired / scratch
                     } else {
                         1.0
                     });
                     assoc = out.association;
                 }
+                (churn, drift)
+            });
+            let mut churn_vals = Vec::new();
+            let mut drift_vals = Vec::new();
+            for (churn, drift) in per_seed {
+                churn_vals.extend(churn);
+                drift_vals.extend(drift);
             }
             churn_series[vi]
                 .points

@@ -22,6 +22,7 @@ use mcast_core::{
 };
 use mcast_topology::ScenarioConfig;
 
+use crate::par::parallel_map;
 use crate::stats::{Figure, Series, Summary};
 use crate::Options;
 
@@ -54,11 +55,19 @@ fn tight_budget_regime(opts: &Options) -> Vec<Figure> {
             .association
         }),
     ];
-    let mut values = vec![Vec::new(); algos.len()];
-    for seed in 0..opts.seeds {
+    let seeds: Vec<u64> = (0..opts.seeds).collect();
+    let per_seed: Vec<[f64; 3]> = parallel_map(&seeds, |&seed| {
         let scenario = cfg.clone().with_seed(seed).generate();
+        let mut row = [0.0f64; 3];
         for (ai, (_, solve)) in algos.iter().enumerate() {
-            values[ai].push(pay_per_view(&solve(&scenario.instance), 1.0));
+            row[ai] = pay_per_view(&solve(&scenario.instance), 1.0);
+        }
+        row
+    });
+    let mut values = vec![Vec::new(); algos.len()];
+    for row in &per_seed {
+        for ai in 0..algos.len() {
+            values[ai].push(row[ai]);
         }
     }
     vec![Figure {
@@ -115,15 +124,25 @@ fn loose_budget_regime(opts: &Options) -> Vec<Figure> {
         ),
     ];
 
-    let mut values = vec![vec![Vec::new(); algos.len()]; models.len()];
-    for seed in 0..opts.seeds {
+    let seeds: Vec<u64> = (0..opts.seeds).collect();
+    let per_seed: Vec<[[f64; 4]; 3]> = parallel_map(&seeds, |&seed| {
         let scenario = cfg.clone().with_seed(seed).generate();
         let inst = &scenario.instance;
+        let mut rows = [[0.0f64; 4]; 3];
         for (ai, (_, solve)) in algos.iter().enumerate() {
             let assoc = solve(inst);
             debug_assert_eq!(assoc.satisfied_count(), inst.n_users());
             for (mi, (_, _, metric)) in models.iter().enumerate() {
-                values[mi][ai].push(metric(&assoc, inst));
+                rows[mi][ai] = metric(&assoc, inst);
+            }
+        }
+        rows
+    });
+    let mut values = vec![vec![Vec::new(); algos.len()]; models.len()];
+    for rows in &per_seed {
+        for mi in 0..models.len() {
+            for ai in 0..algos.len() {
+                values[mi][ai].push(rows[mi][ai]);
             }
         }
     }

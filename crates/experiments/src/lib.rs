@@ -18,8 +18,10 @@
 #![warn(missing_docs)]
 
 pub mod algos;
+pub mod bench;
 pub mod cli;
 pub mod figures;
+pub mod par;
 pub mod plot;
 pub mod report;
 pub mod stats;

@@ -14,6 +14,7 @@
 //!   mobility    quasi-static user movement: churn & repaired-load drift
 //!   faults      fault injection: recovery after a coordinated AP outage
 //!   revenue     the §3.2 revenue models across algorithms
+//!   bench       time fast paths vs reference, write BENCH_*.json
 //!   gen/solve   write a scenario JSON / run one algorithm on it
 //!   compare     diff two results/ CSV directories (regression check)
 //!   validate    simulator vs analytic cross-checks
@@ -32,7 +33,7 @@ use mcast_experiments::Options;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().cloned() else {
-        eprintln!("usage: repro <table1|fig9|fig10|fig11|fig12|ablations|channels|mobility|faults|revenue|validate|all|gen|solve|compare> [--seeds N] [--out DIR] [--max-nodes N] [--quick] [--plot]");
+        eprintln!("usage: repro <table1|fig9|fig10|fig11|fig12|ablations|channels|mobility|faults|revenue|bench|validate|all|gen|solve|compare> [--seeds N] [--out DIR] [--max-nodes N] [--quick] [--plot]");
         return ExitCode::FAILURE;
     };
     let mut opts = Options::default();
@@ -103,6 +104,13 @@ fn main() -> ExitCode {
             println!("{json}");
         }
         "revenue" => run_figs(revenue::run(&opts), &opts),
+        "bench" => match mcast_experiments::bench::run(&opts) {
+            Ok(summary) => print!("{summary}"),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
         "gen" => {
             // repro gen <out.json> [--seed N] [--aps N] [--users N]
             //                      [--sessions N] [--budget PERMILLE]

@@ -1,0 +1,109 @@
+//! Deterministic data parallelism on scoped threads.
+//!
+//! The sweep harness runs many independent (seed, algorithm) trials; rayon
+//! is not vendored, but `std::thread::scope` needs no dependencies. The one
+//! rule: results must come back **in input order**, so that every
+//! downstream float accumulation (`Summary::of`, averages, CSV rows)
+//! happens in exactly the serial order and the emitted bytes stay
+//! identical to a single-threaded run.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Applies `f` to every item on a pool of scoped worker threads and
+/// returns the results **in input order** — element `i` of the output is
+/// `f(&items[i])` regardless of which worker computed it or when.
+///
+/// Work is distributed by an atomic cursor (dynamic load balancing, so a
+/// slow seed does not stall a whole stripe). Falls back to a plain serial
+/// map when there is one item or one core.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, U)>();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                if tx.send((i, f(&items[i]))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
+        for (i, u) in rx {
+            debug_assert!(slots[i].is_none());
+            slots[i] = Some(u);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index is computed exactly once"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = parallel_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_serial_float_accumulation() {
+        let items: Vec<f64> = (0..257).map(|i| (i as f64).sin()).collect();
+        let par: Vec<f64> = parallel_map(&items, |&x| x.exp());
+        let ser: Vec<f64> = items.iter().map(|&x| x.exp()).collect();
+        // Bitwise equality, not approximate: ordering is the whole point.
+        assert!(par
+            .iter()
+            .zip(&ser)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(parallel_map::<u8, u8, _>(&[], |&x| x), Vec::<u8>::new());
+        assert_eq!(parallel_map(&[7u8], |&x| x + 1), vec![8u8]);
+    }
+
+    #[test]
+    fn uneven_work_still_ordered() {
+        let items: Vec<u64> = (0..64).collect();
+        let out = parallel_map(&items, |&x| {
+            if x % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            x
+        });
+        assert_eq!(out, items);
+    }
+}

@@ -694,9 +694,9 @@ impl<'a> Simulator<'a> {
         use rand::{Rng, SeedableRng};
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
         let keep = self.config.faults.link_keep_prob();
-        let cands: Vec<ApId> = self.inst.candidate_aps(u).iter().map(|&(a, _)| a).collect();
-        for a in cands {
-            let idx = u.index() * self.inst.n_aps() + a.index();
+        let inst = self.inst;
+        for &(a, _) in inst.candidate_aps(u) {
+            let idx = u.index() * inst.n_aps() + a.index();
             self.link_ok[idx] = rng.gen::<f64>() < keep;
         }
         // The move tears down whatever exchange was in flight (the radio
@@ -709,8 +709,11 @@ impl<'a> Simulator<'a> {
                     Phase::AwaitingAssoc { locked: true }
                 );
             if holds_locks {
-                for a in self.neighbors(u) {
-                    self.send(Node::User(u), Node::Ap(a), MessageBody::LockRelease);
+                let inst = self.inst;
+                for &(a, _) in inst.candidate_aps(u) {
+                    if self.link_up(u, a) {
+                        self.send(Node::User(u), Node::Ap(a), MessageBody::LockRelease);
+                    }
                 }
             }
             self.abandoned_exchanges += 1;
@@ -767,8 +770,11 @@ impl<'a> Simulator<'a> {
             Phase::Querying { locked, .. } | Phase::AwaitingAssoc { locked } => {
                 self.abandoned_exchanges += 1;
                 if locked {
-                    for a in self.neighbors(u) {
-                        self.send(Node::User(u), Node::Ap(a), MessageBody::LockRelease);
+                    let inst = self.inst;
+                    for &(a, _) in inst.candidate_aps(u) {
+                        if self.link_up(u, a) {
+                            self.send(Node::User(u), Node::Ap(a), MessageBody::LockRelease);
+                        }
                     }
                 }
             }
@@ -791,8 +797,11 @@ impl<'a> Simulator<'a> {
                 if matches!(self.phases[u.index()], Phase::Locking { .. })
                     || matches!(self.phases[u.index()], Phase::Querying { locked: true, .. })
                 {
-                    for a in self.neighbors(u) {
-                        self.send(Node::User(u), Node::Ap(a), MessageBody::LockRelease);
+                    let inst = self.inst;
+                    for &(a, _) in inst.candidate_aps(u) {
+                        if self.link_up(u, a) {
+                            self.send(Node::User(u), Node::Ap(a), MessageBody::LockRelease);
+                        }
                     }
                 }
                 self.abandoned_exchanges += 1;
@@ -1049,8 +1058,11 @@ impl<'a> Simulator<'a> {
                     return;
                 };
                 if locked {
-                    for a in self.neighbors(u) {
-                        self.send(Node::User(u), Node::Ap(a), MessageBody::LockRelease);
+                    let inst = self.inst;
+                    for &(a, _) in inst.candidate_aps(u) {
+                        if self.link_up(u, a) {
+                            self.send(Node::User(u), Node::Ap(a), MessageBody::LockRelease);
+                        }
                     }
                 }
                 self.phases[u.index()] = Phase::Idle;
@@ -1100,8 +1112,11 @@ impl<'a> Simulator<'a> {
         if current.is_some_and(|cur| !responses.contains_key(&cur)) {
             self.abandoned_exchanges += 1;
             if locked {
-                for a in self.neighbors(u) {
-                    self.send(Node::User(u), Node::Ap(a), MessageBody::LockRelease);
+                let inst = self.inst;
+                for &(a, _) in inst.candidate_aps(u) {
+                    if self.link_up(u, a) {
+                        self.send(Node::User(u), Node::Ap(a), MessageBody::LockRelease);
+                    }
                 }
             }
             self.phases[u.index()] = Phase::Idle;
@@ -1127,8 +1142,11 @@ impl<'a> Simulator<'a> {
             }
             None => {
                 if locked {
-                    for a in self.neighbors(u) {
-                        self.send(Node::User(u), Node::Ap(a), MessageBody::LockRelease);
+                    let inst = self.inst;
+                    for &(a, _) in inst.candidate_aps(u) {
+                        if self.link_up(u, a) {
+                            self.send(Node::User(u), Node::Ap(a), MessageBody::LockRelease);
+                        }
                     }
                 }
                 self.phases[u.index()] = Phase::Idle;

@@ -26,12 +26,14 @@
 #![warn(missing_docs)]
 
 mod geometry;
+mod grid;
 pub mod phy;
 mod placement;
 pub mod power;
 mod scenario;
 
 pub use geometry::Point;
+pub use grid::SpatialGrid;
 pub use phy::PathLossModel;
 pub use placement::Placement;
 pub use power::{instance_with_power, optimize_power, PowerOutcome};

@@ -72,6 +72,18 @@ impl Placement {
             }
         }
     }
+
+    /// Draws exactly the position `sample(1, ...)` would return, consuming
+    /// the RNG identically. Uniform placement — the inner loop of
+    /// rejection-sampled user placement — avoids the per-draw `Vec`
+    /// allocation; the other models fall back to [`Placement::sample`]
+    /// because their single-draw geometry is entangled with `n`.
+    pub fn sample_one<R: Rng>(&self, width: f64, height: f64, rng: &mut R) -> Point {
+        match self {
+            Placement::Uniform => Point::new(rng.gen::<f64>() * width, rng.gen::<f64>() * height),
+            _ => self.sample(1, width, height, rng)[0],
+        }
+    }
 }
 
 #[cfg(test)]
@@ -127,6 +139,28 @@ mod tests {
         assert!(mean_dist < 50.0, "mean distance {mean_dist} too spread");
         for p in &pts {
             assert!((0.0..=1000.0).contains(&p.x) && (0.0..=1000.0).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn sample_one_matches_sample_of_one() {
+        for placement in [
+            Placement::Uniform,
+            Placement::Grid { jitter_m: 5.0 },
+            Placement::Clustered {
+                clusters: 3,
+                sigma_m: 40.0,
+            },
+        ] {
+            let mut r1 = rng(9);
+            let mut r2 = rng(9);
+            for _ in 0..10 {
+                assert_eq!(
+                    placement.sample_one(100.0, 80.0, &mut r1),
+                    placement.sample(1, 100.0, 80.0, &mut r2)[0],
+                    "{placement:?} diverged from sample(1)"
+                );
+            }
         }
     }
 
