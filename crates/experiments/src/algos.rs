@@ -5,6 +5,9 @@ use mcast_core::{
     Objective, Policy, Solution,
 };
 use mcast_exact::{optimal_bla, optimal_mla, optimal_mnu, SearchLimits};
+use serde::{Deserialize, Serialize};
+
+use crate::runner::TrialError;
 
 /// An algorithm under evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -49,8 +52,9 @@ impl Algo {
     }
 }
 
-/// What one algorithm run produced.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// What one algorithm run produced. Serializable so completed trials can
+/// be journaled and replayed on `--resume`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Measured {
     /// Users served.
     pub satisfied: usize,
@@ -111,19 +115,25 @@ impl Metric {
     }
 }
 
-/// Runs `algo` on `inst`.
+/// Runs `algo` on `inst`, returning a typed error instead of panicking
+/// when a full-coverage solver meets an uncoverable instance. The
+/// generators guarantee coverage, so an error here means a genuinely bad
+/// trial — the run orchestrator reports it and the sweep continues.
 ///
-/// The full-coverage solvers (MLA/BLA and their optima) treat an
-/// uncoverable instance as a bug in scenario generation and panic; the
-/// generators guarantee coverage.
-pub fn run(algo: Algo, inst: &Instance, limits: SearchLimits) -> Measured {
-    match algo {
+/// # Errors
+///
+/// [`TrialError::Failed`] when a solver rejects the instance.
+pub fn try_run(algo: Algo, inst: &Instance, limits: SearchLimits) -> Result<Measured, TrialError> {
+    let fail = |stage: &str, e: &dyn std::fmt::Display| {
+        TrialError::failed(format!("{stage} ({}): {e}", algo.label()))
+    };
+    Ok(match algo {
         Algo::MlaC => {
-            let sol = solve_mla(inst).expect("scenario guarantees coverage");
+            let sol = solve_mla(inst).map_err(|e| fail("solve_mla", &e))?;
             Measured::of(&sol, inst, None)
         }
         Algo::BlaC => {
-            let sol = solve_bla(inst).expect("scenario guarantees coverage");
+            let sol = solve_bla(inst).map_err(|e| fail("solve_bla", &e))?;
             Measured::of(&sol, inst, None)
         }
         Algo::MnuC => {
@@ -165,17 +175,30 @@ pub fn run(algo: Algo, inst: &Instance, limits: SearchLimits) -> Measured {
             Measured::of(&sol, inst, None)
         }
         Algo::OptMla => {
-            let out = optimal_mla(inst, limits).expect("coverage");
+            let out = optimal_mla(inst, limits).map_err(|e| fail("optimal_mla", &e))?;
             Measured::of(&out.solution, inst, Some(out.proved_optimal))
         }
         Algo::OptBla => {
-            let out = optimal_bla(inst, limits).expect("coverage");
+            let out = optimal_bla(inst, limits).map_err(|e| fail("optimal_bla", &e))?;
             Measured::of(&out.solution, inst, Some(out.proved_optimal))
         }
         Algo::OptMnu => {
             let out = optimal_mnu(inst, limits);
             Measured::of(&out.solution, inst, Some(out.proved_optimal))
         }
+    })
+}
+
+/// Infallible wrapper over [`try_run`] for contexts that still treat an
+/// uncoverable instance as a scenario-generation bug.
+///
+/// # Panics
+///
+/// Panics when [`try_run`] fails.
+pub fn run(algo: Algo, inst: &Instance, limits: SearchLimits) -> Measured {
+    match try_run(algo, inst, limits) {
+        Ok(m) => m,
+        Err(e) => panic!("{e}"),
     }
 }
 

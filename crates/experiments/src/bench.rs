@@ -217,7 +217,8 @@ pub fn run(opts: &Options) -> Result<String, String> {
     ] {
         let json =
             serde_json::to_string_pretty(&report).map_err(|e| format!("serialize {path}: {e}"))?;
-        std::fs::write(path, json.as_bytes()).map_err(|e| format!("write {path}: {e}"))?;
+        crate::journal::atomic_write(std::path::Path::new(path), json.as_bytes())
+            .map_err(|e| format!("write {path}: {e}"))?;
         out.push_str(&format!("{path}:\n"));
         for (key, b) in &report.benches {
             all_identical &= b.outputs_identical;

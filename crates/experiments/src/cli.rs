@@ -54,7 +54,7 @@ pub fn generate_to_file(opts: &GenOptions, path: &Path) -> Result<(), String> {
     .try_generate()
     .map_err(|e| format!("generation failed: {e}"))?;
     let json = serde_json::to_string(&scenario).map_err(|e| e.to_string())?;
-    std::fs::write(path, json).map_err(|e| e.to_string())?;
+    crate::journal::atomic_write(path, json.as_bytes()).map_err(|e| e.to_string())?;
     println!(
         "wrote scenario: {} APs, {} users, {} sessions, budget {} (seed {}) -> {}",
         opts.aps,
@@ -67,15 +67,97 @@ pub fn generate_to_file(opts: &GenOptions, path: &Path) -> Result<(), String> {
     Ok(())
 }
 
-/// Loads a scenario JSON file.
+/// Loads a scenario JSON file and validates it (see
+/// [`validate_scenario`]) so solvers never see corrupt geometry.
 ///
 /// # Errors
 ///
-/// I/O or deserialization failures.
+/// I/O failures, deserialization failures, or validation failures, each
+/// with a message naming the offending field.
 pub fn load_scenario(path: &Path) -> Result<Scenario, String> {
     let json = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    serde_json::from_str(&json).map_err(|e| format!("bad scenario file: {e}"))
+    let scenario: Scenario =
+        serde_json::from_str(&json).map_err(|e| format!("bad scenario file: {e}"))?;
+    validate_scenario(&scenario)
+        .map_err(|e| format!("invalid scenario {}: {e}", path.display()))?;
+    Ok(scenario)
+}
+
+/// Structural validation of a deserialized [`Scenario`]: JSON that parses
+/// can still carry NaN/infinite coordinates (hand-edited or truncated
+/// files), index lists that don't match the instance, out-of-range
+/// session references, duplicate candidate-AP ids, or degenerate budgets
+/// and rates. Each check returns a descriptive error naming the entity.
+///
+/// # Errors
+///
+/// The first violated invariant, as a human-readable message.
+pub fn validate_scenario(scenario: &Scenario) -> Result<(), String> {
+    let inst = &scenario.instance;
+    if scenario.ap_positions.len() != inst.n_aps() {
+        return Err(format!(
+            "ap_positions has {} entries for {} APs",
+            scenario.ap_positions.len(),
+            inst.n_aps()
+        ));
+    }
+    if scenario.user_positions.len() != inst.n_users() {
+        return Err(format!(
+            "user_positions has {} entries for {} users",
+            scenario.user_positions.len(),
+            inst.n_users()
+        ));
+    }
+    for (i, p) in scenario.ap_positions.iter().enumerate() {
+        if !p.x.is_finite() || !p.y.is_finite() {
+            return Err(format!(
+                "AP {i} has a non-finite position ({}, {})",
+                p.x, p.y
+            ));
+        }
+    }
+    for (i, p) in scenario.user_positions.iter().enumerate() {
+        if !p.x.is_finite() || !p.y.is_finite() {
+            return Err(format!(
+                "user {i} has a non-finite position ({}, {})",
+                p.x, p.y
+            ));
+        }
+    }
+    for u in inst.users() {
+        let s = inst.user_session(u);
+        if s.index() >= inst.n_sessions() {
+            return Err(format!(
+                "user {} requests session {} but only {} sessions exist",
+                u.index(),
+                s.index(),
+                inst.n_sessions()
+            ));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &(a, _) in inst.candidate_aps(u) {
+            if !seen.insert(a) {
+                return Err(format!(
+                    "user {} lists AP {} twice among its candidates",
+                    u.index(),
+                    a.index()
+                ));
+            }
+        }
+    }
+    for a in inst.aps() {
+        let b = inst.budget(a).as_f64();
+        if !b.is_finite() || b < 0.0 {
+            return Err(format!("AP {} has an invalid budget {b}", a.index()));
+        }
+    }
+    for s in inst.sessions() {
+        if inst.session_rate(s).0 == 0 {
+            return Err(format!("session {} has a zero stream rate", s.index()));
+        }
+    }
+    Ok(())
 }
 
 /// Runs `algo` on a loaded scenario and prints a summary; optionally
@@ -160,7 +242,7 @@ pub fn solve_file(path: &Path, algo: &str, assoc_out: Option<&Path>) -> Result<(
     }
     if let Some(out) = assoc_out {
         let json = serde_json::to_string(&solution.association).map_err(|e| e.to_string())?;
-        std::fs::write(out, json).map_err(|e| e.to_string())?;
+        crate::journal::atomic_write(out, json.as_bytes()).map_err(|e| e.to_string())?;
         println!("association written to {}", out.display());
     }
     Ok(())
@@ -221,6 +303,77 @@ mod tests {
     #[test]
     fn missing_file_is_an_error() {
         assert!(load_scenario(Path::new("/nonexistent/file.json")).is_err());
+    }
+
+    fn small_scenario() -> mcast_topology::Scenario {
+        ScenarioConfig {
+            n_aps: 4,
+            n_users: 8,
+            n_sessions: 2,
+            ..ScenarioConfig::paper_default()
+        }
+        .with_seed(1)
+        .generate()
+    }
+
+    #[test]
+    fn valid_scenario_passes_validation() {
+        assert_eq!(validate_scenario(&small_scenario()), Ok(()));
+    }
+
+    #[test]
+    fn nan_coordinate_is_rejected_with_a_named_entity() {
+        let mut sc = small_scenario();
+        sc.user_positions[3].x = f64::NAN;
+        let err = validate_scenario(&sc).unwrap_err();
+        assert!(err.contains("user 3"), "unexpected message: {err}");
+        assert!(err.contains("non-finite"), "unexpected message: {err}");
+
+        // And the same through the file path: JSON cannot carry NaN/inf
+        // directly, but a hand-edited file can say `1e999`, which parses
+        // to +inf. Patch the first AP's x coordinate to exactly that.
+        sc.user_positions[3].x = 0.0;
+        let json = serde_json::to_string(&sc).unwrap();
+        let x0 = format!("{}", sc.ap_positions[0].x);
+        assert!(json.contains(&x0), "wire format changed; update test");
+        let patched = json.replacen(&x0, "1e999", 1);
+        let path = tmp("nan.json");
+        std::fs::write(&path, patched).unwrap();
+        let err = load_scenario(&path).unwrap_err();
+        assert!(
+            err.contains("non-finite") || err.contains("bad scenario file"),
+            "unexpected message: {err}"
+        );
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn mismatched_position_list_is_rejected() {
+        let mut sc = small_scenario();
+        sc.user_positions.pop();
+        let err = validate_scenario(&sc).unwrap_err();
+        assert!(err.contains("user_positions"), "unexpected message: {err}");
+
+        let mut sc = small_scenario();
+        sc.ap_positions.push(sc.ap_positions[0]);
+        let err = validate_scenario(&sc).unwrap_err();
+        assert!(err.contains("ap_positions"), "unexpected message: {err}");
+    }
+
+    #[test]
+    fn out_of_range_session_reference_is_rejected() {
+        let sc = small_scenario();
+        let json = serde_json::to_string(&sc).unwrap();
+        // The wire format stores each user as {"session":N}; point one user
+        // at a session index that does not exist.
+        let needle = "{\"session\":0}";
+        assert!(json.contains(needle), "wire format changed; update test");
+        let patched = json.replacen(needle, "{\"session\":99}", 1);
+        let path = tmp("bad_session.json");
+        std::fs::write(&path, patched).unwrap();
+        let err = load_scenario(&path).unwrap_err();
+        assert!(err.contains("session 99"), "unexpected message: {err}");
+        let _ = std::fs::remove_file(path);
     }
 }
 

@@ -20,22 +20,36 @@ use mcast_topology::{optimize_power, ScenarioConfig, SessionPopularity};
 
 use crate::algos::{Algo, Metric};
 use crate::figures::sweep;
+use crate::runner::{Runner, TrialError, TrialKey};
 use crate::stats::{Figure, Series, Summary};
 use crate::Options;
 
 /// Runs every ablation.
-pub fn run(opts: &Options) -> Vec<Figure> {
+pub fn run(opts: &Options, runner: &Runner) -> Vec<Figure> {
     vec![
-        rate_policy(opts),
-        power(opts),
-        power_per_ap(opts),
-        mnu_augment(opts),
-        model_vs_realized(opts),
-        dual_headroom(opts),
-        mla_algorithms(opts),
-        popularity(opts),
-        order_sensitivity(opts),
+        rate_policy(opts, runner),
+        power(opts, runner),
+        power_per_ap(opts, runner),
+        mnu_augment(opts, runner),
+        model_vs_realized(opts, runner),
+        dual_headroom(opts, runner),
+        mla_algorithms(opts, runner),
+        popularity(opts, runner),
+        order_sensitivity(opts, runner),
     ]
+}
+
+/// Wraps a solver error into a [`TrialError`] with the failing stage.
+fn solver_err(stage: &str, e: impl std::fmt::Display) -> TrialError {
+    TrialError::failed(format!("{stage}: {e}"))
+}
+
+/// Collects column `col` of each surviving per-seed row.
+fn column(rows: &[Result<Vec<f64>, TrialError>], col: usize) -> Vec<f64> {
+    rows.iter()
+        .filter_map(|r| r.as_ref().ok())
+        .filter_map(|row| row.get(col).copied())
+        .collect()
 }
 
 /// How much does the serial decision order matter? Runs the distributed
@@ -43,7 +57,7 @@ pub fn run(opts: &Options) -> Vec<Figure> {
 /// scenarios; the spread of final total loads measures order sensitivity
 /// (Lemma 1 guarantees convergence for *every* order, not the same
 /// optimum).
-fn order_sensitivity(opts: &Options) -> Figure {
+fn order_sensitivity(opts: &Options, runner: &Runner) -> Figure {
     let n_orders = 8u64;
     let cfg = ScenarioConfig {
         n_aps: 60,
@@ -63,28 +77,41 @@ fn order_sensitivity(opts: &Options) -> Figure {
     let mut v_id = Vec::new();
     let mut v_shuffled = Vec::new();
     for seed in 0..seeds {
-        let scenario = cfg.clone().with_seed(seed).generate();
-        let inst = &scenario.instance;
-        let run_with = |order: DecisionOrder| {
-            run_distributed(
-                inst,
-                &DistributedConfig {
-                    order,
-                    ..DistributedConfig::default()
-                },
-                Association::empty(inst.n_users()),
-            )
-            .association
-            .total_load(inst)
-            .as_f64()
-        };
-        v_id.push(run_with(DecisionOrder::ById));
-        for k in 0..n_orders {
-            v_shuffled.push(run_with(DecisionOrder::Shuffled(k)));
+        let key = TrialKey::new("ablation_order", 1.0, seed, "orders");
+        let row: Result<Vec<f64>, _> = runner.trial(&key, || {
+            let scenario = cfg.clone().with_seed(seed).generate();
+            let inst = &scenario.instance;
+            let run_with = |order: DecisionOrder| {
+                run_distributed(
+                    inst,
+                    &DistributedConfig {
+                        order,
+                        ..DistributedConfig::default()
+                    },
+                    Association::empty(inst.n_users()),
+                )
+                .association
+                .total_load(inst)
+                .as_f64()
+            };
+            let mut row = vec![run_with(DecisionOrder::ById)];
+            for k in 0..n_orders {
+                row.push(run_with(DecisionOrder::Shuffled(k)));
+            }
+            Ok(row)
+        });
+        if let Ok(row) = row {
+            v_id.push(row[0]);
+            v_shuffled.extend_from_slice(&row[1..]);
         }
     }
-    id_series.points.push((1.0, Summary::of(&v_id)));
-    shuffle_mean.points.push((1.0, Summary::of(&v_shuffled)));
+    if v_id.is_empty() {
+        runner.note_hole("ablation_order", 1.0, "orders");
+    }
+    id_series.points.push((1.0, Summary::of_surviving(&v_id)));
+    shuffle_mean
+        .points
+        .push((1.0, Summary::of_surviving(&v_shuffled)));
     Figure {
         id: "ablation_order".into(),
         title: "Distributed MLA total load vs serial decision order (60 APs, 150 users)".into(),
@@ -97,7 +124,7 @@ fn order_sensitivity(opts: &Options) -> Figure {
 /// Uniform vs Zipf session popularity: when a few channels carry most
 /// viewers, one transmission serves many and the association-control
 /// advantage over SSA changes shape.
-fn popularity(opts: &Options) -> Figure {
+fn popularity(opts: &Options, runner: &Runner) -> Figure {
     let exponents = if opts.quick {
         vec![0.0, 1.2]
     } else {
@@ -125,16 +152,31 @@ fn popularity(opts: &Options) -> Figure {
             },
             ..ScenarioConfig::paper_default()
         };
-        let mut v_mla = Vec::new();
-        let mut v_ssa = Vec::new();
-        for seed in 0..opts.seeds {
-            let scenario = cfg.clone().with_seed(seed).generate();
-            let inst = &scenario.instance;
-            v_mla.push(solve_mla(inst).expect("coverage").total_load.as_f64());
-            v_ssa.push(solve_ssa(inst, Objective::Mla).total_load.as_f64());
+        let rows: Vec<Result<Vec<f64>, TrialError>> = (0..opts.seeds)
+            .map(|seed| {
+                let key = TrialKey::new("ablation_popularity", exponent, seed, "MLA-C/SSA");
+                runner.trial(&key, || {
+                    let scenario = cfg.clone().with_seed(seed).generate();
+                    let inst = &scenario.instance;
+                    let mla = solve_mla(inst)
+                        .map_err(|e| solver_err("solve_mla", e))?
+                        .total_load
+                        .as_f64();
+                    let ssa = solve_ssa(inst, Objective::Mla).total_load.as_f64();
+                    Ok(vec![mla, ssa])
+                })
+            })
+            .collect();
+        let (v_mla, v_ssa) = (column(&rows, 0), column(&rows, 1));
+        if v_mla.is_empty() {
+            runner.note_hole("ablation_popularity", exponent, "MLA-C/SSA");
         }
-        series[0].points.push((exponent, Summary::of(&v_mla)));
-        series[1].points.push((exponent, Summary::of(&v_ssa)));
+        series[0]
+            .points
+            .push((exponent, Summary::of_surviving(&v_mla)));
+        series[1]
+            .points
+            .push((exponent, Summary::of_surviving(&v_ssa)));
     }
     Figure {
         id: "ablation_popularity".into(),
@@ -150,7 +192,7 @@ fn popularity(opts: &Options) -> Figure {
 /// (with reverse delete) edges out the greedy up to ~200 users and falls
 /// ~5% behind at 400, while always carrying a certified dual lower
 /// bound — worth more than the paper's "can also be used" suggests.
-fn mla_algorithms(opts: &Options) -> Figure {
+fn mla_algorithms(opts: &Options, runner: &Runner) -> Figure {
     let xs = if opts.quick {
         vec![100.0, 300.0]
     } else {
@@ -169,21 +211,30 @@ fn mla_algorithms(opts: &Options) -> Figure {
             n_users: x as usize,
             ..ScenarioConfig::paper_default()
         };
-        let mut v_greedy = Vec::new();
-        let mut v_pd = Vec::new();
-        for seed in 0..opts.seeds {
-            let scenario = cfg.clone().with_seed(seed).generate();
-            let inst = &scenario.instance;
-            v_greedy.push(solve_mla(inst).expect("coverage").total_load.as_f64());
-            v_pd.push(
-                solve_mla_with(inst, MlaAlgorithm::PrimalDual)
-                    .expect("coverage")
-                    .total_load
-                    .as_f64(),
-            );
+        let rows: Vec<Result<Vec<f64>, TrialError>> = (0..opts.seeds)
+            .map(|seed| {
+                let key = TrialKey::new("ablation_mla_algorithms", x, seed, "greedy/pd");
+                runner.trial(&key, || {
+                    let scenario = cfg.clone().with_seed(seed).generate();
+                    let inst = &scenario.instance;
+                    let greedy = solve_mla(inst)
+                        .map_err(|e| solver_err("solve_mla", e))?
+                        .total_load
+                        .as_f64();
+                    let pd = solve_mla_with(inst, MlaAlgorithm::PrimalDual)
+                        .map_err(|e| solver_err("solve_mla_with(primal-dual)", e))?
+                        .total_load
+                        .as_f64();
+                    Ok(vec![greedy, pd])
+                })
+            })
+            .collect();
+        let (v_greedy, v_pd) = (column(&rows, 0), column(&rows, 1));
+        if v_greedy.is_empty() {
+            runner.note_hole("ablation_mla_algorithms", x, "greedy/pd");
         }
-        greedy.points.push((x, Summary::of(&v_greedy)));
-        pd.points.push((x, Summary::of(&v_pd)));
+        greedy.points.push((x, Summary::of_surviving(&v_greedy)));
+        pd.points.push((x, Summary::of_surviving(&v_pd)));
     }
     Figure {
         id: "ablation_mla_algorithms".into(),
@@ -196,7 +247,7 @@ fn mla_algorithms(opts: &Options) -> Figure {
 
 /// Per-AP adaptive power control (§8): coordinate-descent over discrete
 /// levels vs the best uniform settings, judged by MLA total load.
-fn power_per_ap(opts: &Options) -> Figure {
+fn power_per_ap(opts: &Options, runner: &Runner) -> Figure {
     let seeds = if opts.quick { 2 } else { opts.seeds.min(8) };
     let cfg = ScenarioConfig {
         n_aps: 30,
@@ -207,30 +258,39 @@ fn power_per_ap(opts: &Options) -> Figure {
     let objective = |inst: &Instance| -> f64 {
         solve_mla(inst).map_or(f64::INFINITY, |s| s.total_load.as_f64())
     };
-    let mut uniform_lo = Vec::new();
-    let mut uniform_hi = Vec::new();
-    let mut optimized = Vec::new();
-    for seed in 0..seeds {
-        let scenario = cfg.clone().with_seed(seed).generate();
-        uniform_lo.push(objective(&scenario.instance));
-        let hi =
-            mcast_topology::instance_with_power(&scenario, &vec![1.5; scenario.ap_positions.len()]);
-        uniform_hi.push(objective(&hi));
-        let out = optimize_power(&scenario, &[0.75, 1.0, 1.25, 1.5], 2, objective);
-        optimized.push(out.objective);
+    let rows: Vec<Result<Vec<f64>, TrialError>> = (0..seeds)
+        .map(|seed| {
+            let key = TrialKey::new("ablation_power_per_ap", 1.0, seed, "power");
+            runner.trial(&key, || {
+                let scenario = cfg.clone().with_seed(seed).generate();
+                let lo = objective(&scenario.instance);
+                let hi = mcast_topology::instance_with_power(
+                    &scenario,
+                    &vec![1.5; scenario.ap_positions.len()],
+                );
+                let hi = objective(&hi);
+                let out = optimize_power(&scenario, &[0.75, 1.0, 1.25, 1.5], 2, objective);
+                Ok(vec![lo, hi, out.objective])
+            })
+        })
+        .collect();
+    let (uniform_lo, uniform_hi, optimized) =
+        (column(&rows, 0), column(&rows, 1), column(&rows, 2));
+    if uniform_lo.is_empty() {
+        runner.note_hole("ablation_power_per_ap", 1.0, "power");
     }
     let series = vec![
         Series {
             label: "uniform 1.0".into(),
-            points: vec![(1.0, Summary::of(&uniform_lo))],
+            points: vec![(1.0, Summary::of_surviving(&uniform_lo))],
         },
         Series {
             label: "uniform 1.5".into(),
-            points: vec![(1.0, Summary::of(&uniform_hi))],
+            points: vec![(1.0, Summary::of_surviving(&uniform_hi))],
         },
         Series {
             label: "per-AP optimized".into(),
-            points: vec![(1.0, Summary::of(&optimized))],
+            points: vec![(1.0, Summary::of_surviving(&optimized))],
         },
     ];
     Figure {
@@ -246,7 +306,7 @@ fn power_per_ap(opts: &Options) -> Figure {
 /// Dual association (§3.1): unicast headroom left network-wide when the
 /// multicast AP is chosen by SSA vs MLA vs BLA (unicast always strongest
 /// signal; 5% airtime demand per unicast user).
-fn dual_headroom(opts: &Options) -> Figure {
+fn dual_headroom(opts: &Options, runner: &Runner) -> Figure {
     let xs = if opts.quick {
         vec![100.0, 300.0]
     } else {
@@ -278,17 +338,28 @@ fn dual_headroom(opts: &Options) -> Figure {
         })
         .collect();
     for &x in &xs {
-        let mut values = vec![Vec::new(); solvers.len()];
-        for seed in 0..opts.seeds {
-            let scenario = cfg(x).with_seed(seed).generate();
-            let inst = &scenario.instance;
-            for (si, (_, solve)) in solvers.iter().enumerate() {
-                let dual = DualAssociation::with_ssa_unicast(inst, solve(inst));
-                values[si].push(dual.unicast_headroom(inst, demand).as_f64());
+        let rows: Vec<Result<Vec<f64>, TrialError>> = (0..opts.seeds)
+            .map(|seed| {
+                let key = TrialKey::new("ablation_dual_headroom", x, seed, "headroom");
+                runner.trial(&key, || {
+                    let scenario = cfg(x).with_seed(seed).generate();
+                    let inst = &scenario.instance;
+                    Ok(solvers
+                        .iter()
+                        .map(|(_, solve)| {
+                            let dual = DualAssociation::with_ssa_unicast(inst, solve(inst));
+                            dual.unicast_headroom(inst, demand).as_f64()
+                        })
+                        .collect())
+                })
+            })
+            .collect();
+        for si in 0..solvers.len() {
+            let vals = column(&rows, si);
+            if vals.is_empty() {
+                runner.note_hole("ablation_dual_headroom", x, solvers[si].0);
             }
-        }
-        for (si, vals) in values.iter().enumerate() {
-            series[si].points.push((x, Summary::of(vals)));
+            series[si].points.push((x, Summary::of_surviving(&vals)));
         }
     }
     Figure {
@@ -300,13 +371,14 @@ fn dual_headroom(opts: &Options) -> Figure {
     }
 }
 
-fn rate_policy(opts: &Options) -> Figure {
+fn rate_policy(opts: &Options, runner: &Runner) -> Figure {
     let xs = if opts.quick {
         vec![100.0, 400.0]
     } else {
         vec![100.0, 200.0, 300.0, 400.0]
     };
     let multi = sweep(
+        "ablation_rate_multi",
         &xs,
         |users| ScenarioConfig {
             n_users: users as usize,
@@ -315,8 +387,10 @@ fn rate_policy(opts: &Options) -> Figure {
         &[Algo::MlaC, Algo::Ssa],
         Metric::TotalLoad,
         opts,
+        runner,
     );
     let basic = sweep(
+        "ablation_rate_basic",
         &xs,
         |users| ScenarioConfig {
             n_users: users as usize,
@@ -326,6 +400,7 @@ fn rate_policy(opts: &Options) -> Figure {
         &[Algo::MlaC, Algo::Ssa],
         Metric::TotalLoad,
         opts,
+        runner,
     );
     let mut series = Vec::new();
     for (mut s, suffix) in multi
@@ -345,9 +420,10 @@ fn rate_policy(opts: &Options) -> Figure {
     }
 }
 
-fn power(opts: &Options) -> Figure {
+fn power(opts: &Options, runner: &Runner) -> Figure {
     let scales = [0.75, 1.0, 1.25, 1.5];
     let series = sweep(
+        "ablation_power",
         &scales.map(f64::from),
         |scale| ScenarioConfig {
             power_scale: scale,
@@ -356,6 +432,7 @@ fn power(opts: &Options) -> Figure {
         &[Algo::MlaC, Algo::BlaC, Algo::Ssa],
         Metric::TotalLoad,
         opts,
+        runner,
     );
     Figure {
         id: "ablation_power".into(),
@@ -366,7 +443,7 @@ fn power(opts: &Options) -> Figure {
     }
 }
 
-fn mnu_augment(opts: &Options) -> Figure {
+fn mnu_augment(opts: &Options, runner: &Runner) -> Figure {
     let budgets = if opts.quick {
         vec![20.0, 40.0]
     } else {
@@ -388,16 +465,29 @@ fn mnu_augment(opts: &Options) -> Figure {
             budget: Load::permille(b as u32),
             ..ScenarioConfig::paper_default()
         };
-        let mut v_plain = Vec::new();
-        let mut v_aug = Vec::new();
-        for seed in 0..opts.seeds {
-            let sc = cfg.clone().with_seed(seed).generate();
-            v_plain
-                .push(solve_mnu_with(&sc.instance, &MnuConfig { augment: false }).satisfied as f64);
-            v_aug.push(solve_mnu_with(&sc.instance, &MnuConfig { augment: true }).satisfied as f64);
+        let rows: Vec<Result<Vec<f64>, TrialError>> = (0..opts.seeds)
+            .map(|seed| {
+                let key = TrialKey::new("ablation_mnu_augment", b, seed, "plain/augment");
+                runner.trial(&key, || {
+                    let sc = cfg.clone().with_seed(seed).generate();
+                    let plain = solve_mnu_with(&sc.instance, &MnuConfig { augment: false })
+                        .satisfied as f64;
+                    let aug =
+                        solve_mnu_with(&sc.instance, &MnuConfig { augment: true }).satisfied as f64;
+                    Ok(vec![plain, aug])
+                })
+            })
+            .collect();
+        let (v_plain, v_aug) = (column(&rows, 0), column(&rows, 1));
+        if v_plain.is_empty() {
+            runner.note_hole("ablation_mnu_augment", b, "plain/augment");
         }
-        plain.points.push((b / 1000.0, Summary::of(&v_plain)));
-        augmented.points.push((b / 1000.0, Summary::of(&v_aug)));
+        plain
+            .points
+            .push((b / 1000.0, Summary::of_surviving(&v_plain)));
+        augmented
+            .points
+            .push((b / 1000.0, Summary::of_surviving(&v_aug)));
     }
     Figure {
         id: "ablation_mnu_augment".into(),
@@ -408,7 +498,7 @@ fn mnu_augment(opts: &Options) -> Figure {
     }
 }
 
-fn model_vs_realized(opts: &Options) -> Figure {
+fn model_vs_realized(opts: &Options, runner: &Runner) -> Figure {
     let xs = if opts.quick {
         vec![100.0, 400.0]
     } else {
@@ -427,16 +517,26 @@ fn model_vs_realized(opts: &Options) -> Figure {
             n_users: x as usize,
             ..ScenarioConfig::paper_default()
         };
-        let mut v_model = Vec::new();
-        let mut v_real = Vec::new();
-        for seed in 0..opts.seeds {
-            let sc = cfg.clone().with_seed(seed).generate();
-            let sol = solve_mla(&sc.instance).expect("coverage");
-            v_model.push(sol.model_cost.expect("mla model cost").as_f64());
-            v_real.push(sol.total_load.as_f64());
+        let rows: Vec<Result<Vec<f64>, TrialError>> = (0..opts.seeds)
+            .map(|seed| {
+                let key = TrialKey::new("ablation_model_vs_realized", x, seed, "model/realized");
+                runner.trial(&key, || {
+                    let sc = cfg.clone().with_seed(seed).generate();
+                    let sol = solve_mla(&sc.instance).map_err(|e| solver_err("solve_mla", e))?;
+                    let model = sol
+                        .model_cost
+                        .ok_or_else(|| TrialError::failed("MLA solution lacks a model cost"))?
+                        .as_f64();
+                    Ok(vec![model, sol.total_load.as_f64()])
+                })
+            })
+            .collect();
+        let (v_model, v_real) = (column(&rows, 0), column(&rows, 1));
+        if v_model.is_empty() {
+            runner.note_hole("ablation_model_vs_realized", x, "model/realized");
         }
-        model.points.push((x, Summary::of(&v_model)));
-        realized.points.push((x, Summary::of(&v_real)));
+        model.points.push((x, Summary::of_surviving(&v_model)));
+        realized.points.push((x, Summary::of_surviving(&v_real)));
     }
     Figure {
         id: "ablation_model_vs_realized".into(),

@@ -19,11 +19,12 @@ use mcast_core::{solve_bla, solve_mla, solve_ssa, Objective};
 use mcast_topology::ScenarioConfig;
 
 use crate::par::parallel_map;
+use crate::runner::{Runner, TrialError, TrialKey};
 use crate::stats::{Figure, Series, Summary};
 use crate::Options;
 
 /// Runs the channel-budget sweep.
-pub fn run(opts: &Options) -> Vec<Figure> {
+pub fn run(opts: &Options, runner: &Runner) -> Vec<Figure> {
     let budgets: &[u16] = if opts.quick {
         &[1, 3, 12]
     } else {
@@ -49,47 +50,60 @@ pub fn run(opts: &Options) -> Vec<Figure> {
     let seeds: Vec<u64> = (0..opts.seeds).collect();
     for &budget in budgets {
         // Each seed's trial is independent; results come back in seed
-        // order so the Summary accumulation matches the serial run.
-        let per_seed: Vec<([f64; 4], [f64; 4])> = parallel_map(&seeds, |&seed| {
-            let scenario = cfg.clone().with_seed(seed).generate();
-            let inst = &scenario.instance;
-            let graph = InterferenceGraph::from_positions(
-                &scenario.ap_positions,
-                2.0 * scenario.config.rate_table.range_m(),
-            );
-            let assignment = assign_channels(&graph, budget, ColoringStrategy::Dsatur);
-            let associations = [
-                solve_ssa(inst, Objective::Mla).association,
-                solve_mla(inst).expect("coverage").association,
-                solve_bla(inst).expect("coverage").association,
-                // The §8 interference-aware distributed rule — the only
-                // one that actually sees the channel map.
-                run_interference_aware(inst, &graph, &assignment, 100).association,
-            ];
-            let mut maxes = [0.0f64; 4];
-            let mut ovhs = [0.0f64; 4];
-            for (ai, assoc) in associations.iter().enumerate() {
-                let eff = EffectiveLoads::compute(inst, assoc, &graph, &assignment);
-                maxes[ai] = eff.max_effective().as_f64();
-                ovhs[ai] = eff.interference_overhead().as_f64();
-            }
-            (maxes, ovhs)
+        // order so the Summary accumulation matches the serial run. The
+        // journaled row is `[max0..max3, ovh0..ovh3]`.
+        let per_seed: Vec<Result<Vec<f64>, TrialError>> = parallel_map(&seeds, |&seed| {
+            let key = TrialKey::new("channels", f64::from(budget), seed, "all");
+            runner.trial(&key, || {
+                let scenario = cfg.clone().with_seed(seed).generate();
+                let inst = &scenario.instance;
+                let graph = InterferenceGraph::from_positions(
+                    &scenario.ap_positions,
+                    2.0 * scenario.config.rate_table.range_m(),
+                );
+                let assignment = assign_channels(&graph, budget, ColoringStrategy::Dsatur);
+                let fail = |stage: &str, e: &dyn std::fmt::Display| {
+                    TrialError::failed(format!("{stage}: {e}"))
+                };
+                let associations = [
+                    solve_ssa(inst, Objective::Mla).association,
+                    solve_mla(inst)
+                        .map_err(|e| fail("solve_mla", &e))?
+                        .association,
+                    solve_bla(inst)
+                        .map_err(|e| fail("solve_bla", &e))?
+                        .association,
+                    // The §8 interference-aware distributed rule — the only
+                    // one that actually sees the channel map.
+                    run_interference_aware(inst, &graph, &assignment, 100).association,
+                ];
+                let mut row = vec![0.0f64; 2 * associations.len()];
+                for (ai, assoc) in associations.iter().enumerate() {
+                    let eff = EffectiveLoads::compute(inst, assoc, &graph, &assignment);
+                    row[ai] = eff.max_effective().as_f64();
+                    row[associations.len() + ai] = eff.interference_overhead().as_f64();
+                }
+                Ok(row)
+            })
         });
         let mut values_max = vec![Vec::new(); algos.len()];
         let mut values_ovh = vec![Vec::new(); algos.len()];
-        for (maxes, ovhs) in &per_seed {
+        for row in per_seed.iter().filter_map(|r| r.as_ref().ok()) {
             for ai in 0..algos.len() {
-                values_max[ai].push(maxes[ai]);
-                values_ovh[ai].push(ovhs[ai]);
+                values_max[ai].push(row[ai]);
+                values_ovh[ai].push(row[algos.len() + ai]);
             }
+        }
+        if values_max[0].is_empty() {
+            runner.note_hole("channels", f64::from(budget), "all");
         }
         for ai in 0..algos.len() {
             max_eff[ai]
                 .points
-                .push((f64::from(budget), Summary::of(&values_max[ai])));
+                .push((f64::from(budget), Summary::of_surviving(&values_max[ai])));
             overhead[ai]
                 .points
-                .push((f64::from(budget), Summary::of(&values_ovh[ai])));
+                .push((f64::from(budget), Summary::of_surviving(&values_ovh[ai])));
         }
     }
 

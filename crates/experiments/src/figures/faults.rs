@@ -24,9 +24,10 @@ use mcast_core::{solve_bla, Policy};
 use mcast_faults::{ApOutage, FaultPlan};
 use mcast_sim::{SimConfig, Simulator, WakeSchedule};
 use mcast_topology::ScenarioConfig;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use crate::par::parallel_map;
+use crate::runner::{Runner, TrialError, TrialKey};
 use crate::Options;
 
 /// Shape of the scenario and outage, echoed into the JSON so a result is
@@ -43,8 +44,9 @@ struct Setup {
     max_cycles: usize,
 }
 
-/// One (seed, schedule, policy) run.
-#[derive(Debug, Serialize)]
+/// One (seed, schedule, policy) run. Deserializable so a seed's rows can
+/// replay from the journal on `--resume`.
+#[derive(Debug, Serialize, Deserialize)]
 struct RunRow {
     seed: u64,
     schedule: String,
@@ -94,7 +96,7 @@ fn policy_name(p: Policy) -> &'static str {
 }
 
 /// Runs the coordinated-outage experiment and returns the JSON document.
-pub fn run(opts: &Options) -> String {
+pub fn run(opts: &Options, runner: &Runner) -> String {
     let (n_aps, n_users, n_sessions, seeds) = if opts.quick {
         (10, 40, 3, 2)
     } else {
@@ -107,92 +109,102 @@ pub fn run(opts: &Options) -> String {
     // Seeds are independent; fan them out and flatten in seed order so the
     // JSON rows keep the serial (seed, schedule, policy) order.
     let seed_list: Vec<u64> = (0..seeds).collect();
-    let per_seed: Vec<Vec<RunRow>> = parallel_map(&seed_list, |&seed| {
-        let mut runs = Vec::new();
-        let scenario = ScenarioConfig {
-            n_aps,
-            n_users,
-            n_sessions,
-            ..ScenarioConfig::paper_default()
-        }
-        .with_seed(seed)
-        .generate();
-        let inst = &scenario.instance;
-
-        // The analytic optimum for the intact network, and — via its
-        // association — the most-loaded APs, which the outage targets
-        // (worst case: the users hardest to re-home all move at once).
-        let opt = solve_bla(inst).expect("generated scenarios are coverable");
-        let mut by_load: Vec<_> = inst
-            .aps()
-            .map(|a| (opt.association.ap_load(a, inst), a))
-            .collect();
-        by_load.sort();
-        let victims: Vec<_> = by_load
-            .iter()
-            .rev()
-            .take(aps_down)
-            .map(|&(_, a)| a)
-            .collect();
-
-        for schedule in [WakeSchedule::Staggered, WakeSchedule::SynchronizedLocked] {
-            for policy in [Policy::MinTotalLoad, Policy::MinMaxVector] {
-                let cfg = SimConfig {
-                    policy,
-                    schedule,
-                    max_cycles,
-                    quiet_cycles: 6,
-                    ..SimConfig::default()
-                };
-                let plan = FaultPlan {
-                    ap_outages: victims
-                        .iter()
-                        .map(|&a| ApOutage {
-                            ap: a,
-                            down_at_us: down_cycle * cfg.period.0,
-                            up_at_us: Some(up_cycle * cfg.period.0),
-                        })
-                        .collect(),
-                    ..FaultPlan::none()
-                };
-                let report = Simulator::new(
-                    inst,
-                    SimConfig {
-                        faults: plan,
-                        ..cfg
-                    },
-                )
-                .run();
-                let opt_max = opt.max_load.as_f64();
-                let peak = report.peak_max_load.as_f64();
-                runs.push(RunRow {
-                    seed,
-                    schedule: schedule_name(schedule).to_string(),
-                    policy: policy_name(policy).to_string(),
-                    converged: report.converged,
-                    cycles: report.cycles,
-                    fault_epochs_us: report.fault_epochs.iter().map(|t| t.0).collect(),
-                    reconvergence_us: report
-                        .reconvergence_times()
-                        .iter()
-                        .map(|r| r.map(|t| t.0))
-                        .collect(),
-                    coverage_loss_user_us: report.coverage_loss_user_us(),
-                    wasted_retries: report.wasted_retries(),
-                    abandoned_exchanges: report.abandoned_exchanges,
-                    assoc_denied: report.assoc_denied,
-                    frames_lost: report.frames_lost,
-                    total_messages: report.total_messages(),
-                    final_satisfied: report.association.satisfied_count(),
-                    peak_max_load: peak,
-                    optimal_max_load: opt_max,
-                    overshoot_vs_optimum: if opt_max > 0.0 { peak / opt_max } else { 0.0 },
-                });
+    let per_seed: Vec<Result<Vec<RunRow>, TrialError>> = parallel_map(&seed_list, |&seed| {
+        let key = TrialKey::new("faults", 1.0, seed, "outage");
+        runner.trial(&key, || {
+            let mut runs = Vec::new();
+            let scenario = ScenarioConfig {
+                n_aps,
+                n_users,
+                n_sessions,
+                ..ScenarioConfig::paper_default()
             }
-        }
-        runs
+            .with_seed(seed)
+            .generate();
+            let inst = &scenario.instance;
+
+            // The analytic optimum for the intact network, and — via its
+            // association — the most-loaded APs, which the outage targets
+            // (worst case: the users hardest to re-home all move at once).
+            let opt = solve_bla(inst).map_err(|e| TrialError::failed(format!("solve_bla: {e}")))?;
+            let mut by_load: Vec<_> = inst
+                .aps()
+                .map(|a| (opt.association.ap_load(a, inst), a))
+                .collect();
+            by_load.sort();
+            let victims: Vec<_> = by_load
+                .iter()
+                .rev()
+                .take(aps_down)
+                .map(|&(_, a)| a)
+                .collect();
+
+            for schedule in [WakeSchedule::Staggered, WakeSchedule::SynchronizedLocked] {
+                for policy in [Policy::MinTotalLoad, Policy::MinMaxVector] {
+                    let cfg = SimConfig {
+                        policy,
+                        schedule,
+                        max_cycles,
+                        quiet_cycles: 6,
+                        ..SimConfig::default()
+                    };
+                    let plan = FaultPlan {
+                        ap_outages: victims
+                            .iter()
+                            .map(|&a| ApOutage {
+                                ap: a,
+                                down_at_us: down_cycle * cfg.period.0,
+                                up_at_us: Some(up_cycle * cfg.period.0),
+                            })
+                            .collect(),
+                        ..FaultPlan::none()
+                    };
+                    let report = Simulator::new(
+                        inst,
+                        SimConfig {
+                            faults: plan,
+                            ..cfg
+                        },
+                    )
+                    .run();
+                    let opt_max = opt.max_load.as_f64();
+                    let peak = report.peak_max_load.as_f64();
+                    runs.push(RunRow {
+                        seed,
+                        schedule: schedule_name(schedule).to_string(),
+                        policy: policy_name(policy).to_string(),
+                        converged: report.converged,
+                        cycles: report.cycles,
+                        fault_epochs_us: report.fault_epochs.iter().map(|t| t.0).collect(),
+                        reconvergence_us: report
+                            .reconvergence_times()
+                            .iter()
+                            .map(|r| r.map(|t| t.0))
+                            .collect(),
+                        coverage_loss_user_us: report.coverage_loss_user_us(),
+                        wasted_retries: report.wasted_retries(),
+                        abandoned_exchanges: report.abandoned_exchanges,
+                        assoc_denied: report.assoc_denied,
+                        frames_lost: report.frames_lost,
+                        total_messages: report.total_messages(),
+                        final_satisfied: report.association.satisfied_count(),
+                        peak_max_load: peak,
+                        optimal_max_load: opt_max,
+                        overshoot_vs_optimum: if opt_max > 0.0 { peak / opt_max } else { 0.0 },
+                    });
+                }
+            }
+            Ok(runs)
+        })
     });
-    let runs: Vec<RunRow> = per_seed.into_iter().flatten().collect();
+    if per_seed.iter().all(|r| r.is_err()) {
+        runner.note_hole("faults", 1.0, "outage");
+    }
+    let runs: Vec<RunRow> = per_seed
+        .into_iter()
+        .filter_map(Result::ok)
+        .flatten()
+        .collect();
 
     let report = FaultsReport {
         setup: Setup {
@@ -221,7 +233,7 @@ mod tests {
             seeds: 1,
             ..Options::default()
         };
-        let json = run(&opts);
+        let json = run(&opts, &crate::runner::Runner::ephemeral());
         let v: serde_json::Value = serde_json::parse_value(&json).expect("valid JSON");
         let runs = v
             .get("runs")

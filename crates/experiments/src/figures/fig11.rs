@@ -9,19 +9,21 @@ use mcast_topology::ScenarioConfig;
 
 use crate::algos::{Algo, Metric};
 use crate::figures::{pick_points, sweep};
+use crate::runner::Runner;
 use crate::stats::Figure;
 use crate::Options;
 
 const ALGOS: [Algo; 3] = [Algo::MnuC, Algo::MnuD, Algo::Ssa];
 
 /// Runs the budget sweep.
-pub fn run(opts: &Options) -> Vec<Figure> {
+pub fn run(opts: &Options, runner: &Runner) -> Vec<Figure> {
     // Budgets in permille: 10‰ .. 100‰ (0.01 .. 0.10).
     let xs = pick_points(
         &[10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0],
         opts.quick,
     );
     let series = sweep(
+        "fig11",
         &xs,
         |budget_permille| ScenarioConfig {
             n_users: 400,
@@ -33,6 +35,7 @@ pub fn run(opts: &Options) -> Vec<Figure> {
         &ALGOS,
         Metric::Satisfied,
         opts,
+        runner,
     );
     // Report x in load units, not permille.
     let series = series

@@ -15,12 +15,13 @@ use mcast_topology::ScenarioConfig;
 
 use crate::algos::{Algo, Metric};
 use crate::figures::{pick_points, sweep_with_proofs, ProofStats};
+use crate::runner::Runner;
 use crate::stats::Figure;
 use crate::Options;
 
 /// Runs all three panels. Prints a certification summary to stderr: how
 /// many exact-solver runs were proved optimal within `--max-nodes`.
-pub fn run(opts: &Options) -> Vec<Figure> {
+pub fn run(opts: &Options, runner: &Runner) -> Vec<Figure> {
     let xs = pick_points(&[10.0, 20.0, 30.0, 40.0, 50.0], opts.quick);
 
     let base = |users: f64| ScenarioConfig {
@@ -35,11 +36,13 @@ pub fn run(opts: &Options) -> Vec<Figure> {
     };
 
     let (series_a, pa) = sweep_with_proofs(
+        "fig12a",
         &xs,
         base,
         &[Algo::MlaC, Algo::MlaD, Algo::Ssa, Algo::OptMla],
         Metric::TotalLoad,
         opts,
+        runner,
     );
     add(pa);
     let a = Figure {
@@ -51,11 +54,13 @@ pub fn run(opts: &Options) -> Vec<Figure> {
     };
 
     let (series_b, pb) = sweep_with_proofs(
+        "fig12b",
         &xs,
         base,
         &[Algo::BlaC, Algo::BlaD, Algo::Ssa, Algo::OptBla],
         Metric::MaxLoad,
         opts,
+        runner,
     );
     add(pb);
     let b = Figure {
@@ -67,6 +72,7 @@ pub fn run(opts: &Options) -> Vec<Figure> {
     };
 
     let (series_c, pc) = sweep_with_proofs(
+        "fig12c",
         &xs,
         |users| ScenarioConfig {
             budget: Load::permille(42),
@@ -75,6 +81,7 @@ pub fn run(opts: &Options) -> Vec<Figure> {
         &[Algo::MnuC, Algo::MnuD, Algo::Ssa, Algo::OptMnu],
         Metric::Unsatisfied,
         opts,
+        runner,
     );
     add(pc);
     let c = Figure {

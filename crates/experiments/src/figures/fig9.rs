@@ -10,22 +10,28 @@ use mcast_topology::ScenarioConfig;
 
 use crate::algos::{Algo, Metric};
 use crate::figures::{pick_points, sweep};
+use crate::runner::Runner;
 use crate::stats::Figure;
 use crate::Options;
 
 const ALGOS: [Algo; 3] = [Algo::MlaC, Algo::MlaD, Algo::Ssa];
 
 /// Runs all three panels.
-pub fn run(opts: &Options) -> Vec<Figure> {
-    vec![panel_a(opts), panel_b(opts), panel_c(opts)]
+pub fn run(opts: &Options, runner: &Runner) -> Vec<Figure> {
+    vec![
+        panel_a(opts, runner),
+        panel_b(opts, runner),
+        panel_c(opts, runner),
+    ]
 }
 
-fn panel_a(opts: &Options) -> Figure {
+fn panel_a(opts: &Options, runner: &Runner) -> Figure {
     let xs = pick_points(
         &[50.0, 100.0, 150.0, 200.0, 250.0, 300.0, 350.0, 400.0],
         opts.quick,
     );
     let series = sweep(
+        "fig9a",
         &xs,
         |users| ScenarioConfig {
             n_users: users as usize,
@@ -35,6 +41,7 @@ fn panel_a(opts: &Options) -> Figure {
         &ALGOS,
         Metric::TotalLoad,
         opts,
+        runner,
     );
     Figure {
         id: "fig9a".into(),
@@ -45,12 +52,13 @@ fn panel_a(opts: &Options) -> Figure {
     }
 }
 
-fn panel_b(opts: &Options) -> Figure {
+fn panel_b(opts: &Options, runner: &Runner) -> Figure {
     let xs = pick_points(
         &[25.0, 50.0, 75.0, 100.0, 125.0, 150.0, 175.0, 200.0],
         opts.quick,
     );
     let series = sweep(
+        "fig9b",
         &xs,
         |aps| ScenarioConfig {
             n_aps: aps as usize,
@@ -60,6 +68,7 @@ fn panel_b(opts: &Options) -> Figure {
         &ALGOS,
         Metric::TotalLoad,
         opts,
+        runner,
     );
     Figure {
         id: "fig9b".into(),
@@ -70,9 +79,10 @@ fn panel_b(opts: &Options) -> Figure {
     }
 }
 
-fn panel_c(opts: &Options) -> Figure {
+fn panel_c(opts: &Options, runner: &Runner) -> Figure {
     let xs = pick_points(&[1.0, 5.0, 10.0, 15.0, 20.0, 25.0], opts.quick);
     let series = sweep(
+        "fig9c",
         &xs,
         |sessions| ScenarioConfig {
             n_sessions: sessions as usize,
@@ -83,6 +93,7 @@ fn panel_c(opts: &Options) -> Figure {
         &ALGOS,
         Metric::TotalLoad,
         opts,
+        runner,
     );
     Figure {
         id: "fig9c".into(),

@@ -12,11 +12,12 @@ use mcast_core::{run_distributed, DistributedConfig, Instance, Load};
 use mcast_topology::ScenarioConfig;
 
 use crate::par::parallel_map;
+use crate::runner::{Runner, TrialError, TrialKey};
 use crate::stats::{Figure, Series, Summary};
 use crate::Options;
 
 /// Runs the mobility-fraction sweep.
-pub fn run(opts: &Options) -> Vec<Figure> {
+pub fn run(opts: &Options, runner: &Runner) -> Vec<Figure> {
     let fractions: &[f64] = if opts.quick {
         &[0.05, 0.50]
     } else {
@@ -54,56 +55,65 @@ pub fn run(opts: &Options) -> Vec<Figure> {
         .collect();
 
     for &fraction in fractions {
-        for (vi, &(_, hysteresis)) in variants.iter().enumerate() {
+        for (vi, &(variant, hysteresis)) in variants.iter().enumerate() {
             let config = DistributedConfig {
                 hysteresis,
                 ..DistributedConfig::default()
             };
             // Each seed's epoch chain is serial internally but independent
             // of other seeds; fan out seeds, then append in seed order.
+            // The journaled row is `[churn_0..churn_e, drift_0..drift_e]`.
             let seeds: Vec<u64> = (0..opts.seeds.min(10)).collect();
-            let per_seed: Vec<(Vec<f64>, Vec<f64>)> = parallel_map(&seeds, |&seed| {
-                let mut churn = Vec::with_capacity(epochs);
-                let mut drift = Vec::with_capacity(epochs);
-                let mut scenario = cfg.clone().with_seed(seed).generate();
-                // Initial association from scratch.
-                let mut assoc = solve_serial(&scenario.instance, None);
-                for epoch in 0..epochs {
-                    scenario = scenario.perturb(seed * 1000 + epoch as u64, fraction, step_sigma);
-                    let inst = &scenario.instance;
-                    let carried = assoc.restricted_to(inst);
-                    let out = run_distributed(inst, &config, carried.clone());
-                    // Churn: users whose AP differs from what they carried.
-                    let moves = carried
-                        .as_slice()
-                        .iter()
-                        .zip(out.association.as_slice())
-                        .filter(|(a, b)| a != b)
-                        .count();
-                    churn.push(moves as f64 / inst.n_users() as f64);
-                    let repaired = out.association.total_load(inst).as_f64();
-                    let scratch = solve_serial(inst, None).total_load(inst).as_f64();
-                    drift.push(if scratch > 0.0 {
-                        repaired / scratch
-                    } else {
-                        1.0
-                    });
-                    assoc = out.association;
-                }
-                (churn, drift)
+            let per_seed: Vec<Result<Vec<f64>, TrialError>> = parallel_map(&seeds, |&seed| {
+                let key = TrialKey::new("mobility", fraction, seed, variant);
+                runner.trial(&key, || {
+                    let mut churn = Vec::with_capacity(epochs);
+                    let mut drift = Vec::with_capacity(epochs);
+                    let mut scenario = cfg.clone().with_seed(seed).generate();
+                    // Initial association from scratch.
+                    let mut assoc = solve_serial(&scenario.instance, None);
+                    for epoch in 0..epochs {
+                        scenario =
+                            scenario.perturb(seed * 1000 + epoch as u64, fraction, step_sigma);
+                        let inst = &scenario.instance;
+                        let carried = assoc.restricted_to(inst);
+                        let out = run_distributed(inst, &config, carried.clone());
+                        // Churn: users whose AP differs from what they carried.
+                        let moves = carried
+                            .as_slice()
+                            .iter()
+                            .zip(out.association.as_slice())
+                            .filter(|(a, b)| a != b)
+                            .count();
+                        churn.push(moves as f64 / inst.n_users() as f64);
+                        let repaired = out.association.total_load(inst).as_f64();
+                        let scratch = solve_serial(inst, None).total_load(inst).as_f64();
+                        drift.push(if scratch > 0.0 {
+                            repaired / scratch
+                        } else {
+                            1.0
+                        });
+                        assoc = out.association;
+                    }
+                    churn.extend(drift);
+                    Ok(churn)
+                })
             });
             let mut churn_vals = Vec::new();
             let mut drift_vals = Vec::new();
-            for (churn, drift) in per_seed {
-                churn_vals.extend(churn);
-                drift_vals.extend(drift);
+            for row in per_seed.iter().filter_map(|r| r.as_ref().ok()) {
+                churn_vals.extend_from_slice(&row[..epochs]);
+                drift_vals.extend_from_slice(&row[epochs..]);
+            }
+            if churn_vals.is_empty() {
+                runner.note_hole("mobility", fraction, variant);
             }
             churn_series[vi]
                 .points
-                .push((fraction, Summary::of(&churn_vals)));
+                .push((fraction, Summary::of_surviving(&churn_vals)));
             drift_series[vi]
                 .points
-                .push((fraction, Summary::of(&drift_vals)));
+                .push((fraction, Summary::of_surviving(&drift_vals)));
         }
     }
 

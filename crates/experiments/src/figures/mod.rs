@@ -15,8 +15,9 @@ pub mod validate;
 use mcast_exact::SearchLimits;
 use mcast_topology::ScenarioConfig;
 
-use crate::algos::{run, Algo, Metric};
+use crate::algos::{try_run, Algo, Metric};
 use crate::par::parallel_map;
+use crate::runner::{Runner, TrialKey};
 use crate::stats::{Series, Summary};
 use crate::Options;
 
@@ -30,26 +31,32 @@ pub struct ProofStats {
 }
 
 /// Sweeps `xs`, generating `opts.seeds` scenarios per point from
-/// `cfg_of(x)` (seeded 0..seeds), running every algorithm on each, and
-/// summarizing `metric` per (algorithm, x).
+/// `cfg_of(x)` (seeded 0..seeds), running every algorithm on each as an
+/// isolated, journaled trial under `runner`, and summarizing `metric` per
+/// (algorithm, x). `ctx` names the panel in trial keys (e.g. `"fig9a"`).
 pub(crate) fn sweep(
+    ctx: &str,
     xs: &[f64],
     cfg_of: impl Fn(f64) -> ScenarioConfig,
     algos: &[Algo],
     metric: Metric,
     opts: &Options,
+    runner: &Runner,
 ) -> Vec<Series> {
-    sweep_with_proofs(xs, cfg_of, algos, metric, opts).0
+    sweep_with_proofs(ctx, xs, cfg_of, algos, metric, opts, runner).0
 }
 
 /// [`sweep`], additionally reporting how many exact-solver runs were
 /// certified optimal (Figure 12 reports this alongside the series).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn sweep_with_proofs(
+    ctx: &str,
     xs: &[f64],
     cfg_of: impl Fn(f64) -> ScenarioConfig,
     algos: &[Algo],
     metric: Metric,
     opts: &Options,
+    runner: &Runner,
 ) -> (Vec<Series>, ProofStats) {
     let limits = SearchLimits {
         max_nodes: opts.max_nodes,
@@ -64,17 +71,45 @@ pub(crate) fn sweep_with_proofs(
         .collect();
     for &x in xs {
         let template = cfg_of(x);
-        // Generate each seed's scenario once, share across algorithms.
-        // Seeds are independent, so both generation and the per-scenario
-        // runs fan out over worker threads; `parallel_map` returns results
-        // in seed order, so the Summary folds see the serial order and the
-        // emitted statistics are bit-identical to a single-threaded sweep.
         let seeds: Vec<u64> = (0..opts.seeds).collect();
-        let scenarios = parallel_map(&seeds, |&seed| template.clone().with_seed(seed).generate());
+        // Generate each seed's scenario once, share across algorithms —
+        // unless every trial at this point already has a journaled result
+        // (resume), in which case generation is skipped entirely. Seeds
+        // are independent, so both generation and the per-scenario runs
+        // fan out over worker threads; `parallel_map` returns results in
+        // seed order, so the Summary folds see the serial order and the
+        // emitted statistics are bit-identical to a single-threaded sweep.
+        let keys: Vec<TrialKey> = seeds
+            .iter()
+            .flat_map(|&seed| {
+                algos
+                    .iter()
+                    .map(move |a| TrialKey::new(ctx, x, seed, a.label()))
+            })
+            .collect();
+        let scenarios = if runner.all_cached(&keys) {
+            None
+        } else {
+            Some(parallel_map(&seeds, |&seed| {
+                template.clone().with_seed(seed).generate()
+            }))
+        };
         for (ai, &algo) in algos.iter().enumerate() {
-            let measured = parallel_map(&scenarios, |sc| run(algo, &sc.instance, limits));
+            let measured = parallel_map(&seeds, |&seed| {
+                let key = TrialKey::new(ctx, x, seed, algo.label());
+                runner.trial(&key, || match &scenarios {
+                    Some(scs) => try_run(algo, &scs[seed as usize].instance, limits),
+                    // Replayed point whose record was later rejected
+                    // (schema drift): regenerate just this scenario.
+                    None => {
+                        let sc = template.clone().with_seed(seed).generate();
+                        try_run(algo, &sc.instance, limits)
+                    }
+                })
+            });
             let values: Vec<f64> = measured
                 .iter()
+                .filter_map(|m| m.as_ref().ok())
                 .map(|m| {
                     if let Some(proved) = m.proved_optimal {
                         proofs.total += 1;
@@ -83,7 +118,10 @@ pub(crate) fn sweep_with_proofs(
                     m.metric(metric)
                 })
                 .collect();
-            series[ai].points.push((x, Summary::of(&values)));
+            if values.is_empty() {
+                runner.note_hole(ctx, x, algo.label());
+            }
+            series[ai].points.push((x, Summary::of_surviving(&values)));
         }
     }
     (series, proofs)

@@ -23,19 +23,31 @@ use mcast_core::{
 use mcast_topology::ScenarioConfig;
 
 use crate::par::parallel_map;
+use crate::runner::{Runner, TrialError, TrialKey};
 use crate::stats::{Figure, Series, Summary};
 use crate::Options;
 
 type Solver = (&'static str, fn(&Instance) -> Association);
 
 /// Runs both regimes.
-pub fn run(opts: &Options) -> Vec<Figure> {
-    let mut figures = tight_budget_regime(opts);
-    figures.extend(loose_budget_regime(opts));
+pub fn run(opts: &Options, runner: &Runner) -> Vec<Figure> {
+    let mut figures = tight_budget_regime(opts, runner);
+    figures.extend(loose_budget_regime(opts, runner));
     figures
 }
 
-fn tight_budget_regime(opts: &Options) -> Vec<Figure> {
+/// Per-series values from the surviving per-seed rows.
+fn columns(rows: &[Result<Vec<f64>, TrialError>], n_cols: usize) -> Vec<Vec<f64>> {
+    let mut values = vec![Vec::new(); n_cols];
+    for row in rows.iter().filter_map(|r| r.as_ref().ok()) {
+        for (ai, v) in row.iter().take(n_cols).enumerate() {
+            values[ai].push(*v);
+        }
+    }
+    values
+}
+
+fn tight_budget_regime(opts: &Options, runner: &Runner) -> Vec<Figure> {
     let cfg = ScenarioConfig {
         n_aps: 100,
         n_users: 400,
@@ -56,19 +68,19 @@ fn tight_budget_regime(opts: &Options) -> Vec<Figure> {
         }),
     ];
     let seeds: Vec<u64> = (0..opts.seeds).collect();
-    let per_seed: Vec<[f64; 3]> = parallel_map(&seeds, |&seed| {
-        let scenario = cfg.clone().with_seed(seed).generate();
-        let mut row = [0.0f64; 3];
-        for (ai, (_, solve)) in algos.iter().enumerate() {
-            row[ai] = pay_per_view(&solve(&scenario.instance), 1.0);
-        }
-        row
+    let per_seed: Vec<Result<Vec<f64>, TrialError>> = parallel_map(&seeds, |&seed| {
+        let key = TrialKey::new("revenue_pay_per_view", 1.0, seed, "all");
+        runner.trial(&key, || {
+            let scenario = cfg.clone().with_seed(seed).generate();
+            Ok(algos
+                .iter()
+                .map(|(_, solve)| pay_per_view(&solve(&scenario.instance), 1.0))
+                .collect())
+        })
     });
-    let mut values = vec![Vec::new(); algos.len()];
-    for row in &per_seed {
-        for ai in 0..algos.len() {
-            values[ai].push(row[ai]);
-        }
+    let values = columns(&per_seed, algos.len());
+    if values[0].is_empty() {
+        runner.note_hole("revenue_pay_per_view", 1.0, "all");
     }
     vec![Figure {
         id: "revenue_pay_per_view".into(),
@@ -80,13 +92,13 @@ fn tight_budget_regime(opts: &Options) -> Vec<Figure> {
             .enumerate()
             .map(|(ai, (name, _))| Series {
                 label: (*name).to_string(),
-                points: vec![(1.0, Summary::of(&values[ai]))],
+                points: vec![(1.0, Summary::of_surviving(&values[ai]))],
             })
             .collect(),
     }]
 }
 
-fn loose_budget_regime(opts: &Options) -> Vec<Figure> {
+fn loose_budget_regime(opts: &Options, runner: &Runner) -> Vec<Figure> {
     // Few APs, many sessions: per-AP loads get close to 1, where the
     // concavity of the unicast return actually bites (at light loads
     // √(1−l) is nearly linear and the model degenerates to per-byte).
@@ -125,26 +137,27 @@ fn loose_budget_regime(opts: &Options) -> Vec<Figure> {
     ];
 
     let seeds: Vec<u64> = (0..opts.seeds).collect();
-    let per_seed: Vec<[[f64; 4]; 3]> = parallel_map(&seeds, |&seed| {
-        let scenario = cfg.clone().with_seed(seed).generate();
-        let inst = &scenario.instance;
-        let mut rows = [[0.0f64; 4]; 3];
-        for (ai, (_, solve)) in algos.iter().enumerate() {
-            let assoc = solve(inst);
-            debug_assert_eq!(assoc.satisfied_count(), inst.n_users());
-            for (mi, (_, _, metric)) in models.iter().enumerate() {
-                rows[mi][ai] = metric(&assoc, inst);
+    // One trial computes all (model, algo) cells for a seed; the row is
+    // journaled flat as model-major `[m0a0, m0a1, .., m2a3]`.
+    let per_seed: Vec<Result<Vec<f64>, TrialError>> = parallel_map(&seeds, |&seed| {
+        let key = TrialKey::new("revenue_loose_budget", 1.0, seed, "all");
+        runner.trial(&key, || {
+            let scenario = cfg.clone().with_seed(seed).generate();
+            let inst = &scenario.instance;
+            let mut rows = vec![0.0f64; models.len() * algos.len()];
+            for (ai, (_, solve)) in algos.iter().enumerate() {
+                let assoc = solve(inst);
+                debug_assert_eq!(assoc.satisfied_count(), inst.n_users());
+                for (mi, (_, _, metric)) in models.iter().enumerate() {
+                    rows[mi * algos.len() + ai] = metric(&assoc, inst);
+                }
             }
-        }
-        rows
+            Ok(rows)
+        })
     });
-    let mut values = vec![vec![Vec::new(); algos.len()]; models.len()];
-    for rows in &per_seed {
-        for mi in 0..models.len() {
-            for ai in 0..algos.len() {
-                values[mi][ai].push(rows[mi][ai]);
-            }
-        }
+    let flat = columns(&per_seed, models.len() * algos.len());
+    if flat[0].is_empty() {
+        runner.note_hole("revenue_loose_budget", 1.0, "all");
     }
 
     models
@@ -160,7 +173,7 @@ fn loose_budget_regime(opts: &Options) -> Vec<Figure> {
                 .enumerate()
                 .map(|(ai, (name, _))| Series {
                     label: (*name).to_string(),
-                    points: vec![(1.0, Summary::of(&values[mi][ai]))],
+                    points: vec![(1.0, Summary::of_surviving(&flat[mi * algos.len() + ai]))],
                 })
                 .collect(),
         })

@@ -21,9 +21,11 @@ pub mod algos;
 pub mod bench;
 pub mod cli;
 pub mod figures;
+pub mod journal;
 pub mod par;
 pub mod plot;
 pub mod report;
+pub mod runner;
 pub mod stats;
 
 /// Harness-wide options parsed from the command line.
@@ -37,6 +39,12 @@ pub struct Options {
     pub max_nodes: u64,
     /// Quick mode: fewer seeds and sweep points (for smoke tests).
     pub quick: bool,
+    /// Resume from the journal of a previous (interrupted) run.
+    pub resume: bool,
+    /// Total attempts per trial (1 = no retries).
+    pub retries: u32,
+    /// Soft per-trial deadline in seconds (0 disables the watchdog).
+    pub deadline_s: u64,
 }
 
 impl Default for Options {
@@ -46,6 +54,9 @@ impl Default for Options {
             out_dir: std::path::PathBuf::from("results"),
             max_nodes: 2_000_000,
             quick: false,
+            resume: false,
+            retries: 2,
+            deadline_s: 300,
         }
     }
 }

@@ -22,18 +22,20 @@
 //! ```
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use mcast_experiments::figures::{
     ablations, channels, faults, fig10, fig11, fig12, fig9, mobility, revenue, table1, validate,
 };
 use mcast_experiments::report::{render_table, write_csv};
+use mcast_experiments::runner::{RetryPolicy, Runner};
 use mcast_experiments::stats::Figure;
 use mcast_experiments::Options;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().cloned() else {
-        eprintln!("usage: repro <table1|fig9|fig10|fig11|fig12|ablations|channels|mobility|faults|revenue|bench|validate|all|gen|solve|compare> [--seeds N] [--out DIR] [--max-nodes N] [--quick] [--plot]");
+        eprintln!("usage: repro <table1|fig9|fig10|fig11|fig12|ablations|channels|mobility|faults|revenue|bench|validate|all|gen|solve|compare> [--seeds N] [--out DIR] [--max-nodes N] [--quick] [--plot] [--resume] [--retries N] [--deadline SECS]");
         return ExitCode::FAILURE;
     };
     let mut opts = Options::default();
@@ -64,11 +66,23 @@ fn main() -> ExitCode {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| bad_flag("--max-nodes"));
             }
-            "--quick" => {
-                opts.quick = true;
-                opts.seeds = opts.seeds.min(5);
-            }
+            "--quick" => opts.quick = true,
             "--plot" => plot = true,
+            "--resume" => opts.resume = true,
+            "--retries" => {
+                i += 1;
+                opts.retries = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| bad_flag("--retries"));
+            }
+            "--deadline" => {
+                i += 1;
+                opts.deadline_s = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| bad_flag("--deadline"));
+            }
             other => {
                 eprintln!("unknown flag: {other}");
                 return ExitCode::FAILURE;
@@ -76,6 +90,49 @@ fn main() -> ExitCode {
         }
         i += 1;
     }
+    // Apply the quick cap only after every flag is parsed, so the cap wins
+    // regardless of flag order (`--quick --seeds 100` used to get 100).
+    if opts.quick {
+        opts.seeds = opts.seeds.min(5);
+    }
+
+    // Sweep commands run under an orchestrator with a journal in
+    // `<out>/.runstate/`; one-shot commands don't need one.
+    let sweeping = matches!(
+        command.as_str(),
+        "fig9"
+            | "fig10"
+            | "fig11"
+            | "fig12"
+            | "ablations"
+            | "channels"
+            | "mobility"
+            | "faults"
+            | "revenue"
+            | "all"
+    );
+    let runner = if sweeping {
+        let journal_path = opts.out_dir.join(".runstate").join("journal.jsonl");
+        let policy = RetryPolicy {
+            max_attempts: opts.retries.max(1),
+            ..RetryPolicy::default()
+        };
+        let deadline = Duration::from_secs(opts.deadline_s);
+        match Runner::with_journal(&journal_path, opts.resume, policy, deadline) {
+            Ok(r) => r,
+            Err(e) => {
+                // An unusable journal degrades durability, not the run:
+                // compute everything, just without checkpoint/resume.
+                eprintln!(
+                    "warning: no journal at {} ({e}); running without checkpoints",
+                    journal_path.display()
+                );
+                Runner::ephemeral()
+            }
+        }
+    } else {
+        Runner::ephemeral()
+    };
 
     let run_figs = |figs: Vec<Figure>, opts: &Options| {
         for fig in figs {
@@ -91,19 +148,19 @@ fn main() -> ExitCode {
 
     match command.as_str() {
         "table1" => print!("{}", table1::run()),
-        "fig9" => run_figs(fig9::run(&opts), &opts),
-        "fig10" => run_figs(fig10::run(&opts), &opts),
-        "fig11" => run_figs(fig11::run(&opts), &opts),
-        "fig12" => run_figs(fig12::run(&opts), &opts),
-        "ablations" => run_figs(ablations::run(&opts), &opts),
-        "channels" => run_figs(channels::run(&opts), &opts),
-        "mobility" => run_figs(mobility::run(&opts), &opts),
+        "fig9" => run_figs(fig9::run(&opts, &runner), &opts),
+        "fig10" => run_figs(fig10::run(&opts, &runner), &opts),
+        "fig11" => run_figs(fig11::run(&opts, &runner), &opts),
+        "fig12" => run_figs(fig12::run(&opts, &runner), &opts),
+        "ablations" => run_figs(ablations::run(&opts, &runner), &opts),
+        "channels" => run_figs(channels::run(&opts, &runner), &opts),
+        "mobility" => run_figs(mobility::run(&opts, &runner), &opts),
         "faults" => {
-            let json = faults::run(&opts);
+            let json = faults::run(&opts, &runner);
             write_faults_json(&json, &opts);
             println!("{json}");
         }
-        "revenue" => run_figs(revenue::run(&opts), &opts),
+        "revenue" => run_figs(revenue::run(&opts, &runner), &opts),
         "bench" => match mcast_experiments::bench::run(&opts) {
             Ok(summary) => print!("{summary}"),
             Err(e) => {
@@ -222,19 +279,19 @@ fn main() -> ExitCode {
         "validate" => print!("{}", validate::run(&opts)),
         "all" => {
             print!("{}", table1::run());
-            run_figs(fig9::run(&opts), &opts);
-            run_figs(fig10::run(&opts), &opts);
-            run_figs(fig11::run(&opts), &opts);
-            run_figs(fig12::run(&opts), &opts);
-            run_figs(ablations::run(&opts), &opts);
-            run_figs(channels::run(&opts), &opts);
-            run_figs(mobility::run(&opts), &opts);
+            run_figs(fig9::run(&opts, &runner), &opts);
+            run_figs(fig10::run(&opts, &runner), &opts);
+            run_figs(fig11::run(&opts, &runner), &opts);
+            run_figs(fig12::run(&opts, &runner), &opts);
+            run_figs(ablations::run(&opts, &runner), &opts);
+            run_figs(channels::run(&opts, &runner), &opts);
+            run_figs(mobility::run(&opts, &runner), &opts);
             {
-                let json = faults::run(&opts);
+                let json = faults::run(&opts, &runner);
                 write_faults_json(&json, &opts);
                 println!("{json}");
             }
-            run_figs(revenue::run(&opts), &opts);
+            run_figs(revenue::run(&opts, &runner), &opts);
             print!("{}", validate::run(&opts));
         }
         other => {
@@ -242,14 +299,34 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    if sweeping {
+        write_run_report(&runner, &opts);
+    }
     ExitCode::SUCCESS
+}
+
+/// Prints the run accounting to stderr and persists it under
+/// `.runstate/` (runtime state — never part of the results diff).
+fn write_run_report(runner: &Runner, opts: &Options) {
+    let report = runner.report();
+    let rendered = report.render();
+    if !rendered.is_empty() {
+        eprint!("{rendered}");
+    }
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            let path = opts.out_dir.join(".runstate").join("report.json");
+            if let Err(e) = mcast_experiments::journal::atomic_write(&path, json.as_bytes()) {
+                eprintln!("warning: failed to write {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: failed to serialize run report: {e}"),
+    }
 }
 
 fn write_faults_json(json: &str, opts: &Options) {
     let path = opts.out_dir.join("faults.json");
-    if let Err(e) =
-        std::fs::create_dir_all(&opts.out_dir).and_then(|()| std::fs::write(&path, json.as_bytes()))
-    {
+    if let Err(e) = mcast_experiments::journal::atomic_write(&path, json.as_bytes()) {
         eprintln!("warning: failed to write {}: {e}", path.display());
     }
 }

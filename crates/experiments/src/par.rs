@@ -7,54 +7,65 @@
 //! happens in exactly the serial order and the emitted bytes stay
 //! identical to a single-threaded run.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
 /// Applies `f` to every item on a pool of scoped worker threads and
-/// returns the results **in input order** — element `i` of the output is
-/// `f(&items[i])` regardless of which worker computed it or when.
+/// returns the results **in input order**, with every call isolated by
+/// [`catch_unwind`]: element `i` is `Ok(f(&items[i]))`, or `Err(panic
+/// message)` when that call panicked. A poisoned item never tears down
+/// the pool — the remaining items still complete.
 ///
 /// Work is distributed by an atomic cursor (dynamic load balancing, so a
 /// slow seed does not stall a whole stripe). Falls back to a plain serial
 /// map when there is one item or one core.
-///
-/// # Panics
-///
-/// Propagates panics from `f`.
-pub fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+pub fn try_parallel_map<T, U, F>(items: &[T], f: F) -> Vec<Result<U, String>>
 where
     T: Sync,
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
+    let guarded = |item: &T| {
+        catch_unwind(AssertUnwindSafe(|| f(item))).map_err(|payload| {
+            if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            }
+        })
+    };
+
     let n = items.len();
     let workers = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1)
         .min(n);
     if workers <= 1 {
-        return items.iter().map(f).collect();
+        return items.iter().map(guarded).collect();
     }
 
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, U)>();
+    let (tx, rx) = mpsc::channel::<(usize, Result<U, String>)>();
     std::thread::scope(|s| {
         for _ in 0..workers {
             let tx = tx.clone();
             let next = &next;
-            let f = &f;
+            let guarded = &guarded;
             s.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
-                if tx.send((i, f(&items[i]))).is_err() {
+                if tx.send((i, guarded(&items[i]))).is_err() {
                     break;
                 }
             });
         }
         drop(tx);
-        let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
+        let mut slots: Vec<Option<Result<U, String>>> = (0..n).map(|_| None).collect();
         for (i, u) in rx {
             debug_assert!(slots[i].is_none());
             slots[i] = Some(u);
@@ -64,6 +75,25 @@ where
             .map(|s| s.expect("every index is computed exactly once"))
             .collect()
     })
+}
+
+/// [`try_parallel_map`] for infallible maps: results in input order, a
+/// panic in any call re-raised on the caller thread *after* the pool has
+/// drained (so sibling items are never lost to someone else's bug).
+///
+/// # Panics
+///
+/// Propagates the first panic from `f` (by input order).
+pub fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    try_parallel_map(items, f)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|msg| panic!("parallel_map worker panicked: {msg}")))
+        .collect()
 }
 
 #[cfg(test)]
@@ -105,5 +135,31 @@ mod tests {
             x
         });
         assert_eq!(out, items);
+    }
+
+    #[test]
+    fn poisoned_item_does_not_tear_down_the_pool() {
+        let items: Vec<u64> = (0..64).collect();
+        let out = try_parallel_map(&items, |&x| {
+            assert!(x != 13, "poisoned seed {x}");
+            x * 2
+        });
+        for (i, r) in out.iter().enumerate() {
+            if i == 13 {
+                assert!(r.as_ref().is_err_and(|m| m.contains("poisoned seed 13")));
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), (i as u64) * 2);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel_map worker panicked")]
+    fn parallel_map_reraises_worker_panics() {
+        let items: Vec<u64> = (0..8).collect();
+        let _ = parallel_map(&items, |&x| {
+            assert!(x != 3, "bad item");
+            x
+        });
     }
 }

@@ -14,14 +14,19 @@ pub fn render_ascii(fig: &Figure, width: usize, height: usize) -> String {
     let width = width.max(16);
     let height = height.max(6);
 
-    // Gather points (x, mean) per series.
+    // Gather points (x, mean) per series, skipping holes (n == 0 marks a
+    // point whose every trial failed — its 0.0 mean is not a measurement).
     let series: Vec<(&str, Vec<(f64, f64)>)> = fig
         .series
         .iter()
         .map(|s| {
             (
                 s.label.as_str(),
-                s.points.iter().map(|&(x, sum)| (x, sum.mean)).collect(),
+                s.points
+                    .iter()
+                    .filter(|&&(_, sum)| sum.n > 0)
+                    .map(|&(x, sum)| (x, sum.mean))
+                    .collect(),
             )
         })
         .collect();

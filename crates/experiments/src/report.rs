@@ -1,9 +1,9 @@
 //! Table and CSV output.
 
-use std::fs;
-use std::io::Write as _;
+use std::fmt::Write as _;
 use std::path::Path;
 
+use crate::journal::atomic_write;
 use crate::stats::Figure;
 
 /// Renders a figure as an aligned text table (x column, then one
@@ -29,15 +29,19 @@ pub fn render_table(fig: &Figure) -> String {
         out.push_str(&format!("{:>x_width$}", trim_float(x)));
         for s in &fig.series {
             let (_, sum) = s.points[i];
-            out.push_str(&format!(
-                " | {:^col_width$}",
+            // n == 0 marks a point whose every trial failed (see
+            // `Summary::hole`): render the hole, not fake zeros.
+            let cell = if sum.n == 0 {
+                "(no data)".to_string()
+            } else {
                 format!(
                     "{} ({}–{})",
                     trim_float(sum.mean),
                     trim_float(sum.min),
                     trim_float(sum.max)
                 )
-            ));
+            };
+            out.push_str(&format!(" | {cell:^col_width$}"));
         }
         out.push('\n');
     }
@@ -53,25 +57,25 @@ fn trim_float(v: f64) -> String {
     }
 }
 
-/// Writes a figure as `<dir>/<id>.csv` with one row per (series, x).
+/// Writes a figure as `<dir>/<id>.csv` with one row per (series, x),
+/// atomically: the full file is built in memory, then written via
+/// tmp-file + fsync + rename, so a crash never leaves a partial CSV.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors.
 pub fn write_csv(fig: &Figure, dir: &Path) -> std::io::Result<()> {
-    fs::create_dir_all(dir)?;
-    let mut f = fs::File::create(dir.join(format!("{}.csv", fig.id)))?;
-    writeln!(f, "figure,series,x,mean,min,max,n")?;
+    let mut out = String::from("figure,series,x,mean,min,max,n\n");
     for s in &fig.series {
         for (x, sum) in &s.points {
-            writeln!(
-                f,
+            let _ = writeln!(
+                out,
                 "{},{},{},{},{},{},{}",
                 fig.id, s.label, x, sum.mean, sum.min, sum.max, sum.n
-            )?;
+            );
         }
     }
-    Ok(())
+    atomic_write(&dir.join(format!("{}.csv", fig.id)), out.as_bytes())
 }
 
 #[cfg(test)]

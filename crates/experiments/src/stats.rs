@@ -30,6 +30,28 @@ impl Summary {
         let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         Summary { mean, min, max, n }
     }
+
+    /// The degraded-completion marker for a sweep point whose every trial
+    /// failed: `n == 0` distinguishes "no data" from a real measurement,
+    /// and tables/plots render it as a hole instead of aborting the run.
+    pub fn hole() -> Summary {
+        Summary {
+            mean: 0.0,
+            min: 0.0,
+            max: 0.0,
+            n: 0,
+        }
+    }
+
+    /// [`Summary::of`], degrading to [`Summary::hole`] on an empty sample
+    /// (every trial at this point failed).
+    pub fn of_surviving(values: &[f64]) -> Summary {
+        if values.is_empty() {
+            Summary::hole()
+        } else {
+            Summary::of(values)
+        }
+    }
 }
 
 /// One plotted series: a labeled sequence of (x, summary) points.

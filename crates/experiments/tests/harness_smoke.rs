@@ -7,6 +7,7 @@ use mcast_experiments::figures::{
 };
 use mcast_experiments::plot::render_ascii;
 use mcast_experiments::report::{render_table, write_csv};
+use mcast_experiments::runner::Runner;
 use mcast_experiments::stats::Figure;
 use mcast_experiments::Options;
 
@@ -16,6 +17,7 @@ fn tiny() -> Options {
         quick: true,
         max_nodes: 200_000,
         out_dir: std::env::temp_dir().join(format!("mcast_smoke_{}", std::process::id())),
+        ..Options::default()
     }
 }
 
@@ -48,42 +50,42 @@ fn well_formed(figs: &[Figure]) {
 
 #[test]
 fn fig9_smoke() {
-    well_formed(&fig9::run(&tiny()));
+    well_formed(&fig9::run(&tiny(), &Runner::ephemeral()));
 }
 
 #[test]
 fn fig10_smoke() {
-    well_formed(&fig10::run(&tiny()));
+    well_formed(&fig10::run(&tiny(), &Runner::ephemeral()));
 }
 
 #[test]
 fn fig11_smoke() {
-    well_formed(&fig11::run(&tiny()));
+    well_formed(&fig11::run(&tiny(), &Runner::ephemeral()));
 }
 
 #[test]
 fn fig12_smoke() {
-    well_formed(&fig12::run(&tiny()));
+    well_formed(&fig12::run(&tiny(), &Runner::ephemeral()));
 }
 
 #[test]
 fn ablations_smoke() {
-    well_formed(&ablations::run(&tiny()));
+    well_formed(&ablations::run(&tiny(), &Runner::ephemeral()));
 }
 
 #[test]
 fn channels_smoke() {
-    well_formed(&channels::run(&tiny()));
+    well_formed(&channels::run(&tiny(), &Runner::ephemeral()));
 }
 
 #[test]
 fn mobility_smoke() {
-    well_formed(&mobility::run(&tiny()));
+    well_formed(&mobility::run(&tiny(), &Runner::ephemeral()));
 }
 
 #[test]
 fn revenue_smoke() {
-    well_formed(&revenue::run(&tiny()));
+    well_formed(&revenue::run(&tiny(), &Runner::ephemeral()));
 }
 
 #[test]
@@ -95,7 +97,7 @@ fn table1_smoke() {
 
 #[test]
 fn fig9_quick_points_are_subset_of_full() {
-    let quick = fig9::run(&tiny());
+    let quick = fig9::run(&tiny(), &Runner::ephemeral());
     let quick_xs: Vec<f64> = quick[0].series[0].points.iter().map(|p| p.0).collect();
     assert_eq!(quick_xs, vec![50.0, 250.0, 400.0]);
 }

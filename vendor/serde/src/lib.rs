@@ -98,6 +98,18 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Value, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn serialize_value(&self) -> Value {
         Value::Bool(*self)
