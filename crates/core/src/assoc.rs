@@ -6,7 +6,6 @@
 //! `rate(s) / tx_rate` to the AP's load; an AP's load is the sum over the
 //! sessions it serves, and the network's total load is the sum over APs.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -244,9 +243,18 @@ impl Association {
 }
 
 /// Incrementally maintained load state used by the distributed algorithms:
-/// supports O(log) joins/leaves and O(1) load queries, plus *hypothetical*
-/// deltas ("what would AP `a`'s load be if I joined / if I left?") that the
-/// paper's users compute from AP query responses.
+/// O(1) joins/leaves and load queries, plus *hypothetical* deltas ("what
+/// would AP `a`'s load be if I joined / if I left?") that the paper's
+/// users compute from AP query responses.
+///
+/// The per-(AP, session) member-rate multiset is a fixed-size count array
+/// over the instance's discrete supported-rate set (~8 entries for
+/// 802.11a) with a cached minimum-occupied index, so `ap_session_rate`,
+/// `load_if_joined` and move application never walk members or tree
+/// nodes. The original `BTreeMap`-multiset implementation is preserved as
+/// [`reference::ReferenceLedger`](crate::reference::ReferenceLedger), and
+/// `repro bench` plus the equivalence proptests pin the two to identical
+/// outputs.
 ///
 /// # Example
 ///
@@ -268,10 +276,19 @@ impl Association {
 pub struct LoadLedger<'a> {
     inst: &'a Instance,
     assoc: Association,
-    /// Per (AP, session): multiset of member multicast rates.
-    members: Vec<BTreeMap<Kbps, u32>>,
+    /// Flattened member counts: `counts[slot(a, s) * n_rates + rate_idx]`
+    /// is the number of members of session `s` on AP `a` whose multicast
+    /// rate is `supported_rates()[rate_idx]`.
+    counts: Vec<u32>,
+    /// Per (AP, session): index of the minimum occupied rate in the
+    /// supported-rate set, or [`NO_RATE`] when the slot has no members.
+    min_rate: Vec<u32>,
     ap_load: Vec<Load>,
+    n_rates: usize,
 }
+
+/// Sentinel for an empty (AP, session) slot in [`LoadLedger::min_rate`].
+const NO_RATE: u32 = u32::MAX;
 
 impl<'a> LoadLedger<'a> {
     /// Starts from an existing association.
@@ -283,11 +300,15 @@ impl<'a> LoadLedger<'a> {
     /// ledgers are also used to explore infeasible intermediate states.
     pub fn new(inst: &'a Instance, assoc: Association) -> LoadLedger<'a> {
         assert_eq!(assoc.as_slice().len(), inst.n_users(), "association size");
+        let n_rates = inst.supported_rates().len();
+        let slots = inst.n_aps() * inst.n_sessions();
         let mut ledger = LoadLedger {
             inst,
             assoc: Association::empty(inst.n_users()),
-            members: vec![BTreeMap::new(); inst.n_aps() * inst.n_sessions()],
+            counts: vec![0; slots * n_rates],
+            min_rate: vec![NO_RATE; slots],
             ap_load: vec![Load::ZERO; inst.n_aps()],
+            n_rates,
         };
         for (u, &ap) in assoc.as_slice().iter().enumerate() {
             if let Some(a) = ap {
@@ -304,6 +325,14 @@ impl<'a> LoadLedger<'a> {
 
     fn slot(&self, a: ApId, s: SessionId) -> usize {
         a.index() * self.inst.n_sessions() + s.index()
+    }
+
+    /// Index of `rate` in the instance's discrete supported-rate set.
+    fn rate_idx(&self, rate: Kbps) -> usize {
+        self.inst
+            .supported_rates()
+            .binary_search(&rate)
+            .expect("multicast rate is in the supported set")
     }
 
     /// The load AP `a` currently carries.
@@ -338,7 +367,8 @@ impl<'a> LoadLedger<'a> {
 
     /// The transmission rate AP `a` uses for session `s`, if it serves it.
     pub fn ap_session_rate(&self, a: ApId, s: SessionId) -> Option<Kbps> {
-        self.members[self.slot(a, s)].keys().next().copied()
+        let m = self.min_rate[self.slot(a, s)];
+        (m != NO_RATE).then(|| self.inst.supported_rates()[m as usize])
     }
 
     /// The load AP `a` would have if user `u` joined it (without joining).
@@ -369,20 +399,23 @@ impl<'a> LoadLedger<'a> {
             .inst
             .multicast_rate_to(a, u)
             .expect("associated user in range");
-        let slot = &self.members[self.slot(a, s)];
-        let cur_tx = *slot.keys().next().expect("member present");
+        let slot = self.slot(a, s);
+        let base = slot * self.n_rates;
+        let min_idx = self.min_rate[slot] as usize;
+        let cur_tx = self.inst.supported_rates()[min_idx];
         let old_part = Load::per_transmission(stream, cur_tx);
         // Remaining members after u leaves: remove one instance of u_rate.
-        let new_tx = if slot[&u_rate] > 1 {
+        let u_idx = self.rate_idx(u_rate);
+        let new_tx = if self.counts[base + u_idx] > 1 {
             Some(cur_tx) // another member shares u's rate; min unchanged
+        } else if u_idx == min_idx {
+            // u was the unique slowest; the next occupied rate takes over.
+            self.counts[base + u_idx + 1..base + self.n_rates]
+                .iter()
+                .position(|&c| c > 0)
+                .map(|off| self.inst.supported_rates()[u_idx + 1 + off])
         } else {
-            slot.keys().copied().find(|&r| r != u_rate).map(|r| {
-                if u_rate == cur_tx {
-                    r // u was the unique slowest; next-slowest takes over
-                } else {
-                    cur_tx
-                }
-            })
+            Some(cur_tx) // a slower member than u pins the rate
         };
         let new_part = new_tx.map_or(Load::ZERO, |tx| Load::per_transmission(stream, tx));
         Some(self.ap_load[a.index()] - old_part + new_part)
@@ -400,8 +433,12 @@ impl<'a> LoadLedger<'a> {
             .unwrap_or_else(|| panic!("user {u} out of range of AP {a}"));
         let s = self.inst.user_session(u);
         let u_rate = self.inst.multicast_rate_to(a, u).expect("checked in range");
-        let slot_idx = self.slot(a, s);
-        *self.members[slot_idx].entry(u_rate).or_insert(0) += 1;
+        let slot = self.slot(a, s);
+        let u_idx = self.rate_idx(u_rate);
+        self.counts[slot * self.n_rates + u_idx] += 1;
+        if self.min_rate[slot] == NO_RATE || (u_idx as u32) < self.min_rate[slot] {
+            self.min_rate[slot] = u_idx as u32;
+        }
         self.ap_load[a.index()] = new_load;
         self.assoc.set(u, Some(a));
     }
@@ -418,11 +455,16 @@ impl<'a> LoadLedger<'a> {
         let a = self.assoc.ap_of(u).expect("checked associated");
         let s = self.inst.user_session(u);
         let u_rate = self.inst.multicast_rate_to(a, u).expect("in range");
-        let slot_idx = self.slot(a, s);
-        let count = self.members[slot_idx].get_mut(&u_rate).expect("member");
-        *count -= 1;
-        if *count == 0 {
-            self.members[slot_idx].remove(&u_rate);
+        let slot = self.slot(a, s);
+        let base = slot * self.n_rates;
+        let u_idx = self.rate_idx(u_rate);
+        self.counts[base + u_idx] -= 1;
+        if self.counts[base + u_idx] == 0 && self.min_rate[slot] == u_idx as u32 {
+            // The minimum emptied: advance to the next occupied rate.
+            self.min_rate[slot] = self.counts[base + u_idx + 1..base + self.n_rates]
+                .iter()
+                .position(|&c| c > 0)
+                .map_or(NO_RATE, |off| (u_idx + 1 + off) as u32);
         }
         self.ap_load[a.index()] = new_load;
         self.assoc.set(u, None);

@@ -24,7 +24,7 @@ use std::collections::HashSet;
 
 use crate::assoc::{Association, LoadLedger};
 use crate::ids::{ApId, UserId};
-use crate::instance::Instance;
+use crate::instance::{Instance, SignalStrength};
 use crate::load::Load;
 
 /// The local decision rule a user applies.
@@ -168,6 +168,15 @@ pub trait ApStateView {
             .map(|&(a, _)| a)
             .collect()
     }
+    /// Allocation-free variant of [`reachable_aps`](ApStateView::reachable_aps):
+    /// clears `out` and fills it with the same APs in the same order. The
+    /// decision rules call this with a reused scratch buffer; views that
+    /// can enumerate their neighbors without building a `Vec` should
+    /// override it (the default delegates and allocates).
+    fn reachable_aps_into(&self, u: UserId, out: &mut Vec<ApId>) {
+        out.clear();
+        out.extend(self.reachable_aps(u));
+    }
     /// The AP user `u` is currently associated with, if any.
     fn ap_of(&self, u: UserId) -> Option<ApId>;
     /// The current multicast load of AP `a`.
@@ -181,6 +190,15 @@ pub trait ApStateView {
 impl ApStateView for LoadLedger<'_> {
     fn instance(&self) -> &Instance {
         LoadLedger::instance(self)
+    }
+    fn reachable_aps_into(&self, u: UserId, out: &mut Vec<ApId>) {
+        out.clear();
+        out.extend(
+            LoadLedger::instance(self)
+                .candidate_aps(u)
+                .iter()
+                .map(|&(a, _)| a),
+        );
     }
     fn ap_of(&self, u: UserId) -> Option<ApId> {
         LoadLedger::ap_of(self, u)
@@ -214,6 +232,9 @@ pub fn local_decision<V: ApStateView>(
 /// [`local_decision`] with a hysteresis threshold: an associated user only
 /// moves when the improvement strictly exceeds `hysteresis` (see
 /// [`DistributedConfig::hysteresis`]).
+///
+/// Allocates fresh scratch buffers; hot loops should hold a
+/// [`DecisionScratch`] and call [`local_decision_scratch`] instead.
 pub fn local_decision_with<V: ApStateView>(
     ledger: &V,
     u: UserId,
@@ -221,13 +242,65 @@ pub fn local_decision_with<V: ApStateView>(
     respect_budget: bool,
     hysteresis: Load,
 ) -> Option<ApId> {
+    let mut scratch = DecisionScratch::default();
+    local_decision_scratch(ledger, u, policy, respect_budget, hysteresis, &mut scratch)
+}
+
+/// Reusable buffers for [`local_decision_scratch`]. One instance per
+/// deciding loop amortizes every per-decision allocation; the buffers grow
+/// to the largest neighborhood seen and stay there.
+#[derive(Debug, Clone, Default)]
+pub struct DecisionScratch {
+    /// APs the view has load data for (`reachable_aps_into` target).
+    reachable: Vec<ApId>,
+    /// Sorted non-increasing loads of `reachable` under "stay".
+    baseline: Vec<Load>,
+    /// The winning candidate's vector (materialized once per decision).
+    cand: Vec<Load>,
+}
+
+/// [`local_decision_with`] with caller-owned scratch buffers: the same
+/// decision, allocation-free after warm-up.
+///
+/// For [`Policy::MinMaxVector`] this also replaces the naive
+/// sort-per-candidate scoring with a delta evaluation. Every candidate's
+/// hypothetical vector is the shared stay-baseline with the leave-side
+/// perturbation (identical for all candidates, so it cancels) plus one
+/// replacement — the join AP's entry `x = ap_load(a)` becomes
+/// `y = load_if_joined(u, a)`. Two equal-size multisets that differ by one
+/// replacement each compare, in non-increasing lexicographic order, as
+/// their two-element difference multisets `{y_a, x_b}` vs `{y_b, x_a}`
+/// (adding common elements to both sides of a sorted-multiset comparison
+/// never changes its outcome — the outcome is decided by which side has
+/// the higher multiplicity of the largest value whose multiplicities
+/// differ). Scoring a candidate against the running best is therefore
+/// O(1), the full decision O(k log k) for one baseline sort instead of an
+/// O(k log k) sort per candidate, and the winning vector is materialized
+/// only once for the hysteresis check. Equal difference multisets mean
+/// equal vectors, so the lexicographic + signal + id tie-break is
+/// identical to the reference rule
+/// ([`local_decision_reference`](crate::reference::local_decision_reference)).
+pub fn local_decision_scratch<V: ApStateView>(
+    ledger: &V,
+    u: UserId,
+    policy: Policy,
+    respect_budget: bool,
+    hysteresis: Load,
+    scratch: &mut DecisionScratch,
+) -> Option<ApId> {
     let inst = ledger.instance();
     let current = ledger.ap_of(u);
 
+    let DecisionScratch {
+        reachable,
+        baseline,
+        cand,
+    } = scratch;
+    ledger.reachable_aps_into(u, reachable);
+
     // Feasible candidates (excluding the current AP — staying is the
     // baseline, not a move), drawn from the APs the view has data for.
-    let reachable = ledger.reachable_aps(u);
-    let candidates = reachable.iter().filter_map(|&a| {
+    let feasible = |a: ApId| -> Option<Load> {
         if Some(a) == current {
             return None;
         }
@@ -235,8 +308,8 @@ pub fn local_decision_with<V: ApStateView>(
         if respect_budget && joined > inst.budget(a) {
             return None;
         }
-        Some(a)
-    });
+        Some(joined)
+    };
 
     match policy {
         Policy::MinTotalLoad => {
@@ -246,11 +319,11 @@ pub fn local_decision_with<V: ApStateView>(
                 Some(cur) => ledger.load_if_left(u).expect("associated") - ledger.ap_load(cur),
                 None => Load::ZERO,
             };
-            let best = candidates
-                .map(|a| {
-                    let join_delta =
-                        ledger.load_if_joined(u, a).expect("filtered") - ledger.ap_load(a);
-                    let delta = join_delta + leave_delta;
+            let best = reachable
+                .iter()
+                .filter_map(|&a| Some((a, feasible(a)?)))
+                .map(|(a, joined)| {
+                    let delta = (joined - ledger.ap_load(a)) + leave_delta;
                     let signal = inst.signal(a, u).expect("candidate implies link");
                     (delta, std::cmp::Reverse(signal), a)
                 })
@@ -268,43 +341,107 @@ pub fn local_decision_with<V: ApStateView>(
         Policy::MinMaxVector => {
             // Sorted non-increasing load vector of u's neighboring APs
             // under each hypothesis; lexicographically smaller wins
-            // (footnote 5 of the paper).
-            let neighbors: &[ApId] = &reachable;
-            let vector_if = |target: Option<ApId>| -> Vec<Load> {
-                let mut v: Vec<Load> = neighbors
-                    .iter()
-                    .map(|&b| {
-                        if Some(b) == target {
-                            ledger.load_if_joined(u, b).expect("filtered")
-                        } else if Some(b) == current && target.is_some() {
-                            ledger.load_if_left(u).expect("associated")
-                        } else {
-                            ledger.ap_load(b)
-                        }
-                    })
-                    .collect();
-                v.sort_unstable_by(|x, y| y.cmp(x));
-                v
+            // (footnote 5 of the paper). Sort once for "stay"; candidates
+            // then compare against the running best in O(1) via their
+            // single-replacement difference multisets (see the function
+            // doc), and only the winner's vector is ever materialized.
+            baseline.clear();
+            baseline.extend(reachable.iter().map(|&b| ledger.ap_load(b)));
+            baseline.sort_unstable_by(|x, y| y.cmp(x));
+
+            // The leave-side perturbation is shared by every candidate —
+            // but only applies if the view actually lists the current AP
+            // (a message-level view may have lost contact with it).
+            let leave = match current {
+                Some(cur) if reachable.contains(&cur) => {
+                    let left = ledger.load_if_left(u).expect("associated");
+                    Some((ledger.ap_load(cur), left))
+                }
+                _ => None,
             };
-            let stay = vector_if(None);
-            let best = candidates
-                .map(|a| {
-                    let signal = inst.signal(a, u).expect("candidate implies link");
-                    (vector_if(Some(a)), std::cmp::Reverse(signal), a)
-                })
-                .min();
+
+            // Best candidate as (removed entry x, inserted entry y,
+            // signal, ap). `Iterator::min` keeps the first of equal
+            // elements, but full keys never tie (ApId is distinct), so
+            // replacing only on strictly-smaller is equivalent.
+            let mut best: Option<(Load, Load, SignalStrength, ApId)> = None;
+            for &a in reachable.iter() {
+                let Some(joined) = feasible(a) else { continue };
+                let x = ledger.ap_load(a);
+                let y = joined;
+                let signal = inst.signal(a, u).expect("candidate implies link");
+                let better = match best {
+                    None => true,
+                    Some((bx, by, bsig, ba)) => match replacement_cmp(y, bx, by, x) {
+                        std::cmp::Ordering::Less => true,
+                        std::cmp::Ordering::Greater => false,
+                        // Equal difference multisets: the hypothetical
+                        // vectors are identical — fall to the signal
+                        // (descending) then ApId tie-break.
+                        std::cmp::Ordering::Equal => {
+                            (std::cmp::Reverse(signal), a) < (std::cmp::Reverse(bsig), ba)
+                        }
+                    },
+                };
+                if better {
+                    best = Some((x, y, signal, a));
+                }
+            }
             match (best, current) {
-                (Some((v, _, a)), Some(_)) if vector_improves(&stay, &v, hysteresis) => Some(a),
-                (Some((_, _, a)), None) => Some(a),
+                (Some((x, y, _, a)), Some(_)) => {
+                    // Materialize the winning vector once: the baseline
+                    // with the join and leave entries spliced in place.
+                    cand.clear();
+                    cand.extend_from_slice(baseline);
+                    replace_sorted_desc(cand, x, y);
+                    if let Some((cur_load, left)) = leave {
+                        replace_sorted_desc(cand, cur_load, left);
+                    }
+                    vector_improves(baseline, cand, hysteresis).then_some(a)
+                }
+                (Some((_, _, _, a)), None) => Some(a),
                 _ => None,
             }
         }
     }
 }
 
+/// Compares two single-replacement perturbations of a shared multiset in
+/// non-increasing lexicographic order: candidate `a` (removes `xa`,
+/// inserts `ya`) versus candidate `b` (removes `xb`, inserts `yb`).
+///
+/// Adding `{xa, xb}` to both hypothetical multisets cancels the removals,
+/// reducing the comparison to the two-element multisets `{ya, xb}` vs
+/// `{yb, xa}` — sound because a sorted-multiset comparison is decided by
+/// which side has the higher multiplicity of the largest value whose
+/// multiplicities differ, a property unchanged by adding common elements.
+fn replacement_cmp(ya: Load, xb: Load, yb: Load, xa: Load) -> std::cmp::Ordering {
+    let a = if ya >= xb { (ya, xb) } else { (xb, ya) };
+    let b = if yb >= xa { (yb, xa) } else { (xa, yb) };
+    a.cmp(&b)
+}
+
+/// In a non-increasing sorted vector, replace one occurrence of `old` with
+/// `new`, keeping the vector sorted: two binary searches plus a splice,
+/// instead of re-sorting.
+fn replace_sorted_desc(v: &mut Vec<Load>, old: Load, new: Load) {
+    if old == new {
+        return;
+    }
+    // Comparator inverted for descending order.
+    let i = v
+        .binary_search_by(|probe| old.cmp(probe))
+        .expect("perturbed load is present in the baseline vector");
+    v.remove(i);
+    let j = match v.binary_search_by(|probe| new.cmp(probe)) {
+        Ok(j) | Err(j) => j,
+    };
+    v.insert(j, new);
+}
+
 /// Lexicographic improvement with hysteresis: `candidate < stay`, and the
 /// first differing position improves by strictly more than `hysteresis`.
-fn vector_improves(stay: &[Load], candidate: &[Load], hysteresis: Load) -> bool {
+pub(crate) fn vector_improves(stay: &[Load], candidate: &[Load], hysteresis: Load) -> bool {
     for (s, c) in stay.iter().zip(candidate) {
         if c < s {
             return *s - *c > hysteresis;
@@ -343,6 +480,20 @@ fn vector_improves(stay: &[Load], candidate: &[Load], hysteresis: Load) -> bool 
 ///
 /// Panics if `initial` has the wrong size or associates a user with an AP
 /// out of its range.
+///
+/// # Implementation notes
+///
+/// Decision-sequence-identical to the straightforward sweep
+/// ([`run_distributed_reference`](crate::reference::run_distributed_reference))
+/// but with three accelerations: the visiting order is computed once per
+/// run instead of per round; decisions share one [`DecisionScratch`]; and
+/// a dirty-user worklist skips users whose neighborhood state cannot have
+/// changed since their last (stay) decision. A user's decision depends
+/// only on its own association and the member multisets of the APs it can
+/// reach, so after a move `from → to` exactly the users in
+/// `reachable_users(from) ∪ reachable_users(to)` can decide differently —
+/// everyone else would repeat their previous "stay". Near convergence a
+/// round therefore costs O(moves × neighborhood), not O(n).
 pub fn run_distributed(
     inst: &Instance,
     config: &DistributedConfig,
@@ -353,21 +504,34 @@ pub fn run_distributed(
     let mut seen: HashSet<Vec<Option<ApId>>> = HashSet::new();
     seen.insert(ledger.association().as_slice().to_vec());
 
+    let order = config.order.order(inst.n_users());
+    let mut scratch = DecisionScratch::default();
+    // Every user must decide at least once; afterwards only moves make
+    // users dirty again. A mover re-dirties itself (it reaches both
+    // endpoints), so oscillations are still observed.
+    let mut dirty = vec![true; inst.n_users()];
+
     for round in 1..=config.max_rounds {
         let mut changed = false;
         match config.mode {
             ExecutionMode::Serial => {
-                for u in config.order.order(inst.n_users()) {
-                    if let Some(a) = local_decision_with(
+                for &u in &order {
+                    if !std::mem::replace(&mut dirty[u.index()], false) {
+                        continue;
+                    }
+                    if let Some(a) = local_decision_scratch(
                         &ledger,
                         u,
                         config.policy,
                         config.respect_budget,
                         config.hysteresis,
+                        &mut scratch,
                     ) {
+                        let from = ledger.ap_of(u);
                         ledger.reassociate(u, a);
                         moves += 1;
                         changed = true;
+                        mark_dirty(inst, &mut dirty, from, a);
                     }
                 }
             }
@@ -375,21 +539,25 @@ pub fn run_distributed(
                 let snapshot = ledger.clone();
                 let decisions: Vec<(UserId, ApId)> = inst
                     .users()
+                    .filter(|u| std::mem::replace(&mut dirty[u.index()], false))
                     .filter_map(|u| {
-                        local_decision_with(
+                        local_decision_scratch(
                             &snapshot,
                             u,
                             config.policy,
                             config.respect_budget,
                             config.hysteresis,
+                            &mut scratch,
                         )
                         .map(|a| (u, a))
                     })
                     .collect();
                 for (u, a) in decisions {
+                    let from = ledger.ap_of(u);
                     ledger.reassociate(u, a);
                     moves += 1;
                     changed = true;
+                    mark_dirty(inst, &mut dirty, from, a);
                 }
             }
         }
@@ -421,6 +589,23 @@ pub fn run_distributed(
         moves,
         converged: false,
         cycle_detected: false,
+    }
+}
+
+/// Marks every user whose local view a move `from → to` could have
+/// changed: those within range of either endpoint. Membership changes
+/// matter even when the AP's transmit load does not move (a join at a
+/// rate above the current minimum leaves `ap_load` unchanged but changes
+/// co-members' `load_if_left`), so invalidation keys on the move itself,
+/// not on observed load deltas.
+fn mark_dirty(inst: &Instance, dirty: &mut [bool], from: Option<ApId>, to: ApId) {
+    for &v in inst.reachable_users(to) {
+        dirty[v.index()] = true;
+    }
+    if let Some(f) = from {
+        for &v in inst.reachable_users(f) {
+            dirty[v.index()] = true;
+        }
     }
 }
 

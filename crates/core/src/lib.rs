@@ -53,6 +53,7 @@ pub mod examples_paper;
 pub mod mla;
 pub mod mnu;
 pub mod reduction;
+pub mod reference;
 pub mod revenue;
 pub mod solution;
 pub mod ssa;
@@ -62,8 +63,9 @@ pub use assoc::{AssocError, Association, LoadLedger};
 pub use bla::solve_bla;
 pub use bla::{solve_bla_with, BlaConfig};
 pub use distributed::{
-    local_decision, local_decision_with, run_distributed, run_min_max_vector, run_min_total,
-    ApStateView, DecisionOrder, DistributedConfig, DistributedOutcome, ExecutionMode, Policy,
+    local_decision, local_decision_scratch, local_decision_with, run_distributed,
+    run_min_max_vector, run_min_total, ApStateView, DecisionOrder, DecisionScratch,
+    DistributedConfig, DistributedOutcome, ExecutionMode, Policy,
 };
 pub use dual::DualAssociation;
 pub use ids::{ApId, SessionId, UserId};
@@ -74,6 +76,7 @@ pub use load::Load;
 pub use mla::{solve_mla, solve_mla_with, MlaAlgorithm};
 pub use mnu::{solve_mnu, solve_mnu_with, MnuConfig};
 pub use rate::{Kbps, RatePolicy, RateStep, RateTable, RateTableError};
+pub use reference::{local_decision_reference, run_distributed_reference, ReferenceLedger};
 pub use solution::{Objective, Solution, SolveError};
 pub use ssa::solve_ssa;
 pub use stats::InstanceStats;

@@ -4,9 +4,10 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 
 use mcast_core::{
-    run_distributed, solve_bla, solve_mla, solve_mnu, solve_ssa, ApId, Association,
+    local_decision_reference, local_decision_with, run_distributed, run_distributed_reference,
+    solve_bla, solve_mla, solve_mnu, solve_ssa, ApId, Association, DecisionOrder,
     DistributedConfig, ExecutionMode, Instance, InstanceBuilder, Kbps, Load, LoadLedger, Objective,
-    Policy, UserId,
+    Policy, ReferenceLedger, UserId,
 };
 
 const RATES: [u32; 4] = [6, 12, 24, 54];
@@ -201,6 +202,116 @@ proptest! {
         }
         prop_assert_eq!(ledger.total_load(), assoc.total_load(&inst));
         prop_assert_eq!(ledger.max_load(), assoc.max_load(&inst));
+    }
+
+    // ---- Fast paths vs pre-optimization reference oracles ----
+
+    /// The count-array `LoadLedger` tracks the `BTreeMap` reference ledger
+    /// through arbitrary join/leave/move sequences — every observable
+    /// (loads, hypotheticals, per-session tx rates) at every step.
+    #[test]
+    fn fast_ledger_matches_reference_on_random_moves(
+        inst in coverable_instance(),
+        ops in vec((0u32..12, 0u32..5), 0..40),
+    ) {
+        let mut fast = LoadLedger::new(&inst, Association::empty(inst.n_users()));
+        let mut reference = ReferenceLedger::fresh(&inst);
+        for (u_raw, a_raw) in ops {
+            let u = UserId(u_raw % inst.n_users() as u32);
+            let a = ApId(a_raw % inst.n_aps() as u32);
+            if inst.link_rate(a, u).is_some() {
+                fast.reassociate(u, a);
+                reference.reassociate(u, a);
+            } else if fast.ap_of(u).is_some() {
+                fast.leave(u);
+                reference.leave(u);
+            }
+            for b in inst.aps() {
+                prop_assert_eq!(fast.ap_load(b), reference.ap_load(b));
+                for s in inst.sessions() {
+                    prop_assert_eq!(fast.ap_session_rate(b, s), reference.ap_session_rate(b, s));
+                }
+            }
+            for v in inst.users() {
+                prop_assert_eq!(fast.ap_of(v), reference.ap_of(v));
+                prop_assert_eq!(fast.load_if_left(v), reference.load_if_left(v));
+                for &(b, _) in inst.candidate_aps(v) {
+                    prop_assert_eq!(fast.load_if_joined(v, b), reference.load_if_joined(v, b));
+                }
+            }
+        }
+        prop_assert_eq!(fast.association(), reference.association());
+    }
+
+    /// The delta-evaluated decision rule equals the naive
+    /// sort-per-candidate oracle on random states — both policies, with
+    /// and without budgets, across hysteresis levels (exercising the
+    /// lexicographic, signal, and id tie-breaks).
+    #[test]
+    fn delta_decision_matches_reference(
+        inst in coverable_instance(),
+        ops in vec((0u32..12, 0u32..5), 0..30),
+        hyst_kind in 0u8..3,
+        budget_raw in 0u8..2,
+    ) {
+        let mut ledger = LoadLedger::new(&inst, Association::empty(inst.n_users()));
+        for (u_raw, a_raw) in ops {
+            let u = UserId(u_raw % inst.n_users() as u32);
+            let a = ApId(a_raw % inst.n_aps() as u32);
+            if inst.link_rate(a, u).is_some() {
+                ledger.reassociate(u, a);
+            } else if ledger.ap_of(u).is_some() {
+                ledger.leave(u);
+            }
+        }
+        let reference = ReferenceLedger::new(&inst, ledger.association().clone());
+        let hysteresis = match hyst_kind {
+            0 => Load::ZERO,
+            1 => Load::from_ratio(1, 100),
+            _ => Load::from_ratio(1, 6),
+        };
+        let respect_budget = budget_raw == 1;
+        for policy in [Policy::MinTotalLoad, Policy::MinMaxVector] {
+            for u in inst.users() {
+                let fast = local_decision_with(&ledger, u, policy, respect_budget, hysteresis);
+                let refd =
+                    local_decision_reference(&reference, u, policy, respect_budget, hysteresis);
+                prop_assert_eq!(fast, refd, "policy {:?} user {}", policy, u);
+            }
+        }
+    }
+
+    /// The worklist convergence loop reproduces the full-sweep reference
+    /// run outcome-for-outcome: association, rounds, moves, convergence
+    /// and cycle flags — both modes, both policies, shuffled orders.
+    #[test]
+    fn fast_run_matches_reference_run(
+        inst in coverable_instance(),
+        seed in 0u64..4,
+    ) {
+        for policy in [Policy::MinTotalLoad, Policy::MinMaxVector] {
+            for mode in [ExecutionMode::Serial, ExecutionMode::Simultaneous] {
+                let config = DistributedConfig {
+                    policy,
+                    mode,
+                    max_rounds: 40,
+                    order: if seed == 0 {
+                        DecisionOrder::ById
+                    } else {
+                        DecisionOrder::Shuffled(seed)
+                    },
+                    ..DistributedConfig::default()
+                };
+                let fast = run_distributed(&inst, &config, Association::empty(inst.n_users()));
+                let reference =
+                    run_distributed_reference(&inst, &config, Association::empty(inst.n_users()));
+                prop_assert_eq!(&fast.association, &reference.association);
+                prop_assert_eq!(fast.rounds, reference.rounds);
+                prop_assert_eq!(fast.moves, reference.moves);
+                prop_assert_eq!(fast.converged, reference.converged);
+                prop_assert_eq!(fast.cycle_detected, reference.cycle_detected);
+            }
+        }
     }
 
     #[test]

@@ -7,7 +7,11 @@
 //! * `BENCH_greedy.json` — lazy-greedy (CELF) vs full-rescan greedy for
 //!   MCG, `CostSC` and SCG (the `crates/covering` fast paths);
 //! * `BENCH_topology.json` — spatial-grid vs all-pairs scenario
-//!   generation (the `crates/topology` fast path).
+//!   generation (the `crates/topology` fast path);
+//! * `BENCH_distributed.json` — the incremental-ledger + delta-decision +
+//!   dirty-worklist distributed engine vs the recomputing full-sweep
+//!   reference (`crates/core/src/reference.rs`), over both policies and
+//!   execution modes plus one large-scale scenario.
 //!
 //! Every comparison also asserts the two implementations produce
 //! identical outputs — a bench run doubles as an equivalence check on
@@ -18,6 +22,10 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 use mcast_core::reduction::Reduction;
+use mcast_core::{
+    run_distributed, run_distributed_reference, Association, DistributedConfig, DistributedOutcome,
+    ExecutionMode, Policy,
+};
 use mcast_covering::{greedy_mcg, greedy_set_cover, reference, solve_scg, SetSystemBuilder};
 use mcast_topology::{Placement, ScenarioConfig};
 use serde::Serialize;
@@ -201,8 +209,130 @@ pub fn topology_report(opts: &Options) -> BenchReport {
     }
 }
 
-/// Runs both reports, writes `BENCH_greedy.json` / `BENCH_topology.json`
-/// into the current directory, and returns a printable summary.
+/// The distributed-engine report: incremental ledger + delta decision +
+/// dirty worklist vs the recomputing full-sweep reference.
+pub fn distributed_report(opts: &Options) -> BenchReport {
+    let mut benches = BTreeMap::new();
+
+    let (n_aps, n_users) = if opts.quick { (40, 150) } else { (200, 1000) };
+    let scenario = ScenarioConfig {
+        n_aps,
+        n_users,
+        ..ScenarioConfig::paper_default()
+    }
+    .with_seed(0)
+    .generate();
+    let inst = &scenario.instance;
+    let cases = [
+        (
+            "serial_min_total",
+            Policy::MinTotalLoad,
+            ExecutionMode::Serial,
+        ),
+        (
+            "serial_min_max",
+            Policy::MinMaxVector,
+            ExecutionMode::Serial,
+        ),
+        (
+            "simultaneous_min_total",
+            Policy::MinTotalLoad,
+            ExecutionMode::Simultaneous,
+        ),
+        (
+            "simultaneous_min_max",
+            Policy::MinMaxVector,
+            ExecutionMode::Simultaneous,
+        ),
+    ];
+    for (key, policy, mode) in cases {
+        let config = DistributedConfig {
+            policy,
+            mode,
+            max_rounds: 60,
+            ..DistributedConfig::default()
+        };
+        let (ref_ms, ref_out) =
+            time_once(|| run_distributed_reference(inst, &config, Association::empty(n_users)));
+        let (fast_ms, fast_out) = time_best_of(3, || {
+            run_distributed(inst, &config, Association::empty(n_users))
+        });
+        benches.insert(
+            key.to_string(),
+            BenchEntry {
+                workload: format!(
+                    "distributed {policy:?} / {mode:?}, paper-density WLAN, {n_aps} APs / {n_users} users"
+                ),
+                reference_ms: ref_ms,
+                fast_ms,
+                speedup: ref_ms / fast_ms,
+                outputs_identical: outcomes_equal(&ref_out, &fast_out),
+            },
+        );
+    }
+
+    // Large-scale workload at the same AP density as the paper layout
+    // (~6000 m² per AP, so per-user neighborhoods stay realistic). The
+    // round cap keeps the O(rounds · n · k² log k) reference inside bench
+    // time; it applies to both sides, so the identity check still bites.
+    let (n_aps, n_users, side_m) = if opts.quick {
+        (120, 2_000, 848.0)
+    } else {
+        (2_000, 100_000, 3_463.0)
+    };
+    let scenario = ScenarioConfig {
+        n_aps,
+        n_users,
+        width_m: side_m,
+        height_m: side_m,
+        ..ScenarioConfig::paper_default()
+    }
+    .with_seed(0)
+    .generate();
+    let inst = &scenario.instance;
+    let config = DistributedConfig {
+        policy: Policy::MinMaxVector,
+        mode: ExecutionMode::Serial,
+        max_rounds: 3,
+        ..DistributedConfig::default()
+    };
+    let (ref_ms, ref_out) =
+        time_once(|| run_distributed_reference(inst, &config, Association::empty(n_users)));
+    let (fast_ms, fast_out) = time_best_of(3, || {
+        run_distributed(inst, &config, Association::empty(n_users))
+    });
+    benches.insert(
+        "large_serial_min_max".to_string(),
+        BenchEntry {
+            workload: format!(
+                "distributed MinMaxVector / Serial, {n_aps} APs / {n_users} users, {side_m:.0} m square, 3 rounds"
+            ),
+            reference_ms: ref_ms,
+            fast_ms,
+            speedup: ref_ms / fast_ms,
+            outputs_identical: outcomes_equal(&ref_out, &fast_out),
+        },
+    );
+
+    BenchReport {
+        schema: "mcast-bench-distributed/v1".to_string(),
+        quick: opts.quick,
+        benches,
+    }
+}
+
+/// Full outcome equality: the association and every counter/flag.
+fn outcomes_equal(a: &DistributedOutcome, b: &DistributedOutcome) -> bool {
+    a.association == b.association
+        && a.rounds == b.rounds
+        && a.moves == b.moves
+        && a.converged == b.converged
+        && a.cycle_detected == b.cycle_detected
+}
+
+/// Runs all reports, writes `BENCH_greedy.json` / `BENCH_topology.json` /
+/// `BENCH_distributed.json` into the current directory, and returns a
+/// printable summary.
 ///
 /// # Errors
 ///
@@ -214,6 +344,7 @@ pub fn run(opts: &Options) -> Result<String, String> {
     for (path, report) in [
         ("BENCH_greedy.json", greedy_report(opts)),
         ("BENCH_topology.json", topology_report(opts)),
+        ("BENCH_distributed.json", distributed_report(opts)),
     ] {
         let json =
             serde_json::to_string_pretty(&report).map_err(|e| format!("serialize {path}: {e}"))?;
@@ -287,5 +418,16 @@ mod tests {
         let t = topology_report(&opts);
         assert!(t.benches.contains_key("scenario_gen"));
         assert!(t.benches.values().all(|b| b.outputs_identical));
+        let d = distributed_report(&opts);
+        assert!([
+            "serial_min_total",
+            "serial_min_max",
+            "simultaneous_min_total",
+            "simultaneous_min_max",
+            "large_serial_min_max",
+        ]
+        .iter()
+        .all(|k| d.benches.contains_key(*k)));
+        assert!(d.benches.values().all(|b| b.outputs_identical));
     }
 }

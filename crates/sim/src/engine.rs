@@ -4,8 +4,8 @@
 use std::collections::BTreeMap;
 
 use mcast_core::{
-    local_decision, ApId, ApStateView, Association, Instance, Kbps, Load, LoadLedger, Policy,
-    SessionId, UserId,
+    local_decision_scratch, ApId, ApStateView, Association, DecisionScratch, Instance, Kbps, Load,
+    LoadLedger, Policy, SessionId, UserId,
 };
 use mcast_faults::{FaultEventKind, FaultPlan, FaultTimeline, MessageClass};
 
@@ -133,6 +133,8 @@ impl Default for SimConfig {
 enum Phase {
     Idle,
     Scanning {
+        /// Responders so far, kept sorted by insertion position so no
+        /// completion-time sort is needed.
         heard: Vec<ApId>,
         pending: usize,
     },
@@ -142,7 +144,6 @@ enum Phase {
         retries: usize,
     },
     Querying {
-        heard: Vec<ApId>,
         responses: BTreeMap<ApId, ResponseData>,
         pending: usize,
         locked: bool,
@@ -180,6 +181,12 @@ impl ApStateView for QueryView<'_> {
         // injection a silent neighbor may be crashed or out of range, and
         // the decision must not pretend to know its load.
         self.responses.keys().copied().collect()
+    }
+
+    fn reachable_aps_into(&self, u: UserId, out: &mut Vec<ApId>) {
+        debug_assert_eq!(u, self.user);
+        out.clear();
+        out.extend(self.responses.keys().copied());
     }
 
     fn ap_of(&self, u: UserId) -> Option<ApId> {
@@ -303,6 +310,8 @@ pub struct Simulator<'a> {
     /// Per user: bumped on every exchange-phase entry; stale timeouts
     /// carry an older value and are ignored.
     phase_epochs: Vec<u64>,
+    /// Shared decision-rule buffers, reused across every user decision.
+    scratch: DecisionScratch,
     fault_epochs: Vec<Time>,
     fault_events: u64,
     abandoned_exchanges: u64,
@@ -371,6 +380,7 @@ impl<'a> Simulator<'a> {
             user_gone: vec![false; inst.n_users()],
             link_ok: vec![true; inst.n_users() * inst.n_aps()],
             phase_epochs: vec![0; inst.n_users()],
+            scratch: DecisionScratch::default(),
             fault_epochs: Vec::new(),
             fault_events: 0,
             abandoned_exchanges: 0,
@@ -386,16 +396,16 @@ impl<'a> Simulator<'a> {
         self.link_ok[u.index() * self.inst.n_aps() + a.index()]
     }
 
-    /// The APs user `u` can currently hear: its candidate APs minus any
-    /// links a mobility jump has broken. (Crashed APs are still probed —
-    /// the user cannot know they are down; they just never answer.)
-    fn neighbors(&self, u: UserId) -> Vec<ApId> {
-        self.inst
-            .candidate_aps(u)
-            .iter()
-            .map(|&(a, _)| a)
-            .filter(|&a| self.link_up(u, a))
-            .collect()
+    /// Sends a `LockRelease` to every in-range candidate AP of `u` —
+    /// covering any lock it might hold (releases to non-holders are
+    /// no-ops on the AP side).
+    fn release_all_locks(&mut self, u: UserId) {
+        let inst = self.inst;
+        for &(a, _) in inst.candidate_aps(u) {
+            if self.link_up(u, a) {
+                self.send(Node::User(u), Node::Ap(a), MessageBody::LockRelease);
+            }
+        }
     }
 
     /// Records the ledger's current max load into the running peak.
@@ -709,12 +719,7 @@ impl<'a> Simulator<'a> {
                     Phase::AwaitingAssoc { locked: true }
                 );
             if holds_locks {
-                let inst = self.inst;
-                for &(a, _) in inst.candidate_aps(u) {
-                    if self.link_up(u, a) {
-                        self.send(Node::User(u), Node::Ap(a), MessageBody::LockRelease);
-                    }
-                }
+                self.release_all_locks(u);
             }
             self.abandoned_exchanges += 1;
             self.phases[u.index()] = Phase::Idle;
@@ -746,10 +751,9 @@ impl<'a> Simulator<'a> {
         let phase = std::mem::replace(&mut self.phases[u.index()], Phase::Idle);
         match phase {
             Phase::Idle => {}
-            Phase::Scanning { mut heard, .. } if !heard.is_empty() => {
+            Phase::Scanning { heard, .. } if !heard.is_empty() => {
                 // Some APs never answered (down, or the frame vanished):
-                // proceed with the ones that did.
-                heard.sort();
+                // proceed with the ones that did (already sorted).
                 match self.config.schedule {
                     WakeSchedule::SynchronizedLocked => {
                         let retries = self.lock_retries[u.index()];
@@ -770,12 +774,7 @@ impl<'a> Simulator<'a> {
             Phase::Querying { locked, .. } | Phase::AwaitingAssoc { locked } => {
                 self.abandoned_exchanges += 1;
                 if locked {
-                    let inst = self.inst;
-                    for &(a, _) in inst.candidate_aps(u) {
-                        if self.link_up(u, a) {
-                            self.send(Node::User(u), Node::Ap(a), MessageBody::LockRelease);
-                        }
-                    }
+                    self.release_all_locks(u);
                 }
             }
         }
@@ -797,12 +796,7 @@ impl<'a> Simulator<'a> {
                 if matches!(self.phases[u.index()], Phase::Locking { .. })
                     || matches!(self.phases[u.index()], Phase::Querying { locked: true, .. })
                 {
-                    let inst = self.inst;
-                    for &(a, _) in inst.candidate_aps(u) {
-                        if self.link_up(u, a) {
-                            self.send(Node::User(u), Node::Ap(a), MessageBody::LockRelease);
-                        }
-                    }
+                    self.release_all_locks(u);
                 }
                 self.abandoned_exchanges += 1;
                 self.phases[u.index()] = Phase::Idle;
@@ -810,17 +804,23 @@ impl<'a> Simulator<'a> {
                 return; // still mid-exchange from a previous wake
             }
         }
-        let heard: Vec<ApId> = self.neighbors(u);
-        if heard.is_empty() {
-            return;
+        // Active scan: probe every in-range candidate AP (its current
+        // neighbors); crashed APs are still probed — the user cannot know
+        // they are down, they just never answer.
+        let inst = self.inst;
+        let mut pending = 0usize;
+        for &(a, _) in inst.candidate_aps(u) {
+            if self.link_up(u, a) {
+                self.send(Node::User(u), Node::Ap(a), MessageBody::ProbeRequest);
+                pending += 1;
+            }
         }
-        // Active scan: probe every channel; APs in range answer.
-        for &a in &heard {
-            self.send(Node::User(u), Node::Ap(a), MessageBody::ProbeRequest);
+        if pending == 0 {
+            return;
         }
         self.arm_timeout(u, 1);
         self.phases[u.index()] = Phase::Scanning {
-            pending: heard.len(),
+            pending,
             heard: Vec::new(),
         };
     }
@@ -942,14 +942,15 @@ impl<'a> Simulator<'a> {
                 let Phase::Scanning { heard, pending } = &mut self.phases[u.index()] else {
                     return;
                 };
-                if heard.contains(&a) {
-                    return; // duplicated response
+                // Sorted insertion keeps `heard` ordered as it fills, so
+                // completion (here or at the recovery timeout) never sorts.
+                match heard.binary_search(&a) {
+                    Ok(_) => return, // duplicated response
+                    Err(i) => heard.insert(i, a),
                 }
-                heard.push(a);
                 *pending -= 1;
                 if *pending == 0 {
-                    let mut heard = std::mem::take(heard);
-                    heard.sort();
+                    let heard = std::mem::take(heard);
                     match self.config.schedule {
                         WakeSchedule::SynchronizedLocked => {
                             let retries = self.lock_retries[u.index()];
@@ -980,7 +981,9 @@ impl<'a> Simulator<'a> {
                         self.send(Node::User(u), Node::Ap(next_ap), MessageBody::LockRequest)
                     }
                     None => {
-                        let heard = heard.clone();
+                        // The phase is replaced by `start_querying`, so the
+                        // list can be moved out rather than cloned.
+                        let heard = std::mem::take(heard);
                         let _ = retries;
                         self.lock_retries[u.index()] = 0;
                         self.start_querying(u, heard, true);
@@ -990,11 +993,11 @@ impl<'a> Simulator<'a> {
             (Node::User(u), MessageBody::LockDeny) => {
                 let Phase::Locking {
                     granted, retries, ..
-                } = &self.phases[u.index()]
+                } = &mut self.phases[u.index()]
                 else {
                     return;
                 };
-                let granted = granted.clone();
+                let granted = std::mem::take(granted);
                 let retries = *retries;
                 for a in granted {
                     self.send(Node::User(u), Node::Ap(a), MessageBody::LockRelease);
@@ -1022,7 +1025,6 @@ impl<'a> Simulator<'a> {
                 },
             ) => {
                 let Phase::Querying {
-                    heard,
                     responses,
                     pending,
                     locked,
@@ -1049,21 +1051,15 @@ impl<'a> Simulator<'a> {
                     return;
                 }
                 let locked = *locked;
-                let heard = heard.clone();
                 let responses = std::mem::take(responses);
-                self.decide_and_act(u, heard, responses, locked);
+                self.decide_and_act(u, responses, locked);
             }
             (Node::User(u), MessageBody::AssocResponse { granted: _ }) => {
                 let Phase::AwaitingAssoc { locked } = self.phases[u.index()] else {
                     return;
                 };
                 if locked {
-                    let inst = self.inst;
-                    for &(a, _) in inst.candidate_aps(u) {
-                        if self.link_up(u, a) {
-                            self.send(Node::User(u), Node::Ap(a), MessageBody::LockRelease);
-                        }
-                    }
+                    self.release_all_locks(u);
                 }
                 self.phases[u.index()] = Phase::Idle;
             }
@@ -1091,20 +1087,13 @@ impl<'a> Simulator<'a> {
             self.send(Node::User(u), Node::Ap(a), MessageBody::LoadQuery);
         }
         self.phases[u.index()] = Phase::Querying {
-            heard,
             responses: BTreeMap::new(),
             pending,
             locked,
         };
     }
 
-    fn decide_and_act(
-        &mut self,
-        u: UserId,
-        _heard: Vec<ApId>,
-        responses: BTreeMap<ApId, ResponseData>,
-        locked: bool,
-    ) {
+    fn decide_and_act(&mut self, u: UserId, responses: BTreeMap<ApId, ResponseData>, locked: bool) {
         let current = self.ledger.ap_of(u);
         // Without its own AP's answer there is no stay-baseline to
         // compare moves against — stay put and retry next wake. (Never
@@ -1112,12 +1101,7 @@ impl<'a> Simulator<'a> {
         if current.is_some_and(|cur| !responses.contains_key(&cur)) {
             self.abandoned_exchanges += 1;
             if locked {
-                let inst = self.inst;
-                for &(a, _) in inst.candidate_aps(u) {
-                    if self.link_up(u, a) {
-                        self.send(Node::User(u), Node::Ap(a), MessageBody::LockRelease);
-                    }
-                }
+                self.release_all_locks(u);
             }
             self.phases[u.index()] = Phase::Idle;
             return;
@@ -1128,7 +1112,14 @@ impl<'a> Simulator<'a> {
             current,
             responses: &responses,
         };
-        let decision = local_decision(&view, u, self.config.policy, self.config.respect_budget);
+        let decision = local_decision_scratch(
+            &view,
+            u,
+            self.config.policy,
+            self.config.respect_budget,
+            Load::ZERO,
+            &mut self.scratch,
+        );
         match decision {
             Some(a) => {
                 let leaving = current;
@@ -1142,12 +1133,7 @@ impl<'a> Simulator<'a> {
             }
             None => {
                 if locked {
-                    let inst = self.inst;
-                    for &(a, _) in inst.candidate_aps(u) {
-                        if self.link_up(u, a) {
-                            self.send(Node::User(u), Node::Ap(a), MessageBody::LockRelease);
-                        }
-                    }
+                    self.release_all_locks(u);
                 }
                 self.phases[u.index()] = Phase::Idle;
             }
