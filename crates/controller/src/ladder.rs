@@ -1,0 +1,144 @@
+//! The degradation ladder: policies, solve paths, and the work meter.
+
+use serde::{Deserialize, Serialize};
+
+/// Which rungs of the degradation ladder a controller run may use.
+///
+/// Policies are the sweep arms of the `repro controller` experiment:
+/// they bound the *most expensive* response the controller will attempt
+/// at a dirty epoch. The work budget can still push an epoch below its
+/// policy's preferred rung.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LadderPolicy {
+    /// Re-solve from scratch at every state-changing epoch.
+    Full,
+    /// Solve once at epoch 0, then incrementally repair: re-home only
+    /// orphaned/arrived users, leaving everyone else untouched.
+    Repair,
+    /// Never optimize: strongest-signal placement only (the online
+    /// analogue of the paper's SSA baseline).
+    SsaOnly,
+}
+
+impl LadderPolicy {
+    /// All policies, in sweep order.
+    pub const ALL: [LadderPolicy; 3] = [
+        LadderPolicy::Full,
+        LadderPolicy::Repair,
+        LadderPolicy::SsaOnly,
+    ];
+
+    /// Stable lowercase name (JSON/report key and CLI value).
+    pub fn name(self) -> &'static str {
+        match self {
+            LadderPolicy::Full => "full",
+            LadderPolicy::Repair => "repair",
+            LadderPolicy::SsaOnly => "ssa-only",
+        }
+    }
+
+    /// Parses a [`LadderPolicy::name`].
+    pub fn from_name(name: &str) -> Option<LadderPolicy> {
+        LadderPolicy::ALL.into_iter().find(|p| p.name() == name)
+    }
+}
+
+/// The response a single epoch actually executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolvePath {
+    /// Nothing changed and nothing was pending: no compute at all.
+    Idle,
+    /// Full re-solve over the effective instance.
+    Full,
+    /// Incremental repair sweep over unserved users.
+    Repair,
+    /// Strongest-signal placement sweep.
+    Ssa,
+}
+
+impl SolvePath {
+    /// Stable lowercase name (report key).
+    pub fn name(self) -> &'static str {
+        match self {
+            SolvePath::Idle => "idle",
+            SolvePath::Full => "full",
+            SolvePath::Repair => "repair",
+            SolvePath::Ssa => "ssa",
+        }
+    }
+}
+
+/// A deterministic per-epoch work budget.
+///
+/// The controller must degrade under time pressure *reproducibly*: the
+/// same seed and plan must take the same ladder decisions on any
+/// machine. Wall-clock deadlines cannot do that, so the budget is
+/// counted in **work units** — one unit per candidate-link evaluation
+/// (the common currency of every rung: a repair scan of user `u` costs
+/// `|candidates(u)|`, a full re-solve `Σᵤ |candidates(u)| · |rates|`,
+/// an SSA placement 1). The cooperative watchdog is
+/// [`WorkMeter::try_charge`]: rungs ask before they spend, and a refusal
+/// drops the controller to the next cheaper rung mid-sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkMeter {
+    budget: u64,
+    spent: u64,
+}
+
+impl WorkMeter {
+    /// A meter with `budget` work units per epoch; `0` means unlimited.
+    pub fn new(budget: u64) -> WorkMeter {
+        WorkMeter { budget, spent: 0 }
+    }
+
+    /// A meter that never refuses.
+    pub fn unlimited() -> WorkMeter {
+        WorkMeter::new(0)
+    }
+
+    /// Work units spent so far.
+    pub fn spent(&self) -> u64 {
+        self.spent
+    }
+
+    /// Charges `cost` units if they fit in the remaining budget.
+    /// Returns `false` — and charges nothing — if they do not.
+    pub fn try_charge(&mut self, cost: u64) -> bool {
+        if self.budget != 0 && self.spent.saturating_add(cost) > self.budget {
+            return false;
+        }
+        self.spent = self.spent.saturating_add(cost);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_names_round_trip() {
+        for p in LadderPolicy::ALL {
+            assert_eq!(LadderPolicy::from_name(p.name()), Some(p));
+        }
+        assert_eq!(LadderPolicy::from_name("nope"), None);
+    }
+
+    #[test]
+    fn unlimited_meter_never_refuses() {
+        let mut m = WorkMeter::unlimited();
+        assert!(m.try_charge(u64::MAX));
+        assert!(m.try_charge(u64::MAX));
+        assert_eq!(m.spent(), u64::MAX);
+    }
+
+    #[test]
+    fn meter_refuses_over_budget_and_charges_nothing() {
+        let mut m = WorkMeter::new(10);
+        assert!(m.try_charge(7));
+        assert!(!m.try_charge(4), "7 + 4 > 10 must refuse");
+        assert_eq!(m.spent(), 7, "a refused charge spends nothing");
+        assert!(m.try_charge(3));
+        assert!(!m.try_charge(1));
+    }
+}

@@ -1,0 +1,142 @@
+//! Disruption-metrics reporting for controller runs.
+
+use serde::{Deserialize, Serialize};
+
+use mcast_faults::RecoverySummary;
+
+use crate::ladder::SolvePath;
+
+/// What one epoch did, and what it cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochRecord {
+    /// Epoch index.
+    pub epoch: u64,
+    /// Fault events ingested at the start of this epoch.
+    pub events: u64,
+    /// The rung that ran.
+    pub path: SolvePath,
+    /// True if the work budget (or a solver failure) forced this epoch
+    /// below its policy's preferred rung — including a repair sweep that
+    /// finished on the SSA rung.
+    pub degraded: bool,
+    /// The coverage promise the auditor held this epoch against
+    /// ([`crate::CoverageRule::name`]).
+    pub rule: String,
+    /// Work units spent ([`crate::WorkMeter`]).
+    pub work: u64,
+    /// Users whose AP at epoch end differs from their AP at epoch start
+    /// (both being served — joins and losses are not handoffs).
+    pub handoffs: u64,
+    /// Users placed by the repair or SSA rung this epoch.
+    pub rehomed: u64,
+    /// Users newly shed this epoch (no allowed AP could admit them).
+    pub shed: u64,
+    /// Previously shed users admitted this epoch.
+    pub readmitted: u64,
+    /// Unserved users the work budget did not even let the controller
+    /// examine (retried next epoch).
+    pub deferred: u64,
+    /// Users served at epoch end.
+    pub satisfied: usize,
+    /// True if any user's association changed during this epoch.
+    pub changed: bool,
+    /// Invariant violations the auditor found after this epoch.
+    pub violations: u64,
+}
+
+/// The disruption-metrics report of one controller run.
+///
+/// Serialized (via the PR-3 atomic-write/journal machinery) as the
+/// per-trial payload of `repro controller`, so runs replay byte-
+/// identically from the journal on `--resume`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControllerReport {
+    /// Objective name (`MNU`/`BLA`/`MLA`).
+    pub objective: String,
+    /// Ladder policy name ([`crate::LadderPolicy::name`]).
+    pub policy: String,
+    /// Epoch length in microseconds (the fault-timeline clock).
+    pub epoch_us: u64,
+    /// Epochs executed.
+    pub n_epochs: u64,
+    /// Per-epoch records, in order.
+    pub epochs: Vec<EpochRecord>,
+    /// Reconvergence times across disruption windows, **in epochs** —
+    /// the same summary type the simulator reports in microseconds
+    /// (`SimReport::reconvergence_summary` in the sim crate), so the
+    /// two runtimes are directly comparable.
+    pub reconvergence_epochs: RecoverySummary,
+    /// Total handoffs across the run.
+    pub handoffs: u64,
+    /// Σ over disruption windows and epochs of how far coverage stayed
+    /// below its pre-disruption baseline (user·epochs).
+    pub coverage_loss_user_epochs: u64,
+    /// The headline disruption score: handoffs + coverage-loss
+    /// user·epochs. Lower is better at equal final coverage.
+    pub disruption: u64,
+    /// Total shed events across the run.
+    pub shed: u64,
+    /// Total readmissions across the run.
+    pub readmitted: u64,
+    /// Total deferrals across the run.
+    pub deferred: u64,
+    /// Total invariant violations (must be 0).
+    pub invariant_violations: u64,
+    /// Up to the first 8 violation messages, for diagnosis.
+    pub violations_sample: Vec<String>,
+    /// Users served when the run ended.
+    pub final_satisfied: usize,
+    /// Maximum AP load when the run ended.
+    pub final_max_load: f64,
+    /// Total load when the run ended.
+    pub final_total_load: f64,
+    /// Total work units spent across all epochs.
+    pub work: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_serde_round_trip() {
+        let report = ControllerReport {
+            objective: "MNU".to_string(),
+            policy: "repair".to_string(),
+            epoch_us: 100_000,
+            n_epochs: 2,
+            epochs: vec![EpochRecord {
+                epoch: 0,
+                events: 0,
+                path: SolvePath::Full,
+                degraded: false,
+                rule: "exact".to_string(),
+                work: 120,
+                handoffs: 0,
+                rehomed: 3,
+                shed: 1,
+                readmitted: 0,
+                deferred: 0,
+                satisfied: 9,
+                changed: true,
+                violations: 0,
+            }],
+            reconvergence_epochs: RecoverySummary::of(&[1.0], 0),
+            handoffs: 4,
+            coverage_loss_user_epochs: 7,
+            disruption: 11,
+            shed: 1,
+            readmitted: 1,
+            deferred: 0,
+            invariant_violations: 0,
+            violations_sample: Vec::new(),
+            final_satisfied: 9,
+            final_max_load: 0.75,
+            final_total_load: 2.5,
+            work: 240,
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: ControllerReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+}

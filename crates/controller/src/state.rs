@@ -1,0 +1,176 @@
+//! Live network state: which APs are up, which users are present, and
+//! which candidate links currently exist.
+
+use mcast_core::{ApId, Instance, UserId};
+
+/// The controller's view of the network's health, updated from fault
+/// events.
+///
+/// Mirrors the simulator's fault semantics exactly — same flat user-major
+/// link mask, same ChaCha8 per-jump re-roll — so a fault plan means the
+/// same thing to both runtimes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkState {
+    n_aps: usize,
+    down: Vec<bool>,
+    gone: Vec<bool>,
+    /// `link_ok[u.index() * n_aps + a.index()]`; only candidate links are
+    /// ever flipped, so non-candidate entries stay `true` and harmless.
+    link_ok: Vec<bool>,
+    downs: usize,
+    gones: usize,
+    masked_links: usize,
+}
+
+impl NetworkState {
+    /// A pristine network: everything up, everyone present, all links ok.
+    pub fn new(n_aps: usize, n_users: usize) -> NetworkState {
+        NetworkState {
+            n_aps,
+            down: vec![false; n_aps],
+            gone: vec![false; n_users],
+            link_ok: vec![true; n_users * n_aps],
+            downs: 0,
+            gones: 0,
+            masked_links: 0,
+        }
+    }
+
+    /// True if nothing has ever deviated from the pristine state — no AP
+    /// down, no user departed, no candidate link lost. On a pristine
+    /// network the effective instance *is* the original instance.
+    pub fn pristine(&self) -> bool {
+        self.downs == 0 && self.gones == 0 && self.masked_links == 0
+    }
+
+    /// True if AP `a` is currently down.
+    pub fn is_down(&self, a: ApId) -> bool {
+        self.down[a.index()]
+    }
+
+    /// Marks AP `a` down. Idempotent; returns `true` if this call
+    /// transitioned it (callers evict the AP's users exactly once).
+    pub fn set_down(&mut self, a: ApId) -> bool {
+        if self.down[a.index()] {
+            return false;
+        }
+        self.down[a.index()] = true;
+        self.downs += 1;
+        true
+    }
+
+    /// Marks AP `a` up again. Idempotent.
+    pub fn set_up(&mut self, a: ApId) {
+        if self.down[a.index()] {
+            self.down[a.index()] = false;
+            self.downs -= 1;
+        }
+    }
+
+    /// True if user `u` has not departed.
+    pub fn is_present(&self, u: UserId) -> bool {
+        !self.gone[u.index()]
+    }
+
+    /// Marks user `u` departed for good. Idempotent; returns `true` on
+    /// the transition.
+    pub fn depart(&mut self, u: UserId) -> bool {
+        if self.gone[u.index()] {
+            return false;
+        }
+        self.gone[u.index()] = true;
+        self.gones += 1;
+        true
+    }
+
+    /// True if the candidate link `u — a` currently exists.
+    pub fn link_ok(&self, u: UserId, a: ApId) -> bool {
+        self.link_ok[u.index() * self.n_aps + a.index()]
+    }
+
+    /// True if `a` is a usable target for `u` right now: up and in range.
+    /// (Candidacy itself — does the instance have the link at all — is
+    /// the caller's concern.)
+    pub fn allowed(&self, u: UserId, a: ApId) -> bool {
+        !self.down[a.index()] && self.link_ok(u, a)
+    }
+
+    /// Applies a position jump: re-rolls every candidate link of `u`
+    /// with survival probability `keep`, exactly as the simulator does
+    /// (same RNG, same seed, same draw order), so a shared fault plan
+    /// produces the same post-jump topology in both runtimes.
+    pub fn roll_jump(&mut self, inst: &Instance, u: UserId, seed: u64, keep: f64) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        for &(a, _) in inst.candidate_aps(u) {
+            let idx = u.index() * self.n_aps + a.index();
+            let ok = rng.gen::<f64>() < keep;
+            match (self.link_ok[idx], ok) {
+                (true, false) => self.masked_links += 1,
+                (false, true) => self.masked_links -= 1,
+                _ => {}
+            }
+            self.link_ok[idx] = ok;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_core::examples_paper::{a, figure1_instance, u};
+    use mcast_core::Kbps;
+
+    #[test]
+    fn pristine_until_something_breaks() {
+        let mut s = NetworkState::new(3, 4);
+        assert!(s.pristine());
+        assert!(s.set_down(ApId(1)));
+        assert!(!s.pristine());
+        assert!(!s.set_down(ApId(1)), "second down is not a transition");
+        s.set_up(ApId(1));
+        assert!(s.pristine(), "recovery restores pristinity");
+
+        assert!(s.depart(UserId(2)));
+        assert!(!s.depart(UserId(2)));
+        assert!(!s.pristine(), "departures are permanent");
+    }
+
+    #[test]
+    fn allowed_requires_up_and_in_range() {
+        let mut s = NetworkState::new(2, 2);
+        assert!(s.allowed(UserId(0), ApId(1)));
+        s.set_down(ApId(1));
+        assert!(!s.allowed(UserId(0), ApId(1)));
+        assert!(s.allowed(UserId(0), ApId(0)));
+    }
+
+    #[test]
+    fn roll_jump_is_deterministic_and_tracks_mask_count() {
+        let inst = figure1_instance(Kbps::from_mbps(1));
+        let mut s1 = NetworkState::new(inst.n_aps(), inst.n_users());
+        let mut s2 = NetworkState::new(inst.n_aps(), inst.n_users());
+        s1.roll_jump(&inst, u(5), 42, 0.5);
+        s2.roll_jump(&inst, u(5), 42, 0.5);
+        assert_eq!(s1, s2);
+        // Re-rolling back to all-ok restores pristinity.
+        s1.roll_jump(&inst, u(5), 7, 1.0);
+        assert!(s1.pristine());
+        // keep = 0 masks every candidate link of the user.
+        s1.roll_jump(&inst, u(5), 7, 0.0);
+        assert!(!s1.link_ok(u(5), a(1)));
+        assert!(!s1.link_ok(u(5), a(2)));
+        assert!(!s1.pristine());
+    }
+
+    #[test]
+    fn jump_only_touches_candidate_links() {
+        // u1 (id 0) is only a candidate of a1: a jump with keep = 0 must
+        // leave its (non-candidate) a2 entry alone.
+        let inst = figure1_instance(Kbps::from_mbps(1));
+        let mut s = NetworkState::new(inst.n_aps(), inst.n_users());
+        s.roll_jump(&inst, u(1), 3, 0.0);
+        assert!(!s.link_ok(u(1), a(1)));
+        assert!(s.link_ok(u(1), a(2)));
+    }
+}

@@ -54,6 +54,7 @@ pub mod mla;
 pub mod mnu;
 pub mod reduction;
 pub mod reference;
+pub mod repair;
 pub mod revenue;
 pub mod solution;
 pub mod ssa;
@@ -77,6 +78,7 @@ pub use mla::{solve_mla, solve_mla_with, MlaAlgorithm};
 pub use mnu::{solve_mnu, solve_mnu_with, MnuConfig};
 pub use rate::{Kbps, RatePolicy, RateStep, RateTable, RateTableError};
 pub use reference::{local_decision_reference, run_distributed_reference, ReferenceLedger};
+pub use repair::{best_rehome_target, repair_user, strongest_allowed_ap};
 pub use solution::{Objective, Solution, SolveError};
 pub use ssa::solve_ssa;
 pub use stats::InstanceStats;

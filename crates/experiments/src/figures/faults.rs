@@ -21,7 +21,7 @@
 //!   intact network.
 
 use mcast_core::{solve_bla, Policy};
-use mcast_faults::{ApOutage, FaultPlan};
+use mcast_faults::{ApOutage, FaultPlan, RecoverySummary};
 use mcast_sim::{SimConfig, Simulator, WakeSchedule};
 use mcast_topology::ScenarioConfig;
 use serde::{Deserialize, Serialize};
@@ -57,6 +57,10 @@ struct RunRow {
     fault_epochs_us: Vec<u64>,
     /// Time-to-reconvergence per epoch, µs (`null` = never settled).
     reconvergence_us: Vec<Option<u64>>,
+    /// p50/p95/max over those times — the same [`RecoverySummary`] the
+    /// controller reports in epochs, so the two runtimes compare
+    /// directly.
+    reconvergence_summary: RecoverySummary,
     /// Transient coverage loss per epoch, user-microseconds.
     coverage_loss_user_us: Vec<u64>,
     wasted_retries: u64,
@@ -181,6 +185,7 @@ pub fn run(opts: &Options, runner: &Runner) -> String {
                             .iter()
                             .map(|r| r.map(|t| t.0))
                             .collect(),
+                        reconvergence_summary: report.reconvergence_summary(),
                         coverage_loss_user_us: report.coverage_loss_user_us(),
                         wasted_retries: report.wasted_retries(),
                         abandoned_exchanges: report.abandoned_exchanges,
@@ -246,6 +251,7 @@ mod tests {
         assert_eq!(runs.len(), 8);
         for row in runs {
             assert!(row.get("reconvergence_us").is_some());
+            assert!(row.get("reconvergence_summary").is_some());
             assert!(row.get("coverage_loss_user_us").is_some());
             let sched = row.get("schedule").unwrap();
             assert!(matches!(sched, serde_json::Value::Str(s)

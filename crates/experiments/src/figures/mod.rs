@@ -2,6 +2,7 @@
 
 pub mod ablations;
 pub mod channels;
+pub mod controller;
 pub mod faults;
 pub mod fig10;
 pub mod fig11;

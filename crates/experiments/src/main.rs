@@ -13,6 +13,7 @@
 //!   channels    §8 interference modeling: channel budget sweep
 //!   mobility    quasi-static user movement: churn & repaired-load drift
 //!   faults      fault injection: recovery after a coordinated AP outage
+//!   controller  online controller: repair ladder vs full re-solve under faults
 //!   revenue     the §3.2 revenue models across algorithms
 //!   bench       time fast paths vs reference, write BENCH_*.json
 //!   gen/solve   write a scenario JSON / run one algorithm on it
@@ -25,7 +26,8 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use mcast_experiments::figures::{
-    ablations, channels, faults, fig10, fig11, fig12, fig9, mobility, revenue, table1, validate,
+    ablations, channels, controller, faults, fig10, fig11, fig12, fig9, mobility, revenue, table1,
+    validate,
 };
 use mcast_experiments::report::{render_table, write_csv};
 use mcast_experiments::runner::{RetryPolicy, Runner};
@@ -35,7 +37,7 @@ use mcast_experiments::Options;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().cloned() else {
-        eprintln!("usage: repro <table1|fig9|fig10|fig11|fig12|ablations|channels|mobility|faults|revenue|bench|validate|all|gen|solve|compare> [--seeds N] [--out DIR] [--max-nodes N] [--quick] [--plot] [--resume] [--retries N] [--deadline SECS]");
+        eprintln!("usage: repro <table1|fig9|fig10|fig11|fig12|ablations|channels|mobility|faults|controller|revenue|bench|validate|all|gen|solve|compare> [--seeds N] [--out DIR] [--max-nodes N] [--quick] [--plot] [--resume] [--retries N] [--deadline SECS]");
         return ExitCode::FAILURE;
     };
     let mut opts = Options::default();
@@ -108,6 +110,7 @@ fn main() -> ExitCode {
             | "channels"
             | "mobility"
             | "faults"
+            | "controller"
             | "revenue"
             | "all"
     );
@@ -158,6 +161,11 @@ fn main() -> ExitCode {
         "faults" => {
             let json = faults::run(&opts, &runner);
             write_faults_json(&json, &opts);
+            println!("{json}");
+        }
+        "controller" => {
+            let json = controller::run(&opts, &runner);
+            write_json_result("controller.json", &json, &opts);
             println!("{json}");
         }
         "revenue" => run_figs(revenue::run(&opts, &runner), &opts),
@@ -291,6 +299,11 @@ fn main() -> ExitCode {
                 write_faults_json(&json, &opts);
                 println!("{json}");
             }
+            {
+                let json = controller::run(&opts, &runner);
+                write_json_result("controller.json", &json, &opts);
+                println!("{json}");
+            }
             run_figs(revenue::run(&opts, &runner), &opts);
             print!("{}", validate::run(&opts));
         }
@@ -325,7 +338,11 @@ fn write_run_report(runner: &Runner, opts: &Options) {
 }
 
 fn write_faults_json(json: &str, opts: &Options) {
-    let path = opts.out_dir.join("faults.json");
+    write_json_result("faults.json", json, opts);
+}
+
+fn write_json_result(name: &str, json: &str, opts: &Options) {
+    let path = opts.out_dir.join(name);
     if let Err(e) = mcast_experiments::journal::atomic_write(&path, json.as_bytes()) {
         eprintln!("warning: failed to write {}: {e}", path.display());
     }

@@ -22,9 +22,11 @@
 //! faults. `FaultPlan::none()` is the identity: the simulator must
 //! behave event-for-event as if the fault layer did not exist.
 
+mod metrics;
 mod plan;
 mod timeline;
 
+pub use metrics::RecoverySummary;
 pub use plan::{
     ApOutage, ChurnModel, DelayJitter, FaultPlan, MessageClass, MessageFaults, RandomApFailures,
     UserDeparture, UserJump,

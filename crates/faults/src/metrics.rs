@@ -1,0 +1,137 @@
+//! Recovery metrics shared by the runtimes that consume fault timelines.
+//!
+//! Both the packet-level simulator (`mcast-sim`) and the epoch-driven
+//! online controller (`mcast-controller`) measure how long the system
+//! takes to settle after each disruption. This module holds the common
+//! summary type so the two reports are directly comparable: the
+//! simulator feeds it reconvergence times in microseconds, the
+//! controller in epochs — same statistics, different unit.
+
+use serde::{Deserialize, Serialize};
+
+/// Percentile summary of per-disruption recovery times.
+///
+/// Built from one sample per disruption window. Windows that never
+/// settled before the run (or the next disruption) ended are counted in
+/// [`RecoverySummary::unsettled`] and excluded from the percentiles —
+/// an unsettled window has no finite recovery time to rank.
+///
+/// Percentiles use the nearest-rank method on the sorted settled
+/// samples, so every reported value is an actual observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoverySummary {
+    /// Number of settled samples the percentiles are computed over.
+    pub n: usize,
+    /// Disruption windows that never reconverged.
+    pub unsettled: usize,
+    /// Median recovery time (0 when there are no settled samples).
+    pub p50: f64,
+    /// 95th-percentile recovery time.
+    pub p95: f64,
+    /// Worst settled recovery time.
+    pub max: f64,
+}
+
+impl RecoverySummary {
+    /// An empty summary: no disruptions observed.
+    pub fn empty() -> RecoverySummary {
+        RecoverySummary {
+            n: 0,
+            unsettled: 0,
+            p50: 0.0,
+            p95: 0.0,
+            max: 0.0,
+        }
+    }
+
+    /// Summarizes settled recovery samples plus a count of windows that
+    /// never settled. Non-finite samples are rejected by debug assert
+    /// and skipped in release.
+    pub fn of(samples: &[f64], unsettled: usize) -> RecoverySummary {
+        let mut sorted: Vec<f64> = samples
+            .iter()
+            .copied()
+            .filter(|s| {
+                debug_assert!(s.is_finite(), "non-finite recovery sample {s}");
+                s.is_finite()
+            })
+            .collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples are ordered"));
+        if sorted.is_empty() {
+            return RecoverySummary {
+                unsettled,
+                ..RecoverySummary::empty()
+            };
+        }
+        let pick = |q: f64| -> f64 {
+            // Nearest rank: ceil(q * n), 1-based.
+            let rank = (q * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        RecoverySummary {
+            n: sorted.len(),
+            unsettled,
+            p50: pick(0.50),
+            p95: pick(0.95),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+
+    /// Summarizes per-window recovery times where `None` marks a window
+    /// that never settled.
+    pub fn from_options(samples: &[Option<f64>]) -> RecoverySummary {
+        let settled: Vec<f64> = samples.iter().filter_map(|s| *s).collect();
+        let unsettled = samples.len() - settled.len();
+        RecoverySummary::of(&settled, unsettled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = RecoverySummary::of(&[], 0);
+        assert_eq!(s, RecoverySummary::empty());
+        let s = RecoverySummary::of(&[], 3);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.unsettled, 3);
+        assert_eq!(s.max, 0.0);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let s = RecoverySummary::of(&[42.0], 0);
+        assert_eq!((s.n, s.p50, s.p95, s.max), (1, 42.0, 42.0, 42.0));
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        // 1..=100: p50 = 50, p95 = 95, max = 100 under nearest-rank.
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = RecoverySummary::of(&samples, 0);
+        assert_eq!((s.p50, s.p95, s.max), (50.0, 95.0, 100.0));
+
+        // Unsorted input is sorted internally.
+        let s = RecoverySummary::of(&[9.0, 1.0, 5.0, 3.0, 7.0], 0);
+        assert_eq!((s.n, s.p50, s.p95, s.max), (5, 5.0, 9.0, 9.0));
+    }
+
+    #[test]
+    fn from_options_counts_unsettled() {
+        let s = RecoverySummary::from_options(&[Some(4.0), None, Some(2.0), None]);
+        assert_eq!(s.n, 2);
+        assert_eq!(s.unsettled, 2);
+        assert_eq!(s.p50, 2.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = RecoverySummary::of(&[1.5, 2.5, 10.0], 1);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: RecoverySummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -279,6 +279,123 @@ impl FaultPlan {
         }
     }
 
+    /// Structural validation against an instance with `n_aps` APs and
+    /// `n_users` users over a `horizon_us`-microsecond run.
+    ///
+    /// [`FaultPlan::compile`] is forgiving — it silently skips events it
+    /// cannot schedule so hand-built plans stay usable in tests. Load
+    /// paths (CLI `--plan` files, controller construction) call this
+    /// first so that a typo'd AP id or an impossible probability is a
+    /// named error instead of a silently weaker fault plan. Checks:
+    ///
+    /// - outage windows reference known APs, start inside the horizon,
+    ///   and are not inverted or empty (`up_at_us > down_at_us`);
+    /// - every probability (failure, drop, dup, churn, link-keep) lies
+    ///   in `[0, 1]` and is finite;
+    /// - jitter windows are not inverted (`min_us ≤ max_us`);
+    /// - scheduled departures/jumps reference known users and fire
+    ///   inside the horizon.
+    pub fn validate(&self, n_aps: usize, n_users: usize, horizon_us: u64) -> Result<(), String> {
+        let prob = |what: &str, p: f64| -> Result<(), String> {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                Err(format!("{what} is {p}, outside [0, 1]"))
+            } else {
+                Ok(())
+            }
+        };
+
+        for (i, o) in self.ap_outages.iter().enumerate() {
+            if o.ap.index() >= n_aps {
+                return Err(format!(
+                    "ap_outages[{i}] references unknown AP {} (instance has {n_aps} APs)",
+                    o.ap.index()
+                ));
+            }
+            if o.down_at_us >= horizon_us {
+                return Err(format!(
+                    "ap_outages[{i}]: AP {} goes down at {}µs, at or past the {horizon_us}µs horizon",
+                    o.ap.index(),
+                    o.down_at_us
+                ));
+            }
+            if let Some(up) = o.up_at_us {
+                if up <= o.down_at_us {
+                    return Err(format!(
+                        "ap_outages[{i}]: AP {} has an inverted outage window (up {up}µs ≤ down {}µs)",
+                        o.ap.index(),
+                        o.down_at_us
+                    ));
+                }
+                if up > horizon_us {
+                    return Err(format!(
+                        "ap_outages[{i}]: AP {} recovers at {up}µs, past the {horizon_us}µs horizon",
+                        o.ap.index()
+                    ));
+                }
+            }
+        }
+
+        if let Some(rf) = self.random_ap_failures {
+            prob("random_ap_failures.failure_prob", rf.failure_prob)?;
+            if rf.failure_prob > 0.0 && rf.mean_downtime_us == 0 {
+                return Err(
+                    "random_ap_failures.mean_downtime_us is 0 (failures would be instantaneous)"
+                        .to_string(),
+                );
+            }
+        }
+
+        for class in MessageClass::ALL {
+            let f = self.faults_for(class);
+            prob(&format!("{}.drop_prob", class.name()), f.drop_prob)?;
+            prob(&format!("{}.dup_prob", class.name()), f.dup_prob)?;
+            if f.jitter.min_us > f.jitter.max_us {
+                return Err(format!(
+                    "{}.jitter has an inverted window (min {}µs > max {}µs)",
+                    class.name(),
+                    f.jitter.min_us,
+                    f.jitter.max_us
+                ));
+            }
+        }
+
+        for (i, d) in self.churn.departures.iter().enumerate() {
+            if d.user.index() >= n_users {
+                return Err(format!(
+                    "churn.departures[{i}] references unknown user {} (instance has {n_users} users)",
+                    d.user.index()
+                ));
+            }
+            if d.at_us >= horizon_us {
+                return Err(format!(
+                    "churn.departures[{i}]: user {} departs at {}µs, at or past the {horizon_us}µs horizon",
+                    d.user.index(),
+                    d.at_us
+                ));
+            }
+        }
+        for (i, j) in self.churn.jumps.iter().enumerate() {
+            if j.user.index() >= n_users {
+                return Err(format!(
+                    "churn.jumps[{i}] references unknown user {} (instance has {n_users} users)",
+                    j.user.index()
+                ));
+            }
+            if j.at_us >= horizon_us {
+                return Err(format!(
+                    "churn.jumps[{i}]: user {} jumps at {}µs, at or past the {horizon_us}µs horizon",
+                    j.user.index(),
+                    j.at_us
+                ));
+            }
+        }
+        prob("churn.departure_prob", self.churn.departure_prob)?;
+        prob("churn.jump_prob", self.churn.jump_prob)?;
+        prob("churn.link_keep_prob", self.churn.link_keep_prob)?;
+
+        Ok(())
+    }
+
     /// Compiles the plan into a concrete timeline for an instance with
     /// `n_aps` APs and `n_users` users over `horizon_us` microseconds.
     ///
@@ -512,6 +629,114 @@ mod tests {
         let json = serde_json::to_string(&p).unwrap();
         let back: FaultPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(p, back);
+    }
+
+    #[test]
+    fn validate_accepts_reasonable_plans() {
+        assert_eq!(FaultPlan::none().validate(5, 10, 1_000_000), Ok(()));
+        let mut p = FaultPlan::none();
+        p.ap_outages.push(ApOutage {
+            ap: ApId(2),
+            down_at_us: 500,
+            up_at_us: Some(1_500),
+        });
+        p.query.drop_prob = 0.25;
+        p.churn.jumps.push(UserJump {
+            user: UserId(4),
+            at_us: 9_000,
+        });
+        p.churn.jump_prob = 0.5;
+        assert_eq!(p.validate(5, 10, 10_000), Ok(()));
+    }
+
+    #[test]
+    fn validate_names_unknown_ap() {
+        let mut p = FaultPlan::none();
+        p.ap_outages.push(ApOutage {
+            ap: ApId(99),
+            down_at_us: 0,
+            up_at_us: None,
+        });
+        let err = p.validate(5, 10, 10_000).unwrap_err();
+        assert!(err.contains("unknown AP 99"), "{err}");
+        assert!(err.contains("5 APs"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_inverted_outage_window() {
+        let mut p = FaultPlan::none();
+        p.ap_outages.push(ApOutage {
+            ap: ApId(1),
+            down_at_us: 1_500,
+            up_at_us: Some(500),
+        });
+        let err = p.validate(5, 10, 10_000).unwrap_err();
+        assert!(err.contains("inverted outage window"), "{err}");
+        assert!(err.contains("AP 1"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_events_past_horizon() {
+        let mut p = FaultPlan::none();
+        p.ap_outages.push(ApOutage {
+            ap: ApId(0),
+            down_at_us: 10_000,
+            up_at_us: None,
+        });
+        let err = p.validate(5, 10, 10_000).unwrap_err();
+        assert!(err.contains("horizon"), "{err}");
+
+        let mut p = FaultPlan::none();
+        p.churn.departures.push(UserDeparture {
+            user: UserId(3),
+            at_us: 99_999,
+        });
+        let err = p.validate(5, 10, 10_000).unwrap_err();
+        assert!(err.contains("user 3"), "{err}");
+        assert!(err.contains("horizon"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_bad_probabilities() {
+        let mut p = FaultPlan::none();
+        p.query.drop_prob = 1.5;
+        let err = p.validate(5, 10, 10_000).unwrap_err();
+        assert!(err.contains("query.drop_prob"), "{err}");
+        assert!(err.contains("outside [0, 1]"), "{err}");
+
+        let mut p = FaultPlan::none();
+        p.lock.dup_prob = -0.1;
+        assert!(p
+            .validate(5, 10, 10_000)
+            .unwrap_err()
+            .contains("lock.dup_prob"));
+
+        let mut p = FaultPlan::none();
+        p.churn.link_keep_prob = f64::NAN;
+        assert!(p
+            .validate(5, 10, 10_000)
+            .unwrap_err()
+            .contains("churn.link_keep_prob"));
+    }
+
+    #[test]
+    fn validate_rejects_inverted_jitter_and_unknown_user_jump() {
+        let mut p = FaultPlan::none();
+        p.probe.jitter = DelayJitter {
+            min_us: 200,
+            max_us: 10,
+        };
+        let err = p.validate(5, 10, 10_000).unwrap_err();
+        assert!(err.contains("probe.jitter"), "{err}");
+
+        let mut p = FaultPlan::none();
+        p.churn.jumps.push(UserJump {
+            user: UserId(10),
+            at_us: 100,
+        });
+        let err = p.validate(5, 10, 10_000).unwrap_err();
+        assert!(err.contains("unknown user 10"), "{err}");
+        assert!(err.contains("10 users"), "{err}");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 
 use mcast_core::{ApId, Association, Load, UserId};
+use mcast_faults::RecoverySummary;
 
 use crate::event::Time;
 
@@ -132,6 +133,22 @@ impl SimReport {
                 }
             })
             .collect()
+    }
+
+    /// Percentile summary of [`SimReport::reconvergence_times`], in
+    /// microseconds.
+    ///
+    /// Windows that never settled (`None`) count as unsettled; the same
+    /// [`RecoverySummary`] type is used by the online controller (with
+    /// epochs as the unit), so simulator and controller recovery
+    /// behavior can be compared side by side.
+    pub fn reconvergence_summary(&self) -> RecoverySummary {
+        let samples: Vec<Option<f64>> = self
+            .reconvergence_times()
+            .iter()
+            .map(|t| t.map(|t| t.0 as f64))
+            .collect();
+        RecoverySummary::from_options(&samples)
     }
 
     /// Per fault epoch: the transient coverage loss, in user-microseconds.

@@ -1,0 +1,179 @@
+//! Integration tests for the online resilient controller: determinism,
+//! the epoch-0 oracle against the one-shot solvers, and a property sweep
+//! asserting the invariant auditor never fires across random fault
+//! timelines × every ladder policy.
+
+use proptest::prelude::*;
+
+use mcast_controller::{ControllerConfig, LadderPolicy, SolvePath};
+use mcast_core::{solve_bla, solve_mla, solve_mnu_with, MnuConfig, Objective};
+use mcast_faults::{ApOutage, ChurnModel, FaultPlan, UserDeparture, UserJump};
+use mcast_topology::{Scenario, ScenarioConfig};
+
+fn scenario(seed: u64, n_aps: usize, n_users: usize, n_sessions: usize) -> Scenario {
+    ScenarioConfig {
+        n_aps,
+        n_users,
+        n_sessions,
+        width_m: 600.0,
+        height_m: 600.0,
+        ..ScenarioConfig::paper_default()
+    }
+    .with_seed(seed)
+    .generate()
+}
+
+fn outage_plan(seed: u64, n_aps: usize, epoch_us: u64) -> FaultPlan {
+    FaultPlan {
+        seed,
+        ap_outages: (0..n_aps.min(2))
+            .map(|i| ApOutage {
+                ap: mcast_core::ApId(i as u32),
+                down_at_us: 3 * epoch_us,
+                up_at_us: Some(8 * epoch_us),
+            })
+            .collect(),
+        churn: ChurnModel {
+            jump_prob: 0.3,
+            link_keep_prob: 0.6,
+            ..ChurnModel::none()
+        },
+        ..FaultPlan::none()
+    }
+}
+
+/// A controller run is a pure function of (instance, plan, config): two
+/// identical runs must serialize to byte-identical reports.
+#[test]
+fn reports_are_byte_identical_across_runs() {
+    let sc = scenario(11, 8, 30, 3);
+    let plan = outage_plan(11, 8, 100_000);
+    for policy in LadderPolicy::ALL {
+        let cfg = ControllerConfig {
+            policy,
+            n_epochs: 12,
+            ..ControllerConfig::default()
+        };
+        let a = mcast_controller::run(&sc.instance, &plan, &cfg).expect("run a");
+        let b = mcast_controller::run(&sc.instance, &plan, &cfg).expect("run b");
+        let ja = serde_json::to_string(&a.report).unwrap();
+        let jb = serde_json::to_string(&b.report).unwrap();
+        assert_eq!(ja, jb, "policy {} diverged", policy.name());
+        assert_eq!(a.association, b.association);
+    }
+}
+
+/// On an unfaulted network, epoch 0's full solve must equal the one-shot
+/// centralized solver for every objective — the controller adds an
+/// admission sweep on top of MNU, which is exactly `augment: true`.
+#[test]
+fn epoch0_full_matches_one_shot_solvers() {
+    for seed in [0u64, 7, 23] {
+        let sc = scenario(seed, 6, 24, 3);
+        let inst = &sc.instance;
+        for (objective, expected) in [
+            (
+                Objective::Mnu,
+                solve_mnu_with(inst, &MnuConfig { augment: true }).association,
+            ),
+            (Objective::Bla, solve_bla(inst).expect("bla").association),
+            (Objective::Mla, solve_mla(inst).expect("mla").association),
+        ] {
+            let cfg = ControllerConfig {
+                objective,
+                policy: LadderPolicy::Full,
+                n_epochs: 1,
+                ..ControllerConfig::default()
+            };
+            let out =
+                mcast_controller::run(inst, &FaultPlan::none(), &cfg).expect("controller run");
+            assert_eq!(out.report.epochs[0].path, SolvePath::Full);
+            assert_eq!(
+                out.association, expected,
+                "seed {seed}, objective {objective:?}"
+            );
+        }
+    }
+}
+
+fn plan_strategy(
+    n_aps: usize,
+    n_users: usize,
+    epoch_us: u64,
+    n_epochs: u64,
+) -> impl Strategy<Value = FaultPlan> {
+    let horizon = epoch_us * n_epochs;
+    let outage = (
+        0..n_aps as u32,
+        0..horizon,
+        proptest::option::of(0u64..horizon),
+    )
+        .prop_map(move |(ap, down, up_extra)| ApOutage {
+            ap: mcast_core::ApId(ap),
+            down_at_us: down,
+            up_at_us: up_extra.map(|e| {
+                (down + 1 + e % (horizon - down))
+                    .min(horizon - 1)
+                    .max(down + 1)
+            }),
+        });
+    let departure = (0..n_users as u32, 0..horizon).prop_map(|(user, at_us)| UserDeparture {
+        user: mcast_core::UserId(user),
+        at_us,
+    });
+    let jump = (0..n_users as u32, 0..horizon).prop_map(|(user, at_us)| UserJump {
+        user: mcast_core::UserId(user),
+        at_us,
+    });
+    (
+        proptest::collection::vec(outage, 0..4),
+        proptest::collection::vec(departure, 0..3),
+        proptest::collection::vec(jump, 0..5),
+        0u64..1000,
+        0.2f64..0.9,
+    )
+        .prop_map(|(ap_outages, departures, jumps, seed, keep)| FaultPlan {
+            seed,
+            ap_outages,
+            churn: ChurnModel {
+                departures,
+                jumps,
+                link_keep_prob: keep,
+                ..ChurnModel::none()
+            },
+            ..FaultPlan::none()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever random fault timeline hits it, under every ladder policy
+    /// and every objective the post-epoch auditor finds zero invariant
+    /// violations (debug builds also re-check the incremental ledger
+    /// against a from-scratch oracle every epoch).
+    #[test]
+    fn auditor_never_fires(
+        seed in 0u64..500,
+        plan in plan_strategy(7, 26, 50_000, 10),
+        policy_idx in 0usize..3,
+        obj_idx in 0usize..3,
+    ) {
+        let sc = scenario(seed, 7, 26, 2);
+        let objective = [Objective::Mnu, Objective::Bla, Objective::Mla][obj_idx];
+        let cfg = ControllerConfig {
+            objective,
+            policy: LadderPolicy::ALL[policy_idx],
+            epoch_us: 50_000,
+            n_epochs: 10,
+            audit_oracle: true,
+            ..ControllerConfig::default()
+        };
+        let out = mcast_controller::run(&sc.instance, &plan, &cfg).expect("controller run");
+        prop_assert_eq!(
+            out.report.invariant_violations, 0,
+            "violations: {:?}", out.report.violations_sample
+        );
+        prop_assert_eq!(out.report.epochs.len(), 10, "every epoch is recorded");
+    }
+}
