@@ -57,6 +57,14 @@ pub enum SolvePath {
 }
 
 impl SolvePath {
+    /// Every path, in ladder order.
+    pub const ALL: [SolvePath; 4] = [
+        SolvePath::Idle,
+        SolvePath::Full,
+        SolvePath::Repair,
+        SolvePath::Ssa,
+    ];
+
     /// Stable lowercase name (report key).
     pub fn name(self) -> &'static str {
         match self {
@@ -65,6 +73,12 @@ impl SolvePath {
             SolvePath::Repair => "repair",
             SolvePath::Ssa => "ssa",
         }
+    }
+
+    /// Parses a [`SolvePath::name`] (event-stream replay decodes paths
+    /// from their logged names).
+    pub fn from_name(name: &str) -> Option<SolvePath> {
+        SolvePath::ALL.into_iter().find(|p| p.name() == name)
     }
 }
 

@@ -46,13 +46,18 @@
 #![warn(missing_docs)]
 
 mod audit;
+mod engine;
 mod ladder;
+mod replay;
 mod report;
 mod runtime;
+mod service;
 mod state;
 
 pub use audit::{audit_epoch, CoverageRule};
 pub use ladder::{LadderPolicy, SolvePath, WorkMeter};
+pub use replay::{fold_events, replay_stream, ReplayOutcome};
 pub use report::{ControllerReport, EpochRecord};
 pub use runtime::{run, ControllerConfig, ControllerOutcome};
+pub use service::{lower_plan, serve, ServiceStats};
 pub use state::NetworkState;

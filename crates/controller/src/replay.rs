@@ -1,0 +1,266 @@
+//! Folding an event stream back into controller state.
+//!
+//! The service publishes everything it decided — every association
+//! change, every solve summary, every epoch boundary — so this fold
+//! rebuilds the [`ControllerReport`](crate::ControllerReport) and final
+//! association **without re-running a single solver**: it only applies
+//! logged `Assoc` diffs and re-derives the metrics with the same
+//! [`assemble_report`] the live runtimes use, which is what makes the
+//! replayed report byte-identical to the live one.
+//!
+//! Epochs commit at their `EpochClosed` marker (the stream's
+//! durability boundary): a crash-truncated stream replays to the report
+//! of its fully closed prefix, and whatever the torn epoch had already
+//! streamed is discarded rather than half-applied.
+
+use mcast_core::{Association, Instance, LoadLedger, UserId};
+use mcast_events::{replay_stream_bytes, Event, EventKind, STREAM_SCHEMA};
+
+use crate::ladder::SolvePath;
+use crate::report::{assemble_report, EpochRecord, ReportParts};
+use crate::runtime::ControllerOutcome;
+
+/// What replaying an event stream recovered.
+#[derive(Debug)]
+pub struct ReplayOutcome {
+    /// The reconstructed report and final association, over every fully
+    /// closed epoch.
+    pub outcome: ControllerOutcome,
+    /// Epochs that closed in the valid prefix.
+    pub epochs_replayed: u64,
+    /// True if the stream carried a matching `StreamClosed` trailer —
+    /// the run completed and the reconstruction is total.
+    pub complete: bool,
+    /// Bytes dropped past the valid prefix (0 on a clean stream).
+    pub dropped_bytes: u64,
+    /// Why the tail was dropped, when it was.
+    pub tail_reason: Option<String>,
+}
+
+/// Replays raw `events.jsonl` bytes: crc32 framing first (torn tails
+/// truncate to the valid prefix), then [`fold_events`] over what
+/// survived.
+///
+/// # Errors
+///
+/// A structurally invalid stream (no header, wrong schema, an instance
+/// mismatch, out-of-order epochs). Torn tails are **not** errors — they
+/// shorten the reconstruction.
+pub fn replay_stream(inst: &Instance, bytes: &[u8]) -> Result<ReplayOutcome, String> {
+    let stream = replay_stream_bytes(bytes);
+    let outcome = fold_events(inst, &stream.events)?;
+    Ok(ReplayOutcome {
+        epochs_replayed: outcome.report.n_epochs,
+        outcome,
+        complete: stream.closed,
+        dropped_bytes: stream.dropped_bytes,
+        tail_reason: stream.tail_reason,
+    })
+}
+
+/// The not-yet-committed solve summary of the epoch being folded.
+struct PendingSolve {
+    path: SolvePath,
+    degraded: bool,
+    rule: String,
+    work: u64,
+    rehomed: u64,
+    shed: u64,
+    readmitted: u64,
+    deferred: u64,
+}
+
+/// Folds a decoded event stream into the controller outcome it
+/// documents. Only fully closed epochs commit; trailing events of a
+/// never-closed epoch are ignored.
+///
+/// # Errors
+///
+/// A stream that does not start with a matching `ServiceStarted`
+/// header, whose shape contradicts itself (two solve summaries in one
+/// epoch, epochs closing out of order, events after the trailer), or
+/// that references users/APs the instance does not have.
+pub fn fold_events(inst: &Instance, events: &[Event]) -> Result<ControllerOutcome, String> {
+    let mut iter = events.iter();
+    let header = iter
+        .next()
+        .ok_or_else(|| "empty stream: no ServiceStarted header".to_string())?;
+    let (objective, policy, epoch_us) = match &header.kind {
+        EventKind::ServiceStarted {
+            schema,
+            objective,
+            policy,
+            epoch_us,
+            n_aps,
+            n_users,
+            ..
+        } => {
+            if schema != STREAM_SCHEMA {
+                return Err(format!("stream schema {schema:?} is not {STREAM_SCHEMA:?}"));
+            }
+            if *n_users != inst.n_users() as u64 || *n_aps != inst.n_aps() as u64 {
+                return Err(format!(
+                    "stream is for a {n_aps}-AP/{n_users}-user network, \
+                     instance has {}/{}",
+                    inst.n_aps(),
+                    inst.n_users()
+                ));
+            }
+            (objective.clone(), policy.clone(), *epoch_us)
+        }
+        other => return Err(format!("stream starts with {other:?}, not ServiceStarted")),
+    };
+
+    let mut committed: Vec<Option<mcast_core::ApId>> = vec![None; inst.n_users()];
+    let mut records: Vec<EpochRecord> = Vec::new();
+    let mut violations_sample: Vec<String> = Vec::new();
+    // `rule` persists across idle epochs in the live record stream, so
+    // the fold carries the last solve's rule forward the same way.
+    let mut carry_rule = "exact".to_string();
+    let mut pending_changes: Vec<(UserId, Option<mcast_core::ApId>)> = Vec::new();
+    let mut pending_solve: Option<PendingSolve> = None;
+    let mut pending_violations: Vec<String> = Vec::new();
+    let mut closed = false;
+
+    for event in iter {
+        if closed {
+            return Err("events after the StreamClosed trailer".to_string());
+        }
+        match &event.kind {
+            kind if kind.is_input() => {
+                // Inputs are logged for observability; their per-epoch
+                // counts commit authoritatively via EpochClosed.
+            }
+            EventKind::Assoc { user, ap } => {
+                if user.index() >= inst.n_users() {
+                    return Err(format!("stream re-homes unknown user {user}"));
+                }
+                if let Some(a) = ap {
+                    if a.index() >= inst.n_aps() {
+                        return Err(format!("stream re-homes {user} to unknown AP {a}"));
+                    }
+                }
+                pending_changes.push((*user, *ap));
+            }
+            EventKind::SolveCompleted {
+                path,
+                degraded,
+                rule,
+                work,
+                rehomed,
+                shed,
+                readmitted,
+                deferred,
+            } => {
+                if pending_solve.is_some() {
+                    return Err("two SolveCompleted events in one epoch".to_string());
+                }
+                pending_solve = Some(PendingSolve {
+                    path: SolvePath::from_name(path)
+                        .ok_or_else(|| format!("unknown solve path {path:?}"))?,
+                    degraded: *degraded,
+                    rule: rule.clone(),
+                    work: *work,
+                    rehomed: *rehomed,
+                    shed: *shed,
+                    readmitted: *readmitted,
+                    deferred: *deferred,
+                });
+            }
+            EventKind::Violation { epoch, message } => {
+                pending_violations.push(format!("epoch {epoch}: {message}"));
+            }
+            EventKind::EpochClosed {
+                epoch,
+                events,
+                joins,
+                violations,
+            } => {
+                if *epoch != records.len() as u64 {
+                    return Err(format!(
+                        "epoch {epoch} closed out of order (expected {})",
+                        records.len()
+                    ));
+                }
+                // Commit the epoch: apply its association diff and
+                // rebuild the record exactly as the engine wrote it.
+                let mut handoffs = 0u64;
+                let mut changed = false;
+                for (u, ap) in pending_changes.drain(..) {
+                    let before = committed[u.index()];
+                    if before != ap {
+                        changed = true;
+                        if before.is_some() && ap.is_some() {
+                            handoffs += 1;
+                        }
+                    }
+                    committed[u.index()] = ap;
+                }
+                let solve = pending_solve.take();
+                let (path, degraded, rule, work, rehomed, shed, readmitted, deferred) = match solve
+                {
+                    Some(s) => {
+                        carry_rule = s.rule.clone();
+                        (
+                            s.path,
+                            s.degraded,
+                            s.rule,
+                            s.work,
+                            s.rehomed,
+                            s.shed,
+                            s.readmitted,
+                            s.deferred,
+                        )
+                    }
+                    None => (SolvePath::Idle, false, carry_rule.clone(), 0, 0, 0, 0, 0),
+                };
+                for v in pending_violations.drain(..) {
+                    if violations_sample.len() < 8 {
+                        violations_sample.push(v);
+                    }
+                }
+                records.push(EpochRecord {
+                    epoch: *epoch,
+                    events: *events,
+                    joins: *joins,
+                    path,
+                    degraded,
+                    rule,
+                    work,
+                    handoffs,
+                    rehomed,
+                    shed,
+                    readmitted,
+                    deferred,
+                    satisfied: committed.iter().filter(|a| a.is_some()).count(),
+                    changed,
+                    violations: *violations,
+                });
+            }
+            EventKind::StreamClosed { .. } => closed = true,
+            EventKind::ServiceStarted { .. } => {
+                return Err("second ServiceStarted mid-stream".to_string());
+            }
+            other => return Err(format!("unexpected event in stream: {other:?}")),
+        }
+    }
+
+    let mut assoc = Association::empty(inst.n_users());
+    for (i, ap) in committed.iter().enumerate() {
+        assoc.set(UserId(i as u32), *ap);
+    }
+    let ledger = LoadLedger::new(inst, assoc);
+    let report = assemble_report(ReportParts {
+        objective,
+        policy,
+        epoch_us,
+        records,
+        violations_sample,
+        final_max_load: ledger.max_load().as_f64(),
+        final_total_load: ledger.total_load().as_f64(),
+    });
+    Ok(ControllerOutcome {
+        report,
+        association: ledger.into_association(),
+    })
+}

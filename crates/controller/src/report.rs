@@ -13,6 +13,10 @@ pub struct EpochRecord {
     pub epoch: u64,
     /// Fault events ingested at the start of this epoch.
     pub events: u64,
+    /// Join events admitted at the start of this epoch (always 0 in the
+    /// lock-step runtime, where every user is present from the start).
+    #[serde(default)]
+    pub joins: u64,
     /// The rung that ran.
     pub path: SolvePath,
     /// True if the work budget (or a solver failure) forced this epoch
@@ -74,6 +78,9 @@ pub struct ControllerReport {
     /// The headline disruption score: handoffs + coverage-loss
     /// user·epochs. Lower is better at equal final coverage.
     pub disruption: u64,
+    /// Total join events admitted across the run.
+    #[serde(default)]
+    pub joins: u64,
     /// Total shed events across the run.
     pub shed: u64,
     /// Total readmissions across the run.
@@ -94,6 +101,87 @@ pub struct ControllerReport {
     pub work: u64,
 }
 
+/// Everything [`assemble_report`] needs beyond what the epoch records
+/// already carry.
+#[derive(Debug)]
+pub(crate) struct ReportParts {
+    /// Objective name.
+    pub objective: String,
+    /// Ladder policy name.
+    pub policy: String,
+    /// Epoch length in µs.
+    pub epoch_us: u64,
+    /// Per-epoch records, in order.
+    pub records: Vec<EpochRecord>,
+    /// Up to 8 formatted violation messages.
+    pub violations_sample: Vec<String>,
+    /// Maximum AP load at run end.
+    pub final_max_load: f64,
+    /// Total load at run end.
+    pub final_total_load: f64,
+}
+
+/// Derives the full [`ControllerReport`] from per-epoch records: the
+/// disruption windows, reconvergence percentiles, coverage loss, and
+/// run totals. Shared by the live runtimes and event-stream replay, so
+/// a replayed report is byte-identical to the live one by construction
+/// — both run this exact fold over the same records.
+pub(crate) fn assemble_report(parts: ReportParts) -> ControllerReport {
+    let records = parts.records;
+
+    // Disruption windows: every epoch that ingested fault events opens
+    // one, running until the next such epoch (or the end of the run).
+    let disruptions: Vec<usize> = records
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.events > 0)
+        .map(|(i, _)| i)
+        .collect();
+    let mut reconv: Vec<Option<f64>> = Vec::with_capacity(disruptions.len());
+    let mut coverage_loss = 0u64;
+    for (i, &d) in disruptions.iter().enumerate() {
+        let end = disruptions.get(i + 1).copied().unwrap_or(records.len());
+        // Reconvergence: the last epoch in the window whose association
+        // still changed. A same-epoch repair that stays quiet afterwards
+        // reconverges in 0 epochs; a window still churning in the run's
+        // final epoch never settled.
+        let last_change = (d..end).rfind(|&e| records[e].changed);
+        reconv.push(match last_change {
+            None => Some(0.0),
+            Some(e) if e == records.len() - 1 && end == records.len() && e > d => None,
+            Some(e) => Some((e - d) as f64),
+        });
+        // Coverage loss: user·epochs below the pre-disruption baseline.
+        let baseline = if d == 0 { 0 } else { records[d - 1].satisfied } as i64;
+        for r in &records[d..end] {
+            coverage_loss += (baseline - r.satisfied as i64).max(0) as u64;
+        }
+    }
+
+    let handoffs: u64 = records.iter().map(|r| r.handoffs).sum();
+    ControllerReport {
+        objective: parts.objective,
+        policy: parts.policy,
+        epoch_us: parts.epoch_us,
+        n_epochs: records.len() as u64,
+        reconvergence_epochs: RecoverySummary::from_options(&reconv),
+        handoffs,
+        coverage_loss_user_epochs: coverage_loss,
+        disruption: handoffs + coverage_loss,
+        joins: records.iter().map(|r| r.joins).sum(),
+        shed: records.iter().map(|r| r.shed).sum(),
+        readmitted: records.iter().map(|r| r.readmitted).sum(),
+        deferred: records.iter().map(|r| r.deferred).sum(),
+        invariant_violations: records.iter().map(|r| r.violations).sum(),
+        violations_sample: parts.violations_sample,
+        final_satisfied: records.last().map_or(0, |r| r.satisfied),
+        final_max_load: parts.final_max_load,
+        final_total_load: parts.final_total_load,
+        work: records.iter().map(|r| r.work).sum(),
+        epochs: records,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,6 +196,7 @@ mod tests {
             epochs: vec![EpochRecord {
                 epoch: 0,
                 events: 0,
+                joins: 4,
                 path: SolvePath::Full,
                 degraded: false,
                 rule: "exact".to_string(),
@@ -125,6 +214,7 @@ mod tests {
             handoffs: 4,
             coverage_loss_user_epochs: 7,
             disruption: 11,
+            joins: 4,
             shed: 1,
             readmitted: 1,
             deferred: 0,

@@ -1,14 +1,14 @@
-//! The epoch loop: fault ingestion, ladder execution, metrics, audit.
+//! The lock-step runtime: the epoch loop over a compiled fault
+//! timeline. The per-epoch mechanics (event application, ladder
+//! execution, metrics, audit) live in [`crate::engine`], shared with
+//! the event-driven service.
 
-use mcast_core::{
-    repair_user, solve_bla, solve_mla, solve_mnu, strongest_allowed_ap, ApId, Association,
-    Instance, InstanceBuilder, LoadLedger, Objective, SolveError, UserId,
-};
-use mcast_faults::{FaultEventKind, FaultPlan, RecoverySummary};
+use mcast_core::{Association, Instance, Objective};
+use mcast_faults::{FaultEventKind, FaultPlan};
 
-use crate::audit::{audit_epoch, CoverageRule};
-use crate::ladder::{LadderPolicy, SolvePath, WorkMeter};
-use crate::report::{ControllerReport, EpochRecord};
+use crate::engine::EpochEngine;
+use crate::ladder::LadderPolicy;
+use crate::report::ControllerReport;
 use crate::state::NetworkState;
 
 /// Configuration of a controller run.
@@ -85,380 +85,43 @@ pub fn run(
 
     let mut timeline = plan.compile(inst.n_aps(), inst.n_users(), horizon_us);
     let keep = plan.link_keep_prob();
-    let n_users = inst.n_users();
 
-    let mut state = NetworkState::new(inst.n_aps(), n_users);
-    let mut ledger = LoadLedger::fresh(inst);
-    let mut shed = vec![false; n_users];
-    let mut deferred = vec![false; n_users];
-    // True while an epoch left something unfinished (degraded rung or
-    // deferred users): the next epoch re-runs the ladder even without
-    // new fault events.
-    let mut pending_work = false;
-    let mut rule = CoverageRule::Exact;
-
-    let mut records: Vec<EpochRecord> = Vec::with_capacity(cfg.n_epochs as usize);
-    let mut violations_total = 0u64;
-    let mut violations_sample: Vec<String> = Vec::new();
-    let mut pre_assoc: Vec<Option<ApId>> = Vec::with_capacity(n_users);
-    let check_oracle = cfg.audit_oracle || cfg!(debug_assertions);
+    let mut engine = EpochEngine::new(
+        inst,
+        cfg,
+        keep,
+        NetworkState::new(inst.n_aps(), inst.n_users()),
+    );
 
     for epoch in 0..cfg.n_epochs {
         // Events scheduled inside this epoch's window apply at its start;
         // the rung that follows is the controller's response to them.
         let window_end = (epoch + 1) * cfg.epoch_us - 1;
-        pre_assoc.clear();
-        pre_assoc.extend_from_slice(ledger.association().as_slice());
+        engine.begin_epoch();
 
-        // ---- 1. ingest fault events ---------------------------------
         let mut events = 0u64;
         while let Some(ev) = timeline.pop_due(window_end) {
             events += 1;
             match ev.kind {
-                FaultEventKind::ApUp(a) => state.set_up(a),
-                FaultEventKind::ApDown(a) => {
-                    if state.set_down(a) {
-                        ledger.evict_ap(a);
-                    }
-                }
-                FaultEventKind::UserDepart(u) => {
-                    if state.depart(u) {
-                        if ledger.ap_of(u).is_some() {
-                            ledger.leave(u);
-                        }
-                        shed[u.index()] = false;
-                    }
-                }
-                FaultEventKind::UserJump { user, seed } => {
-                    if state.is_present(user) {
-                        state.roll_jump(inst, user, seed, keep);
-                        if let Some(cur) = ledger.ap_of(user) {
-                            if !state.link_ok(user, cur) {
-                                ledger.leave(user);
-                            }
-                        }
-                    }
-                }
+                FaultEventKind::ApUp(a) => engine.ap_up(a),
+                FaultEventKind::ApDown(a) => engine.ap_down(a),
+                FaultEventKind::UserDepart(u) => engine.user_leave(u),
+                FaultEventKind::UserJump { user, seed } => engine.link_reroll(user, seed),
             }
         }
 
-        // ---- 2. choose and execute a ladder rung --------------------
-        let mut meter = WorkMeter::new(cfg.work_budget);
-        let mut path = SolvePath::Idle;
-        let mut degraded = false;
-        let (mut rehomed, mut newly_shed, mut readmitted, mut deferred_now) =
-            (0u64, 0u64, 0u64, 0u64);
-        for d in deferred.iter_mut() {
-            *d = false;
-        }
-
-        if epoch == 0 || events > 0 || pending_work {
-            path = match cfg.policy {
-                LadderPolicy::SsaOnly => SolvePath::Ssa,
-                LadderPolicy::Full => SolvePath::Full,
-                LadderPolicy::Repair if epoch == 0 => SolvePath::Full,
-                LadderPolicy::Repair => SolvePath::Repair,
-            };
-
-            if path == SolvePath::Full {
-                let solved = meter.try_charge(full_cost(inst, &state))
-                    && match full_resolve(inst, &state, cfg.objective) {
-                        Ok(assoc) => {
-                            ledger = LoadLedger::new(inst, assoc);
-                            for u in inst.users() {
-                                if shed[u.index()] && ledger.ap_of(u).is_some() {
-                                    shed[u.index()] = false;
-                                    readmitted += 1;
-                                }
-                            }
-                            true
-                        }
-                        Err(_) => false,
-                    };
-                if !solved {
-                    path = SolvePath::Repair;
-                    degraded = true;
-                }
-            }
-
-            // The admission sweep: the Repair rung proper, the leftover
-            // pass after a Full solve, and (starting directly on the SSA
-            // rung) the SsaOnly placement sweep. Most-constrained users
-            // first, ties in id order — the same order as MNU's augment
-            // pass, so an unfaulted Full epoch matches the one-shot
-            // solver exactly.
-            let mut on_ssa_rung = path == SolvePath::Ssa;
-            let enforce_budget = cfg.objective == Objective::Mnu;
-            let mut targets: Vec<UserId> = inst
-                .users()
-                .filter(|&u| {
-                    state.is_present(u)
-                        && ledger.ap_of(u).is_none()
-                        && inst
-                            .candidate_aps(u)
-                            .iter()
-                            .any(|&(a, _)| state.allowed(u, a))
-                })
-                .collect();
-            targets.sort_by_key(|&u| inst.candidate_aps(u).len());
-
-            for u in targets {
-                let was_shed = shed[u.index()];
-                let placed;
-                if !on_ssa_rung && meter.try_charge(inst.candidate_aps(u).len() as u64) {
-                    placed = repair_user(&mut ledger, u, cfg.objective, enforce_budget, |a| {
-                        state.allowed(u, a)
-                    });
-                } else {
-                    if !on_ssa_rung {
-                        // Fell off the repair rung mid-sweep.
-                        on_ssa_rung = true;
-                        degraded = true;
-                    }
-                    if !meter.try_charge(1) {
-                        // Cannot even probe the strongest AP: defer to
-                        // the next epoch, exempt from the coverage audit.
-                        deferred[u.index()] = true;
-                        deferred_now += 1;
-                        degraded = true;
-                        continue;
-                    }
-                    placed = strongest_allowed_ap(inst, u, |a| state.allowed(u, a))
-                        .filter(|&a| {
-                            !enforce_budget
-                                || ledger
-                                    .load_if_joined(u, a)
-                                    .is_some_and(|l| l <= inst.budget(a))
-                        })
-                        .inspect(|&a| ledger.join(u, a));
-                }
-                match placed {
-                    Some(_) => {
-                        rehomed += 1;
-                        if was_shed {
-                            shed[u.index()] = false;
-                            readmitted += 1;
-                        }
-                    }
-                    None => {
-                        if !was_shed {
-                            shed[u.index()] = true;
-                            newly_shed += 1;
-                        }
-                    }
-                }
-            }
-
-            rule = if on_ssa_rung {
-                CoverageRule::StrongestOnly
-            } else {
-                CoverageRule::Exact
-            };
-            pending_work = degraded || deferred_now > 0;
-        }
-
-        // ---- 3. disruption metrics ----------------------------------
-        let mut handoffs = 0u64;
-        let mut changed = false;
-        for u in inst.users() {
-            let before = pre_assoc[u.index()];
-            let after = ledger.ap_of(u);
-            if before != after {
-                changed = true;
-                if before.is_some() && after.is_some() {
-                    handoffs += 1;
-                }
-            }
-        }
-
-        // ---- 4. audit -----------------------------------------------
-        let violations = audit_epoch(
-            &ledger,
-            &state,
-            cfg.objective,
-            rule,
-            &deferred,
-            check_oracle,
-        );
-        debug_assert!(violations.is_empty(), "epoch {epoch}: {violations:?}");
-        violations_total += violations.len() as u64;
-        let n_violations = violations.len() as u64;
-        for v in violations {
-            if violations_sample.len() < 8 {
-                violations_sample.push(format!("epoch {epoch}: {v}"));
-            }
-        }
-
-        records.push(EpochRecord {
-            epoch,
-            events,
-            path,
-            degraded,
-            rule: rule.name().to_string(),
-            work: meter.spent(),
-            handoffs,
-            rehomed,
-            shed: newly_shed,
-            readmitted,
-            deferred: deferred_now,
-            satisfied: ledger.association().satisfied_count(),
-            changed,
-            violations: n_violations,
-        });
+        engine.run_epoch(epoch, events, 0, None);
     }
 
-    // ---- 5. disruption windows --------------------------------------
-    let disruptions: Vec<usize> = records
-        .iter()
-        .enumerate()
-        .filter(|(_, r)| r.events > 0)
-        .map(|(i, _)| i)
-        .collect();
-    let mut reconv: Vec<Option<f64>> = Vec::with_capacity(disruptions.len());
-    let mut coverage_loss = 0u64;
-    for (i, &d) in disruptions.iter().enumerate() {
-        let end = disruptions.get(i + 1).copied().unwrap_or(records.len());
-        // Reconvergence: the last epoch in the window whose association
-        // still changed. A same-epoch repair that stays quiet afterwards
-        // reconverges in 0 epochs; a window still churning in the run's
-        // final epoch never settled.
-        let last_change = (d..end).rfind(|&e| records[e].changed);
-        reconv.push(match last_change {
-            None => Some(0.0),
-            Some(e) if e == records.len() - 1 && end == records.len() && e > d => None,
-            Some(e) => Some((e - d) as f64),
-        });
-        // Coverage loss: user·epochs below the pre-disruption baseline.
-        let baseline = if d == 0 { 0 } else { records[d - 1].satisfied } as i64;
-        for r in &records[d..end] {
-            coverage_loss += (baseline - r.satisfied as i64).max(0) as u64;
-        }
-    }
-
-    let handoffs: u64 = records.iter().map(|r| r.handoffs).sum();
-    let report = ControllerReport {
-        objective: cfg.objective.to_string(),
-        policy: cfg.policy.name().to_string(),
-        epoch_us: cfg.epoch_us,
-        n_epochs: cfg.n_epochs,
-        reconvergence_epochs: RecoverySummary::from_options(&reconv),
-        handoffs,
-        coverage_loss_user_epochs: coverage_loss,
-        disruption: handoffs + coverage_loss,
-        shed: records.iter().map(|r| r.shed).sum(),
-        readmitted: records.iter().map(|r| r.readmitted).sum(),
-        deferred: records.iter().map(|r| r.deferred).sum(),
-        invariant_violations: violations_total,
-        violations_sample,
-        final_satisfied: ledger.association().satisfied_count(),
-        final_max_load: ledger.max_load().as_f64(),
-        final_total_load: ledger.total_load().as_f64(),
-        work: records.iter().map(|r| r.work).sum(),
-        epochs: records,
-    };
-    Ok(ControllerOutcome {
-        report,
-        association: ledger.into_association(),
-    })
-}
-
-/// The work-unit estimate of a full re-solve: every present user's
-/// candidate list crossed with the rate grid, plus per-AP setup. Charged
-/// up front — a full solve cannot be abandoned halfway.
-fn full_cost(inst: &Instance, state: &NetworkState) -> u64 {
-    let rates = inst.supported_rates().len().max(1) as u64;
-    let mut cost = inst.n_aps() as u64;
-    for u in inst.users() {
-        if state.is_present(u) {
-            cost += inst.candidate_aps(u).len() as u64 * rates;
-        }
-    }
-    cost
-}
-
-/// Runs the configured one-shot solver over the effective instance (up
-/// APs, present users, surviving links) and maps the result back to
-/// original user ids. On a pristine network this is exactly the one-shot
-/// solver on the original instance.
-fn full_resolve(
-    inst: &Instance,
-    state: &NetworkState,
-    objective: Objective,
-) -> Result<Association, SolveError> {
-    let solve = |i: &Instance| -> Result<Association, SolveError> {
-        Ok(match objective {
-            Objective::Mnu => solve_mnu(i),
-            Objective::Bla => solve_bla(i)?,
-            Objective::Mla => solve_mla(i)?,
-        }
-        .association)
-    };
-    if state.pristine() {
-        return solve(inst);
-    }
-    let Some((sub, sub_to_orig)) = effective_instance(inst, state) else {
-        return Ok(Association::empty(inst.n_users()));
-    };
-    let sub_assoc = solve(&sub)?;
-    let mut assoc = Association::empty(inst.n_users());
-    for (i, &orig) in sub_to_orig.iter().enumerate() {
-        assoc.set(orig, sub_assoc.ap_of(UserId(i as u32)));
-    }
-    Ok(assoc)
-}
-
-/// Builds the solver's view of the faulted network: same sessions, same
-/// APs (stable [`ApId`]s and budgets — a down AP simply has no links),
-/// and only present users with at least one allowed link, re-indexed
-/// densely. Returns the sub-instance and the sub→original user id map,
-/// or `None` if no user is currently servable.
-fn effective_instance(inst: &Instance, state: &NetworkState) -> Option<(Instance, Vec<UserId>)> {
-    let mut b = InstanceBuilder::new();
-    b.supported_rates(inst.supported_rates().iter().copied());
-    b.rate_policy(inst.rate_policy());
-    for s in inst.sessions() {
-        b.add_session(inst.session_rate(s));
-    }
-    for a in inst.aps() {
-        b.add_ap(inst.budget(a));
-    }
-    let mut sub_to_orig: Vec<UserId> = Vec::new();
-    for u in inst.users() {
-        if !state.is_present(u) {
-            continue;
-        }
-        let links: Vec<ApId> = inst
-            .candidate_aps(u)
-            .iter()
-            .filter(|&&(a, _)| state.allowed(u, a))
-            .map(|&(a, _)| a)
-            .collect();
-        if links.is_empty() {
-            continue;
-        }
-        let su = b.add_user(inst.user_session(u));
-        sub_to_orig.push(u);
-        for a in links {
-            let rate = inst.link_rate(a, u).expect("candidate implies link");
-            let signal = inst.signal(a, u).expect("candidate implies link");
-            b.link_with_signal(a, su, rate, signal)
-                .expect("copying a valid link cannot fail");
-        }
-    }
-    if sub_to_orig.is_empty() {
-        return None;
-    }
-    let sub = b
-        .build()
-        .expect("a sub-instance of a valid instance is valid");
-    Some((sub, sub_to_orig))
+    Ok(engine.finalize())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ladder::SolvePath;
     use mcast_core::examples_paper::{a, figure1_instance, u};
-    use mcast_core::{solve_mnu_with, solve_ssa, Kbps, MnuConfig};
+    use mcast_core::{solve_bla, solve_mla, solve_mnu_with, solve_ssa, ApId, Kbps, MnuConfig};
     use mcast_faults::{ApOutage, UserDeparture};
 
     fn quick_cfg(policy: LadderPolicy) -> ControllerConfig {

@@ -1,0 +1,316 @@
+//! The event-driven controller service.
+//!
+//! Where the lock-step runtime walks a precompiled fault timeline, the
+//! service drains a deterministic [`TimeQueue`] of typed events — joins,
+//! leaves, AP failures and recoveries, link re-rolls — and **batches
+//! admission**: every event due up to the epoch boundary is ingested,
+//! then the whole batch is answered by one pass through the existing
+//! degradation ladder. Batching is what keeps a storm of concurrent
+//! joins O(ladder) instead of O(joins × ladder): one repair sweep
+//! places the entire cohort (see `docs/algorithms.md`).
+//!
+//! Everything the service ingests and everything it decides is
+//! published through an [`EventPublisher`] as an append-only stream —
+//! replayable into a byte-identical [`ControllerReport`] by
+//! [`crate::replay`] — and instrumented for sustained-throughput
+//! reporting ([`ServiceStats`]).
+
+use std::time::Instant;
+
+use mcast_core::Instance;
+use mcast_events::{Event, EventKind, EventPublisher, TimeQueue, STREAM_SCHEMA};
+use mcast_faults::{FaultEventKind, FaultPlan, RecoverySummary};
+
+use crate::engine::EpochEngine;
+use crate::ladder::SolvePath;
+use crate::runtime::{ControllerConfig, ControllerOutcome};
+use crate::state::NetworkState;
+
+/// Throughput instrumentation for one service run.
+///
+/// Deliberately **not** part of [`ControllerOutcome`]: wall-clock
+/// numbers vary run to run, while the outcome is deterministic — mixing
+/// them would break byte-identical replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceStats {
+    /// Join events admitted.
+    pub joins: u64,
+    /// Fault events ingested (down/up/leave/reroll).
+    pub fault_events: u64,
+    /// Events published to the stream (including header and trailer).
+    pub events_published: u64,
+    /// Per-user decision latency in the admission sweeps, µs
+    /// (p50/p95/p99/max, nearest-rank).
+    pub decision_latency_us: RecoverySummary,
+    /// Wall-clock seconds spent in epochs that admitted joins.
+    pub admission_wall_s: f64,
+    /// Sustained admission throughput: joins per admission-wall second.
+    pub joins_per_sec: f64,
+}
+
+/// Lowers a fault plan into the event queue, reproducing the lock-step
+/// runtime's semantics event by event:
+///
+/// * every user joins at `t = 0` (the runtime starts everyone present,
+///   so the service's epoch-0 batch must admit the full population);
+/// * each compiled fault becomes its event-queue equivalent at the same
+///   instant, pushed in timeline order.
+///
+/// Joins are pushed first, so at `t = 0` the queue's `seq` tie-break
+/// admits the population before any fault applies — matching the
+/// runtime, where users exist before the first fault can touch them.
+///
+/// # Errors
+///
+/// A plan that does not [validate](FaultPlan::validate) against the
+/// instance and the configured horizon, or a config with a zero or
+/// overflowing horizon.
+pub fn lower_plan(
+    inst: &Instance,
+    plan: &FaultPlan,
+    cfg: &ControllerConfig,
+) -> Result<TimeQueue<EventKind>, String> {
+    let horizon_us = validate_horizon(cfg)?;
+    plan.validate(inst.n_aps(), inst.n_users(), horizon_us)
+        .map_err(|e| format!("invalid fault plan: {e}"))?;
+    let timeline = plan.compile(inst.n_aps(), inst.n_users(), horizon_us);
+
+    let mut queue = TimeQueue::new();
+    for u in inst.users() {
+        queue.push(0, EventKind::UserJoin { user: u });
+    }
+    for ev in timeline.events() {
+        let kind = match ev.kind {
+            FaultEventKind::ApUp(ap) => EventKind::ApRecovered { ap },
+            FaultEventKind::ApDown(ap) => EventKind::ApDown { ap },
+            FaultEventKind::UserDepart(user) => EventKind::UserLeave { user },
+            FaultEventKind::UserJump { user, seed } => EventKind::LinkReroll { user, seed },
+        };
+        queue.push(ev.at_us, kind);
+    }
+    Ok(queue)
+}
+
+fn validate_horizon(cfg: &ControllerConfig) -> Result<u64, String> {
+    if cfg.epoch_us == 0 {
+        return Err("epoch_us must be positive".to_string());
+    }
+    if cfg.n_epochs == 0 {
+        return Err("n_epochs must be positive".to_string());
+    }
+    cfg.epoch_us
+        .checked_mul(cfg.n_epochs)
+        .ok_or_else(|| "epoch_us × n_epochs overflows the clock".to_string())
+}
+
+/// The log writer: wraps the publisher with the run's sequence counter
+/// so every event gets the next `seq` exactly once.
+struct Stream<'p> {
+    publisher: &'p mut dyn EventPublisher,
+    seq: u64,
+}
+
+impl Stream<'_> {
+    fn publish(&mut self, at_us: u64, kind: EventKind) -> Result<(), String> {
+        let event = Event {
+            at_us,
+            seq: self.seq,
+            kind,
+        };
+        self.publisher
+            .publish(&event)
+            .map_err(|e| format!("event stream write failed: {e}"))?;
+        self.seq += 1;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), String> {
+        self.publisher
+            .sync()
+            .map_err(|e| format!("event stream sync failed: {e}"))
+    }
+}
+
+/// Runs the event-driven controller service: drains `queue` epoch by
+/// epoch, batches each epoch's events through the degradation ladder,
+/// and publishes the full event stream through `publisher`.
+///
+/// `keep` is the per-link survival probability for
+/// [`EventKind::LinkReroll`] re-rolls (a plan-level parameter the events
+/// themselves do not carry — pass
+/// [`link_keep_prob`](FaultPlan::link_keep_prob) of the plan the events
+/// were lowered from, or any value if the queue has no re-rolls).
+///
+/// The outcome is a pure function of `(inst, queue, cfg, keep)`;
+/// [`ServiceStats`] carries the wall-clock side separately. Events due
+/// after the configured horizon stay in the queue, exactly as the
+/// lock-step runtime leaves its timeline tail unconsumed.
+///
+/// # Errors
+///
+/// An invalid config, an event referencing an unknown user or AP, a
+/// non-input event in the queue, or a publisher failure (the stream
+/// must not have holes, so publish errors are fatal).
+pub fn serve(
+    inst: &Instance,
+    queue: &mut TimeQueue<EventKind>,
+    cfg: &ControllerConfig,
+    keep: f64,
+    publisher: &mut dyn EventPublisher,
+) -> Result<(ControllerOutcome, ServiceStats), String> {
+    let horizon_us = validate_horizon(cfg)?;
+    let mut stream = Stream { publisher, seq: 0 };
+    stream.publish(
+        0,
+        EventKind::ServiceStarted {
+            schema: STREAM_SCHEMA.to_string(),
+            objective: cfg.objective.to_string(),
+            policy: cfg.policy.name().to_string(),
+            epoch_us: cfg.epoch_us,
+            n_epochs: cfg.n_epochs,
+            n_aps: inst.n_aps() as u64,
+            n_users: inst.n_users() as u64,
+            work_budget: cfg.work_budget,
+        },
+    )?;
+
+    let mut engine = EpochEngine::new(
+        inst,
+        cfg,
+        keep,
+        NetworkState::absent(inst.n_aps(), inst.n_users()),
+    );
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut admission_wall_s = 0.0f64;
+    let (mut joins_total, mut faults_total) = (0u64, 0u64);
+
+    for epoch in 0..cfg.n_epochs {
+        let window_end = (epoch + 1) * cfg.epoch_us - 1;
+        engine.begin_epoch();
+
+        // ---- ingest the batch: everything due in this window --------
+        let (mut events, mut joins) = (0u64, 0u64);
+        while let Some(timed) = queue.pop_due(window_end) {
+            check_ids(inst, &timed.item)?;
+            stream.publish(timed.at_us, timed.item.clone())?;
+            match timed.item {
+                EventKind::UserJoin { user } => {
+                    engine.user_join(user);
+                    joins += 1;
+                }
+                EventKind::UserLeave { user } => {
+                    engine.user_leave(user);
+                    events += 1;
+                }
+                EventKind::ApDown { ap } => {
+                    engine.ap_down(ap);
+                    events += 1;
+                }
+                EventKind::ApRecovered { ap } => {
+                    engine.ap_up(ap);
+                    events += 1;
+                }
+                EventKind::LinkReroll { user, seed } => {
+                    engine.link_reroll(user, seed);
+                    events += 1;
+                }
+                other => {
+                    return Err(format!("non-input event in the service queue: {other:?}"));
+                }
+            }
+        }
+        joins_total += joins;
+        faults_total += events;
+
+        // ---- one ladder pass answers the whole batch ----------------
+        let admission_started = Instant::now();
+        let outcome = engine.run_epoch(epoch, events, joins, Some(&mut latencies));
+        if joins > 0 {
+            admission_wall_s += admission_started.elapsed().as_secs_f64();
+        }
+
+        // ---- publish the epoch's decisions --------------------------
+        if outcome.path != SolvePath::Idle {
+            let r = engine.last_record().expect("run_epoch pushed a record");
+            stream.publish(
+                window_end,
+                EventKind::SolveCompleted {
+                    path: r.path.name().to_string(),
+                    degraded: r.degraded,
+                    rule: r.rule.clone(),
+                    work: r.work,
+                    rehomed: r.rehomed,
+                    shed: r.shed,
+                    readmitted: r.readmitted,
+                    deferred: r.deferred,
+                },
+            )?;
+        }
+        for &(user, ap) in &outcome.changes {
+            stream.publish(window_end, EventKind::Assoc { user, ap })?;
+        }
+        for message in &outcome.violations {
+            stream.publish(
+                window_end,
+                EventKind::Violation {
+                    epoch,
+                    message: message.clone(),
+                },
+            )?;
+        }
+        stream.publish(
+            window_end,
+            EventKind::EpochClosed {
+                epoch,
+                events,
+                joins,
+                violations: outcome.violations.len() as u64,
+            },
+        )?;
+        // The durability boundary: a crash from here on loses at most
+        // the next (uncommitted) epoch.
+        stream.sync()?;
+    }
+
+    let published = stream.seq;
+    stream.publish(
+        horizon_us - 1,
+        EventKind::StreamClosed { events: published },
+    )?;
+    stream
+        .publisher
+        .close()
+        .map_err(|e| format!("event stream close failed: {e}"))?;
+    let events_published = stream.seq;
+
+    let stats = ServiceStats {
+        joins: joins_total,
+        fault_events: faults_total,
+        events_published,
+        decision_latency_us: RecoverySummary::of(&latencies, 0),
+        admission_wall_s,
+        joins_per_sec: if admission_wall_s > 0.0 {
+            joins_total as f64 / admission_wall_s
+        } else {
+            0.0
+        },
+    };
+    Ok((engine.finalize(), stats))
+}
+
+fn check_ids(inst: &Instance, kind: &EventKind) -> Result<(), String> {
+    let (user_ok, ap_ok) = (inst.n_users(), inst.n_aps());
+    match *kind {
+        EventKind::UserJoin { user }
+        | EventKind::UserLeave { user }
+        | EventKind::LinkReroll { user, .. }
+            if user.index() >= user_ok =>
+        {
+            Err(format!("event references unknown user {user}"))
+        }
+        EventKind::ApDown { ap } | EventKind::ApRecovered { ap } if ap.index() >= ap_ok => {
+            Err(format!("event references unknown AP {ap}"))
+        }
+        _ => Ok(()),
+    }
+}

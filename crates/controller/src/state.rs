@@ -36,6 +36,36 @@ impl NetworkState {
         }
     }
 
+    /// An empty service: every AP up, every link ok, but **no user
+    /// present yet**. The event-driven service starts here and admits
+    /// users as their join events arrive; once everyone has joined (and
+    /// nothing else broke) the state is pristine, so epoch-0 batched
+    /// admission takes the same full-solve fast path as the lock-step
+    /// runtime.
+    pub fn absent(n_aps: usize, n_users: usize) -> NetworkState {
+        NetworkState {
+            n_aps,
+            down: vec![false; n_aps],
+            gone: vec![true; n_users],
+            link_ok: vec![true; n_users * n_aps],
+            downs: 0,
+            gones: n_users,
+            masked_links: 0,
+        }
+    }
+
+    /// Marks user `u` present (a join). Idempotent; returns `true` on
+    /// the transition. The inverse of [`NetworkState::depart`] — a user
+    /// who left can rejoin with a fresh join event.
+    pub fn join(&mut self, u: UserId) -> bool {
+        if !self.gone[u.index()] {
+            return false;
+        }
+        self.gone[u.index()] = false;
+        self.gones -= 1;
+        true
+    }
+
     /// True if nothing has ever deviated from the pristine state — no AP
     /// down, no user departed, no candidate link lost. On a pristine
     /// network the effective instance *is* the original instance.
@@ -133,7 +163,21 @@ mod tests {
 
         assert!(s.depart(UserId(2)));
         assert!(!s.depart(UserId(2)));
-        assert!(!s.pristine(), "departures are permanent");
+        assert!(!s.pristine(), "departures mask until a rejoin");
+        assert!(s.join(UserId(2)));
+        assert!(!s.join(UserId(2)), "second join is not a transition");
+        assert!(s.pristine(), "a rejoin restores pristinity");
+    }
+
+    #[test]
+    fn absent_state_fills_up_as_users_join() {
+        let mut s = NetworkState::absent(2, 3);
+        assert!(!s.pristine());
+        for u in 0..3 {
+            assert!(!s.is_present(UserId(u)));
+            assert!(s.join(UserId(u)));
+        }
+        assert!(s.pristine(), "everyone joined, nothing broken");
     }
 
     #[test]

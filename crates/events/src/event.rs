@@ -1,0 +1,250 @@
+//! Typed controller events: the vocabulary of the event queue and the
+//! append-only event log.
+//!
+//! Two families share one enum so a single stream tells the whole story:
+//!
+//! * **input events** — things that happen *to* the network
+//!   ([`EventKind::UserJoin`], [`EventKind::UserLeave`],
+//!   [`EventKind::ApDown`], [`EventKind::ApRecovered`],
+//!   [`EventKind::LinkReroll`]); producers push these into the
+//!   [`TimeQueue`](crate::TimeQueue) and the service echoes them to the
+//!   log as it admits them;
+//! * **output events** — things the controller *did* in response
+//!   ([`EventKind::Assoc`], [`EventKind::SolveCompleted`],
+//!   [`EventKind::Violation`], [`EventKind::EpochClosed`]), plus the
+//!   [`EventKind::ServiceStarted`] header and [`EventKind::StreamClosed`]
+//!   trailer framing the run.
+//!
+//! The log is self-describing: replaying the output events alone
+//! reconstructs the controller's report and final association state
+//! without re-running any solver.
+
+use serde::{Deserialize, Serialize};
+
+use mcast_core::{ApId, UserId};
+
+/// The current stream schema tag, carried by
+/// [`EventKind::ServiceStarted`].
+pub const STREAM_SCHEMA: &str = "mcast-events/v1";
+
+/// One event in the stream: when it applied, where it sits in the log,
+/// and what it is.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// When the event applied (µs on the service clock). Output events
+    /// carry the closing instant of the epoch that produced them.
+    pub at_us: u64,
+    /// Position in the log: strictly increasing from 0. Same-instant
+    /// events are ordered by `seq` — this is the queue's stable
+    /// tie-break made durable.
+    pub seq: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Every kind of event the controller service consumes or emits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Header: the run's identity and shape. Always the first event.
+    ServiceStarted {
+        /// Stream schema tag ([`STREAM_SCHEMA`]).
+        schema: String,
+        /// Objective name (`MNU`/`BLA`/`MLA`).
+        objective: String,
+        /// Ladder policy name.
+        policy: String,
+        /// Epoch length in µs.
+        epoch_us: u64,
+        /// Epochs the service will run.
+        n_epochs: u64,
+        /// APs in the instance.
+        n_aps: u64,
+        /// Users in the instance.
+        n_users: u64,
+        /// Per-epoch work budget (0 = unlimited).
+        work_budget: u64,
+    },
+
+    /// A user asks to join their multicast session.
+    UserJoin {
+        /// The joining user.
+        user: UserId,
+    },
+    /// A user powers off for good.
+    UserLeave {
+        /// The departing user.
+        user: UserId,
+    },
+    /// An AP crashes; its users are forcibly disassociated.
+    ApDown {
+        /// The failed AP.
+        ap: ApId,
+    },
+    /// An AP recovers with empty state.
+    ApRecovered {
+        /// The recovered AP.
+        ap: ApId,
+    },
+    /// A user jumps position: their candidate links re-roll from `seed`
+    /// (the same per-jump seed the fault compiler resolved, so the
+    /// service and the lock-step runtime see identical topologies).
+    LinkReroll {
+        /// The moving user.
+        user: UserId,
+        /// Per-jump RNG seed.
+        seed: u64,
+    },
+
+    /// The controller changed one user's association. Emitted in
+    /// user-id order per epoch; `ap = null` means the user lost service.
+    Assoc {
+        /// The re-homed user.
+        user: UserId,
+        /// Their new AP, or `None` if now unserved.
+        ap: Option<ApId>,
+    },
+    /// A non-idle ladder rung finished for the epoch being closed.
+    SolveCompleted {
+        /// Rung that ran (`full`/`repair`/`ssa`).
+        path: String,
+        /// True if budget or solver failure pushed the epoch below its
+        /// policy's preferred rung.
+        degraded: bool,
+        /// Coverage promise the auditor held (`exact`/`strongest-only`).
+        rule: String,
+        /// Work units spent.
+        work: u64,
+        /// Users placed this epoch.
+        rehomed: u64,
+        /// Users newly shed this epoch.
+        shed: u64,
+        /// Previously shed users readmitted this epoch.
+        readmitted: u64,
+        /// Users deferred to the next epoch.
+        deferred: u64,
+    },
+    /// The post-epoch auditor found an invariant violation.
+    Violation {
+        /// Epoch it was found in.
+        epoch: u64,
+        /// The auditor's message.
+        message: String,
+    },
+    /// An epoch finished; everything since the previous `EpochClosed`
+    /// belongs to it. This is the durability boundary: the JSONL sink
+    /// fsyncs here, and replay only commits fully closed epochs.
+    EpochClosed {
+        /// The epoch just closed.
+        epoch: u64,
+        /// Fault events ingested (down/up/leave/reroll).
+        events: u64,
+        /// Join events admitted.
+        joins: u64,
+        /// Invariant violations found.
+        violations: u64,
+    },
+    /// Trailer: the run completed. `events` is the count of log events
+    /// before this one — a cheap completeness check for replay.
+    StreamClosed {
+        /// Events published before this trailer.
+        events: u64,
+    },
+}
+
+impl EventKind {
+    /// True for the input family (network happenings the service
+    /// ingests), false for controller output/framing events.
+    pub fn is_input(&self) -> bool {
+        matches!(
+            self,
+            EventKind::UserJoin { .. }
+                | EventKind::UserLeave { .. }
+                | EventKind::ApDown { .. }
+                | EventKind::ApRecovered { .. }
+                | EventKind::LinkReroll { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let kinds = vec![
+            EventKind::ServiceStarted {
+                schema: STREAM_SCHEMA.to_string(),
+                objective: "MNU".to_string(),
+                policy: "repair".to_string(),
+                epoch_us: 100_000,
+                n_epochs: 16,
+                n_aps: 12,
+                n_users: 48,
+                work_budget: 0,
+            },
+            EventKind::UserJoin { user: UserId(3) },
+            EventKind::UserLeave { user: UserId(9) },
+            EventKind::ApDown { ap: ApId(1) },
+            EventKind::ApRecovered { ap: ApId(1) },
+            EventKind::LinkReroll {
+                user: UserId(5),
+                seed: 0xDEAD_BEEF,
+            },
+            EventKind::Assoc {
+                user: UserId(7),
+                ap: Some(ApId(2)),
+            },
+            EventKind::Assoc {
+                user: UserId(7),
+                ap: None,
+            },
+            EventKind::SolveCompleted {
+                path: "repair".to_string(),
+                degraded: false,
+                rule: "exact".to_string(),
+                work: 42,
+                rehomed: 3,
+                shed: 0,
+                readmitted: 1,
+                deferred: 0,
+            },
+            EventKind::Violation {
+                epoch: 4,
+                message: "user u3 on down AP".to_string(),
+            },
+            EventKind::EpochClosed {
+                epoch: 4,
+                events: 2,
+                joins: 1,
+                violations: 0,
+            },
+            EventKind::StreamClosed { events: 10 },
+        ];
+        for (i, kind) in kinds.into_iter().enumerate() {
+            let ev = Event {
+                at_us: 1_000 * i as u64,
+                seq: i as u64,
+                kind,
+            };
+            let json = serde_json::to_string(&ev).unwrap();
+            assert!(!json.contains('\n'), "one event must fit one log line");
+            let back: Event = serde_json::from_str(&json).unwrap();
+            assert_eq!(ev, back);
+        }
+    }
+
+    #[test]
+    fn input_family_is_exactly_the_network_happenings() {
+        assert!(EventKind::UserJoin { user: UserId(0) }.is_input());
+        assert!(EventKind::ApDown { ap: ApId(0) }.is_input());
+        assert!(!EventKind::EpochClosed {
+            epoch: 0,
+            events: 0,
+            joins: 0,
+            violations: 0
+        }
+        .is_input());
+        assert!(!EventKind::StreamClosed { events: 0 }.is_input());
+    }
+}

@@ -1,0 +1,40 @@
+//! # mcast-events
+//!
+//! The event subsystem under the online controller: a deterministic
+//! time-ordered event queue, the typed event vocabulary, pluggable
+//! publishers, and an append-only crc32-framed JSONL event log with
+//! torn-tail recovery.
+//!
+//! The pieces compose into one contract:
+//!
+//! * producers schedule [`EventKind`]s into a [`TimeQueue`], whose
+//!   `(timestamp, seq)` heap order makes simultaneous events
+//!   deterministic;
+//! * the controller service drains the queue and publishes everything it
+//!   ingests *and* everything it decides through an [`EventPublisher`] —
+//!   in production a [`JsonlPublisher`] streaming `events.jsonl` through
+//!   the same checksummed [`journal`] the experiment harness uses for
+//!   crash-safe checkpoints;
+//! * [`replay_stream_bytes`] decodes a stream (including a
+//!   crash-truncated one) back into its valid event prefix, from which
+//!   `mcast_controller::replay` folds the report and final association
+//!   without re-running a single solver.
+//!
+//! The journal module itself ([`journal::Journal`],
+//! [`journal::atomic_write`]) moved here from the experiments crate so
+//! both consumers share one framing and one recovery rule; the
+//! experiments crate re-exports it unchanged.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+pub mod journal;
+mod publish;
+mod queue;
+mod replay;
+
+pub use event::{Event, EventKind, STREAM_SCHEMA};
+pub use publish::{EventPublisher, JsonlPublisher, MemoryPublisher, NullPublisher};
+pub use queue::{TimeQueue, Timed};
+pub use replay::{replay_stream_bytes, StreamReplay};

@@ -1,0 +1,163 @@
+//! The deterministic time-ordered event queue.
+//!
+//! A [`TimeQueue`] is a binary-heap priority queue keyed by
+//! `(at_us, seq)`: events pop in timestamp order, and events carrying
+//! the same timestamp pop in the order they were pushed. The `seq`
+//! tie-break makes the queue a *stable* priority queue, which is what
+//! keeps the whole runtime deterministic — producers decide the order of
+//! simultaneous events once, at push time, and every consumer sees that
+//! same order.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An item stamped with its due time and push sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timed<T> {
+    /// When the item is due (µs on the producer's clock).
+    pub at_us: u64,
+    /// Push order, assigned by the queue: the tie-break for items due at
+    /// the same instant.
+    pub seq: u64,
+    /// The payload.
+    pub item: T,
+}
+
+/// Min-heap wrapper: ordered by `(at_us, seq)` only, never by the
+/// payload, so `T` needs no `Ord`.
+#[derive(Debug)]
+struct Entry<T>(Timed<T>);
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Entry<T>) -> bool {
+        (self.0.at_us, self.0.seq) == (other.0.at_us, other.0.seq)
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Entry<T>) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Entry<T>) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        (other.0.at_us, other.0.seq).cmp(&(self.0.at_us, self.0.seq))
+    }
+}
+
+/// A deterministic time-ordered queue of pending events.
+#[derive(Debug)]
+pub struct TimeQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+}
+
+impl<T> Default for TimeQueue<T> {
+    fn default() -> TimeQueue<T> {
+        TimeQueue::new()
+    }
+}
+
+impl<T> TimeQueue<T> {
+    /// An empty queue.
+    pub fn new() -> TimeQueue<T> {
+        TimeQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `item` at `at_us` and returns the sequence number that
+    /// orders it among same-instant events (monotonic per queue).
+    pub fn push(&mut self, at_us: u64, item: T) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry(Timed { at_us, seq, item }));
+        seq
+    }
+
+    /// The due time of the earliest pending event, if any.
+    pub fn peek_at_us(&self) -> Option<u64> {
+        self.heap.peek().map(|e| e.0.at_us)
+    }
+
+    /// Pops the earliest pending event if it is due at or before
+    /// `now_us`.
+    pub fn pop_due(&mut self, now_us: u64) -> Option<Timed<T>> {
+        if self.peek_at_us()? <= now_us {
+            self.heap.pop().map(|e| e.0)
+        } else {
+            None
+        }
+    }
+
+    /// Pops the earliest pending event unconditionally.
+    pub fn pop(&mut self) -> Option<Timed<T>> {
+        self.heap.pop().map(|e| e.0)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = TimeQueue::new();
+        q.push(30, "c");
+        q.push(10, "a");
+        q.push(20, "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|t| t.item)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn same_instant_pops_in_push_order() {
+        let mut q = TimeQueue::new();
+        for i in 0..50 {
+            q.push(7, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|t| t.item)).collect();
+        assert_eq!(order, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_due_respects_clock() {
+        let mut q = TimeQueue::new();
+        q.push(10, 'x');
+        q.push(20, 'y');
+        assert_eq!(q.peek_at_us(), Some(10));
+        assert!(q.pop_due(5).is_none());
+        assert_eq!(q.pop_due(10).unwrap().item, 'x');
+        assert!(q.pop_due(15).is_none());
+        assert_eq!(q.pop_due(25).unwrap().item, 'y');
+        assert!(q.is_empty());
+        assert!(q.pop_due(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn seq_is_monotonic_across_times() {
+        let mut q = TimeQueue::new();
+        assert_eq!(q.push(99, ()), 0);
+        assert_eq!(q.push(1, ()), 1);
+        assert_eq!(q.push(99, ()), 2);
+        // The earlier-time event still pops first, seq notwithstanding.
+        assert_eq!(q.pop().unwrap().seq, 1);
+        assert_eq!(q.pop().unwrap().seq, 0);
+        assert_eq!(q.pop().unwrap().seq, 2);
+    }
+}

@@ -1,0 +1,167 @@
+//! Decoding an event stream back out of its on-disk form.
+//!
+//! This module recovers the *events*; folding them back into controller
+//! state (report + association) lives next to the controller
+//! (`mcast_controller::replay`), which owns those types. Keeping the
+//! decoder here means anything that can read bytes can inspect a stream
+//! without pulling in the solver stack.
+
+use serde::Deserialize;
+
+use crate::event::{Event, EventKind};
+use crate::journal::replay_raw_bytes;
+
+/// What decoding an `events.jsonl` stream recovered.
+#[derive(Debug, Default)]
+pub struct StreamReplay {
+    /// The valid event prefix, in log order.
+    pub events: Vec<Event>,
+    /// Bytes of valid prefix.
+    pub valid_len: u64,
+    /// Bytes dropped past the valid prefix (torn or corrupt tail).
+    pub dropped_bytes: u64,
+    /// Why the tail was dropped, when it was.
+    pub tail_reason: Option<String>,
+    /// True if the stream ends with a matching
+    /// [`EventKind::StreamClosed`] trailer — the run completed and
+    /// nothing was lost.
+    pub closed: bool,
+}
+
+/// Decodes stream bytes into the valid event prefix.
+///
+/// Framing errors (bad checksum, torn line) end the prefix exactly as
+/// journal replay does; an event whose JSON parses but whose shape is
+/// unknown also ends the prefix — a half-upgraded reader must not
+/// silently skip what it cannot understand. Out-of-order `seq` ends the
+/// prefix too: log order is part of the format.
+pub fn replay_stream_bytes(bytes: &[u8]) -> StreamReplay {
+    let raw = replay_raw_bytes(bytes);
+    let mut out = StreamReplay {
+        valid_len: 0,
+        dropped_bytes: bytes.len() as u64,
+        tail_reason: raw.tail_reason,
+        ..StreamReplay::default()
+    };
+    // Re-derive per-line byte offsets so shape errors can truncate
+    // mid-prefix: each valid line is `8 hex + space + payload + \n`.
+    let mut offset = 0u64;
+    let mut consumed = 0u64;
+    for doc in &raw.payloads {
+        let event = match Event::deserialize_value(doc) {
+            Ok(ev) => ev,
+            Err(e) => {
+                out.tail_reason = Some(format!("unknown event shape: {e}"));
+                break;
+            }
+        };
+        if event.seq != out.events.len() as u64 {
+            out.tail_reason = Some(format!(
+                "log sequence broke: expected {}, found {}",
+                out.events.len(),
+                event.seq
+            ));
+            break;
+        }
+        // Advance past this line in the original bytes.
+        let line_len = line_len_at(bytes, offset);
+        offset += line_len;
+        consumed = offset;
+        out.events.push(event);
+    }
+    out.valid_len = consumed;
+    out.dropped_bytes = bytes.len() as u64 - consumed;
+    out.closed = match out.events.last() {
+        Some(Event {
+            kind: EventKind::StreamClosed { events },
+            ..
+        }) => *events == (out.events.len() as u64 - 1),
+        _ => false,
+    };
+    out
+}
+
+fn line_len_at(bytes: &[u8], offset: u64) -> u64 {
+    let rest = &bytes[offset as usize..];
+    let nl = rest
+        .iter()
+        .position(|&b| b == b'\n')
+        .expect("valid journal lines end in newline");
+    nl as u64 + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::crc32;
+    use mcast_core::UserId;
+
+    fn frame(payload: &str) -> String {
+        format!("{:08x} {payload}\n", crc32(payload.as_bytes()))
+    }
+
+    fn event_line(seq: u64, kind: EventKind) -> String {
+        let ev = Event {
+            at_us: seq,
+            seq,
+            kind,
+        };
+        frame(&serde_json::to_string(&ev).unwrap())
+    }
+
+    #[test]
+    fn clean_closed_stream_decodes_fully() {
+        let mut s = String::new();
+        s += &event_line(0, EventKind::UserJoin { user: UserId(0) });
+        s += &event_line(1, EventKind::UserJoin { user: UserId(1) });
+        s += &event_line(2, EventKind::StreamClosed { events: 2 });
+        let r = replay_stream_bytes(s.as_bytes());
+        assert_eq!(r.events.len(), 3);
+        assert_eq!(r.dropped_bytes, 0);
+        assert!(r.closed);
+        assert!(r.tail_reason.is_none());
+    }
+
+    #[test]
+    fn torn_tail_yields_valid_open_prefix() {
+        let mut s = String::new();
+        s += &event_line(0, EventKind::UserJoin { user: UserId(0) });
+        s += &event_line(1, EventKind::StreamClosed { events: 1 });
+        let cut = &s.as_bytes()[..s.len() - 5];
+        let r = replay_stream_bytes(cut);
+        assert_eq!(r.events.len(), 1);
+        assert!(!r.closed, "a torn stream is not closed");
+        assert!(r.dropped_bytes > 0);
+        assert!(r.tail_reason.is_some());
+    }
+
+    #[test]
+    fn unknown_shape_ends_the_prefix() {
+        let mut s = String::new();
+        s += &event_line(0, EventKind::UserJoin { user: UserId(0) });
+        s += &frame("{\"at_us\":1,\"seq\":1,\"kind\":{\"Warp\":{\"x\":1}}}");
+        let r = replay_stream_bytes(s.as_bytes());
+        assert_eq!(r.events.len(), 1);
+        assert!(r.tail_reason.unwrap().contains("unknown event shape"));
+    }
+
+    #[test]
+    fn sequence_gap_ends_the_prefix() {
+        let mut s = String::new();
+        s += &event_line(0, EventKind::UserJoin { user: UserId(0) });
+        s += &event_line(5, EventKind::UserJoin { user: UserId(1) });
+        let r = replay_stream_bytes(s.as_bytes());
+        assert_eq!(r.events.len(), 1);
+        assert!(r.tail_reason.unwrap().contains("sequence broke"));
+    }
+
+    #[test]
+    fn trailer_with_wrong_count_is_not_closed() {
+        let mut s = String::new();
+        s += &event_line(0, EventKind::UserJoin { user: UserId(0) });
+        s += &event_line(1, EventKind::StreamClosed { events: 7 });
+        let r = replay_stream_bytes(s.as_bytes());
+        assert_eq!(r.events.len(), 2);
+        assert!(!r.closed);
+    }
+}

@@ -11,7 +11,11 @@
 //! * `BENCH_distributed.json` — the incremental-ledger + delta-decision +
 //!   dirty-worklist distributed engine vs the recomputing full-sweep
 //!   reference (`crates/core/src/reference.rs`), over both policies and
-//!   execution modes plus one large-scale scenario.
+//!   execution modes plus one large-scale scenario;
+//! * `BENCH_controller.json` — sustained admission throughput of the
+//!   event-driven controller service on a staggered-join workload
+//!   (joins/sec, p50/p95/p99 per-decision latency), with the run's
+//!   event stream folded back through replay as the equivalence check.
 //!
 //! Every comparison also asserts the two implementations produce
 //! identical outputs — a bench run doubles as an equivalence check on
@@ -321,6 +325,134 @@ pub fn distributed_report(opts: &Options) -> BenchReport {
     }
 }
 
+/// Nearest-rank latency quantiles of the service's admission sweeps.
+#[derive(Debug, Serialize)]
+pub struct LatencyQuantiles {
+    /// Median per-decision latency, µs.
+    pub p50_us: f64,
+    /// 95th-percentile per-decision latency, µs.
+    pub p95_us: f64,
+    /// 99th-percentile per-decision latency, µs.
+    pub p99_us: f64,
+    /// Worst per-decision latency, µs.
+    pub max_us: f64,
+}
+
+/// The controller-service throughput report (`BENCH_controller.json`).
+///
+/// Unlike the fast-vs-reference reports there is no "before" to race:
+/// the service is a new subsystem. The equivalence check is replay —
+/// the published event stream must fold back into the byte-identical
+/// report and final association.
+#[derive(Debug, Serialize)]
+pub struct ControllerBenchReport {
+    /// Report schema tag.
+    pub schema: String,
+    /// True when the workload was shrunk by `--quick`.
+    pub quick: bool,
+    /// Human description of the pinned workload.
+    pub workload: String,
+    /// Join events admitted across the run.
+    pub joins: u64,
+    /// Epochs executed.
+    pub epochs: u64,
+    /// Events published to the stream (header and trailer included).
+    pub events_published: u64,
+    /// Wall-clock seconds spent in epochs that admitted joins.
+    pub admission_wall_s: f64,
+    /// Sustained admission throughput, joins per admission-wall second.
+    pub joins_per_sec: f64,
+    /// Per-user decision latency in the admission sweeps.
+    pub decision_latency: LatencyQuantiles,
+    /// Whether folding the event stream back reproduced the live report
+    /// byte for byte (and the same final association).
+    pub replay_identical: bool,
+}
+
+/// The controller-service report: sustained admission throughput on the
+/// 2000-AP staggered-join workload (10% of users at `t = 0`, the rest
+/// spread uniformly over the remaining epochs), MNU objective under the
+/// repair policy, published to an in-memory event stream and verified
+/// by replay.
+///
+/// # Errors
+///
+/// A service or replay failure (both correctness bugs on this
+/// fault-free workload).
+pub fn controller_report(opts: &Options) -> Result<ControllerBenchReport, String> {
+    use mcast_controller::{fold_events, serve, ControllerConfig, LadderPolicy};
+    use mcast_core::Objective;
+    use mcast_events::{EventKind, MemoryPublisher, TimeQueue};
+
+    // Same AP density as the large distributed workload (~6000 m² per
+    // AP), so per-user candidate neighborhoods stay realistic at scale.
+    let (n_aps, n_users, side_m, n_epochs) = if opts.quick {
+        (120, 2_000, 848.0, 10u64)
+    } else {
+        (2_000, 40_000, 3_463.0, 20u64)
+    };
+    let scenario = ScenarioConfig {
+        n_aps,
+        n_users,
+        n_sessions: 8,
+        width_m: side_m,
+        height_m: side_m,
+        ..ScenarioConfig::paper_default()
+    }
+    .with_seed(0)
+    .generate();
+    let inst = &scenario.instance;
+    let cfg = ControllerConfig {
+        objective: Objective::Mnu,
+        policy: LadderPolicy::Repair,
+        epoch_us: 100_000,
+        n_epochs,
+        work_budget: 0,
+        audit_oracle: false,
+    };
+
+    // Staggered joins: a 10% cohort at t = 0, the rest round-robined
+    // across epochs 1..n_epochs — every epoch is an admission batch.
+    let mut queue = TimeQueue::new();
+    let initial = n_users / 10;
+    for u in inst.users().take(initial) {
+        queue.push(0, EventKind::UserJoin { user: u });
+    }
+    for (i, u) in inst.users().skip(initial).enumerate() {
+        let epoch = 1 + (i as u64 % (n_epochs - 1));
+        queue.push(epoch * cfg.epoch_us, EventKind::UserJoin { user: u });
+    }
+
+    let mut publisher = MemoryPublisher::default();
+    let (live, stats) = serve(inst, &mut queue, &cfg, 1.0, &mut publisher)?;
+    let replayed = fold_events(inst, &publisher.events)?;
+    let replay_identical = serde_json::to_string(&live.report).ok()
+        == serde_json::to_string(&replayed.report).ok()
+        && live.association == replayed.association;
+
+    let lat = stats.decision_latency_us;
+    Ok(ControllerBenchReport {
+        schema: "mcast-bench-controller/v1".to_string(),
+        quick: opts.quick,
+        workload: format!(
+            "event-driven service, staggered joins, {n_aps} APs / {n_users} users, \
+             {n_epochs} epochs, MNU repair policy"
+        ),
+        joins: stats.joins,
+        epochs: n_epochs,
+        events_published: stats.events_published,
+        admission_wall_s: stats.admission_wall_s,
+        joins_per_sec: stats.joins_per_sec,
+        decision_latency: LatencyQuantiles {
+            p50_us: lat.p50,
+            p95_us: lat.p95,
+            p99_us: lat.p99,
+            max_us: lat.max,
+        },
+        replay_identical,
+    })
+}
+
 /// Full outcome equality: the association and every counter/flag.
 fn outcomes_equal(a: &DistributedOutcome, b: &DistributedOutcome) -> bool {
     a.association == b.association
@@ -331,8 +463,8 @@ fn outcomes_equal(a: &DistributedOutcome, b: &DistributedOutcome) -> bool {
 }
 
 /// Runs all reports, writes `BENCH_greedy.json` / `BENCH_topology.json` /
-/// `BENCH_distributed.json` into the current directory, and returns a
-/// printable summary.
+/// `BENCH_distributed.json` / `BENCH_controller.json` into the current
+/// directory, and returns a printable summary.
 ///
 /// # Errors
 ///
@@ -365,6 +497,29 @@ pub fn run(opts: &Options) -> Result<String, String> {
                 }
             ));
         }
+    }
+    {
+        let path = "BENCH_controller.json";
+        let report = controller_report(opts)?;
+        let json =
+            serde_json::to_string_pretty(&report).map_err(|e| format!("serialize {path}: {e}"))?;
+        crate::journal::atomic_write(std::path::Path::new(path), json.as_bytes())
+            .map_err(|e| format!("write {path}: {e}"))?;
+        all_identical &= report.replay_identical;
+        out.push_str(&format!(
+            "{path}:\n  {:<14} {:>9.0} joins/s  (p50 {:.1} µs, p95 {:.1} µs, \
+             p99 {:.1} µs, replay {})\n",
+            "serve",
+            report.joins_per_sec,
+            report.decision_latency.p50_us,
+            report.decision_latency.p95_us,
+            report.decision_latency.p99_us,
+            if report.replay_identical {
+                "identical"
+            } else {
+                "DIFFERS"
+            }
+        ));
     }
     if all_identical {
         Ok(out)
@@ -429,5 +584,20 @@ mod tests {
         .iter()
         .all(|k| d.benches.contains_key(*k)));
         assert!(d.benches.values().all(|b| b.outputs_identical));
+    }
+
+    #[test]
+    fn quick_controller_bench_admits_everyone_and_replays() {
+        let opts = Options {
+            quick: true,
+            ..Options::default()
+        };
+        let c = controller_report(&opts).expect("service runs");
+        assert_eq!(c.schema, "mcast-bench-controller/v1");
+        assert_eq!(c.joins, 2_000, "every staggered join is admitted");
+        assert!(c.replay_identical, "event stream must fold back exactly");
+        assert!(c.joins_per_sec > 0.0);
+        assert!(c.decision_latency.p50_us <= c.decision_latency.p99_us);
+        assert!(c.decision_latency.p99_us <= c.decision_latency.max_us);
     }
 }

@@ -1,7 +1,86 @@
 //! `repro gen` / `repro solve`: scenario files for reproducible one-off
-//! runs (generate once, solve many ways, diff outputs).
+//! runs (generate once, solve many ways, diff outputs) — plus the
+//! command-line flag validation shared with `main`.
 
 use std::path::Path;
+
+/// A flag that does nothing for the command it was passed with,
+/// rejected by name instead of silently ignored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlagError {
+    /// The command the flag was passed to.
+    pub command: String,
+    /// The offending flag, as typed (`--plot`, `--resume`).
+    pub flag: String,
+    /// Why the combination is meaningless.
+    pub reason: &'static str,
+}
+
+impl std::fmt::Display for FlagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid flags: {} does not support {} ({})",
+            self.command, self.flag, self.reason
+        )
+    }
+}
+
+impl std::error::Error for FlagError {}
+
+/// Commands that render figure series, where `--plot` adds ASCII plots.
+const PLOTTING: &[&str] = &[
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "ablations",
+    "channels",
+    "mobility",
+    "revenue",
+    "all",
+];
+
+/// Commands that sweep under the journaled orchestrator, where
+/// `--resume` replays finished trials from `.runstate/`.
+const RESUMABLE: &[&str] = &[
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "ablations",
+    "channels",
+    "mobility",
+    "faults",
+    "controller",
+    "revenue",
+    "all",
+];
+
+/// Rejects flag combinations that would silently do nothing — `--plot`
+/// with a command that renders no figure series (e.g. `serve`), or
+/// `--resume` with a command that keeps no journal.
+///
+/// # Errors
+///
+/// A [`FlagError`] naming the command, the flag, and the reason.
+pub fn validate_flags(command: &str, plot: bool, resume: bool) -> Result<(), FlagError> {
+    if plot && !PLOTTING.contains(&command) {
+        return Err(FlagError {
+            command: command.to_string(),
+            flag: "--plot".to_string(),
+            reason: "it renders no figure series to plot",
+        });
+    }
+    if resume && !RESUMABLE.contains(&command) {
+        return Err(FlagError {
+            command: command.to_string(),
+            flag: "--resume".to_string(),
+            reason: "it keeps no trial journal to resume from",
+        });
+    }
+    Ok(())
+}
 
 use mcast_core::{
     run_distributed, solve_bla, solve_mla, solve_mla_with, solve_mnu, solve_ssa, Association,
@@ -303,6 +382,46 @@ mod tests {
     #[test]
     fn missing_file_is_an_error() {
         assert!(load_scenario(Path::new("/nonexistent/file.json")).is_err());
+    }
+
+    #[test]
+    fn plot_is_rejected_for_commands_without_figures() {
+        for cmd in [
+            "serve",
+            "replay",
+            "faults",
+            "controller",
+            "bench",
+            "validate",
+            "table1",
+        ] {
+            let err = validate_flags(cmd, true, false).unwrap_err();
+            assert_eq!(err.command, cmd);
+            assert_eq!(err.flag, "--plot");
+            assert!(err.to_string().contains("invalid flags"), "{err}");
+        }
+        for cmd in ["fig9", "fig12", "mobility", "revenue", "all"] {
+            assert_eq!(validate_flags(cmd, true, false), Ok(()), "{cmd}");
+        }
+    }
+
+    #[test]
+    fn resume_is_rejected_for_journalless_commands() {
+        for cmd in ["serve", "replay", "bench", "validate", "table1"] {
+            let err = validate_flags(cmd, false, true).unwrap_err();
+            assert_eq!(err.flag, "--resume");
+        }
+        // Sweeping commands journal their trials, so --resume is valid.
+        for cmd in ["faults", "controller", "fig10", "all"] {
+            assert_eq!(validate_flags(cmd, false, true), Ok(()), "{cmd}");
+        }
+    }
+
+    #[test]
+    fn no_flags_is_always_valid() {
+        for cmd in ["serve", "replay", "bench", "fig9", "table1", "unknown"] {
+            assert_eq!(validate_flags(cmd, false, false), Ok(()), "{cmd}");
+        }
     }
 
     fn small_scenario() -> mcast_topology::Scenario {

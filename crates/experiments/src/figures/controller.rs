@@ -233,9 +233,11 @@ pub fn run(opts: &Options, runner: &Runner) -> String {
 
 /// The shared fault plan of one seed: the `aps_down` most-loaded APs of
 /// the intact MNU solution go down together at `down_epoch` and return
-/// at `up_epoch`, over background mobility churn.
+/// at `up_epoch`, over background mobility churn. Shared with
+/// `crate::serve`, which replays the same chaos through the
+/// event-driven service.
 #[allow(clippy::too_many_arguments)]
-fn build_plan(
+pub(crate) fn build_plan(
     scenario: &Scenario,
     seed: u64,
     aps_down: usize,

@@ -1,368 +1,13 @@
-//! Crash-safe result persistence: a checksummed append-only journal
-//! (write-ahead log) of completed trial results, plus the atomic-write
-//! discipline every final artifact goes through.
+//! Crash-safe result persistence — now shared infrastructure.
 //!
-//! ## Journal format
-//!
-//! One record per line:
-//!
-//! ```text
-//! <crc32-hex8> <payload-json>\n
-//! ```
-//!
-//! where the payload is `{"key": <TrialKey>, "value": <trial result>}`
-//! and the checksum is CRC-32 (IEEE) over the payload bytes. Records are
-//! flushed and fsynced as they are appended, so a crash loses at most the
-//! record being written. On replay, the first line that is incomplete
-//! (no trailing newline), fails its checksum, or does not parse marks the
-//! end of the valid prefix: everything before it is recovered, everything
-//! from it on is discarded and the file is truncated back to the valid
-//! prefix so new appends never interleave with garbage.
-//!
-//! ## Atomic writes
-//!
-//! [`atomic_write`] writes into a same-directory temp file, fsyncs it,
-//! and renames it over the destination, so readers (and crashed runs)
-//! only ever observe either the old complete file or the new complete
-//! file — never a partial one.
+//! The checksummed append-only journal and the atomic-write discipline
+//! were born here (PR 3) for sweep checkpoints; the event-log subsystem
+//! needed the same framing, so the implementation moved to
+//! [`mcast_events::journal`]. This module re-exports it unchanged:
+//! every existing `crate::journal::{Journal, replay_bytes,
+//! atomic_write, ...}` caller keeps compiling against the same API and
+//! the same on-disk format.
 
-use std::fs::{self, File, OpenOptions};
-use std::io::{Seek, SeekFrom, Write};
-use std::path::{Path, PathBuf};
-use std::sync::Mutex;
-
-use serde::Value;
-
-/// CRC-32 (IEEE 802.3, reflected) of `bytes`. Bitwise implementation —
-/// the journal appends at solver-trial granularity, so table-free
-/// simplicity beats throughput here.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc: u32 = !0;
-    for &b in bytes {
-        crc ^= u32::from(b);
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
-    }
-    !crc
-}
-
-/// Why a journal (or atomic write) operation failed.
-#[derive(Debug, Clone, PartialEq)]
-pub enum JournalError {
-    /// An I/O failure on the journal file or its directory.
-    Io {
-        /// The path involved.
-        path: PathBuf,
-        /// The underlying error, rendered.
-        message: String,
-    },
-    /// A record could not be serialized (e.g. a non-finite float).
-    Serialize(String),
-}
-
-impl std::fmt::Display for JournalError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            JournalError::Io { path, message } => {
-                write!(f, "journal I/O error on {}: {message}", path.display())
-            }
-            JournalError::Serialize(m) => write!(f, "journal serialize error: {m}"),
-        }
-    }
-}
-
-impl std::error::Error for JournalError {}
-
-fn io_err(path: &Path, e: &std::io::Error) -> JournalError {
-    JournalError::Io {
-        path: path.to_path_buf(),
-        message: e.to_string(),
-    }
-}
-
-/// What a journal replay recovered.
-#[derive(Debug, Default)]
-pub struct Replay {
-    /// Valid records, in append order: `(key payload, value payload)`.
-    pub records: Vec<(Value, Value)>,
-    /// Bytes of valid prefix (the file is truncated to this length).
-    pub valid_len: u64,
-    /// Bytes dropped past the valid prefix (crash-truncated or corrupt
-    /// tail). Zero on a clean journal.
-    pub dropped_bytes: u64,
-    /// Why the tail was dropped, when it was.
-    pub tail_reason: Option<String>,
-}
-
-/// The append-only journal. Appends are serialized through an internal
-/// mutex; each append is flushed and fsynced before it returns.
-#[derive(Debug)]
-pub struct Journal {
-    file: Mutex<File>,
-    path: PathBuf,
-}
-
-impl Journal {
-    /// Creates (or truncates) the journal at `path` for a fresh run.
-    ///
-    /// # Errors
-    ///
-    /// [`JournalError::Io`] when the file or its parents cannot be made.
-    pub fn create(path: &Path) -> Result<Journal, JournalError> {
-        if let Some(dir) = path.parent() {
-            fs::create_dir_all(dir).map_err(|e| io_err(dir, &e))?;
-        }
-        let file = File::create(path).map_err(|e| io_err(path, &e))?;
-        Ok(Journal {
-            file: Mutex::new(file),
-            path: path.to_path_buf(),
-        })
-    }
-
-    /// Opens the journal at `path` for a resumed run: replays the valid
-    /// record prefix, truncates any crash-damaged tail, and positions the
-    /// journal for appending. A missing file resumes to an empty journal.
-    ///
-    /// # Errors
-    ///
-    /// [`JournalError::Io`] when the file cannot be read or reopened.
-    pub fn resume(path: &Path) -> Result<(Journal, Replay), JournalError> {
-        if let Some(dir) = path.parent() {
-            fs::create_dir_all(dir).map_err(|e| io_err(dir, &e))?;
-        }
-        let bytes = match fs::read(path) {
-            Ok(b) => b,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
-            Err(e) => return Err(io_err(path, &e)),
-        };
-        let replay = replay_bytes(&bytes);
-        let mut file = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(false)
-            .open(path)
-            .map_err(|e| io_err(path, &e))?;
-        file.set_len(replay.valid_len)
-            .map_err(|e| io_err(path, &e))?;
-        file.seek(SeekFrom::End(0)).map_err(|e| io_err(path, &e))?;
-        Ok((
-            Journal {
-                file: Mutex::new(file),
-                path: path.to_path_buf(),
-            },
-            replay,
-        ))
-    }
-
-    /// Appends one `(key, value)` record, durably: the record is written
-    /// as a single checksummed line, flushed, and fsynced.
-    ///
-    /// # Errors
-    ///
-    /// [`JournalError`] on serialization or I/O failure. The caller may
-    /// keep running without durability (degraded completion).
-    pub fn append(&self, key: &Value, value: &Value) -> Result<(), JournalError> {
-        let payload = serde_json::to_string(&Value::Object(vec![
-            ("key".to_string(), key.clone()),
-            ("value".to_string(), value.clone()),
-        ]))
-        .map_err(|e| JournalError::Serialize(e.to_string()))?;
-        let line = format!("{:08x} {payload}\n", crc32(payload.as_bytes()));
-        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
-        file.write_all(line.as_bytes())
-            .and_then(|()| file.flush())
-            .and_then(|()| file.sync_data())
-            .map_err(|e| io_err(&self.path, &e))
-    }
-
-    /// The journal's path.
-    pub fn path(&self) -> &Path {
-        &self.path
-    }
-}
-
-/// Parses journal bytes into the valid record prefix. Stops at the first
-/// incomplete, corrupt, or unparseable line — a crash can only damage the
-/// tail, so everything past the first bad line is untrusted.
-pub fn replay_bytes(bytes: &[u8]) -> Replay {
-    let mut replay = Replay::default();
-    let mut offset = 0usize;
-    while offset < bytes.len() {
-        let rest = &bytes[offset..];
-        let Some(nl) = rest.iter().position(|&b| b == b'\n') else {
-            replay.tail_reason = Some("incomplete final record (no newline)".to_string());
-            break;
-        };
-        let line = &rest[..nl];
-        match parse_record(line) {
-            Ok((key, value)) => {
-                replay.records.push((key, value));
-                offset += nl + 1;
-            }
-            Err(reason) => {
-                replay.tail_reason = Some(reason);
-                break;
-            }
-        }
-    }
-    replay.valid_len = offset as u64;
-    replay.dropped_bytes = (bytes.len() - offset) as u64;
-    replay
-}
-
-fn parse_record(line: &[u8]) -> Result<(Value, Value), String> {
-    if line.len() < 10 || line[8] != b' ' {
-        return Err("malformed record framing".to_string());
-    }
-    let crc_hex = std::str::from_utf8(&line[..8]).map_err(|_| "non-UTF-8 checksum".to_string())?;
-    let expected = u32::from_str_radix(crc_hex, 16).map_err(|_| "bad checksum hex".to_string())?;
-    let payload = &line[9..];
-    let actual = crc32(payload);
-    if actual != expected {
-        return Err(format!(
-            "checksum mismatch ({actual:08x} != {expected:08x})"
-        ));
-    }
-    let payload = std::str::from_utf8(payload).map_err(|_| "non-UTF-8 payload".to_string())?;
-    let doc = serde_json::parse_value(payload).map_err(|e| format!("bad payload JSON: {e}"))?;
-    let key = doc.get("key").ok_or("record missing `key`")?.clone();
-    let value = doc.get("value").ok_or("record missing `value`")?.clone();
-    Ok((key, value))
-}
-
-/// Writes `contents` to `path` atomically: same-directory temp file,
-/// fsync, rename over the destination, best-effort directory fsync. A
-/// crash mid-write leaves the previous file intact.
-///
-/// # Errors
-///
-/// Propagates I/O errors (the temp file is cleaned up on failure).
-pub fn atomic_write(path: &Path, contents: &[u8]) -> std::io::Result<()> {
-    let dir = match path.parent() {
-        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
-        _ => PathBuf::from("."),
-    };
-    fs::create_dir_all(&dir)?;
-    let name = path
-        .file_name()
-        .and_then(|n| n.to_str())
-        .unwrap_or("artifact");
-    let tmp = dir.join(format!(".{name}.tmp.{}", std::process::id()));
-    let result = (|| {
-        let mut f = File::create(&tmp)?;
-        f.write_all(contents)?;
-        f.sync_all()?;
-        drop(f);
-        fs::rename(&tmp, path)
-    })();
-    if result.is_err() {
-        let _ = fs::remove_file(&tmp);
-    } else if let Ok(d) = File::open(&dir) {
-        // Make the rename itself durable where the platform allows it.
-        let _ = d.sync_all();
-    }
-    result
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn tmp(name: &str) -> PathBuf {
-        std::env::temp_dir().join(format!("mcast_journal_{name}_{}", std::process::id()))
-    }
-
-    fn k(s: &str) -> Value {
-        Value::Str(s.to_string())
-    }
-
-    #[test]
-    fn crc32_known_vectors() {
-        // IEEE CRC-32 check value.
-        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b""), 0);
-    }
-
-    #[test]
-    fn append_then_replay_roundtrips() {
-        let path = tmp("roundtrip.jsonl");
-        let j = Journal::create(&path).unwrap();
-        j.append(&k("a"), &Value::Int(1)).unwrap();
-        j.append(&k("b"), &Value::Float(2.5)).unwrap();
-        drop(j);
-        let (_, replay) = Journal::resume(&path).unwrap();
-        assert_eq!(replay.records.len(), 2);
-        assert_eq!(replay.dropped_bytes, 0);
-        assert_eq!(replay.records[0], (k("a"), Value::Int(1)));
-        assert_eq!(replay.records[1], (k("b"), Value::Float(2.5)));
-        let _ = fs::remove_file(path);
-    }
-
-    #[test]
-    fn truncated_tail_is_dropped_and_file_repaired() {
-        let path = tmp("truncate.jsonl");
-        let j = Journal::create(&path).unwrap();
-        j.append(&k("a"), &Value::Int(1)).unwrap();
-        j.append(&k("b"), &Value::Int(2)).unwrap();
-        drop(j);
-        let full = fs::read(&path).unwrap();
-        // Cut the second record mid-line.
-        fs::write(&path, &full[..full.len() - 3]).unwrap();
-        let (j2, replay) = Journal::resume(&path).unwrap();
-        assert_eq!(replay.records.len(), 1);
-        assert!(replay.dropped_bytes > 0);
-        assert!(replay.tail_reason.is_some());
-        // The file was truncated back to the valid prefix; a new append
-        // lands cleanly after record one.
-        j2.append(&k("c"), &Value::Int(3)).unwrap();
-        drop(j2);
-        let (_, replay2) = Journal::resume(&path).unwrap();
-        assert_eq!(replay2.records.len(), 2);
-        assert_eq!(replay2.records[1].0, k("c"));
-        let _ = fs::remove_file(path);
-    }
-
-    #[test]
-    fn corrupt_byte_fails_checksum() {
-        let path = tmp("corrupt.jsonl");
-        let j = Journal::create(&path).unwrap();
-        j.append(&k("a"), &Value::Int(7)).unwrap();
-        drop(j);
-        let mut bytes = fs::read(&path).unwrap();
-        let mid = bytes.len() / 2;
-        bytes[mid] ^= 0x20;
-        let replay = replay_bytes(&bytes);
-        assert_eq!(replay.records.len(), 0);
-        assert!(replay.tail_reason.unwrap().contains("checksum"));
-        let _ = fs::remove_file(path);
-    }
-
-    #[test]
-    fn resume_missing_file_is_empty() {
-        let path = tmp("missing.jsonl");
-        let _ = fs::remove_file(&path);
-        let (_, replay) = Journal::resume(&path).unwrap();
-        assert!(replay.records.is_empty());
-        let _ = fs::remove_file(path);
-    }
-
-    #[test]
-    fn atomic_write_replaces_and_leaves_no_temp() {
-        let dir = tmp("atomic_dir");
-        let _ = fs::remove_dir_all(&dir);
-        let path = dir.join("out.json");
-        atomic_write(&path, b"first").unwrap();
-        assert_eq!(fs::read(&path).unwrap(), b"first");
-        atomic_write(&path, b"second").unwrap();
-        assert_eq!(fs::read(&path).unwrap(), b"second");
-        let leftovers: Vec<_> = fs::read_dir(&dir)
-            .unwrap()
-            .filter_map(|e| e.ok())
-            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
-            .collect();
-        assert!(leftovers.is_empty(), "temp files left behind");
-        let _ = fs::remove_dir_all(dir);
-    }
-}
+pub use mcast_events::journal::{
+    atomic_write, crc32, replay_bytes, replay_raw_bytes, Journal, JournalError, RawReplay, Replay,
+};

@@ -26,6 +26,7 @@ pub mod par;
 pub mod plot;
 pub mod report;
 pub mod runner;
+pub mod serve;
 pub mod stats;
 
 /// Harness-wide options parsed from the command line.

@@ -14,6 +14,8 @@
 //!   mobility    quasi-static user movement: churn & repaired-load drift
 //!   faults      fault injection: recovery after a coordinated AP outage
 //!   controller  online controller: repair ladder vs full re-solve under faults
+//!   serve       event-driven controller service; streams <out>/events.jsonl
+//!   replay      fold <out>/events.jsonl back into a report (no solvers)
 //!   revenue     the §3.2 revenue models across algorithms
 //!   bench       time fast paths vs reference, write BENCH_*.json
 //!   gen/solve   write a scenario JSON / run one algorithm on it
@@ -37,7 +39,7 @@ use mcast_experiments::Options;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().cloned() else {
-        eprintln!("usage: repro <table1|fig9|fig10|fig11|fig12|ablations|channels|mobility|faults|controller|revenue|bench|validate|all|gen|solve|compare> [--seeds N] [--out DIR] [--max-nodes N] [--quick] [--plot] [--resume] [--retries N] [--deadline SECS]");
+        eprintln!("usage: repro <table1|fig9|fig10|fig11|fig12|ablations|channels|mobility|faults|controller|serve|replay|revenue|bench|validate|all|gen|solve|compare> [--seeds N] [--out DIR] [--max-nodes N] [--quick] [--plot] [--resume] [--retries N] [--deadline SECS]");
         return ExitCode::FAILURE;
     };
     let mut opts = Options::default();
@@ -96,6 +98,13 @@ fn main() -> ExitCode {
     // regardless of flag order (`--quick --seeds 100` used to get 100).
     if opts.quick {
         opts.seeds = opts.seeds.min(5);
+    }
+    // A flag the command would silently ignore is a typo, not a no-op.
+    if generic_flags {
+        if let Err(e) = mcast_experiments::cli::validate_flags(&command, plot, opts.resume) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
     }
 
     // Sweep commands run under an orchestrator with a journal in
@@ -168,6 +177,20 @@ fn main() -> ExitCode {
             write_json_result("controller.json", &json, &opts);
             println!("{json}");
         }
+        "serve" => match mcast_experiments::serve::run_serve(&opts) {
+            Ok(summary) => print!("{summary}"),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        "replay" => match mcast_experiments::serve::run_replay(&opts) {
+            Ok(summary) => print!("{summary}"),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
         "revenue" => run_figs(revenue::run(&opts, &runner), &opts),
         "bench" => match mcast_experiments::bench::run(&opts) {
             Ok(summary) => print!("{summary}"),

@@ -1,0 +1,529 @@
+//! `repro serve` / `repro replay` — the event-driven controller service
+//! on a pinned chaos scenario, with its append-only event log.
+//!
+//! `serve` runs the same coordinated-outage chaos as the `controller`
+//! experiment, but through the event-driven service
+//! ([`mcast_controller::serve`]): the fault plan is lowered into a
+//! deterministic [`TimeQueue`](mcast_events::TimeQueue), drained epoch
+//! by epoch with batched admission, and everything ingested or decided
+//! is streamed to `<out>/events.jsonl` (crc32-framed JSONL, the PR-3
+//! journal format). Before returning, the run **proves its own log**:
+//! it replays the file it just wrote and asserts the reconstructed
+//! [`ControllerReport`] is byte-identical to the live one, and that the
+//! live run matches the lock-step runtime's disruption metrics on the
+//! same instance and plan.
+//!
+//! `replay` is the recovery path: it rebuilds the instance from
+//! `<out>/serve_setup.json` (written atomically before any event
+//! streams, so it always exists when a log does) and folds
+//! `<out>/events.jsonl` — possibly crash-truncated — back into the
+//! report of its fully-closed epoch prefix, without running a single
+//! solver.
+//!
+//! [`ControllerReport`]: mcast_controller::ControllerReport
+
+use mcast_controller::{
+    lower_plan, replay_stream, serve, ControllerConfig, ControllerOutcome, LadderPolicy,
+    ReplayOutcome, ServiceStats,
+};
+use mcast_core::Objective;
+use mcast_events::JsonlPublisher;
+use mcast_faults::{FaultPlan, RecoverySummary};
+use mcast_topology::{Scenario, ScenarioConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::figures::controller::build_plan;
+use crate::journal::atomic_write;
+use crate::Options;
+
+/// Schema tag of `serve_setup.json`.
+pub const SETUP_SCHEMA: &str = "mcast-serve-setup/v1";
+
+/// Everything needed to regenerate the pinned scenario and fault plan —
+/// written to `<out>/serve_setup.json` *before* the event stream opens,
+/// so `repro replay` can always rebuild the instance a surviving log
+/// belongs to.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeSetup {
+    /// Schema tag ([`SETUP_SCHEMA`]).
+    pub schema: String,
+    /// Scenario seed (drives geometry, churn, and outage targeting).
+    pub seed: u64,
+    /// AP count.
+    pub n_aps: usize,
+    /// User count.
+    pub n_users: usize,
+    /// Multicast session count.
+    pub n_sessions: usize,
+    /// How many most-loaded APs the coordinated outage takes down.
+    pub aps_down: usize,
+    /// Epoch at which the outage begins.
+    pub down_epoch: u64,
+    /// Epoch at which the downed APs recover.
+    pub up_epoch: u64,
+    /// Service horizon in epochs.
+    pub n_epochs: u64,
+    /// Epoch length, µs.
+    pub epoch_us: u64,
+    /// Per-epoch link-jump probability of the background churn.
+    pub jump_prob: f64,
+    /// Per-link survival probability on a jump re-roll.
+    pub link_keep_prob: f64,
+    /// Solver objective (always MNU here; echoed for self-description).
+    pub objective: String,
+    /// Ladder policy the service runs under.
+    pub policy: String,
+    /// Whether the quick (smoke-scale) shape was used.
+    pub quick: bool,
+}
+
+/// The pinned chaos shape: quick mode shrinks the scenario but keeps
+/// the identical structure (coordinated outage + recovery + churn) as
+/// the `controller` experiment, so the two stay comparable.
+pub fn pinned_setup(quick: bool) -> ServeSetup {
+    let (n_aps, n_users, n_sessions, aps_down, jump_prob) = if quick {
+        (12, 48, 3, 3, 0.25)
+    } else {
+        (2000, 6000, 8, 100, 0.02)
+    };
+    let (n_epochs, down_epoch, up_epoch) = if quick { (16, 3, 9) } else { (30, 6, 18) };
+    ServeSetup {
+        schema: SETUP_SCHEMA.to_string(),
+        seed: 0,
+        n_aps,
+        n_users,
+        n_sessions,
+        aps_down,
+        down_epoch,
+        up_epoch,
+        n_epochs,
+        epoch_us: 100_000,
+        jump_prob,
+        link_keep_prob: 0.6,
+        objective: format!("{:?}", Objective::Mnu),
+        policy: LadderPolicy::Repair.name().to_string(),
+        quick,
+    }
+}
+
+/// Regenerates the scenario and fault plan a setup describes.
+pub(crate) fn materialize(setup: &ServeSetup) -> (Scenario, FaultPlan) {
+    let scenario = ScenarioConfig {
+        n_aps: setup.n_aps,
+        n_users: setup.n_users,
+        n_sessions: setup.n_sessions,
+        ..ScenarioConfig::paper_default()
+    }
+    .with_seed(setup.seed)
+    .generate();
+    let plan = build_plan(
+        &scenario,
+        setup.seed,
+        setup.aps_down,
+        setup.down_epoch,
+        setup.up_epoch,
+        setup.epoch_us,
+        setup.jump_prob,
+        setup.link_keep_prob,
+    );
+    (scenario, plan)
+}
+
+fn config_of(setup: &ServeSetup) -> ControllerConfig {
+    ControllerConfig {
+        objective: Objective::Mnu,
+        policy: LadderPolicy::Repair,
+        epoch_us: setup.epoch_us,
+        n_epochs: setup.n_epochs,
+        work_budget: 0,
+        audit_oracle: setup.quick,
+    }
+}
+
+/// Wall-clock instrumentation of one service run, as serialized into
+/// `serve.json` (kept out of the deterministic report on purpose).
+#[derive(Debug, Serialize)]
+struct StatsJson {
+    joins: u64,
+    fault_events: u64,
+    events_published: u64,
+    decision_latency_us: RecoverySummary,
+    admission_wall_s: f64,
+    joins_per_sec: f64,
+}
+
+impl StatsJson {
+    fn of(stats: &ServiceStats) -> StatsJson {
+        StatsJson {
+            joins: stats.joins,
+            fault_events: stats.fault_events,
+            events_published: stats.events_published,
+            decision_latency_us: stats.decision_latency_us,
+            admission_wall_s: stats.admission_wall_s,
+            joins_per_sec: stats.joins_per_sec,
+        }
+    }
+}
+
+/// The in-process proof that the log is trustworthy.
+#[derive(Debug, Serialize)]
+struct Verification {
+    /// Replaying `events.jsonl` reproduced the live report byte for
+    /// byte (and the same final association).
+    replay_identical: bool,
+    /// The stream carried its `StreamClosed` trailer.
+    replay_complete: bool,
+    /// The lock-step runtime on the same instance/plan/config agrees on
+    /// every disruption metric.
+    matches_runtime: bool,
+    /// Size of the event log on disk, bytes.
+    stream_bytes: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct ServeJson {
+    schema: String,
+    setup: ServeSetup,
+    stats: StatsJson,
+    verification: Verification,
+    report: mcast_controller::ControllerReport,
+}
+
+/// Runs `repro serve`: the pinned chaos scenario through the
+/// event-driven service, streaming `<out>/events.jsonl` and writing
+/// `<out>/serve_setup.json` + `<out>/serve.json`.
+///
+/// # Errors
+///
+/// Scenario/plan validation failures, I/O failures, or a failed
+/// self-verification (replay not byte-identical, or the lock-step
+/// runtime disagreeing on disruption metrics — both correctness bugs).
+pub fn run_serve(opts: &Options) -> Result<String, String> {
+    let setup = pinned_setup(opts.quick);
+    std::fs::create_dir_all(&opts.out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", opts.out_dir.display()))?;
+
+    // The setup goes to disk before the first event: a crash-truncated
+    // run must still be replayable, which needs the instance recipe.
+    let setup_path = opts.out_dir.join("serve_setup.json");
+    let setup_json =
+        serde_json::to_string_pretty(&setup).map_err(|e| format!("serialize setup: {e}"))?;
+    atomic_write(&setup_path, setup_json.as_bytes())
+        .map_err(|e| format!("write {}: {e}", setup_path.display()))?;
+
+    let (scenario, plan) = materialize(&setup);
+    let inst = &scenario.instance;
+    let cfg = config_of(&setup);
+
+    let mut queue = lower_plan(inst, &plan, &cfg)?;
+    let events_path = opts.out_dir.join("events.jsonl");
+    let mut publisher = JsonlPublisher::create(&events_path)
+        .map_err(|e| format!("cannot open {}: {e}", events_path.display()))?;
+    let (live, stats) = serve(
+        inst,
+        &mut queue,
+        &cfg,
+        plan.link_keep_prob(),
+        &mut publisher,
+    )?;
+    drop(publisher);
+
+    // ---- proof 1: the log replays to the byte-identical report ------
+    let bytes = std::fs::read(&events_path)
+        .map_err(|e| format!("cannot read back {}: {e}", events_path.display()))?;
+    let replayed = replay_stream(inst, &bytes)?;
+    let replay_identical = reports_identical(&live, &replayed.outcome)?;
+    if !replay_identical {
+        return Err(format!(
+            "replay of {} diverged from the live report — event log is lossy",
+            events_path.display()
+        ));
+    }
+    if !replayed.complete {
+        return Err("fresh event stream is missing its StreamClosed trailer".to_string());
+    }
+
+    // ---- proof 2: the lock-step runtime agrees ----------------------
+    let lockstep = mcast_controller::run(inst, &plan, &cfg)?;
+    if let Err(diff) = runtime_metrics_match(&live, &lockstep) {
+        return Err(format!(
+            "service disagrees with the lock-step runtime: {diff}"
+        ));
+    }
+
+    let doc = ServeJson {
+        schema: "mcast-serve/v1".to_string(),
+        setup,
+        stats: StatsJson::of(&stats),
+        verification: Verification {
+            replay_identical,
+            replay_complete: replayed.complete,
+            matches_runtime: true,
+            stream_bytes: bytes.len() as u64,
+        },
+        report: live.report.clone(),
+    };
+    let json = serde_json::to_string_pretty(&doc).map_err(|e| format!("serialize serve: {e}"))?;
+    let serve_path = opts.out_dir.join("serve.json");
+    atomic_write(&serve_path, json.as_bytes())
+        .map_err(|e| format!("write {}: {e}", serve_path.display()))?;
+
+    let r = &live.report;
+    Ok(format!(
+        "serve: {} epochs, {} joins + {} fault events -> {} events published \
+         ({} bytes, crc32-framed)\n\
+         admission: {:.0} joins/s sustained; decision latency p50 {:.1} µs, \
+         p95 {:.1} µs, p99 {:.1} µs\n\
+         disruption: {} (handoffs {}, coverage loss {} user-epochs), \
+         final satisfied {}/{}, violations {}\n\
+         verified: replay byte-identical; lock-step runtime metrics match\n\
+         wrote {} and {}\n",
+        r.n_epochs,
+        stats.joins,
+        stats.fault_events,
+        stats.events_published,
+        bytes.len(),
+        stats.joins_per_sec,
+        stats.decision_latency_us.p50,
+        stats.decision_latency_us.p95,
+        stats.decision_latency_us.p99,
+        r.disruption,
+        r.handoffs,
+        r.coverage_loss_user_epochs,
+        r.final_satisfied,
+        doc.setup.n_users,
+        r.invariant_violations,
+        events_path.display(),
+        serve_path.display(),
+    ))
+}
+
+/// Byte-level identity of two outcomes: serialized report and final
+/// association.
+fn reports_identical(a: &ControllerOutcome, b: &ControllerOutcome) -> Result<bool, String> {
+    let ja = serde_json::to_string(&a.report).map_err(|e| format!("serialize report: {e}"))?;
+    let jb = serde_json::to_string(&b.report).map_err(|e| format!("serialize report: {e}"))?;
+    Ok(ja == jb && a.association == b.association)
+}
+
+/// Checks the service outcome against the lock-step runtime's on every
+/// disruption metric. The two are *not* byte-identical by design — the
+/// service admits the population as epoch-0 join events, so its `joins`
+/// counters are nonzero — but every metric the controller experiment
+/// reports must agree exactly.
+pub(crate) fn runtime_metrics_match(
+    service: &ControllerOutcome,
+    lockstep: &ControllerOutcome,
+) -> Result<(), String> {
+    let (s, l) = (&service.report, &lockstep.report);
+    let checks: [(&str, u64, u64); 8] = [
+        ("disruption", s.disruption, l.disruption),
+        ("handoffs", s.handoffs, l.handoffs),
+        (
+            "coverage_loss_user_epochs",
+            s.coverage_loss_user_epochs,
+            l.coverage_loss_user_epochs,
+        ),
+        ("shed", s.shed, l.shed),
+        ("readmitted", s.readmitted, l.readmitted),
+        ("deferred", s.deferred, l.deferred),
+        (
+            "invariant_violations",
+            s.invariant_violations,
+            l.invariant_violations,
+        ),
+        ("work", s.work, l.work),
+    ];
+    for (name, sv, lv) in checks {
+        if sv != lv {
+            return Err(format!("{name}: service {sv} vs runtime {lv}"));
+        }
+    }
+    if s.final_satisfied != l.final_satisfied {
+        return Err(format!(
+            "final_satisfied: service {} vs runtime {}",
+            s.final_satisfied, l.final_satisfied
+        ));
+    }
+    if s.reconvergence_epochs != l.reconvergence_epochs {
+        return Err("reconvergence_epochs summaries differ".to_string());
+    }
+    if (s.final_max_load - l.final_max_load).abs() > 0.0
+        || (s.final_total_load - l.final_total_load).abs() > 0.0
+    {
+        return Err("final loads differ".to_string());
+    }
+    if service.association != lockstep.association {
+        return Err("final associations differ".to_string());
+    }
+    Ok(())
+}
+
+#[derive(Debug, Serialize)]
+struct ReplayJson {
+    schema: String,
+    complete: bool,
+    epochs_replayed: u64,
+    dropped_bytes: u64,
+    tail_reason: Option<String>,
+    final_satisfied: usize,
+    report: mcast_controller::ControllerReport,
+}
+
+/// Runs `repro replay`: folds `<out>/events.jsonl` back into a report
+/// using only `<out>/serve_setup.json` to rebuild the instance, and
+/// writes `<out>/replay.json`. Torn tails (a killed `serve`) are not
+/// errors — the reconstruction covers the fully-closed epoch prefix.
+///
+/// # Errors
+///
+/// Missing/corrupt setup file, missing log, or a structurally invalid
+/// stream (wrong schema, instance mismatch).
+pub fn run_replay(opts: &Options) -> Result<String, String> {
+    let setup_path = opts.out_dir.join("serve_setup.json");
+    let setup_json = std::fs::read_to_string(&setup_path)
+        .map_err(|e| format!("cannot read {}: {e}", setup_path.display()))?;
+    let setup: ServeSetup = serde_json::from_str(&setup_json)
+        .map_err(|e| format!("bad setup file {}: {e}", setup_path.display()))?;
+    if setup.schema != SETUP_SCHEMA {
+        return Err(format!(
+            "setup schema {:?} is not {SETUP_SCHEMA:?}",
+            setup.schema
+        ));
+    }
+
+    let events_path = opts.out_dir.join("events.jsonl");
+    let bytes = std::fs::read(&events_path)
+        .map_err(|e| format!("cannot read {}: {e}", events_path.display()))?;
+    let (scenario, _plan) = materialize(&setup);
+    let ReplayOutcome {
+        outcome,
+        epochs_replayed,
+        complete,
+        dropped_bytes,
+        tail_reason,
+    } = replay_stream(&scenario.instance, &bytes)?;
+
+    let doc = ReplayJson {
+        schema: "mcast-replay/v1".to_string(),
+        complete,
+        epochs_replayed,
+        dropped_bytes,
+        tail_reason,
+        final_satisfied: outcome.report.final_satisfied,
+        report: outcome.report,
+    };
+    let json = serde_json::to_string_pretty(&doc).map_err(|e| format!("serialize replay: {e}"))?;
+    let replay_path = opts.out_dir.join("replay.json");
+    atomic_write(&replay_path, json.as_bytes())
+        .map_err(|e| format!("write {}: {e}", replay_path.display()))?;
+
+    Ok(format!(
+        "replay: {} of {} epochs reconstructed from {} ({})\n\
+         final satisfied {}/{}, disruption {}, violations {}\n\
+         wrote {}\n",
+        doc.epochs_replayed,
+        setup.n_epochs,
+        events_path.display(),
+        if doc.complete {
+            "complete stream".to_string()
+        } else {
+            format!(
+                "torn tail: {} bytes dropped{}",
+                doc.dropped_bytes,
+                doc.tail_reason
+                    .as_deref()
+                    .map(|r| format!(" — {r}"))
+                    .unwrap_or_default()
+            )
+        },
+        doc.final_satisfied,
+        setup.n_users,
+        doc.report.disruption,
+        doc.report.invariant_violations,
+        replay_path.display(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn out_dir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("mcast_serve_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn quick_serve_streams_verifies_and_replays() {
+        let opts = Options {
+            quick: true,
+            out_dir: out_dir("quick"),
+            ..Options::default()
+        };
+        let summary = run_serve(&opts).expect("serve succeeds");
+        assert!(summary.contains("replay byte-identical"), "{summary}");
+        for f in ["serve_setup.json", "events.jsonl", "serve.json"] {
+            assert!(opts.out_dir.join(f).exists(), "missing {f}");
+        }
+
+        // The standalone replay path rebuilds the instance from the
+        // setup file alone and agrees with the complete stream.
+        let summary = run_replay(&opts).expect("replay succeeds");
+        assert!(summary.contains("complete stream"), "{summary}");
+        assert!(opts.out_dir.join("replay.json").exists());
+        let replay_json =
+            std::fs::read_to_string(opts.out_dir.join("replay.json")).expect("readable");
+        let v: serde_json::Value = serde_json::parse_value(&replay_json).expect("valid JSON");
+        assert!(matches!(
+            v.get("complete"),
+            Some(serde_json::Value::Bool(true))
+        ));
+        let _ = std::fs::remove_dir_all(&opts.out_dir);
+    }
+
+    #[test]
+    fn truncated_log_replays_to_a_closed_prefix() {
+        let opts = Options {
+            quick: true,
+            out_dir: out_dir("torn"),
+            ..Options::default()
+        };
+        run_serve(&opts).expect("serve succeeds");
+        let events_path = opts.out_dir.join("events.jsonl");
+        let bytes = std::fs::read(&events_path).unwrap();
+        // Chop mid-stream: drop the last 40% of the file, tearing
+        // whatever epoch was in flight.
+        let cut = bytes.len() * 6 / 10;
+        std::fs::write(&events_path, &bytes[..cut]).unwrap();
+
+        let summary = run_replay(&opts).expect("torn tails are not errors");
+        assert!(summary.contains("torn tail"), "{summary}");
+        let replay_json =
+            std::fs::read_to_string(opts.out_dir.join("replay.json")).expect("readable");
+        let v: serde_json::Value = serde_json::parse_value(&replay_json).expect("valid JSON");
+        assert!(matches!(
+            v.get("complete"),
+            Some(serde_json::Value::Bool(false))
+        ));
+        let setup = pinned_setup(true);
+        let epochs = match v.get("epochs_replayed") {
+            Some(serde_json::Value::Int(n)) => *n as u64,
+            other => panic!("epochs_replayed missing: {other:?}"),
+        };
+        assert!(epochs < setup.n_epochs, "a 40% cut must lose epochs");
+        let _ = std::fs::remove_dir_all(&opts.out_dir);
+    }
+
+    #[test]
+    fn setup_roundtrips_through_json() {
+        let setup = pinned_setup(false);
+        let json = serde_json::to_string(&setup).unwrap();
+        let back: ServeSetup = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.schema, SETUP_SCHEMA);
+        assert_eq!(back.n_aps, setup.n_aps);
+        assert_eq!(back.n_epochs, setup.n_epochs);
+        assert_eq!(back.policy, "repair");
+    }
+}

@@ -28,6 +28,8 @@ pub struct RecoverySummary {
     pub p50: f64,
     /// 95th-percentile recovery time.
     pub p95: f64,
+    /// 99th-percentile recovery time.
+    pub p99: f64,
     /// Worst settled recovery time.
     pub max: f64,
 }
@@ -40,6 +42,7 @@ impl RecoverySummary {
             unsettled: 0,
             p50: 0.0,
             p95: 0.0,
+            p99: 0.0,
             max: 0.0,
         }
     }
@@ -73,6 +76,7 @@ impl RecoverySummary {
             unsettled,
             p50: pick(0.50),
             p95: pick(0.95),
+            p99: pick(0.99),
             max: *sorted.last().expect("non-empty"),
         }
     }
@@ -103,19 +107,29 @@ mod tests {
     #[test]
     fn single_sample_is_every_percentile() {
         let s = RecoverySummary::of(&[42.0], 0);
-        assert_eq!((s.n, s.p50, s.p95, s.max), (1, 42.0, 42.0, 42.0));
+        assert_eq!(
+            (s.n, s.p50, s.p95, s.p99, s.max),
+            (1, 42.0, 42.0, 42.0, 42.0)
+        );
     }
 
     #[test]
     fn nearest_rank_percentiles() {
-        // 1..=100: p50 = 50, p95 = 95, max = 100 under nearest-rank.
+        // 1..=100: p50 = 50, p95 = 95, p99 = 99, max = 100 under
+        // nearest-rank (rank = ceil(q·n), 1-based).
         let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
         let s = RecoverySummary::of(&samples, 0);
-        assert_eq!((s.p50, s.p95, s.max), (50.0, 95.0, 100.0));
+        assert_eq!((s.p50, s.p95, s.p99, s.max), (50.0, 95.0, 99.0, 100.0));
 
-        // Unsorted input is sorted internally.
+        // n = 200: ceil(0.99 · 200) = 198 → the 198th observation.
+        let samples: Vec<f64> = (1..=200).map(|i| i as f64).collect();
+        let s = RecoverySummary::of(&samples, 0);
+        assert_eq!((s.p50, s.p95, s.p99, s.max), (100.0, 190.0, 198.0, 200.0));
+
+        // Unsorted input is sorted internally; small n rounds every high
+        // percentile up to the max observation.
         let s = RecoverySummary::of(&[9.0, 1.0, 5.0, 3.0, 7.0], 0);
-        assert_eq!((s.n, s.p50, s.p95, s.max), (5, 5.0, 9.0, 9.0));
+        assert_eq!((s.n, s.p50, s.p95, s.p99, s.max), (5, 5.0, 9.0, 9.0, 9.0));
     }
 
     #[test]
