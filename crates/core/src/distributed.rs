@@ -26,6 +26,7 @@ use crate::assoc::{Association, LoadLedger};
 use crate::ids::{ApId, UserId};
 use crate::instance::{Instance, SignalStrength};
 use crate::load::Load;
+use crate::partition::MoveRec;
 
 /// The local decision rule a user applies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -499,6 +500,29 @@ pub fn run_distributed(
     config: &DistributedConfig,
     initial: Association,
 ) -> DistributedOutcome {
+    run_distributed_impl(inst, config, initial, None).0
+}
+
+/// [`run_distributed`] plus the full decision trace: one [`MoveRec`] per
+/// applied move, in application order. The partitioned engine's
+/// equivalence tests compare this trace against
+/// [`run_distributed_partitioned_traced`](crate::partition::run_distributed_partitioned_traced)
+/// to pin the *sequence* of decisions, not just the final state.
+pub fn run_distributed_traced(
+    inst: &Instance,
+    config: &DistributedConfig,
+    initial: Association,
+) -> (DistributedOutcome, Vec<MoveRec>) {
+    let (out, trace) = run_distributed_impl(inst, config, initial, Some(Vec::new()));
+    (out, trace.unwrap_or_default())
+}
+
+fn run_distributed_impl(
+    inst: &Instance,
+    config: &DistributedConfig,
+    initial: Association,
+    mut trace: Option<Vec<MoveRec>>,
+) -> (DistributedOutcome, Option<Vec<MoveRec>>) {
     let mut ledger = LoadLedger::new(inst, initial);
     let mut moves = 0usize;
     let mut seen: HashSet<Vec<Option<ApId>>> = HashSet::new();
@@ -515,7 +539,7 @@ pub fn run_distributed(
         let mut changed = false;
         match config.mode {
             ExecutionMode::Serial => {
-                for &u in &order {
+                for (pos, &u) in order.iter().enumerate() {
                     if !std::mem::replace(&mut dirty[u.index()], false) {
                         continue;
                     }
@@ -532,6 +556,15 @@ pub fn run_distributed(
                         moves += 1;
                         changed = true;
                         mark_dirty(inst, &mut dirty, from, a);
+                        if let Some(t) = trace.as_mut() {
+                            t.push(MoveRec {
+                                round: round as u32,
+                                pos: pos as u32,
+                                user: u,
+                                from,
+                                to: a,
+                            });
+                        }
                     }
                 }
             }
@@ -558,38 +591,56 @@ pub fn run_distributed(
                     moves += 1;
                     changed = true;
                     mark_dirty(inst, &mut dirty, from, a);
+                    if let Some(t) = trace.as_mut() {
+                        t.push(MoveRec {
+                            round: round as u32,
+                            pos: u.0,
+                            user: u,
+                            from,
+                            to: a,
+                        });
+                    }
                 }
             }
         }
 
         if !changed {
-            return DistributedOutcome {
-                association: ledger.into_association(),
-                rounds: round,
-                moves,
-                converged: true,
-                cycle_detected: false,
-            };
+            return (
+                DistributedOutcome {
+                    association: ledger.into_association(),
+                    rounds: round,
+                    moves,
+                    converged: true,
+                    cycle_detected: false,
+                },
+                trace,
+            );
         }
         if !seen.insert(ledger.association().as_slice().to_vec()) {
             // State repeats: a live oscillation.
-            return DistributedOutcome {
-                association: ledger.into_association(),
-                rounds: round,
-                moves,
-                converged: false,
-                cycle_detected: true,
-            };
+            return (
+                DistributedOutcome {
+                    association: ledger.into_association(),
+                    rounds: round,
+                    moves,
+                    converged: false,
+                    cycle_detected: true,
+                },
+                trace,
+            );
         }
     }
 
-    DistributedOutcome {
-        association: ledger.into_association(),
-        rounds: config.max_rounds,
-        moves,
-        converged: false,
-        cycle_detected: false,
-    }
+    (
+        DistributedOutcome {
+            association: ledger.into_association(),
+            rounds: config.max_rounds,
+            moves,
+            converged: false,
+            cycle_detected: false,
+        },
+        trace,
+    )
 }
 
 /// Marks every user whose local view a move `from → to` could have

@@ -52,6 +52,7 @@ pub mod dual;
 pub mod examples_paper;
 pub mod mla;
 pub mod mnu;
+pub mod partition;
 pub mod reduction;
 pub mod reference;
 pub mod repair;
@@ -65,8 +66,8 @@ pub use bla::solve_bla;
 pub use bla::{solve_bla_with, BlaConfig};
 pub use distributed::{
     local_decision, local_decision_scratch, local_decision_with, run_distributed,
-    run_min_max_vector, run_min_total, ApStateView, DecisionOrder, DecisionScratch,
-    DistributedConfig, DistributedOutcome, ExecutionMode, Policy,
+    run_distributed_traced, run_min_max_vector, run_min_total, ApStateView, DecisionOrder,
+    DecisionScratch, DistributedConfig, DistributedOutcome, ExecutionMode, Policy,
 };
 pub use dual::DualAssociation;
 pub use ids::{ApId, SessionId, UserId};
@@ -76,6 +77,10 @@ pub use instance::{
 pub use load::Load;
 pub use mla::{solve_mla, solve_mla_with, MlaAlgorithm};
 pub use mnu::{solve_mnu, solve_mnu_with, MnuConfig};
+pub use partition::{
+    run_distributed_partitioned, run_distributed_partitioned_traced, MoveRec, Partition,
+    PartitionError,
+};
 pub use rate::{Kbps, RatePolicy, RateStep, RateTable, RateTableError};
 pub use reference::{local_decision_reference, run_distributed_reference, ReferenceLedger};
 pub use repair::{best_rehome_target, repair_user, strongest_allowed_ap};

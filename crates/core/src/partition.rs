@@ -1,0 +1,1182 @@
+//! Partitioned parallel execution of the distributed association rules.
+//!
+//! The paper's local decision rules read only the APs inside a user's
+//! coverage disk, so a large WLAN decomposes spatially: partition the APs
+//! and users into `W` tiles, give each tile to a worker thread that owns a
+//! private slice of the load ledger, and exchange only the state of
+//! *boundary* APs — those reachable from another tile — at deterministic
+//! synchronization points. [`run_distributed_partitioned`] is the parallel
+//! driver; it is **bit-for-bit equivalent** to
+//! [`run_distributed`](crate::distributed::run_distributed), which remains
+//! the `W = 1` path and the equivalence oracle.
+//!
+//! # Architecture
+//!
+//! * [`Partition`] assigns every AP and user to a tile and classifies each
+//!   AP as *interior* (reachable only from its own tile) or *boundary*
+//!   (reachable from some other tile). Users with a boundary candidate AP
+//!   are themselves *boundary users*. The geometric tilers in
+//!   `mcast-topology` build partitions from `SpatialGrid` cell
+//!   coordinates; [`Partition::contiguous`] is a geometry-free fallback.
+//! * Each worker holds a [`TileLedger`]: exact per-(AP, session) rate
+//!   multisets — the same representation as
+//!   [`LoadLedger`](crate::assoc::LoadLedger) — but only for the APs its
+//!   own users can reach. Tracked APs of *other* tiles are read-only ghost
+//!   replicas, updated by applying [`MoveRec`] deltas shipped over
+//!   `std::sync::mpsc` channels at round barriers (the halo exchange).
+//!   Because the ledger state of an AP is a pure function of its member
+//!   multiset and [`Load`](crate::load::Load) arithmetic is exact
+//!   rational, delta application commutes — replicas converge to the
+//!   identical state no matter which order the deltas arrive in. Deltas
+//!   are nevertheless merged in ascending tile index so even intermediate
+//!   states are schedule-independent.
+//! * [`ExecutionMode::Simultaneous`] parallelizes directly: every
+//!   decision reads the frozen round-start state, so workers decide their
+//!   own users independently and the round barrier merges the moves.
+//! * [`ExecutionMode::Serial`] must reproduce the *exact* single-threaded
+//!   decision sequence. Interior users only ever read interior APs of
+//!   their own tile (if a user could read another tile's AP, that AP
+//!   would be boundary and the user a boundary user), so they run
+//!   concurrently, wavefront-style. Boundary users are sequenced on a
+//!   rank chain — a mutex + condvar protecting the next global boundary
+//!   rank and the log of boundary moves — so each one decides exactly at
+//!   its position of the global [`DecisionOrder`], seeing every earlier
+//!   boundary move.
+//!
+//! # Determinism
+//!
+//! The outcome (association, rounds, moves, convergence and cycle flags,
+//! and the full decision trace) is independent of thread scheduling and
+//! identical to the single-threaded engine for every `W`; the
+//! `partition_equivalence` proptest suite pins this across policies,
+//! modes, hysteresis settings and worker counts.
+
+use std::collections::HashSet;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use crate::assoc::Association;
+use crate::distributed::{
+    local_decision_scratch, ApStateView, DecisionScratch, DistributedConfig, DistributedOutcome,
+    ExecutionMode,
+};
+use crate::ids::{ApId, SessionId, UserId};
+use crate::instance::Instance;
+use crate::load::Load;
+use crate::rate::Kbps;
+
+/// One applied association change: the unit of the halo exchange and of
+/// decision traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MoveRec {
+    /// The 1-based round the move was applied in.
+    pub round: u32,
+    /// Position of the deciding user in the round's reference decision
+    /// sequence: the index into the [`DecisionOrder`](crate::DecisionOrder)
+    /// permutation in `Serial` mode, the raw user id in `Simultaneous`
+    /// mode (which visits users in ascending id). Sorting a trace by
+    /// `(round, pos)` therefore reproduces the exact order in which the
+    /// single-threaded engine applies moves.
+    pub pos: u32,
+    /// The user that moved.
+    pub user: UserId,
+    /// The AP it left (`None` for an initial join).
+    pub from: Option<ApId>,
+    /// The AP it joined.
+    pub to: ApId,
+}
+
+/// Why a [`Partition`] could not be built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionError {
+    /// `n_tiles` was zero — at least one tile is required.
+    NoTiles,
+    /// The AP or user tile assignment had the wrong length for the
+    /// instance.
+    WrongSize,
+    /// An assignment named a tile index `>= n_tiles`.
+    TileOutOfRange,
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::NoTiles => write!(f, "a partition needs at least one tile"),
+            PartitionError::WrongSize => {
+                write!(f, "tile assignment length does not match the instance")
+            }
+            PartitionError::TileOutOfRange => {
+                write!(f, "tile assignment names a tile index >= n_tiles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// A tiling of an instance's APs and users, with every AP classified as
+/// interior or boundary (see the [module docs](self)).
+///
+/// The classification is derived from the instance's *exact* reachability
+/// (an AP is boundary iff some user of another tile can reach it), so it
+/// is a sound — and tight — refinement of the geometric "coverage disk
+/// crosses a tile edge" test: any AP whose disk stays strictly inside its
+/// tile is interior here too.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    n_tiles: usize,
+    ap_tile: Vec<u32>,
+    user_tile: Vec<u32>,
+    boundary_ap: Vec<bool>,
+    boundary_user: Vec<bool>,
+}
+
+impl Partition {
+    /// Builds a partition from explicit per-AP and per-user tile
+    /// assignments, deriving the boundary classification from the
+    /// instance's reachability.
+    pub fn new(
+        inst: &Instance,
+        n_tiles: usize,
+        ap_tile: Vec<u32>,
+        user_tile: Vec<u32>,
+    ) -> Result<Partition, PartitionError> {
+        if n_tiles == 0 {
+            return Err(PartitionError::NoTiles);
+        }
+        if ap_tile.len() != inst.n_aps() || user_tile.len() != inst.n_users() {
+            return Err(PartitionError::WrongSize);
+        }
+        if ap_tile
+            .iter()
+            .chain(user_tile.iter())
+            .any(|&t| t as usize >= n_tiles)
+        {
+            return Err(PartitionError::TileOutOfRange);
+        }
+        // An AP is boundary iff a user of another tile can reach it; a
+        // user is boundary iff one of its candidate APs is boundary.
+        let mut boundary_ap = vec![false; inst.n_aps()];
+        for ap in inst.aps() {
+            let t = ap_tile[ap.index()];
+            boundary_ap[ap.index()] = inst
+                .reachable_users(ap)
+                .iter()
+                .any(|&u| user_tile[u.index()] != t);
+        }
+        let mut boundary_user = vec![false; inst.n_users()];
+        for u in inst.users() {
+            boundary_user[u.index()] = inst
+                .candidate_aps(u)
+                .iter()
+                .any(|&(a, _)| boundary_ap[a.index()]);
+        }
+        Ok(Partition {
+            n_tiles,
+            ap_tile,
+            user_tile,
+            boundary_ap,
+            boundary_user,
+        })
+    }
+
+    /// A geometry-free partition striping APs into `n_tiles` contiguous
+    /// id ranges; each user follows its first candidate AP (users with no
+    /// candidates land on tile 0). Useful as a fallback and for tests —
+    /// the spatial tiler in `mcast-topology` produces far fewer boundary
+    /// APs on generated scenarios.
+    pub fn contiguous(inst: &Instance, n_tiles: usize) -> Result<Partition, PartitionError> {
+        if n_tiles == 0 {
+            return Err(PartitionError::NoTiles);
+        }
+        let n_aps = inst.n_aps().max(1);
+        let ap_tile: Vec<u32> = (0..inst.n_aps())
+            .map(|i| (i * n_tiles / n_aps) as u32)
+            .collect();
+        let user_tile: Vec<u32> = inst
+            .users()
+            .map(|u| {
+                inst.candidate_aps(u)
+                    .first()
+                    .map_or(0, |&(a, _)| ap_tile[a.index()])
+            })
+            .collect();
+        Partition::new(inst, n_tiles, ap_tile, user_tile)
+    }
+
+    /// The trivial one-tile partition (everything interior).
+    pub fn single(inst: &Instance) -> Partition {
+        Partition::contiguous(inst, 1).expect("one tile is always valid")
+    }
+
+    /// Number of tiles (= worker threads of the partitioned driver).
+    pub fn n_tiles(&self) -> usize {
+        self.n_tiles
+    }
+
+    /// The tile AP `a` belongs to.
+    pub fn ap_tile(&self, a: ApId) -> usize {
+        self.ap_tile[a.index()] as usize
+    }
+
+    /// The tile user `u` belongs to.
+    pub fn user_tile(&self, u: UserId) -> usize {
+        self.user_tile[u.index()] as usize
+    }
+
+    /// True if some user of another tile can reach `a`.
+    pub fn is_boundary_ap(&self, a: ApId) -> bool {
+        self.boundary_ap[a.index()]
+    }
+
+    /// True if `u` has a boundary AP among its candidates.
+    pub fn is_boundary_user(&self, u: UserId) -> bool {
+        self.boundary_user[u.index()]
+    }
+
+    /// Number of boundary APs (the halo-exchange working set).
+    pub fn boundary_ap_count(&self) -> usize {
+        self.boundary_ap.iter().filter(|&&b| b).count()
+    }
+
+    /// Number of boundary users (the serially-sequenced fraction in
+    /// `Serial` mode).
+    pub fn boundary_user_count(&self) -> usize {
+        self.boundary_user.iter().filter(|&&b| b).count()
+    }
+}
+
+/// Sentinel for an AP the tile ledger does not track.
+const UNTRACKED: u32 = u32::MAX;
+/// Sentinel for an empty (AP, session) slot (same as the global ledger).
+const NO_RATE: u32 = u32::MAX;
+
+/// A worker's slice of the load ledger: exact per-(AP, session) member
+/// rate multisets — the same representation and arithmetic as
+/// [`LoadLedger`](crate::assoc::LoadLedger) — restricted to the APs the
+/// tile's own users can reach. Tracked APs of other tiles are ghost
+/// replicas kept identical to the owner's state by replaying [`MoveRec`]
+/// deltas; untracked APs are skipped (their state can never influence an
+/// own user's decision).
+#[derive(Debug)]
+struct TileLedger<'a> {
+    inst: &'a Instance,
+    /// Global AP index → tracked-slot index, or [`UNTRACKED`].
+    local: Vec<u32>,
+    /// `counts[slot(a, s) * n_rates + rate_idx]` members, tracked APs only.
+    counts: Vec<u32>,
+    /// Minimum occupied rate index per (tracked AP, session) slot.
+    min_rate: Vec<u32>,
+    /// Cached load per tracked AP.
+    loads: Vec<Load>,
+    n_rates: usize,
+    n_sessions: usize,
+    /// Current AP per user; only this tile's own users are maintained.
+    assoc: Vec<Option<ApId>>,
+}
+
+impl<'a> TileLedger<'a> {
+    /// Builds the tile's slice: tracked APs are the union of the own
+    /// users' candidate sets; every user of `initial` associated with a
+    /// tracked AP is counted into it (other tiles' members contribute to
+    /// ghost state too — `load_if_left` of a shared AP depends on the
+    /// full member multiset).
+    fn new(inst: &'a Instance, initial: &Association, own: &[(u32, UserId)]) -> TileLedger<'a> {
+        let mut local = vec![UNTRACKED; inst.n_aps()];
+        let mut tracked = 0u32;
+        for &(_, u) in own {
+            for &(a, _) in inst.candidate_aps(u) {
+                if local[a.index()] == UNTRACKED {
+                    local[a.index()] = 0; // numbered below, in ascending id
+                    tracked += 1;
+                }
+            }
+        }
+        let mut next = 0u32;
+        for l in local.iter_mut() {
+            if *l != UNTRACKED {
+                *l = next;
+                next += 1;
+            }
+        }
+        let n_rates = inst.supported_rates().len();
+        let n_sessions = inst.n_sessions();
+        let slots = tracked as usize * n_sessions;
+        let mut ledger = TileLedger {
+            inst,
+            local,
+            counts: vec![0; slots * n_rates],
+            min_rate: vec![NO_RATE; slots],
+            loads: vec![Load::ZERO; tracked as usize],
+            n_rates,
+            n_sessions,
+            assoc: vec![None; inst.n_users()],
+        };
+        for (i, &ap) in initial.as_slice().iter().enumerate() {
+            if let Some(a) = ap {
+                ledger.count_join(UserId(i as u32), a);
+            }
+        }
+        for &(_, u) in own {
+            ledger.assoc[u.index()] = initial.ap_of(u);
+        }
+        ledger
+    }
+
+    fn lidx(&self, a: ApId) -> Option<usize> {
+        let l = self.local[a.index()];
+        (l != UNTRACKED).then_some(l as usize)
+    }
+
+    fn rate_idx(&self, rate: Kbps) -> usize {
+        self.inst
+            .supported_rates()
+            .binary_search(&rate)
+            .expect("multicast rate is in the supported set")
+    }
+
+    fn slot(&self, li: usize, s: SessionId) -> usize {
+        li * self.n_sessions + s.index()
+    }
+
+    /// Counts `u` into tracked AP `a`'s member multiset (no-op when `a`
+    /// is untracked). Does not touch `assoc` — ghost members are counted
+    /// but not owned.
+    fn count_join(&mut self, u: UserId, a: ApId) {
+        let Some(li) = self.lidx(a) else { return };
+        let s = self.inst.user_session(u);
+        let stream = self.inst.session_rate(s);
+        let u_rate = self
+            .inst
+            .multicast_rate_to(a, u)
+            .expect("joining user is in range");
+        let slot = self.slot(li, s);
+        let base = slot * self.n_rates;
+        let u_idx = self.rate_idx(u_rate);
+        let rates = self.inst.supported_rates();
+        let old = self.min_rate[slot];
+        let old_part = if old == NO_RATE {
+            Load::ZERO
+        } else {
+            Load::per_transmission(stream, rates[old as usize])
+        };
+        self.counts[base + u_idx] += 1;
+        if old == NO_RATE || (u_idx as u32) < old {
+            self.min_rate[slot] = u_idx as u32;
+        }
+        let new_part = Load::per_transmission(stream, rates[self.min_rate[slot] as usize]);
+        self.loads[li] = self.loads[li] - old_part + new_part;
+    }
+
+    /// Removes `u` from tracked AP `a`'s member multiset (no-op when `a`
+    /// is untracked).
+    fn count_leave(&mut self, u: UserId, a: ApId) {
+        let Some(li) = self.lidx(a) else { return };
+        let s = self.inst.user_session(u);
+        let stream = self.inst.session_rate(s);
+        let u_rate = self
+            .inst
+            .multicast_rate_to(a, u)
+            .expect("leaving user was in range");
+        let slot = self.slot(li, s);
+        let base = slot * self.n_rates;
+        let u_idx = self.rate_idx(u_rate);
+        let rates = self.inst.supported_rates();
+        let min_idx = self.min_rate[slot];
+        debug_assert_ne!(min_idx, NO_RATE, "leave from an empty slot");
+        let old_part = Load::per_transmission(stream, rates[min_idx as usize]);
+        self.counts[base + u_idx] -= 1;
+        if self.counts[base + u_idx] == 0 && min_idx == u_idx as u32 {
+            // The minimum emptied: advance to the next occupied rate.
+            self.min_rate[slot] = self.counts[base + u_idx + 1..base + self.n_rates]
+                .iter()
+                .position(|&c| c > 0)
+                .map_or(NO_RATE, |off| (u_idx + 1 + off) as u32);
+        }
+        let new_part = match self.min_rate[slot] {
+            NO_RATE => Load::ZERO,
+            m => Load::per_transmission(stream, rates[m as usize]),
+        };
+        self.loads[li] = self.loads[li] - old_part + new_part;
+    }
+
+    /// Applies a move by one of this tile's own users (endpoints are
+    /// candidates of the mover, hence always tracked).
+    fn apply_own(&mut self, rec: &MoveRec) {
+        debug_assert_eq!(self.assoc[rec.user.index()], rec.from);
+        if let Some(f) = rec.from {
+            self.count_leave(rec.user, f);
+        }
+        self.count_join(rec.user, rec.to);
+        self.assoc[rec.user.index()] = Some(rec.to);
+    }
+
+    /// Applies another tile's move to the ghost replicas: pure count
+    /// deltas, skipping untracked endpoints.
+    fn apply_remote(&mut self, rec: &MoveRec) {
+        if let Some(f) = rec.from {
+            self.count_leave(rec.user, f);
+        }
+        self.count_join(rec.user, rec.to);
+    }
+}
+
+impl ApStateView for TileLedger<'_> {
+    fn instance(&self) -> &Instance {
+        self.inst
+    }
+    fn reachable_aps_into(&self, u: UserId, out: &mut Vec<ApId>) {
+        out.clear();
+        out.extend(self.inst.candidate_aps(u).iter().map(|&(a, _)| a));
+    }
+    fn ap_of(&self, u: UserId) -> Option<ApId> {
+        self.assoc[u.index()]
+    }
+    fn ap_load(&self, a: ApId) -> Load {
+        let li = self.lidx(a).expect("decisions read only tracked APs");
+        self.loads[li]
+    }
+    fn load_if_joined(&self, u: UserId, a: ApId) -> Option<Load> {
+        let li = self.lidx(a)?;
+        let s = self.inst.user_session(u);
+        let u_rate = self.inst.multicast_rate_to(a, u)?;
+        let stream = self.inst.session_rate(s);
+        let slot = self.slot(li, s);
+        let rates = self.inst.supported_rates();
+        let cur = self.min_rate[slot];
+        let u_idx = self.rate_idx(u_rate);
+        let (old_part, new_min) = if cur == NO_RATE {
+            (Load::ZERO, u_idx as u32)
+        } else {
+            (
+                Load::per_transmission(stream, rates[cur as usize]),
+                cur.min(u_idx as u32),
+            )
+        };
+        let new_part = Load::per_transmission(stream, rates[new_min as usize]);
+        Some(self.loads[li] - old_part + new_part)
+    }
+    fn load_if_left(&self, u: UserId) -> Option<Load> {
+        let a = self.assoc[u.index()]?;
+        let li = self.lidx(a).expect("an own user's AP is tracked");
+        let s = self.inst.user_session(u);
+        let stream = self.inst.session_rate(s);
+        let u_rate = self
+            .inst
+            .multicast_rate_to(a, u)
+            .expect("associated user in range");
+        let slot = self.slot(li, s);
+        let base = slot * self.n_rates;
+        let rates = self.inst.supported_rates();
+        let min_idx = self.min_rate[slot] as usize;
+        let old_part = Load::per_transmission(stream, rates[min_idx]);
+        let u_idx = self.rate_idx(u_rate);
+        let new_tx = if self.counts[base + u_idx] > 1 {
+            Some(rates[min_idx]) // another member shares u's rate
+        } else if u_idx == min_idx {
+            self.counts[base + u_idx + 1..base + self.n_rates]
+                .iter()
+                .position(|&c| c > 0)
+                .map(|off| rates[u_idx + 1 + off])
+        } else {
+            Some(rates[min_idx]) // a slower member pins the rate
+        };
+        let new_part = new_tx.map_or(Load::ZERO, |tx| Load::per_transmission(stream, tx));
+        Some(self.loads[li] - old_part + new_part)
+    }
+}
+
+/// The rank chain sequencing boundary users in `Serial` mode: a worker
+/// about to decide the boundary user of global rank `r` blocks until
+/// every earlier boundary user (of any tile) has decided, and reads their
+/// moves from the shared log.
+struct BoundaryChain {
+    state: Mutex<ChainState>,
+    cv: Condvar,
+}
+
+struct ChainState {
+    /// The global boundary rank allowed to decide next.
+    next_rank: usize,
+    /// Boundary moves of the current round, tagged with the mover's tile.
+    log: Vec<(u32, MoveRec)>,
+}
+
+impl BoundaryChain {
+    fn new() -> BoundaryChain {
+        BoundaryChain {
+            state: Mutex::new(ChainState {
+                next_rank: 0,
+                log: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until `next_rank == rank`, returning the guard. Also the
+    /// end-of-round barrier (`rank` = total boundary users).
+    fn wait_for(&self, rank: usize) -> MutexGuard<'_, ChainState> {
+        let mut st = self.state.lock().expect("chain never poisoned");
+        while st.next_rank != rank {
+            st = self.cv.wait(st).expect("chain never poisoned");
+        }
+        st
+    }
+
+    fn reset(&self) {
+        let mut st = self.state.lock().expect("chain never poisoned");
+        st.next_rank = 0;
+        st.log.clear();
+    }
+}
+
+/// Commands from the coordinator to a worker; replies carry the round's
+/// own moves back. Channels queue, so workers need no explicit barrier
+/// between an `Apply` and the next `Decide`.
+enum Cmd {
+    /// Simultaneous: decide all dirty own users against the frozen
+    /// round-start ledger; reply with the moves, keep them pending.
+    Decide { round: u32 },
+    /// Simultaneous: apply the round's moves — own pending list plus the
+    /// boundary-filtered lists of the other tiles — in ascending tile
+    /// order.
+    Apply { boundary: Arc<Vec<Vec<MoveRec>>> },
+    /// Serial: run the round's wavefront (interior users free-running,
+    /// boundary users sequenced on the chain); reply with the own moves.
+    Serial { round: u32 },
+    /// Shut down.
+    Stop,
+}
+
+struct Reply {
+    tile: usize,
+    moves: Vec<MoveRec>,
+}
+
+/// One worker's state: its tile ledger, own users in processing order,
+/// and the dirty-user worklist (only own users' bits are meaningful).
+struct Shard<'a> {
+    tile: u32,
+    part: &'a Partition,
+    ledger: TileLedger<'a>,
+    /// Own users as `(pos, user)` in processing order: global decision
+    /// order in `Serial` mode, ascending id in `Simultaneous` mode.
+    own: Vec<(u32, UserId)>,
+    dirty: Vec<bool>,
+    scratch: DecisionScratch,
+    config: &'a DistributedConfig,
+    /// Simultaneous: the round's own moves, held for the apply phase.
+    pending: Vec<MoveRec>,
+}
+
+impl<'a> Shard<'a> {
+    fn new(
+        inst: &'a Instance,
+        part: &'a Partition,
+        tile: u32,
+        initial: &Association,
+        own: Vec<(u32, UserId)>,
+        config: &'a DistributedConfig,
+    ) -> Shard<'a> {
+        let ledger = TileLedger::new(inst, initial, &own);
+        Shard {
+            tile,
+            part,
+            ledger,
+            own,
+            dirty: vec![true; inst.n_users()],
+            scratch: DecisionScratch::default(),
+            config,
+            pending: Vec::new(),
+        }
+    }
+
+    fn decide(&mut self, u: UserId) -> Option<ApId> {
+        local_decision_scratch(
+            &self.ledger,
+            u,
+            self.config.policy,
+            self.config.respect_budget,
+            self.config.hysteresis,
+            &mut self.scratch,
+        )
+    }
+
+    /// Marks every own user whose view the move could have changed (the
+    /// same rule as the single-threaded worklist; bits of other tiles'
+    /// users are never read, so marking them too is harmless).
+    fn mark_dirty(&mut self, rec: &MoveRec) {
+        for &v in self.ledger.inst.reachable_users(rec.to) {
+            self.dirty[v.index()] = true;
+        }
+        if let Some(f) = rec.from {
+            for &v in self.ledger.inst.reachable_users(f) {
+                self.dirty[v.index()] = true;
+            }
+        }
+    }
+
+    /// Simultaneous decide phase: all decisions read the frozen
+    /// round-start ledger.
+    fn decide_round(&mut self, round: u32) -> Vec<MoveRec> {
+        self.pending.clear();
+        let own = std::mem::take(&mut self.own);
+        for &(pos, u) in &own {
+            if !std::mem::replace(&mut self.dirty[u.index()], false) {
+                continue;
+            }
+            if let Some(a) = self.decide(u) {
+                self.pending.push(MoveRec {
+                    round,
+                    pos,
+                    user: u,
+                    from: self.ledger.ap_of(u),
+                    to: a,
+                });
+            }
+        }
+        self.own = own;
+        self.pending.clone()
+    }
+
+    /// Simultaneous apply phase: merge the round's moves in ascending
+    /// tile order — own moves from the full pending list, other tiles'
+    /// from their boundary-filtered lists.
+    fn apply_round(&mut self, boundary: &[Vec<MoveRec>]) {
+        for (t, list) in boundary.iter().enumerate() {
+            if t == self.tile as usize {
+                let pending = std::mem::take(&mut self.pending);
+                for rec in &pending {
+                    self.ledger.apply_own(rec);
+                    self.mark_dirty(rec);
+                }
+            } else {
+                for rec in list {
+                    self.ledger.apply_remote(rec);
+                    self.mark_dirty(rec);
+                }
+            }
+        }
+    }
+
+    /// Serial wavefront: own users in global decision order; interior
+    /// users run lock-free, boundary users synchronize on the chain.
+    fn serial_round(
+        &mut self,
+        round: u32,
+        chain: &BoundaryChain,
+        n_boundary: usize,
+        rank_of: &[u32],
+    ) -> Vec<MoveRec> {
+        let mut moves = Vec::new();
+        let mut cursor = 0usize;
+        let own = std::mem::take(&mut self.own);
+        for &(pos, u) in &own {
+            if self.part.is_boundary_user(u) {
+                let mut st = chain.wait_for(rank_of[u.index()] as usize);
+                self.drain_log(&st.log, &mut cursor);
+                if std::mem::replace(&mut self.dirty[u.index()], false) {
+                    if let Some(a) = self.decide(u) {
+                        let rec = MoveRec {
+                            round,
+                            pos,
+                            user: u,
+                            from: self.ledger.ap_of(u),
+                            to: a,
+                        };
+                        self.ledger.apply_own(&rec);
+                        self.mark_dirty(&rec);
+                        st.log.push((self.tile, rec));
+                        moves.push(rec);
+                    }
+                }
+                st.next_rank += 1;
+                drop(st);
+                chain.cv.notify_all();
+            } else if std::mem::replace(&mut self.dirty[u.index()], false) {
+                if let Some(a) = self.decide(u) {
+                    let rec = MoveRec {
+                        round,
+                        pos,
+                        user: u,
+                        from: self.ledger.ap_of(u),
+                        to: a,
+                    };
+                    self.ledger.apply_own(&rec);
+                    self.mark_dirty(&rec);
+                    moves.push(rec);
+                }
+            }
+        }
+        self.own = own;
+        // End-of-round barrier: wait for every boundary user of every
+        // tile, then absorb the remaining boundary moves.
+        let st = chain.wait_for(n_boundary);
+        self.drain_log(&st.log, &mut cursor);
+        moves
+    }
+
+    /// Applies the not-yet-seen suffix of the boundary log (skipping own
+    /// moves, which were applied when they were made).
+    fn drain_log(&mut self, log: &[(u32, MoveRec)], cursor: &mut usize) {
+        while *cursor < log.len() {
+            let (t, rec) = log[*cursor];
+            *cursor += 1;
+            if t != self.tile {
+                self.ledger.apply_remote(&rec);
+                self.mark_dirty(&rec);
+            }
+        }
+    }
+}
+
+/// Runs a distributed algorithm on `part.n_tiles()` worker threads,
+/// bit-for-bit equivalent to
+/// [`run_distributed`](crate::distributed::run_distributed) — identical
+/// association, rounds, moves, convergence and cycle flags, and decision
+/// sequence — for every partition and thread schedule (see the
+/// [module docs](self) for the argument).
+///
+/// # Panics
+///
+/// Panics if `part` does not fit `inst`, or if `initial` has the wrong
+/// size or associates a user with an AP out of its range (as
+/// `run_distributed` does).
+pub fn run_distributed_partitioned(
+    inst: &Instance,
+    config: &DistributedConfig,
+    initial: Association,
+    part: &Partition,
+) -> DistributedOutcome {
+    run_partitioned_impl(inst, config, initial, part, false).0
+}
+
+/// [`run_distributed_partitioned`] plus the decision trace, sorted by
+/// `(round, pos)` — byte-identical to the trace of
+/// [`run_distributed_traced`](crate::distributed::run_distributed_traced).
+pub fn run_distributed_partitioned_traced(
+    inst: &Instance,
+    config: &DistributedConfig,
+    initial: Association,
+    part: &Partition,
+) -> (DistributedOutcome, Vec<MoveRec>) {
+    run_partitioned_impl(inst, config, initial, part, true)
+}
+
+fn run_partitioned_impl(
+    inst: &Instance,
+    config: &DistributedConfig,
+    initial: Association,
+    part: &Partition,
+    collect_trace: bool,
+) -> (DistributedOutcome, Vec<MoveRec>) {
+    assert_eq!(part.ap_tile.len(), inst.n_aps(), "partition AP count");
+    assert_eq!(part.user_tile.len(), inst.n_users(), "partition user count");
+    assert_eq!(initial.as_slice().len(), inst.n_users(), "association size");
+    // The tile ledgers silently skip untracked APs, so the structural
+    // validation the single-threaded ledger performs on construction is
+    // reproduced here explicitly.
+    for (i, &ap) in initial.as_slice().iter().enumerate() {
+        if let Some(a) = ap {
+            assert!(
+                inst.multicast_rate_to(a, UserId(i as u32)).is_some(),
+                "user u{i} out of range of AP {a}"
+            );
+        }
+    }
+
+    let w = part.n_tiles;
+    let order = config.order.order(inst.n_users());
+
+    // Per-user position in the round's decision sequence, and the global
+    // rank chain over boundary users (Serial mode).
+    let mut pos_of = vec![0u32; inst.n_users()];
+    for (pos, &u) in order.iter().enumerate() {
+        pos_of[u.index()] = pos as u32;
+    }
+    let mut boundary_ranked: Vec<UserId> = inst
+        .users()
+        .filter(|&u| part.boundary_user[u.index()])
+        .collect();
+    boundary_ranked.sort_unstable_by_key(|u| pos_of[u.index()]);
+    let mut rank_of = vec![u32::MAX; inst.n_users()];
+    for (k, &u) in boundary_ranked.iter().enumerate() {
+        rank_of[u.index()] = k as u32;
+    }
+    let n_boundary = boundary_ranked.len();
+
+    // Own users per tile, in the mode's processing order.
+    let mut own_lists: Vec<Vec<(u32, UserId)>> = vec![Vec::new(); w];
+    match config.mode {
+        ExecutionMode::Serial => {
+            for (pos, &u) in order.iter().enumerate() {
+                own_lists[part.user_tile[u.index()] as usize].push((pos as u32, u));
+            }
+        }
+        ExecutionMode::Simultaneous => {
+            for u in inst.users() {
+                own_lists[part.user_tile[u.index()] as usize].push((u.0, u));
+            }
+        }
+    }
+
+    let chain = BoundaryChain::new();
+    let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
+    let mut cmd_txs: Vec<mpsc::Sender<Cmd>> = Vec::with_capacity(w);
+    let mut cmd_rxs: Vec<mpsc::Receiver<Cmd>> = Vec::with_capacity(w);
+    for _ in 0..w {
+        let (tx, rx) = mpsc::channel::<Cmd>();
+        cmd_txs.push(tx);
+        cmd_rxs.push(rx);
+    }
+
+    let mut global: Vec<Option<ApId>> = initial.as_slice().to_vec();
+    let mut trace: Vec<MoveRec> = Vec::new();
+    let initial_ref = &initial;
+    let chain_ref = &chain;
+    let rank_of_ref = &rank_of;
+
+    let outcome = std::thread::scope(|scope| {
+        for (tile, (rx, own)) in cmd_rxs.into_iter().zip(own_lists).enumerate() {
+            let reply_tx = reply_tx.clone();
+            scope.spawn(move || {
+                let mut shard = Shard::new(inst, part, tile as u32, initial_ref, own, config);
+                while let Ok(cmd) = rx.recv() {
+                    match cmd {
+                        Cmd::Decide { round } => {
+                            let moves = shard.decide_round(round);
+                            let _ = reply_tx.send(Reply { tile, moves });
+                        }
+                        Cmd::Apply { boundary } => shard.apply_round(&boundary),
+                        Cmd::Serial { round } => {
+                            let moves =
+                                shard.serial_round(round, chain_ref, n_boundary, rank_of_ref);
+                            let _ = reply_tx.send(Reply { tile, moves });
+                        }
+                        Cmd::Stop => break,
+                    }
+                }
+            });
+        }
+
+        let mut moves_total = 0usize;
+        let mut seen: HashSet<Vec<Option<ApId>>> = HashSet::new();
+        seen.insert(global.clone());
+        let mut result: Option<DistributedOutcome> = None;
+
+        for round in 1..=config.max_rounds {
+            let mut per_tile: Vec<Vec<MoveRec>> = vec![Vec::new(); w];
+            match config.mode {
+                ExecutionMode::Simultaneous => {
+                    for tx in &cmd_txs {
+                        tx.send(Cmd::Decide {
+                            round: round as u32,
+                        })
+                        .expect("worker alive");
+                    }
+                    for _ in 0..w {
+                        let reply = reply_rx.recv().expect("worker alive");
+                        per_tile[reply.tile] = reply.moves;
+                    }
+                    // Halo exchange: ship each tile's boundary-AP moves;
+                    // interior moves are invisible outside their tile and
+                    // each worker already holds its own full list.
+                    let shipped: Arc<Vec<Vec<MoveRec>>> = Arc::new(
+                        per_tile
+                            .iter()
+                            .map(|list| {
+                                list.iter()
+                                    .copied()
+                                    .filter(|r| {
+                                        part.boundary_ap[r.to.index()]
+                                            || r.from.is_some_and(|f| part.boundary_ap[f.index()])
+                                    })
+                                    .collect()
+                            })
+                            .collect(),
+                    );
+                    for tx in &cmd_txs {
+                        tx.send(Cmd::Apply {
+                            boundary: Arc::clone(&shipped),
+                        })
+                        .expect("worker alive");
+                    }
+                }
+                ExecutionMode::Serial => {
+                    chain.reset();
+                    for tx in &cmd_txs {
+                        tx.send(Cmd::Serial {
+                            round: round as u32,
+                        })
+                        .expect("worker alive");
+                    }
+                    for _ in 0..w {
+                        let reply = reply_rx.recv().expect("worker alive");
+                        per_tile[reply.tile] = reply.moves;
+                    }
+                }
+            }
+
+            // Merge in fixed tile-index order (order-free for the global
+            // association — each user moves at most once per round — but
+            // fixed anyway so every observable is schedule-independent).
+            let mut changed = false;
+            for list in &per_tile {
+                for rec in list {
+                    global[rec.user.index()] = Some(rec.to);
+                    moves_total += 1;
+                    changed = true;
+                }
+                if collect_trace {
+                    trace.extend_from_slice(list);
+                }
+            }
+
+            if !changed {
+                result = Some(DistributedOutcome {
+                    association: Association::from_vec(global.clone()),
+                    rounds: round,
+                    moves: moves_total,
+                    converged: true,
+                    cycle_detected: false,
+                });
+                break;
+            }
+            if !seen.insert(global.clone()) {
+                result = Some(DistributedOutcome {
+                    association: Association::from_vec(global.clone()),
+                    rounds: round,
+                    moves: moves_total,
+                    converged: false,
+                    cycle_detected: true,
+                });
+                break;
+            }
+        }
+
+        for tx in &cmd_txs {
+            let _ = tx.send(Cmd::Stop);
+        }
+        result.unwrap_or_else(|| DistributedOutcome {
+            association: Association::from_vec(global.clone()),
+            rounds: config.max_rounds,
+            moves: moves_total,
+            converged: false,
+            cycle_detected: false,
+        })
+    });
+
+    trace.sort_unstable_by_key(|r| (r.round, r.pos));
+    (outcome, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributed::{run_distributed, run_distributed_traced, DecisionOrder, Policy};
+    use crate::examples_paper::{figure1_instance, figure4_instance, figure4_start};
+    use crate::instance::InstanceBuilder;
+
+    fn outcomes_match(a: &DistributedOutcome, b: &DistributedOutcome) {
+        assert_eq!(a.association.as_slice(), b.association.as_slice());
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.moves, b.moves);
+        assert_eq!(a.converged, b.converged);
+        assert_eq!(a.cycle_detected, b.cycle_detected);
+    }
+
+    /// A 3×3 AP grid split into 2×2 quadrant tiles, with one user per
+    /// interesting spot. Links model unit-disk reachability of the
+    /// conceptual layout:
+    ///
+    /// ```text
+    ///   a0 a1 a2      tiles:  0 0 1
+    ///   a3 a4 a5              0 0 1
+    ///   a6 a7 a8              2 2 3
+    /// ```
+    fn quadrant_fixture() -> (Instance, Partition) {
+        let mut b = InstanceBuilder::new();
+        b.supported_rates([Kbps::from_mbps(6)]);
+        let s = b.add_session(Kbps::from_mbps(1));
+        let aps: Vec<ApId> = (0..9).map(|_| b.add_ap(Load::ONE)).collect();
+        // One user "at" each AP, reaching the APs adjacent to it
+        // (4-neighborhood) — u_i sits at a_i.
+        let adj: [&[usize]; 9] = [
+            &[0, 1, 3],
+            &[1, 0, 2, 4],
+            &[2, 1, 5],
+            &[3, 0, 4, 6],
+            &[4, 1, 3, 5, 7],
+            &[5, 2, 4, 8],
+            &[6, 3, 7],
+            &[7, 4, 6, 8],
+            &[8, 5, 7],
+        ];
+        for reach in adj {
+            let u = b.add_user(s);
+            for &ai in reach {
+                b.link(aps[ai], u, Kbps::from_mbps(6)).unwrap();
+            }
+        }
+        let inst = b.build().unwrap();
+        let ap_tile = vec![0, 0, 1, 0, 0, 1, 2, 2, 3];
+        let user_tile = ap_tile.clone();
+        let part = Partition::new(&inst, 4, ap_tile, user_tile).unwrap();
+        (inst, part)
+    }
+
+    /// Boundary classification at tile edges and corners: the corner AP
+    /// of a quadrant that only inner users reach is interior; every AP on
+    /// a tile edge reached from across it is boundary.
+    #[test]
+    fn quadrant_boundary_classification() {
+        let (_inst, part) = quadrant_fixture();
+        // a0 is the outer corner of tile 0: reached by u0, u1, u3 — all
+        // tile 0 — so interior.
+        assert!(!part.is_boundary_ap(ApId(0)));
+        // a1 sits on the edge between tiles 0 and 1: u2 (tile 1) reaches
+        // it — boundary. Symmetrically a3 (edge to tile 2).
+        assert!(part.is_boundary_ap(ApId(1)));
+        assert!(part.is_boundary_ap(ApId(3)));
+        // a4 is the inner corner where all four tiles meet: u5 (tile 1)
+        // and u7 (tile 2) reach it — boundary.
+        assert!(part.is_boundary_ap(ApId(4)));
+        // a2, the outer corner of tile 1, is reached by u1 (tile 0)
+        // across the edge — boundary.
+        assert!(part.is_boundary_ap(ApId(2)));
+        // a8, the outer corner of tile 3, is reached only by u5 (tile 1)
+        // and u7 (tile 2)? No: u5 reaches a8 and is tile 1 — boundary.
+        assert!(part.is_boundary_ap(ApId(8)));
+        // Users: u0 only reaches interior a0 and boundary a1/a3 — it has
+        // boundary candidates, so it is a boundary user.
+        assert!(part.is_boundary_user(UserId(0)));
+        assert_eq!(part.n_tiles(), 4);
+        assert_eq!(part.ap_tile(ApId(4)), 0);
+        assert_eq!(part.user_tile(UserId(8)), 3);
+    }
+
+    /// An interior AP's users may still be interior: a two-tile line
+    /// where each tile has a private AP + user.
+    #[test]
+    fn disjoint_tiles_have_no_boundary() {
+        let mut b = InstanceBuilder::new();
+        b.supported_rates([Kbps::from_mbps(6)]);
+        let s = b.add_session(Kbps::from_mbps(1));
+        let a0 = b.add_ap(Load::ONE);
+        let a1 = b.add_ap(Load::ONE);
+        let u0 = b.add_user(s);
+        let u1 = b.add_user(s);
+        b.link(a0, u0, Kbps::from_mbps(6)).unwrap();
+        b.link(a1, u1, Kbps::from_mbps(6)).unwrap();
+        let inst = b.build().unwrap();
+        let part = Partition::new(&inst, 2, vec![0, 1], vec![0, 1]).unwrap();
+        assert_eq!(part.boundary_ap_count(), 0);
+        assert_eq!(part.boundary_user_count(), 0);
+    }
+
+    #[test]
+    fn partition_validation_errors() {
+        let inst = figure1_instance(Kbps::from_mbps(1));
+        assert_eq!(
+            Partition::new(&inst, 0, vec![0, 0], vec![0; 5]).unwrap_err(),
+            PartitionError::NoTiles
+        );
+        assert_eq!(
+            Partition::new(&inst, 2, vec![0], vec![0; 5]).unwrap_err(),
+            PartitionError::WrongSize
+        );
+        assert_eq!(
+            Partition::new(&inst, 2, vec![0, 2], vec![0; 5]).unwrap_err(),
+            PartitionError::TileOutOfRange
+        );
+        assert!(PartitionError::NoTiles.to_string().contains("tile"));
+    }
+
+    /// The quadrant fixture, every mode × policy × worker count: the
+    /// partitioned engine reproduces the single-threaded outcome and
+    /// decision trace exactly.
+    #[test]
+    fn quadrant_equivalence_all_modes() {
+        let (inst, part) = quadrant_fixture();
+        for mode in [ExecutionMode::Serial, ExecutionMode::Simultaneous] {
+            for policy in [Policy::MinTotalLoad, Policy::MinMaxVector] {
+                let config = DistributedConfig {
+                    policy,
+                    mode,
+                    max_rounds: 30,
+                    order: DecisionOrder::Shuffled(7),
+                    ..DistributedConfig::default()
+                };
+                let (single, strace) =
+                    run_distributed_traced(&inst, &config, Association::empty(inst.n_users()));
+                let (par, ptrace) = run_distributed_partitioned_traced(
+                    &inst,
+                    &config,
+                    Association::empty(inst.n_users()),
+                    &part,
+                );
+                outcomes_match(&par, &single);
+                assert_eq!(ptrace, strace);
+            }
+        }
+    }
+
+    /// Figure 4's simultaneous oscillation is detected identically by the
+    /// partitioned engine (same round, same cycle flag).
+    #[test]
+    fn figure4_partitioned_detects_oscillation() {
+        let inst = figure4_instance();
+        for w in [1, 2] {
+            let part = Partition::contiguous(&inst, w).unwrap();
+            let config = DistributedConfig {
+                mode: ExecutionMode::Simultaneous,
+                ..DistributedConfig::default()
+            };
+            let single = run_distributed(&inst, &config, figure4_start());
+            let par = run_distributed_partitioned(&inst, &config, figure4_start(), &part);
+            assert!(par.cycle_detected);
+            outcomes_match(&par, &single);
+        }
+    }
+
+    /// `max_rounds = 0` returns the validated initial state, like the
+    /// single-threaded engine.
+    #[test]
+    fn zero_rounds_is_identity() {
+        let inst = figure1_instance(Kbps::from_mbps(1));
+        let config = DistributedConfig {
+            max_rounds: 0,
+            ..DistributedConfig::default()
+        };
+        let part = Partition::contiguous(&inst, 2).unwrap();
+        let out =
+            run_distributed_partitioned(&inst, &config, Association::empty(inst.n_users()), &part);
+        assert_eq!(out.rounds, 0);
+        assert_eq!(out.moves, 0);
+        assert!(!out.converged);
+    }
+
+    /// Out-of-range initial associations panic, as in `run_distributed`.
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_initial_panics() {
+        let inst = figure1_instance(Kbps::from_mbps(1));
+        let part = Partition::single(&inst);
+        // u1 (paper's u2... index 0) cannot reach a2 (ApId(1))? u0 can
+        // only reach ApId(0) — associating it with ApId(1) is invalid.
+        let bad = Association::from_vec(vec![Some(ApId(1)), None, None, None, None]);
+        let _ = run_distributed_partitioned(&inst, &DistributedConfig::default(), bad, &part);
+    }
+
+    /// More tiles than users/APs still works (some shards are empty).
+    #[test]
+    fn more_tiles_than_aps() {
+        let inst = figure1_instance(Kbps::from_mbps(1));
+        let part = Partition::contiguous(&inst, 8).unwrap();
+        let config = DistributedConfig::default();
+        let single = run_distributed(&inst, &config, Association::empty(inst.n_users()));
+        let par =
+            run_distributed_partitioned(&inst, &config, Association::empty(inst.n_users()), &part);
+        outcomes_match(&par, &single);
+    }
+}

@@ -11,7 +11,9 @@
 //! * `BENCH_distributed.json` — the incremental-ledger + delta-decision +
 //!   dirty-worklist distributed engine vs the recomputing full-sweep
 //!   reference (`crates/core/src/reference.rs`), over both policies and
-//!   execution modes plus one large-scale scenario;
+//!   execution modes plus one large-scale scenario, and the partitioned
+//!   parallel engine's worker-scaling curve (1/2/4/8 workers) against the
+//!   single-threaded engine on the same large workload;
 //! * `BENCH_controller.json` — sustained admission throughput of the
 //!   event-driven controller service on a staggered-join workload
 //!   (joins/sec, p50/p95/p99 per-decision latency), with the run's
@@ -27,11 +29,11 @@ use std::time::Instant;
 
 use mcast_core::reduction::Reduction;
 use mcast_core::{
-    run_distributed, run_distributed_reference, Association, DistributedConfig, DistributedOutcome,
-    ExecutionMode, Policy,
+    run_distributed, run_distributed_partitioned, run_distributed_reference, Association,
+    DistributedConfig, DistributedOutcome, ExecutionMode, Policy,
 };
 use mcast_covering::{greedy_mcg, greedy_set_cover, reference, solve_scg, SetSystemBuilder};
-use mcast_topology::{Placement, ScenarioConfig};
+use mcast_topology::{tile_partition, Placement, ScenarioConfig};
 use serde::Serialize;
 
 use crate::Options;
@@ -58,8 +60,20 @@ pub struct BenchReport {
     pub schema: String,
     /// True when the workloads were shrunk by `--quick`.
     pub quick: bool,
+    /// Hardware threads available on the bench host. Worker-scaling
+    /// entries (`partitioned_w*`) cannot speed up beyond this; on a
+    /// single-core host the scaling curve honestly records the barrier
+    /// and ghost-merge overhead instead of a speedup.
+    pub host_threads: usize,
     /// Entries by stable key (same keys in quick and full mode).
     pub benches: BTreeMap<String, BenchEntry>,
+}
+
+/// Hardware threads on this host, for [`BenchReport::host_threads`].
+fn host_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
 }
 
 fn time_once<T>(f: impl FnOnce() -> T) -> (f64, T) {
@@ -145,6 +159,7 @@ pub fn greedy_report(opts: &Options) -> BenchReport {
     BenchReport {
         schema: "mcast-bench-greedy/v1".to_string(),
         quick: opts.quick,
+        host_threads: host_threads(),
         benches,
     }
 }
@@ -209,6 +224,7 @@ pub fn topology_report(opts: &Options) -> BenchReport {
     BenchReport {
         schema: "mcast-bench-topology/v1".to_string(),
         quick: opts.quick,
+        host_threads: host_threads(),
         benches,
     }
 }
@@ -318,9 +334,47 @@ pub fn distributed_report(opts: &Options) -> BenchReport {
         },
     );
 
+    // Worker-scaling curve of the partitioned engine on the same large
+    // workload, Simultaneous mode (round-parallel decisions). Here the
+    // "reference" is the single-threaded fast engine, so `speedup` is the
+    // parallel scaling factor at each worker count — every entry must
+    // still be outputs-identical (the engine is deterministic by
+    // construction, see DESIGN.md §12). On a host with fewer cores than
+    // workers (`host_threads` above), factors below 1.0 are the honest
+    // cost of the round barriers and halo merges, not a regression.
+    let config = DistributedConfig {
+        policy: Policy::MinMaxVector,
+        mode: ExecutionMode::Simultaneous,
+        max_rounds: 3,
+        ..DistributedConfig::default()
+    };
+    let (single_ms, single_out) = time_best_of(3, || {
+        run_distributed(inst, &config, Association::empty(n_users))
+    });
+    for w in [1usize, 2, 4, 8] {
+        let part = tile_partition(&scenario, w);
+        let (par_ms, par_out) = time_best_of(3, || {
+            run_distributed_partitioned(inst, &config, Association::empty(n_users), &part)
+        });
+        benches.insert(
+            format!("partitioned_w{w}"),
+            BenchEntry {
+                workload: format!(
+                    "partitioned MinMaxVector / Simultaneous, {w} workers ({} boundary of {n_aps} APs), {n_users} users, 3 rounds",
+                    part.boundary_ap_count()
+                ),
+                reference_ms: single_ms,
+                fast_ms: par_ms,
+                speedup: single_ms / par_ms,
+                outputs_identical: outcomes_equal(&single_out, &par_out),
+            },
+        );
+    }
+
     BenchReport {
-        schema: "mcast-bench-distributed/v1".to_string(),
+        schema: "mcast-bench-distributed/v2".to_string(),
         quick: opts.quick,
+        host_threads: host_threads(),
         benches,
     }
 }
@@ -574,12 +628,18 @@ mod tests {
         assert!(t.benches.contains_key("scenario_gen"));
         assert!(t.benches.values().all(|b| b.outputs_identical));
         let d = distributed_report(&opts);
+        assert_eq!(d.schema, "mcast-bench-distributed/v2");
+        assert!(d.host_threads >= 1);
         assert!([
             "serial_min_total",
             "serial_min_max",
             "simultaneous_min_total",
             "simultaneous_min_max",
             "large_serial_min_max",
+            "partitioned_w1",
+            "partitioned_w2",
+            "partitioned_w4",
+            "partitioned_w8",
         ]
         .iter()
         .all(|k| d.benches.contains_key(*k)));

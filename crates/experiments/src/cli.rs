@@ -57,6 +57,49 @@ const RESUMABLE: &[&str] = &[
     "all",
 ];
 
+/// Commands that run work on the scoped-thread pool (sweeps via
+/// `parallel_map`, plus `bench`'s partitioned scaling curve), where
+/// `--threads N` sets the worker count.
+const THREADED: &[&str] = &[
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "ablations",
+    "channels",
+    "mobility",
+    "faults",
+    "controller",
+    "revenue",
+    "bench",
+    "all",
+];
+
+/// Rejects a meaningless `--threads` value or placement: zero workers
+/// (the pool cannot run anything), or a command with no parallel work.
+///
+/// # Errors
+///
+/// A [`FlagError`] naming the command, the flag, and the reason.
+pub fn validate_threads(command: &str, threads: Option<usize>) -> Result<(), FlagError> {
+    let Some(n) = threads else { return Ok(()) };
+    if n == 0 {
+        return Err(FlagError {
+            command: command.to_string(),
+            flag: "--threads".to_string(),
+            reason: "worker count must be at least 1",
+        });
+    }
+    if !THREADED.contains(&command) {
+        return Err(FlagError {
+            command: command.to_string(),
+            flag: "--threads".to_string(),
+            reason: "it runs no parallel work",
+        });
+    }
+    Ok(())
+}
+
 /// Rejects flag combinations that would silently do nothing — `--plot`
 /// with a command that renders no figure series (e.g. `serve`), or
 /// `--resume` with a command that keeps no journal.
@@ -421,6 +464,30 @@ mod tests {
     fn no_flags_is_always_valid() {
         for cmd in ["serve", "replay", "bench", "fig9", "table1", "unknown"] {
             assert_eq!(validate_flags(cmd, false, false), Ok(()), "{cmd}");
+            assert_eq!(validate_threads(cmd, None), Ok(()), "{cmd}");
+        }
+    }
+
+    #[test]
+    fn zero_threads_is_rejected_by_name() {
+        let err = validate_threads("bench", Some(0)).unwrap_err();
+        assert_eq!(err.flag, "--threads");
+        assert_eq!(err.command, "bench");
+        assert!(
+            err.to_string().contains("at least 1"),
+            "unexpected message: {err}"
+        );
+    }
+
+    #[test]
+    fn threads_is_rejected_for_serial_commands() {
+        for cmd in ["serve", "replay", "table1", "validate", "gen"] {
+            let err = validate_threads(cmd, Some(4)).unwrap_err();
+            assert_eq!(err.flag, "--threads");
+            assert_eq!(err.command, cmd);
+        }
+        for cmd in ["bench", "fig9", "mobility", "all"] {
+            assert_eq!(validate_threads(cmd, Some(4)), Ok(()), "{cmd}");
         }
     }
 

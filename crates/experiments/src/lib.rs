@@ -46,6 +46,10 @@ pub struct Options {
     pub retries: u32,
     /// Soft per-trial deadline in seconds (0 disables the watchdog).
     pub deadline_s: u64,
+    /// Worker threads for parallel sweeps and the partitioned bench
+    /// drivers (`--threads N`); 0 means auto (available parallelism,
+    /// capped — see [`par::workers`]).
+    pub threads: usize,
 }
 
 impl Default for Options {
@@ -58,6 +62,7 @@ impl Default for Options {
             resume: false,
             retries: 2,
             deadline_s: 300,
+            threads: 0,
         }
     }
 }

@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro <command> [--seeds N] [--out DIR] [--max-nodes N] [--quick]
+//! repro <command> [--seeds N] [--out DIR] [--max-nodes N] [--quick] [--threads N]
 //!
 //! commands:
 //!   table1      Table 1 (rate vs distance threshold) + staircase check
@@ -39,11 +39,12 @@ use mcast_experiments::Options;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().cloned() else {
-        eprintln!("usage: repro <table1|fig9|fig10|fig11|fig12|ablations|channels|mobility|faults|controller|serve|replay|revenue|bench|validate|all|gen|solve|compare> [--seeds N] [--out DIR] [--max-nodes N] [--quick] [--plot] [--resume] [--retries N] [--deadline SECS]");
+        eprintln!("usage: repro <table1|fig9|fig10|fig11|fig12|ablations|channels|mobility|faults|controller|serve|replay|revenue|bench|validate|all|gen|solve|compare> [--seeds N] [--out DIR] [--max-nodes N] [--quick] [--plot] [--resume] [--retries N] [--deadline SECS] [--threads N]");
         return ExitCode::FAILURE;
     };
     let mut opts = Options::default();
     let mut plot = false;
+    let mut threads: Option<usize> = None;
     let mut i = 1;
     // `gen` and `solve` own their argument grammar (positional paths).
     let generic_flags = !matches!(command.as_str(), "gen" | "solve" | "compare");
@@ -87,6 +88,14 @@ fn main() -> ExitCode {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| bad_flag("--deadline"));
             }
+            "--threads" => {
+                i += 1;
+                threads = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| bad_flag("--threads")),
+                );
+            }
             other => {
                 eprintln!("unknown flag: {other}");
                 return ExitCode::FAILURE;
@@ -104,6 +113,14 @@ fn main() -> ExitCode {
         if let Err(e) = mcast_experiments::cli::validate_flags(&command, plot, opts.resume) {
             eprintln!("{e}");
             return ExitCode::FAILURE;
+        }
+        if let Err(e) = mcast_experiments::cli::validate_threads(&command, threads) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+        if let Some(n) = threads {
+            opts.threads = n;
+            mcast_experiments::par::set_workers(n);
         }
     }
 

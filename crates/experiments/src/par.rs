@@ -11,6 +11,35 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
+/// Process-wide worker-count override set by `--threads N`; 0 means
+/// "auto" (available parallelism, capped).
+static WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Upper bound on the auto-detected pool size: sweep trials are
+/// memory-bound past a handful of cores, and an unbounded pool on a
+/// many-core box mostly thrashes the allocator.
+const AUTO_CAP: usize = 8;
+
+/// Sets the process-wide worker count used by [`parallel_map`] /
+/// [`try_parallel_map`] and the partitioned bench drivers. `0` restores
+/// the default (available parallelism, capped at 8). Plumbed from the
+/// `--threads N` CLI flag.
+pub fn set_workers(n: usize) {
+    WORKERS.store(n, Ordering::Relaxed);
+}
+
+/// The effective worker count: the [`set_workers`] override if set,
+/// otherwise available parallelism capped at 8 (never 0).
+pub fn workers() -> usize {
+    match WORKERS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(AUTO_CAP),
+        n => n,
+    }
+}
+
 /// Applies `f` to every item on a pool of scoped worker threads and
 /// returns the results **in input order**, with every call isolated by
 /// [`catch_unwind`]: element `i` is `Ok(f(&items[i]))`, or `Err(panic
@@ -39,10 +68,7 @@ where
     };
 
     let n = items.len();
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
+    let workers = workers().min(n);
     if workers <= 1 {
         return items.iter().map(guarded).collect();
     }
@@ -151,6 +177,20 @@ mod tests {
                 assert_eq!(*r.as_ref().unwrap(), (i as u64) * 2);
             }
         }
+    }
+
+    #[test]
+    fn workers_override_round_trips() {
+        // Note: tests in this binary run concurrently; use values that
+        // keep results correct either way (order is guaranteed by design).
+        set_workers(3);
+        assert_eq!(workers(), 3);
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, |&x| x + 1);
+        assert_eq!(out, items.iter().map(|&x| x + 1).collect::<Vec<_>>());
+        set_workers(0);
+        let w = workers();
+        assert!((1..=8).contains(&w), "auto workers out of range: {w}");
     }
 
     #[test]

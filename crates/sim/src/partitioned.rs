@@ -1,0 +1,142 @@
+//! Post-recovery rebalance sweeps on the partitioned parallel engine.
+//!
+//! After an AP failure (or a mobility epoch), the surviving association is
+//! typically far from the load-balanced fixed point: every member of a
+//! downed AP is unsatisfied and must re-associate, and the serving load
+//! concentrates on the neighbors that absorb them. The controller repairs
+//! this with a *rebalance sweep* — a bounded run of the distributed
+//! engine from the surviving association. On large deployments that sweep
+//! is the dominant recovery cost, so it runs on the partitioned driver
+//! ([`mcast_core::run_distributed_partitioned`]), which produces the
+//! *same* decision sequence and outcome as the single-threaded engine for
+//! any worker count (see `DESIGN.md` §12).
+
+use mcast_core::{
+    run_distributed_partitioned, ApId, Association, DistributedConfig, DistributedOutcome,
+    Instance, Partition,
+};
+
+/// Returns `assoc` with every user of a downed AP evicted (unsatisfied).
+///
+/// Users associated to APs not in `down` are untouched; the result is a
+/// valid starting association for a rebalance sweep where the downed APs
+/// have been removed from the instance (or their links pruned).
+pub fn evict_downed(assoc: &Association, down: &[ApId]) -> Association {
+    Association::from_vec(
+        assoc
+            .as_slice()
+            .iter()
+            .map(|&ap| ap.filter(|a| !down.contains(a)))
+            .collect(),
+    )
+}
+
+/// Runs a partitioned rebalance sweep from `survivors`.
+///
+/// `survivors` is first restricted to in-coverage assignments
+/// ([`Association::restricted_to`]) so that stale assignments — users who
+/// moved out of range, or whose AP was removed from `inst` — become
+/// unsatisfied rather than panicking the engine. The sweep itself is
+/// deterministic and identical to `mcast_core::run_distributed` with the
+/// same `config`, independent of `part`'s tile count.
+pub fn rebalance_partitioned(
+    inst: &Instance,
+    config: &DistributedConfig,
+    survivors: &Association,
+    part: &Partition,
+) -> DistributedOutcome {
+    run_distributed_partitioned(inst, config, survivors.restricted_to(inst), part)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_core::{
+        examples_paper, run_distributed, ExecutionMode, Kbps, Partition, Policy, UserId,
+    };
+
+    #[test]
+    fn evict_unassigns_only_downed_members() {
+        let assoc = Association::from_vec(vec![
+            Some(ApId(0)),
+            Some(ApId(1)),
+            None,
+            Some(ApId(0)),
+            Some(ApId(2)),
+        ]);
+        let evicted = evict_downed(&assoc, &[ApId(0)]);
+        assert_eq!(
+            evicted.as_slice(),
+            &[None, Some(ApId(1)), None, None, Some(ApId(2))]
+        );
+        // No downed APs: identity.
+        assert_eq!(evict_downed(&assoc, &[]).as_slice(), assoc.as_slice());
+    }
+
+    /// The partitioned sweep after an eviction matches the single-threaded
+    /// engine exactly, for every worker count.
+    #[test]
+    fn rebalance_matches_single_thread_after_failure() {
+        let inst = examples_paper::figure1_instance(Kbps::from_mbps(1));
+        let config = DistributedConfig {
+            policy: Policy::MinMaxVector,
+            mode: ExecutionMode::Serial,
+            ..DistributedConfig::default()
+        };
+        // Converge from scratch, then knock out the most loaded AP.
+        let settled = run_distributed(&inst, &config, Association::empty(inst.n_users()));
+        assert!(settled.converged);
+        let loads = settled.association.loads(&inst);
+        let worst = ApId(
+            loads
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+                .map(|(i, _)| i as u32)
+                .unwrap(),
+        );
+        let survivors = evict_downed(&settled.association, &[worst]);
+        assert!(survivors.as_slice().iter().all(|&ap| ap != Some(worst)));
+        // Reference repair keeps serving the full instance; the evicted
+        // users simply re-run their local decision.
+        let single = run_distributed(&inst, &config, survivors.clone());
+        for w in [1usize, 2, 4] {
+            let part = Partition::contiguous(&inst, w).unwrap();
+            let par = rebalance_partitioned(&inst, &config, &survivors, &part);
+            assert_eq!(
+                par.association.as_slice(),
+                single.association.as_slice(),
+                "W={w}"
+            );
+            assert_eq!(par.moves, single.moves, "W={w}");
+            assert_eq!(par.rounds, single.rounds, "W={w}");
+        }
+    }
+
+    /// Stale out-of-coverage assignments are shed by `restricted_to`
+    /// instead of panicking the partitioned driver.
+    #[test]
+    fn stale_assignments_are_shed_not_fatal() {
+        let inst = examples_paper::figure4_instance();
+        // u0 exists but pin it to an AP it cannot reach: figure 4 has two
+        // APs; find one u0 is NOT linked to, if any — otherwise fabricate
+        // staleness by evicting and checking the restricted run still works.
+        let mut stale = Association::empty(inst.n_users());
+        let u0 = UserId(0);
+        let unreachable = inst
+            .aps()
+            .find(|&a| !inst.candidate_aps(u0).iter().any(|&(c, _)| c == a));
+        if let Some(a) = unreachable {
+            stale.set(u0, Some(a));
+        }
+        let config = DistributedConfig {
+            mode: ExecutionMode::Simultaneous,
+            max_rounds: 2,
+            ..DistributedConfig::default()
+        };
+        let part = Partition::contiguous(&inst, 2).unwrap();
+        let par = rebalance_partitioned(&inst, &config, &stale, &part);
+        let single = run_distributed(&inst, &config, stale.restricted_to(&inst));
+        assert_eq!(par.association.as_slice(), single.association.as_slice());
+    }
+}

@@ -173,9 +173,38 @@ impl SpatialGrid {
     /// order as the full ascending-index scan.
     pub fn neighbors_within(&self, p: &Point, range: f64) -> Vec<(u32, f64)> {
         let mut out = Vec::new();
+        self.neighbors_within_into(p, range, &mut out);
+        out
+    }
+
+    /// Buffer-reuse variant of [`SpatialGrid::neighbors_within`]: clears
+    /// `out` and fills it with the same `(index, distance)` pairs in the
+    /// same ascending-index order. Hot loops (link building, the tile
+    /// partitioner) hold one buffer across queries so the per-query
+    /// allocation disappears after warm-up.
+    pub fn neighbors_within_into(&self, p: &Point, range: f64, out: &mut Vec<(u32, f64)>) {
+        out.clear();
         self.for_each_within(p, range, |i, d| out.push((i, d)));
         out.sort_unstable_by_key(|&(i, _)| i);
-        out
+    }
+
+    /// The grid cell containing `p`, clamped into the grid bounds
+    /// (`(0, 0)` on an empty grid) — the same mapping used to bucket the
+    /// indexed points at build time. The tile partitioner derives tile
+    /// stripes from these coordinates.
+    pub fn cell_of(&self, p: &Point) -> (usize, usize) {
+        if self.points.is_empty() {
+            return (0, 0);
+        }
+        (
+            clamp_cell((p.x - self.min_x) / self.cell_m, self.nx),
+            clamp_cell((p.y - self.min_y) / self.cell_m, self.ny),
+        )
+    }
+
+    /// Cell counts along x and y (`(0, 0)` on an empty grid).
+    pub fn dims(&self) -> (usize, usize) {
+        (self.nx, self.ny)
     }
 
     /// Calls `f(index, distance)` for every indexed point within `range`
@@ -274,6 +303,38 @@ mod tests {
             assert!(grid.covers(&Point::new(5.0, 8.0), 3.0));
             assert!(!grid.covers(&Point::new(5.0, 8.1), 3.0));
         }
+    }
+
+    #[test]
+    fn into_variant_matches_and_reuses_buffer() {
+        let pts = pseudo_points(80, 500.0);
+        let grid = SpatialGrid::build(&pts, 100.0);
+        let mut buf = Vec::new();
+        for q in pseudo_points(40, 600.0) {
+            grid.neighbors_within_into(&q, 150.0, &mut buf);
+            assert_eq!(buf, grid.neighbors_within(&q, 150.0));
+        }
+    }
+
+    #[test]
+    fn cell_of_matches_bucketing() {
+        let pts = pseudo_points(50, 300.0);
+        let grid = SpatialGrid::build(&pts, 75.0);
+        let (nx, ny) = grid.dims();
+        assert!(nx > 0 && ny > 0);
+        for p in &pts {
+            let (ix, iy) = grid.cell_of(p);
+            assert!(ix < nx && iy < ny);
+            // The point is bucketed in exactly that cell: a zero-radius
+            // query from the cell's points must include it.
+            assert!(grid.neighbors_within(p, 0.0).iter().any(|&(i, _)| {
+                (pts[i as usize].x - p.x).abs() < 1e-12 && (pts[i as usize].y - p.y).abs() < 1e-12
+            }));
+        }
+        assert_eq!(
+            SpatialGrid::build(&[], 10.0).cell_of(&Point::new(1.0, 2.0)),
+            (0, 0)
+        );
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod phy;
 mod placement;
 pub mod power;
 mod scenario;
+mod tiles;
 
 pub use geometry::Point;
 pub use grid::SpatialGrid;
@@ -38,3 +39,4 @@ pub use phy::PathLossModel;
 pub use placement::Placement;
 pub use power::{instance_with_power, optimize_power, PowerOutcome};
 pub use scenario::{Scenario, ScenarioConfig, ScenarioError, SessionPopularity};
+pub use tiles::tile_partition;
