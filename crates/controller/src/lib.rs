@@ -56,8 +56,11 @@ mod state;
 
 pub use audit::{audit_epoch, CoverageRule};
 pub use ladder::{LadderPolicy, SolvePath, WorkMeter};
-pub use replay::{fold_events, replay_stream, ReplayOutcome};
+pub use replay::{
+    fold_events, replay_stream, replay_stream_from, ReplayOutcome, ServiceCheckpoint,
+    SERVICE_CKPT_SCHEMA,
+};
 pub use report::{ControllerReport, EpochRecord};
 pub use runtime::{run, ControllerConfig, ControllerOutcome};
-pub use service::{lower_plan, serve, ServiceStats};
+pub use service::{lower_plan, serve, serve_checkpointed, ServiceStats};
 pub use state::NetworkState;

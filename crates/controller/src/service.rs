@@ -23,6 +23,7 @@ use mcast_faults::{FaultEventKind, FaultPlan, RecoverySummary};
 
 use crate::engine::EpochEngine;
 use crate::ladder::SolvePath;
+use crate::replay::{FoldState, ServiceCheckpoint};
 use crate::runtime::{ControllerConfig, ControllerOutcome};
 use crate::state::NetworkState;
 
@@ -104,13 +105,19 @@ fn validate_horizon(cfg: &ControllerConfig) -> Result<u64, String> {
 }
 
 /// The log writer: wraps the publisher with the run's sequence counter
-/// so every event gets the next `seq` exactly once.
-struct Stream<'p> {
+/// so every event gets the next `seq` exactly once. When checkpointing,
+/// it also mirrors every published event through the replay fold, so a
+/// snapshot is — by construction — exactly what replaying the log up to
+/// this byte would rebuild.
+struct Stream<'p, 'i> {
     publisher: &'p mut dyn EventPublisher,
     seq: u64,
+    inst: &'i Instance,
+    mirroring: bool,
+    mirror: Option<FoldState>,
 }
 
-impl Stream<'_> {
+impl Stream<'_, '_> {
     fn publish(&mut self, at_us: u64, kind: EventKind) -> Result<(), String> {
         let event = Event {
             at_us,
@@ -120,6 +127,12 @@ impl Stream<'_> {
         self.publisher
             .publish(&event)
             .map_err(|e| format!("event stream write failed: {e}"))?;
+        if self.mirroring {
+            match &mut self.mirror {
+                None => self.mirror = Some(FoldState::from_header(self.inst, &event)?),
+                Some(m) => m.step(self.inst, &event)?,
+            }
+        }
         self.seq += 1;
         Ok(())
     }
@@ -128,6 +141,17 @@ impl Stream<'_> {
         self.publisher
             .sync()
             .map_err(|e| format!("event stream sync failed: {e}"))
+    }
+
+    fn checkpoint(&self) -> Result<ServiceCheckpoint, String> {
+        let bytes = self.publisher.bytes_logged().ok_or_else(|| {
+            "checkpointing requires a byte-logged sink (the publisher reports no byte position)"
+                .to_string()
+        })?;
+        self.mirror
+            .as_ref()
+            .expect("mirroring is on when checkpointing")
+            .checkpoint(bytes, self.seq)
     }
 }
 
@@ -158,8 +182,39 @@ pub fn serve(
     keep: f64,
     publisher: &mut dyn EventPublisher,
 ) -> Result<(ControllerOutcome, ServiceStats), String> {
+    serve_checkpointed(inst, queue, cfg, keep, publisher, 0, &mut |_| Ok(()))
+}
+
+/// [`serve`] with periodic service checkpoints: after every
+/// `checkpoint_every`-th epoch's durability sync, the committed fold
+/// state is snapshotted into a [`ServiceCheckpoint`] and handed to
+/// `sink`. Recovery is then [`replay_stream_from`](crate::replay_stream_from)
+/// — snapshot + event-log-suffix replay — instead of full-log replay.
+/// `checkpoint_every = 0` disables checkpointing (and the mirroring that
+/// feeds it); the outcome is identical either way.
+///
+/// # Errors
+///
+/// Everything [`serve`] can report, plus a checkpoint request against a
+/// publisher that does not track its byte position, and `sink` failures
+/// (a checkpoint written with holes is worse than none).
+pub fn serve_checkpointed(
+    inst: &Instance,
+    queue: &mut TimeQueue<EventKind>,
+    cfg: &ControllerConfig,
+    keep: f64,
+    publisher: &mut dyn EventPublisher,
+    checkpoint_every: u64,
+    sink: &mut dyn FnMut(&ServiceCheckpoint) -> Result<(), String>,
+) -> Result<(ControllerOutcome, ServiceStats), String> {
     let horizon_us = validate_horizon(cfg)?;
-    let mut stream = Stream { publisher, seq: 0 };
+    let mut stream = Stream {
+        publisher,
+        seq: 0,
+        inst,
+        mirroring: checkpoint_every > 0,
+        mirror: None,
+    };
     stream.publish(
         0,
         EventKind::ServiceStarted {
@@ -270,6 +325,10 @@ pub fn serve(
         // The durability boundary: a crash from here on loses at most
         // the next (uncommitted) epoch.
         stream.sync()?;
+        if checkpoint_every > 0 && (epoch + 1) % checkpoint_every == 0 {
+            let cp = stream.checkpoint()?;
+            sink(&cp).map_err(|e| format!("service checkpoint write failed: {e}"))?;
+        }
     }
 
     let published = stream.seq;

@@ -521,12 +521,33 @@ fn run_distributed_impl(
     inst: &Instance,
     config: &DistributedConfig,
     initial: Association,
+    trace: Option<Vec<MoveRec>>,
+) -> (DistributedOutcome, Option<Vec<MoveRec>>) {
+    let mut seen: HashSet<Vec<Option<ApId>>> = HashSet::new();
+    seen.insert(initial.as_slice().to_vec());
+    continue_distributed(inst, config, initial, 1, 0, seen, trace)
+}
+
+/// Resumable core of [`run_distributed`]: runs rounds
+/// `start_round..=max_rounds` from `current`, carrying the move count,
+/// cycle-detection set, and (optional) trace prefix of the rounds already
+/// executed. With `start_round == 1`, zero moves, and `seen = {current}`
+/// this is exactly an uninterrupted run; the partitioned runtime's
+/// degrade-to-W=1 and checkpoint-restore paths enter here mid-run.
+/// Starting all-dirty is outcome- and trace-neutral: a user whose
+/// neighborhood did not change since its last decision re-decides "stay"
+/// and emits no move.
+pub(crate) fn continue_distributed(
+    inst: &Instance,
+    config: &DistributedConfig,
+    current: Association,
+    start_round: usize,
+    moves_so_far: usize,
+    mut seen: HashSet<Vec<Option<ApId>>>,
     mut trace: Option<Vec<MoveRec>>,
 ) -> (DistributedOutcome, Option<Vec<MoveRec>>) {
-    let mut ledger = LoadLedger::new(inst, initial);
-    let mut moves = 0usize;
-    let mut seen: HashSet<Vec<Option<ApId>>> = HashSet::new();
-    seen.insert(ledger.association().as_slice().to_vec());
+    let mut ledger = LoadLedger::new(inst, current);
+    let mut moves = moves_so_far;
 
     let order = config.order.order(inst.n_users());
     let mut scratch = DecisionScratch::default();
@@ -535,7 +556,7 @@ fn run_distributed_impl(
     // endpoints), so oscillations are still observed.
     let mut dirty = vec![true; inst.n_users()];
 
-    for round in 1..=config.max_rounds {
+    for round in start_round..=config.max_rounds {
         let mut changed = false;
         match config.mode {
             ExecutionMode::Serial => {

@@ -47,6 +47,7 @@ mod load;
 mod rate;
 
 pub mod bla;
+pub mod checkpoint;
 pub mod distributed;
 pub mod dual;
 pub mod examples_paper;
@@ -60,10 +61,12 @@ pub mod revenue;
 pub mod solution;
 pub mod ssa;
 pub mod stats;
+pub mod supervise;
 
 pub use assoc::{AssocError, Association, LoadLedger};
 pub use bla::solve_bla;
 pub use bla::{solve_bla_with, BlaConfig};
+pub use checkpoint::{CheckpointError, CheckpointSink, PartitionCheckpoint, CHECKPOINT_SCHEMA};
 pub use distributed::{
     local_decision, local_decision_scratch, local_decision_with, run_distributed,
     run_distributed_traced, run_min_max_vector, run_min_total, ApStateView, DecisionOrder,
@@ -78,8 +81,8 @@ pub use load::Load;
 pub use mla::{solve_mla, solve_mla_with, MlaAlgorithm};
 pub use mnu::{solve_mnu, solve_mnu_with, MnuConfig};
 pub use partition::{
-    run_distributed_partitioned, run_distributed_partitioned_traced, MoveRec, Partition,
-    PartitionError,
+    resume_distributed_supervised, run_distributed_partitioned, run_distributed_partitioned_traced,
+    run_distributed_supervised, MoveRec, Partition, PartitionError, SupervisedOutcome,
 };
 pub use rate::{Kbps, RatePolicy, RateStep, RateTable, RateTableError};
 pub use reference::{local_decision_reference, run_distributed_reference, ReferenceLedger};
@@ -87,3 +90,6 @@ pub use repair::{best_rehome_target, repair_user, strongest_allowed_ap};
 pub use solution::{Objective, Solution, SolveError};
 pub use ssa::solve_ssa;
 pub use stats::InstanceStats;
+pub use supervise::{
+    ChaosOp, ChaosPlan, FailureKind, RecoveryReport, ReplyFate, SuperviseOptions, WorkerFailure,
+};

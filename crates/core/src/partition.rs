@@ -52,22 +52,30 @@
 //! modes, hysteresis settings and worker counts.
 
 use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
 
 use crate::assoc::Association;
+use crate::checkpoint::{PartitionCheckpoint, CHECKPOINT_SCHEMA};
 use crate::distributed::{
-    local_decision_scratch, ApStateView, DecisionScratch, DistributedConfig, DistributedOutcome,
-    ExecutionMode,
+    continue_distributed, local_decision_scratch, ApStateView, DecisionScratch, DistributedConfig,
+    DistributedOutcome, ExecutionMode,
 };
 use crate::ids::{ApId, SessionId, UserId};
 use crate::instance::Instance;
 use crate::load::Load;
 use crate::rate::Kbps;
+use crate::supervise::{
+    ChaosPlan, FailureKind, RecoveryReport, ReplyFate, SuperviseOptions, WorkerFailure,
+};
 
 /// One applied association change: the unit of the halo exchange and of
 /// decision traces.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MoveRec {
     /// The 1-based round the move was applied in.
     pub round: u32,
@@ -86,7 +94,8 @@ pub struct MoveRec {
     pub to: ApId,
 }
 
-/// Why a [`Partition`] could not be built.
+/// Why a [`Partition`] could not be built, or a partitioned run could
+/// not start.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PartitionError {
     /// `n_tiles` was zero — at least one tile is required.
@@ -96,6 +105,17 @@ pub enum PartitionError {
     WrongSize,
     /// An assignment named a tile index `>= n_tiles`.
     TileOutOfRange,
+    /// The initial association puts a user on an AP outside its range
+    /// (the single-threaded ledger panics on this; the partitioned
+    /// driver reports it as a typed error).
+    InvalidInitialAssociation {
+        /// The misassociated user.
+        user: UserId,
+        /// The AP it cannot reach.
+        ap: ApId,
+    },
+    /// A resume checkpoint did not match the instance or schema.
+    BadCheckpoint(&'static str),
 }
 
 impl std::fmt::Display for PartitionError {
@@ -108,6 +128,10 @@ impl std::fmt::Display for PartitionError {
             PartitionError::TileOutOfRange => {
                 write!(f, "tile assignment names a tile index >= n_tiles")
             }
+            PartitionError::InvalidInitialAssociation { user, ap } => {
+                write!(f, "initial association puts {user} out of range of {ap}")
+            }
+            PartitionError::BadCheckpoint(why) => write!(f, "bad checkpoint: {why}"),
         }
     }
 }
@@ -271,7 +295,12 @@ struct TileLedger<'a> {
     loads: Vec<Load>,
     n_rates: usize,
     n_sessions: usize,
-    /// Current AP per user; only this tile's own users are maintained.
+    /// Current AP per user. Own users are authoritative; other tiles'
+    /// users are a *shadow* updated from shipped halo deltas, exact for
+    /// every tracked AP (a remote move touching a tracked AP is always
+    /// shipped, because any tracked AP a remote user can reach is by
+    /// definition boundary) and possibly stale only at untracked APs,
+    /// which no decision and no audit ever reads.
     assoc: Vec<Option<ApId>>,
 }
 
@@ -310,15 +339,12 @@ impl<'a> TileLedger<'a> {
             loads: vec![Load::ZERO; tracked as usize],
             n_rates,
             n_sessions,
-            assoc: vec![None; inst.n_users()],
+            assoc: initial.as_slice().to_vec(),
         };
         for (i, &ap) in initial.as_slice().iter().enumerate() {
             if let Some(a) = ap {
                 ledger.count_join(UserId(i as u32), a);
             }
-        }
-        for &(_, u) in own {
-            ledger.assoc[u.index()] = initial.ap_of(u);
         }
         ledger
     }
@@ -412,12 +438,75 @@ impl<'a> TileLedger<'a> {
     }
 
     /// Applies another tile's move to the ghost replicas: pure count
-    /// deltas, skipping untracked endpoints.
+    /// deltas, skipping untracked endpoints. The shadow association
+    /// follows so the drift auditor can rebuild membership from scratch.
     fn apply_remote(&mut self, rec: &MoveRec) {
         if let Some(f) = rec.from {
             self.count_leave(rec.user, f);
         }
         self.count_join(rec.user, rec.to);
+        self.assoc[rec.user.index()] = Some(rec.to);
+    }
+
+    /// Ghost-replica drift auditor: rebuilds every tracked *boundary*
+    /// AP's per-session member multiset from the shadow association and
+    /// compares it against the incrementally maintained ghost state —
+    /// counts, cached min-rate index, and cached load. Panics with a
+    /// named report of the first diverging (AP, session, rate) entry;
+    /// under supervision that quarantines the tile instead of poisoning
+    /// the run.
+    fn audit_ghosts(&self, part: &Partition) {
+        let rates = self.inst.supported_rates();
+        for a in self.inst.aps() {
+            let Some(li) = self.lidx(a) else { continue };
+            if !part.is_boundary_ap(a) {
+                continue;
+            }
+            let mut rebuilt = vec![0u32; self.n_sessions * self.n_rates];
+            for &u in self.inst.reachable_users(a) {
+                if self.assoc[u.index()] == Some(a) {
+                    let r = self.rate_idx(
+                        self.inst
+                            .multicast_rate_to(a, u)
+                            .expect("member is in range"),
+                    );
+                    rebuilt[self.inst.user_session(u).index() * self.n_rates + r] += 1;
+                }
+            }
+            let mut load = Load::ZERO;
+            for s in self.inst.sessions() {
+                let slot = self.slot(li, s);
+                let base = s.index() * self.n_rates;
+                for r in 0..self.n_rates {
+                    let have = self.counts[slot * self.n_rates + r];
+                    let want = rebuilt[base + r];
+                    assert!(
+                        have == want,
+                        "ghost drift at ({a}, {s}, rate {rate}): \
+                         ledger counts {have} members, rebuild counts {want}",
+                        rate = rates[r],
+                    );
+                }
+                let min = rebuilt[base..base + self.n_rates]
+                    .iter()
+                    .position(|&c| c > 0);
+                let want_min = min.map_or(NO_RATE, |m| m as u32);
+                assert!(
+                    self.min_rate[slot] == want_min,
+                    "ghost drift at ({a}, {s}): ledger min-rate index {have} != rebuilt {want_min}",
+                    have = self.min_rate[slot],
+                );
+                if let Some(m) = min {
+                    load += Load::per_transmission(self.inst.session_rate(s), rates[m]);
+                }
+            }
+            assert!(
+                self.loads[li] == load,
+                "ghost drift at {a}: cached load {:?} != rebuilt {:?}",
+                self.loads[li],
+                load,
+            );
+        }
     }
 }
 
@@ -500,6 +589,10 @@ struct ChainState {
     next_rank: usize,
     /// Boundary moves of the current round, tagged with the mover's tile.
     log: Vec<(u32, MoveRec)>,
+    /// Set when a worker failed (or the coordinator gave up on the
+    /// round): waiters bail out instead of blocking forever, and the
+    /// round is void.
+    aborted: bool,
 }
 
 impl BoundaryChain {
@@ -508,25 +601,45 @@ impl BoundaryChain {
             state: Mutex::new(ChainState {
                 next_rank: 0,
                 log: Vec::new(),
+                aborted: false,
             }),
             cv: Condvar::new(),
         }
     }
 
-    /// Blocks until `next_rank == rank`, returning the guard. Also the
+    /// Locks the chain, tolerating poison: a worker panicking under
+    /// `catch_unwind` while holding the guard poisons the mutex, but the
+    /// state itself stays consistent (panic sites never leave a
+    /// half-pushed log) and the aborted round is discarded anyway.
+    fn lock(&self) -> MutexGuard<'_, ChainState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Blocks until `next_rank == rank` — or the chain is aborted,
+    /// which callers must check on the returned guard. Also the
     /// end-of-round barrier (`rank` = total boundary users).
     fn wait_for(&self, rank: usize) -> MutexGuard<'_, ChainState> {
-        let mut st = self.state.lock().expect("chain never poisoned");
-        while st.next_rank != rank {
-            st = self.cv.wait(st).expect("chain never poisoned");
+        let mut st = self.lock();
+        while st.next_rank != rank && !st.aborted {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
         }
         st
     }
 
+    /// Voids the round: wakes every waiter and makes further waits
+    /// return immediately.
+    fn abort(&self) {
+        let mut st = self.lock();
+        st.aborted = true;
+        drop(st);
+        self.cv.notify_all();
+    }
+
     fn reset(&self) {
-        let mut st = self.state.lock().expect("chain never poisoned");
+        let mut st = self.lock();
         st.next_rank = 0;
         st.log.clear();
+        st.aborted = false;
     }
 }
 
@@ -539,18 +652,57 @@ enum Cmd {
     Decide { round: u32 },
     /// Simultaneous: apply the round's moves — own pending list plus the
     /// boundary-filtered lists of the other tiles — in ascending tile
-    /// order.
-    Apply { boundary: Arc<Vec<Vec<MoveRec>>> },
+    /// order; acknowledge so apply/audit failures surface before the
+    /// tile's next decide.
+    Apply {
+        round: u32,
+        boundary: Arc<Vec<Vec<MoveRec>>>,
+    },
     /// Serial: run the round's wavefront (interior users free-running,
     /// boundary users sequenced on the chain); reply with the own moves.
     Serial { round: u32 },
+    /// Supervision: re-send the last cached reply (the coordinator
+    /// missed it — dropped, or delayed past the exchange deadline).
+    Resend,
     /// Shut down.
     Stop,
 }
 
+/// A worker's answer to one command: its round, and either the round's
+/// own moves (empty for `Apply` acks) or the typed failure.
+#[derive(Clone)]
 struct Reply {
     tile: usize,
-    moves: Vec<MoveRec>,
+    round: u32,
+    result: Result<Vec<MoveRec>, WorkerFailure>,
+}
+
+/// Sends a reply, caching it for `Cmd::Resend` and applying the chaos
+/// plan's scripted fate (drop / duplicate / delay) at the send site.
+fn send_reply(
+    reply: Reply,
+    tx: &mpsc::Sender<Reply>,
+    chaos: Option<&ChaosPlan>,
+    cached: &mut Option<Reply>,
+) {
+    *cached = Some(reply.clone());
+    let fate = chaos.map_or(ReplyFate::Deliver, |c| {
+        c.reply_fate(reply.tile as u32, reply.round)
+    });
+    match fate {
+        ReplyFate::Deliver => {
+            let _ = tx.send(reply);
+        }
+        ReplyFate::Drop => {}
+        ReplyFate::Duplicate => {
+            let _ = tx.send(reply.clone());
+            let _ = tx.send(reply);
+        }
+        ReplyFate::Delay(d) => {
+            std::thread::sleep(d);
+            let _ = tx.send(reply);
+        }
+    }
 }
 
 /// One worker's state: its tile ledger, own users in processing order,
@@ -670,10 +822,17 @@ impl<'a> Shard<'a> {
     ) -> Vec<MoveRec> {
         let mut moves = Vec::new();
         let mut cursor = 0usize;
+        let mut voided = false;
         let own = std::mem::take(&mut self.own);
         for &(pos, u) in &own {
             if self.part.is_boundary_user(u) {
                 let mut st = chain.wait_for(rank_of[u.index()] as usize);
+                if st.aborted {
+                    // A peer failed: the round is void (the coordinator
+                    // discards it and degrades to the W = 1 engine).
+                    voided = true;
+                    break;
+                }
                 self.drain_log(&st.log, &mut cursor);
                 if std::mem::replace(&mut self.dirty[u.index()], false) {
                     if let Some(a) = self.decide(u) {
@@ -709,10 +868,15 @@ impl<'a> Shard<'a> {
             }
         }
         self.own = own;
+        if voided {
+            return moves;
+        }
         // End-of-round barrier: wait for every boundary user of every
         // tile, then absorb the remaining boundary moves.
         let st = chain.wait_for(n_boundary);
-        self.drain_log(&st.log, &mut cursor);
+        if !st.aborted {
+            self.drain_log(&st.log, &mut cursor);
+        }
         moves
     }
 
@@ -730,6 +894,46 @@ impl<'a> Shard<'a> {
     }
 }
 
+/// Outcome of a supervised partitioned run: the distributed outcome
+/// (identical to the fault-free run), the decision trace, and what
+/// recovery had to happen along the way.
+#[derive(Debug, Clone)]
+pub struct SupervisedOutcome {
+    /// The distributed outcome — byte-identical to `run_distributed`
+    /// regardless of injected or real faults.
+    pub outcome: DistributedOutcome,
+    /// The decision trace sorted by `(round, pos)`; empty unless
+    /// [`SuperviseOptions::trace`] (or the resumed checkpoint's
+    /// `traced`) was set.
+    pub trace: Vec<MoveRec>,
+    /// Failures observed, retries, quarantines, degradation, and
+    /// checkpoints written.
+    pub recovery: RecoveryReport,
+}
+
+/// Where a (possibly resumed) run starts: the association, the next
+/// round, and the carried move count / cycle history / trace prefix.
+struct StartState {
+    initial: Association,
+    start_round: usize,
+    moves: usize,
+    seen_list: Vec<Vec<Option<ApId>>>,
+    trace: Vec<MoveRec>,
+}
+
+impl StartState {
+    fn fresh(initial: Association) -> StartState {
+        let seen_list = vec![initial.as_slice().to_vec()];
+        StartState {
+            initial,
+            start_round: 1,
+            moves: 0,
+            seen_list,
+            trace: Vec::new(),
+        }
+    }
+}
+
 /// Runs a distributed algorithm on `part.n_tiles()` worker threads,
 /// bit-for-bit equivalent to
 /// [`run_distributed`](crate::distributed::run_distributed) — identical
@@ -737,18 +941,33 @@ impl<'a> Shard<'a> {
 /// sequence — for every partition and thread schedule (see the
 /// [module docs](self) for the argument).
 ///
+/// An initial association associating a user with an AP out of its range
+/// is reported as [`PartitionError::InvalidInitialAssociation`] (the
+/// single-threaded engine panics on the same input).
+///
 /// # Panics
 ///
-/// Panics if `part` does not fit `inst`, or if `initial` has the wrong
-/// size or associates a user with an AP out of its range (as
-/// `run_distributed` does).
+/// Panics if `part` does not fit `inst` or `initial` has the wrong size,
+/// and propagates worker panics (real bugs — including ghost-replica
+/// drift caught by the debug-build auditor). Use
+/// [`run_distributed_supervised`] for typed failure recovery.
 pub fn run_distributed_partitioned(
     inst: &Instance,
     config: &DistributedConfig,
     initial: Association,
     part: &Partition,
-) -> DistributedOutcome {
-    run_partitioned_impl(inst, config, initial, part, false).0
+) -> Result<DistributedOutcome, PartitionError> {
+    let opts = SuperviseOptions::default();
+    run_supervised_impl(
+        inst,
+        config,
+        part,
+        StartState::fresh(initial),
+        false,
+        &opts,
+        false,
+    )
+    .map(|s| s.outcome)
 }
 
 /// [`run_distributed_partitioned`] plus the decision trace, sorted by
@@ -759,29 +978,175 @@ pub fn run_distributed_partitioned_traced(
     config: &DistributedConfig,
     initial: Association,
     part: &Partition,
-) -> (DistributedOutcome, Vec<MoveRec>) {
-    run_partitioned_impl(inst, config, initial, part, true)
+) -> Result<(DistributedOutcome, Vec<MoveRec>), PartitionError> {
+    let opts = SuperviseOptions::default();
+    run_supervised_impl(
+        inst,
+        config,
+        part,
+        StartState::fresh(initial),
+        true,
+        &opts,
+        false,
+    )
+    .map(|s| (s.outcome, s.trace))
 }
 
-fn run_partitioned_impl(
+/// The supervised entry point: workers run under `catch_unwind`, the
+/// halo exchange honors [`SuperviseOptions::deadline`] with bounded
+/// resend retries, failures escalate along the recovery ladder
+/// (retry → quarantine tile → degrade to W = 1), checkpoints are written
+/// every [`SuperviseOptions::checkpoint_every`] rounds, and a
+/// [`ChaosPlan`] can inject scripted faults. The outcome and trace are
+/// byte-identical to the fault-free run under *any* plan.
+pub fn run_distributed_supervised(
     inst: &Instance,
     config: &DistributedConfig,
     initial: Association,
     part: &Partition,
+    opts: &SuperviseOptions<'_>,
+) -> Result<SupervisedOutcome, PartitionError> {
+    run_supervised_impl(
+        inst,
+        config,
+        part,
+        StartState::fresh(initial),
+        opts.trace,
+        opts,
+        true,
+    )
+}
+
+/// Resumes a supervised run from a checkpoint: shards are rebuilt from
+/// the checkpointed association with an all-dirty worklist (outcome- and
+/// trace-neutral), and the finished run's outcome and trace are
+/// byte-identical to the uninterrupted run's. The trace is continued iff
+/// the checkpointed run collected one (`cp.traced`).
+pub fn resume_distributed_supervised(
+    inst: &Instance,
+    config: &DistributedConfig,
+    part: &Partition,
+    cp: &PartitionCheckpoint,
+    opts: &SuperviseOptions<'_>,
+) -> Result<SupervisedOutcome, PartitionError> {
+    cp.validate(inst)?;
+    let start = StartState {
+        initial: cp.association(),
+        start_round: cp.round as usize + 1,
+        moves: cp.moves as usize,
+        seen_list: cp.seen.clone(),
+        trace: cp.trace.clone(),
+    };
+    run_supervised_impl(inst, config, part, start, cp.traced, opts, true)
+}
+
+/// Collects one reply per still-`need`ed tile for `round`, enforcing the
+/// exchange deadline: a timeout triggers up to `max_retries` resend
+/// sweeps (the workers cache their last reply) before the missing tiles
+/// are written off with [`FailureKind::ExchangeTimeout`]. Stale rounds
+/// and duplicate deliveries are discarded by the `(round, tile)` filter.
+#[allow(clippy::too_many_arguments)]
+fn collect_replies(
+    reply_rx: &mpsc::Receiver<Reply>,
+    cmd_txs: &[mpsc::Sender<Cmd>],
+    round: u32,
+    need: &mut [bool],
+    deadline: Option<Duration>,
+    max_retries: u32,
+    recovery: &mut RecoveryReport,
+    mut on_ok: impl FnMut(usize, Vec<MoveRec>),
+) -> Vec<WorkerFailure> {
+    let mut failures = Vec::new();
+    let mut retries_left = max_retries;
+    while need.iter().any(|&n| n) {
+        let reply = match deadline {
+            None => match reply_rx.recv() {
+                Ok(r) => r,
+                Err(_) => {
+                    timeout_missing(need, round, &mut failures);
+                    break;
+                }
+            },
+            Some(d) => match reply_rx.recv_timeout(d) {
+                Ok(r) => r,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if retries_left > 0 {
+                        retries_left -= 1;
+                        recovery.retries += 1;
+                        for (t, &n) in need.iter().enumerate() {
+                            if n {
+                                let _ = cmd_txs[t].send(Cmd::Resend);
+                            }
+                        }
+                        continue;
+                    }
+                    timeout_missing(need, round, &mut failures);
+                    break;
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    timeout_missing(need, round, &mut failures);
+                    break;
+                }
+            },
+        };
+        if reply.round != round || !need[reply.tile] {
+            continue; // stale round, duplicate, or already-settled tile
+        }
+        need[reply.tile] = false;
+        match reply.result {
+            Ok(moves) => on_ok(reply.tile, moves),
+            Err(f) => failures.push(f),
+        }
+    }
+    failures
+}
+
+fn timeout_missing(need: &mut [bool], round: u32, failures: &mut Vec<WorkerFailure>) {
+    for (t, n) in need.iter_mut().enumerate() {
+        if *n {
+            *n = false;
+            failures.push(WorkerFailure {
+                tile: t,
+                round,
+                kind: FailureKind::ExchangeTimeout,
+            });
+        }
+    }
+}
+
+fn stop_workers(cmd_txs: &[mpsc::Sender<Cmd>]) {
+    for tx in cmd_txs {
+        let _ = tx.send(Cmd::Stop);
+    }
+}
+
+fn run_supervised_impl(
+    inst: &Instance,
+    config: &DistributedConfig,
+    part: &Partition,
+    start: StartState,
     collect_trace: bool,
-) -> (DistributedOutcome, Vec<MoveRec>) {
+    opts: &SuperviseOptions<'_>,
+    recover: bool,
+) -> Result<SupervisedOutcome, PartitionError> {
     assert_eq!(part.ap_tile.len(), inst.n_aps(), "partition AP count");
     assert_eq!(part.user_tile.len(), inst.n_users(), "partition user count");
-    assert_eq!(initial.as_slice().len(), inst.n_users(), "association size");
+    assert_eq!(
+        start.initial.as_slice().len(),
+        inst.n_users(),
+        "association size"
+    );
     // The tile ledgers silently skip untracked APs, so the structural
     // validation the single-threaded ledger performs on construction is
-    // reproduced here explicitly.
-    for (i, &ap) in initial.as_slice().iter().enumerate() {
+    // reproduced here explicitly — as a typed error.
+    for (i, &ap) in start.initial.as_slice().iter().enumerate() {
         if let Some(a) = ap {
-            assert!(
-                inst.multicast_rate_to(a, UserId(i as u32)).is_some(),
-                "user u{i} out of range of AP {a}"
-            );
+            if inst.multicast_rate_to(a, UserId(i as u32)).is_none() {
+                return Err(PartitionError::InvalidInitialAssociation {
+                    user: UserId(i as u32),
+                    ap: a,
+                });
+            }
         }
     }
 
@@ -805,7 +1170,8 @@ fn run_partitioned_impl(
     }
     let n_boundary = boundary_ranked.len();
 
-    // Own users per tile, in the mode's processing order.
+    // Own users per tile, in the mode's processing order. A copy stays
+    // with the coordinator: quarantined tiles are rebuilt from it.
     let mut own_lists: Vec<Vec<(u32, UserId)>> = vec![Vec::new(); w];
     match config.mode {
         ExecutionMode::Serial => {
@@ -819,6 +1185,15 @@ fn run_partitioned_impl(
             }
         }
     }
+    let own_backup = own_lists.clone();
+
+    // A chaos plan's dropped replies are only recoverable through the
+    // deadline path, so chaos implies a (short) default deadline.
+    let deadline = opts
+        .deadline
+        .or_else(|| opts.chaos.map(|_| Duration::from_millis(250)));
+    let audit = opts.audit;
+    let chaos = opts.chaos;
 
     let chain = BoundaryChain::new();
     let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
@@ -830,28 +1205,132 @@ fn run_partitioned_impl(
         cmd_rxs.push(rx);
     }
 
+    let initial = start.initial;
     let mut global: Vec<Option<ApId>> = initial.as_slice().to_vec();
-    let mut trace: Vec<MoveRec> = Vec::new();
+    let mut trace: Vec<MoveRec> = start.trace;
+    let mut seen: HashSet<Vec<Option<ApId>>> = start.seen_list.iter().cloned().collect();
+    // The insertion-ordered history is only needed for checkpoints.
+    let mut seen_list = if opts.sink.is_some() {
+        start.seen_list
+    } else {
+        Vec::new()
+    };
+    let start_round = start.start_round;
+    let start_moves = start.moves;
     let initial_ref = &initial;
     let chain_ref = &chain;
     let rank_of_ref = &rank_of;
 
-    let outcome = std::thread::scope(|scope| {
+    let (outcome, recovery) = std::thread::scope(|scope| {
         for (tile, (rx, own)) in cmd_rxs.into_iter().zip(own_lists).enumerate() {
             let reply_tx = reply_tx.clone();
             scope.spawn(move || {
                 let mut shard = Shard::new(inst, part, tile as u32, initial_ref, own, config);
+                // Once a worker fails it stays failed: its ledger may be
+                // inconsistent, so every later command is refused with
+                // the original failure.
+                let mut dead: Option<WorkerFailure> = None;
+                let mut cached: Option<Reply> = None;
                 while let Ok(cmd) = rx.recv() {
                     match cmd {
                         Cmd::Decide { round } => {
-                            let moves = shard.decide_round(round);
-                            let _ = reply_tx.send(Reply { tile, moves });
+                            let result = match &dead {
+                                Some(f) => Err(f.clone()),
+                                None => catch_unwind(AssertUnwindSafe(|| {
+                                    if let Some(c) = chaos {
+                                        if c.panic_due(tile as u32, round) {
+                                            panic!("chaos: injected worker panic");
+                                        }
+                                    }
+                                    shard.decide_round(round)
+                                }))
+                                .map_err(|p| {
+                                    let f = WorkerFailure::from_panic(tile, round, p.as_ref());
+                                    dead = Some(f.clone());
+                                    f
+                                }),
+                            };
+                            send_reply(
+                                Reply {
+                                    tile,
+                                    round,
+                                    result,
+                                },
+                                &reply_tx,
+                                chaos,
+                                &mut cached,
+                            );
                         }
-                        Cmd::Apply { boundary } => shard.apply_round(&boundary),
+                        Cmd::Apply { round, boundary } => {
+                            let result = match &dead {
+                                Some(f) => Err(f.clone()),
+                                None => catch_unwind(AssertUnwindSafe(|| {
+                                    shard.apply_round(&boundary);
+                                    if audit {
+                                        shard.ledger.audit_ghosts(part);
+                                    }
+                                    Vec::new()
+                                }))
+                                .map_err(|p| {
+                                    let f = WorkerFailure::from_panic(tile, round, p.as_ref());
+                                    dead = Some(f.clone());
+                                    f
+                                }),
+                            };
+                            send_reply(
+                                Reply {
+                                    tile,
+                                    round,
+                                    result,
+                                },
+                                &reply_tx,
+                                chaos,
+                                &mut cached,
+                            );
+                        }
                         Cmd::Serial { round } => {
-                            let moves =
-                                shard.serial_round(round, chain_ref, n_boundary, rank_of_ref);
-                            let _ = reply_tx.send(Reply { tile, moves });
+                            let result = match &dead {
+                                Some(f) => Err(f.clone()),
+                                None => catch_unwind(AssertUnwindSafe(|| {
+                                    if let Some(c) = chaos {
+                                        if c.panic_due(tile as u32, round) {
+                                            panic!("chaos: injected worker panic");
+                                        }
+                                    }
+                                    let moves = shard.serial_round(
+                                        round,
+                                        chain_ref,
+                                        n_boundary,
+                                        rank_of_ref,
+                                    );
+                                    if audit {
+                                        shard.ledger.audit_ghosts(part);
+                                    }
+                                    moves
+                                }))
+                                .map_err(|p| {
+                                    // Release peers blocked on the chain.
+                                    chain_ref.abort();
+                                    let f = WorkerFailure::from_panic(tile, round, p.as_ref());
+                                    dead = Some(f.clone());
+                                    f
+                                }),
+                            };
+                            send_reply(
+                                Reply {
+                                    tile,
+                                    round,
+                                    result,
+                                },
+                                &reply_tx,
+                                chaos,
+                                &mut cached,
+                            );
+                        }
+                        Cmd::Resend => {
+                            if let Some(r) = &cached {
+                                let _ = reply_tx.send(r.clone());
+                            }
                         }
                         Cmd::Stop => break,
                     }
@@ -859,24 +1338,74 @@ fn run_partitioned_impl(
             });
         }
 
-        let mut moves_total = 0usize;
-        let mut seen: HashSet<Vec<Option<ApId>>> = HashSet::new();
-        seen.insert(global.clone());
+        let mut moves_total = start_moves;
+        let mut recovery = RecoveryReport::default();
+        // alive[t]: the worker still gets commands. A quarantined tile's
+        // shard is recomputed inline by the coordinator instead.
+        let mut alive = vec![true; w];
+        let mut inline: Vec<Option<Shard>> = (0..w).map(|_| None).collect();
         let mut result: Option<DistributedOutcome> = None;
+        let mut degraded: Option<usize> = None;
 
-        for round in 1..=config.max_rounds {
+        'rounds: for round in start_round..=config.max_rounds {
+            let r32 = round as u32;
             let mut per_tile: Vec<Vec<MoveRec>> = vec![Vec::new(); w];
+            let mut changed = false;
             match config.mode {
                 ExecutionMode::Simultaneous => {
-                    for tx in &cmd_txs {
-                        tx.send(Cmd::Decide {
-                            round: round as u32,
-                        })
-                        .expect("worker alive");
+                    for (t, tx) in cmd_txs.iter().enumerate() {
+                        if alive[t] {
+                            let _ = tx.send(Cmd::Decide { round: r32 });
+                        }
                     }
-                    for _ in 0..w {
-                        let reply = reply_rx.recv().expect("worker alive");
-                        per_tile[reply.tile] = reply.moves;
+                    for (t, shard) in inline.iter_mut().enumerate() {
+                        if let Some(shard) = shard {
+                            per_tile[t] = shard.decide_round(r32);
+                        }
+                    }
+                    let mut need = alive.clone();
+                    let failures = collect_replies(
+                        &reply_rx,
+                        &cmd_txs,
+                        r32,
+                        &mut need,
+                        deadline,
+                        opts.max_retries,
+                        &mut recovery,
+                        |t, m| per_tile[t] = m,
+                    );
+                    for f in failures {
+                        if !recover {
+                            stop_workers(&cmd_txs);
+                            panic!("{f}");
+                        }
+                        let t = f.tile;
+                        recovery.failures.push(f);
+                        recovery.quarantined.push(t);
+                        alive[t] = false;
+                        // Quarantine: rebuild the tile from the
+                        // round-start global state (the TileLedger is a
+                        // pure function of it) and recompute its round
+                        // inline; all-dirty is decision-neutral.
+                        let snap = Association::from_vec(global.clone());
+                        let mut shard =
+                            Shard::new(inst, part, t as u32, &snap, own_backup[t].clone(), config);
+                        per_tile[t] = shard.decide_round(r32);
+                        inline[t] = Some(shard);
+                    }
+                    // Merge in fixed tile-index order (order-free for the
+                    // global association — each user moves at most once
+                    // per round — but fixed anyway so every observable is
+                    // schedule-independent).
+                    for list in &per_tile {
+                        for rec in list {
+                            global[rec.user.index()] = Some(rec.to);
+                            moves_total += 1;
+                            changed = true;
+                        }
+                        if collect_trace {
+                            trace.extend_from_slice(list);
+                        }
                     }
                     // Halo exchange: ship each tile's boundary-AP moves;
                     // interior moves are invisible outside their tile and
@@ -895,40 +1424,94 @@ fn run_partitioned_impl(
                             })
                             .collect(),
                     );
-                    for tx in &cmd_txs {
-                        tx.send(Cmd::Apply {
-                            boundary: Arc::clone(&shipped),
-                        })
-                        .expect("worker alive");
+                    for (t, tx) in cmd_txs.iter().enumerate() {
+                        if alive[t] {
+                            let _ = tx.send(Cmd::Apply {
+                                round: r32,
+                                boundary: Arc::clone(&shipped),
+                            });
+                        }
+                    }
+                    for shard in inline.iter_mut().flatten() {
+                        shard.apply_round(&shipped);
+                        if audit {
+                            shard.ledger.audit_ghosts(part);
+                        }
+                    }
+                    // Collect the apply acks: an apply or audit failure
+                    // must surface before the tile's next decide, or its
+                    // corrupt ledger would poison later rounds.
+                    let mut need = alive.clone();
+                    let failures = collect_replies(
+                        &reply_rx,
+                        &cmd_txs,
+                        r32,
+                        &mut need,
+                        deadline,
+                        opts.max_retries,
+                        &mut recovery,
+                        |_t, _m| {},
+                    );
+                    for f in failures {
+                        if !recover {
+                            stop_workers(&cmd_txs);
+                            panic!("{f}");
+                        }
+                        let t = f.tile;
+                        recovery.failures.push(f);
+                        recovery.quarantined.push(t);
+                        alive[t] = false;
+                        // The merge already advanced `global` past this
+                        // round, so the replacement shard starts at the
+                        // post-round state, ready for the next decide.
+                        let snap = Association::from_vec(global.clone());
+                        let shard =
+                            Shard::new(inst, part, t as u32, &snap, own_backup[t].clone(), config);
+                        inline[t] = Some(shard);
                     }
                 }
                 ExecutionMode::Serial => {
                     chain.reset();
                     for tx in &cmd_txs {
-                        tx.send(Cmd::Serial {
-                            round: round as u32,
-                        })
-                        .expect("worker alive");
+                        let _ = tx.send(Cmd::Serial { round: r32 });
                     }
-                    for _ in 0..w {
-                        let reply = reply_rx.recv().expect("worker alive");
-                        per_tile[reply.tile] = reply.moves;
+                    let mut need = vec![true; w];
+                    let failures = collect_replies(
+                        &reply_rx,
+                        &cmd_txs,
+                        r32,
+                        &mut need,
+                        deadline,
+                        opts.max_retries,
+                        &mut recovery,
+                        |t, m| per_tile[t] = m,
+                    );
+                    if !failures.is_empty() {
+                        if !recover {
+                            stop_workers(&cmd_txs);
+                            panic!("{}", failures[0]);
+                        }
+                        recovery.failures.extend(failures);
+                        // A serial round is a single global decision
+                        // sequence — it cannot be patched per-tile. Void
+                        // it (workers applied at most a prefix to their
+                        // private ledgers, which are discarded) and
+                        // degrade: recompute from the round-start state
+                        // on the W = 1 engine.
+                        chain.abort();
+                        degraded = Some(round);
+                        break 'rounds;
                     }
-                }
-            }
-
-            // Merge in fixed tile-index order (order-free for the global
-            // association — each user moves at most once per round — but
-            // fixed anyway so every observable is schedule-independent).
-            let mut changed = false;
-            for list in &per_tile {
-                for rec in list {
-                    global[rec.user.index()] = Some(rec.to);
-                    moves_total += 1;
-                    changed = true;
-                }
-                if collect_trace {
-                    trace.extend_from_slice(list);
+                    for list in &per_tile {
+                        for rec in list {
+                            global[rec.user.index()] = Some(rec.to);
+                            moves_total += 1;
+                            changed = true;
+                        }
+                        if collect_trace {
+                            trace.extend_from_slice(list);
+                        }
+                    }
                 }
             }
 
@@ -952,22 +1535,83 @@ fn run_partitioned_impl(
                 });
                 break;
             }
+            if opts.sink.is_some() {
+                seen_list.push(global.clone());
+            }
+            // Checkpoint after every K completed (non-final) rounds.
+            if let (Some(k), Some(sink)) = (opts.checkpoint_every, opts.sink) {
+                if k > 0 && round % k == 0 {
+                    let cp = PartitionCheckpoint {
+                        schema: CHECKPOINT_SCHEMA.to_string(),
+                        round: r32,
+                        moves: moves_total as u64,
+                        assoc: global.clone(),
+                        seen: seen_list.clone(),
+                        trace: if collect_trace {
+                            trace.clone()
+                        } else {
+                            Vec::new()
+                        },
+                        traced: collect_trace,
+                    };
+                    let torn = chaos.is_some_and(|c| c.checkpoint_torn(r32));
+                    let res = if torn {
+                        sink.save_torn(&cp)
+                    } else {
+                        sink.save(&cp)
+                    };
+                    match res {
+                        Ok(()) if !torn => recovery.checkpoints_written += 1,
+                        Ok(()) => {}
+                        Err(_) => recovery.checkpoint_errors += 1,
+                    }
+                }
+            }
         }
 
-        for tx in &cmd_txs {
-            let _ = tx.send(Cmd::Stop);
+        if let Some(round) = degraded {
+            recovery.degraded_at_round = Some(round);
+            // Degrade to W = 1: re-run the failed round and everything
+            // after it single-threaded from the round-start state,
+            // carrying moves, cycle history, and trace. Checkpointing
+            // stops here — the degraded tail is already the oracle.
+            let carried = if collect_trace {
+                Some(std::mem::take(&mut trace))
+            } else {
+                None
+            };
+            let (out, t) = continue_distributed(
+                inst,
+                config,
+                Association::from_vec(global.clone()),
+                round,
+                moves_total,
+                std::mem::take(&mut seen),
+                carried,
+            );
+            if let Some(t) = t {
+                trace = t;
+            }
+            result = Some(out);
         }
-        result.unwrap_or_else(|| DistributedOutcome {
+
+        stop_workers(&cmd_txs);
+        let outcome = result.unwrap_or_else(|| DistributedOutcome {
             association: Association::from_vec(global.clone()),
             rounds: config.max_rounds,
             moves: moves_total,
             converged: false,
             cycle_detected: false,
-        })
+        });
+        (outcome, recovery)
     });
 
     trace.sort_unstable_by_key(|r| (r.round, r.pos));
-    (outcome, trace)
+    Ok(SupervisedOutcome {
+        outcome,
+        trace,
+        recovery,
+    })
 }
 
 #[cfg(test)]
@@ -976,6 +1620,7 @@ mod tests {
     use crate::distributed::{run_distributed, run_distributed_traced, DecisionOrder, Policy};
     use crate::examples_paper::{figure1_instance, figure4_instance, figure4_start};
     use crate::instance::InstanceBuilder;
+    use crate::supervise::ChaosOp;
 
     fn outcomes_match(a: &DistributedOutcome, b: &DistributedOutcome) {
         assert_eq!(a.association.as_slice(), b.association.as_slice());
@@ -1114,7 +1759,8 @@ mod tests {
                     &config,
                     Association::empty(inst.n_users()),
                     &part,
-                );
+                )
+                .unwrap();
                 outcomes_match(&par, &single);
                 assert_eq!(ptrace, strace);
             }
@@ -1133,7 +1779,7 @@ mod tests {
                 ..DistributedConfig::default()
             };
             let single = run_distributed(&inst, &config, figure4_start());
-            let par = run_distributed_partitioned(&inst, &config, figure4_start(), &part);
+            let par = run_distributed_partitioned(&inst, &config, figure4_start(), &part).unwrap();
             assert!(par.cycle_detected);
             outcomes_match(&par, &single);
         }
@@ -1150,22 +1796,32 @@ mod tests {
         };
         let part = Partition::contiguous(&inst, 2).unwrap();
         let out =
-            run_distributed_partitioned(&inst, &config, Association::empty(inst.n_users()), &part);
+            run_distributed_partitioned(&inst, &config, Association::empty(inst.n_users()), &part)
+                .unwrap();
         assert_eq!(out.rounds, 0);
         assert_eq!(out.moves, 0);
         assert!(!out.converged);
     }
 
-    /// Out-of-range initial associations panic, as in `run_distributed`.
+    /// Out-of-range initial associations are reported as a typed error
+    /// (the single-threaded engine panics on the same input).
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn invalid_initial_panics() {
+    fn invalid_initial_is_typed_error() {
         let inst = figure1_instance(Kbps::from_mbps(1));
         let part = Partition::single(&inst);
-        // u1 (paper's u2... index 0) cannot reach a2 (ApId(1))? u0 can
-        // only reach ApId(0) — associating it with ApId(1) is invalid.
+        // u0 can only reach ApId(0) — associating it with ApId(1) is
+        // invalid.
         let bad = Association::from_vec(vec![Some(ApId(1)), None, None, None, None]);
-        let _ = run_distributed_partitioned(&inst, &DistributedConfig::default(), bad, &part);
+        let err = run_distributed_partitioned(&inst, &DistributedConfig::default(), bad, &part)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            PartitionError::InvalidInitialAssociation {
+                user: UserId(0),
+                ap: ApId(1),
+            }
+        );
+        assert!(err.to_string().contains("out of range"));
     }
 
     /// More tiles than users/APs still works (some shards are empty).
@@ -1176,7 +1832,184 @@ mod tests {
         let config = DistributedConfig::default();
         let single = run_distributed(&inst, &config, Association::empty(inst.n_users()));
         let par =
-            run_distributed_partitioned(&inst, &config, Association::empty(inst.n_users()), &part);
+            run_distributed_partitioned(&inst, &config, Association::empty(inst.n_users()), &part)
+                .unwrap();
         outcomes_match(&par, &single);
+    }
+
+    /// An injected worker panic is quarantined (Simultaneous) or degrades
+    /// to the W = 1 engine (Serial) — either way the outcome and trace
+    /// are byte-identical to the fault-free reference.
+    #[test]
+    fn injected_panic_is_quarantined_with_identical_outcome() {
+        let (inst, part) = quadrant_fixture();
+        for mode in [ExecutionMode::Simultaneous, ExecutionMode::Serial] {
+            let config = DistributedConfig {
+                mode,
+                max_rounds: 30,
+                order: DecisionOrder::Shuffled(7),
+                ..DistributedConfig::default()
+            };
+            let (single, strace) =
+                run_distributed_traced(&inst, &config, Association::empty(inst.n_users()));
+            let chaos = ChaosPlan::new(vec![ChaosOp::WorkerPanic { tile: 1, round: 1 }]);
+            let opts = SuperviseOptions {
+                deadline: Some(Duration::from_millis(200)),
+                trace: true,
+                chaos: Some(&chaos),
+                ..SuperviseOptions::default()
+            };
+            let sup = run_distributed_supervised(
+                &inst,
+                &config,
+                Association::empty(inst.n_users()),
+                &part,
+                &opts,
+            )
+            .unwrap();
+            outcomes_match(&sup.outcome, &single);
+            assert_eq!(sup.trace, strace);
+            assert!(!sup.recovery.clean());
+            match mode {
+                ExecutionMode::Simultaneous => {
+                    assert!(sup.recovery.quarantined.contains(&1));
+                    assert_eq!(sup.recovery.degraded_at_round, None);
+                }
+                ExecutionMode::Serial => {
+                    assert_eq!(sup.recovery.degraded_at_round, Some(1));
+                }
+            }
+        }
+    }
+
+    /// A dropped halo reply is recovered by the deadline + resend path
+    /// (the worker caches its last reply), with an identical outcome.
+    #[test]
+    fn dropped_reply_is_recovered_by_resend() {
+        let (inst, part) = quadrant_fixture();
+        let config = DistributedConfig {
+            mode: ExecutionMode::Simultaneous,
+            max_rounds: 30,
+            order: DecisionOrder::Shuffled(7),
+            ..DistributedConfig::default()
+        };
+        let (single, strace) =
+            run_distributed_traced(&inst, &config, Association::empty(inst.n_users()));
+        let chaos = ChaosPlan::new(vec![ChaosOp::DropReply { tile: 2, round: 1 }]);
+        let opts = SuperviseOptions {
+            deadline: Some(Duration::from_millis(50)),
+            trace: true,
+            chaos: Some(&chaos),
+            ..SuperviseOptions::default()
+        };
+        let sup = run_distributed_supervised(
+            &inst,
+            &config,
+            Association::empty(inst.n_users()),
+            &part,
+            &opts,
+        )
+        .unwrap();
+        outcomes_match(&sup.outcome, &single);
+        assert_eq!(sup.trace, strace);
+        assert!(
+            sup.recovery.retries >= 1 || !sup.recovery.failures.is_empty(),
+            "the drop must have been noticed: {:?}",
+            sup.recovery
+        );
+    }
+
+    /// An in-memory sink recording every checkpoint.
+    struct MemSink(std::sync::Mutex<Vec<PartitionCheckpoint>>);
+
+    impl MemSink {
+        fn new() -> Self {
+            MemSink(std::sync::Mutex::new(Vec::new()))
+        }
+    }
+
+    impl crate::checkpoint::CheckpointSink for MemSink {
+        fn save(&self, cp: &PartitionCheckpoint) -> Result<(), crate::checkpoint::CheckpointError> {
+            self.0.lock().unwrap().push(cp.clone());
+            Ok(())
+        }
+    }
+
+    /// Resuming from *any* checkpoint of a run reproduces the
+    /// uninterrupted outcome and trace byte-for-byte.
+    #[test]
+    fn checkpoint_restore_is_byte_identical() {
+        let (inst, part) = quadrant_fixture();
+        for mode in [ExecutionMode::Serial, ExecutionMode::Simultaneous] {
+            let config = DistributedConfig {
+                mode,
+                max_rounds: 30,
+                order: DecisionOrder::Shuffled(7),
+                ..DistributedConfig::default()
+            };
+            let sink = MemSink::new();
+            let opts = SuperviseOptions {
+                checkpoint_every: Some(1),
+                trace: true,
+                sink: Some(&sink),
+                ..SuperviseOptions::default()
+            };
+            let full = run_distributed_supervised(
+                &inst,
+                &config,
+                Association::empty(inst.n_users()),
+                &part,
+                &opts,
+            )
+            .unwrap();
+            assert!(full.recovery.checkpoints_written >= 1);
+            let cps = sink.0.lock().unwrap().clone();
+            assert_eq!(cps.len(), full.recovery.checkpoints_written);
+            for cp in &cps {
+                let resumed = resume_distributed_supervised(
+                    &inst,
+                    &config,
+                    &part,
+                    cp,
+                    &SuperviseOptions::default(),
+                )
+                .unwrap();
+                outcomes_match(&resumed.outcome, &full.outcome);
+                assert_eq!(resumed.trace, full.trace);
+            }
+        }
+    }
+
+    /// The drift auditor names the first diverging (AP, session, rate)
+    /// entry when a ghost replica is tampered with — and stays silent on
+    /// a consistent ledger.
+    #[test]
+    fn ghost_drift_auditor_names_the_divergence() {
+        let (inst, part) = quadrant_fixture();
+        // Tile 0's shard with every user parked on its home AP.
+        let initial =
+            Association::from_vec((0..inst.n_users()).map(|i| Some(ApId(i as u32))).collect());
+        let own: Vec<(u32, UserId)> = inst
+            .users()
+            .filter(|&u| part.user_tile(u) == 0)
+            .map(|u| (u.0, u))
+            .collect();
+        let mut ledger = TileLedger::new(&inst, &initial, &own);
+        ledger.audit_ghosts(&part); // consistent: must not panic
+                                    // Tamper: inflate the (a1, s0) member count at rate index 0.
+        let li = ledger.lidx(ApId(1)).expect("a1 is tracked by tile 0");
+        let slot = ledger.slot(li, SessionId(0));
+        let n_rates = ledger.n_rates;
+        ledger.counts[slot * n_rates] += 1;
+        let tampered = std::panic::catch_unwind(AssertUnwindSafe(|| ledger.audit_ghosts(&part)));
+        let payload = tampered.expect_err("tampered ledger must be reported");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("ghost drift at (ap1, s0"),
+            "unexpected audit message: {msg}"
+        );
     }
 }

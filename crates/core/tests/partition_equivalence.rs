@@ -13,9 +13,10 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 
 use mcast_core::{
-    run_distributed_partitioned, run_distributed_partitioned_traced, run_distributed_traced, ApId,
-    Association, DecisionOrder, DistributedConfig, ExecutionMode, Instance, InstanceBuilder, Kbps,
-    Load, LoadLedger, Partition, Policy,
+    run_distributed_partitioned, run_distributed_partitioned_traced, run_distributed_supervised,
+    run_distributed_traced, ApId, Association, ChaosPlan, DecisionOrder, DistributedConfig,
+    ExecutionMode, Instance, InstanceBuilder, Kbps, Load, LoadLedger, Partition, Policy,
+    SuperviseOptions,
 };
 
 const RATES: [u32; 4] = [6, 12, 24, 54];
@@ -121,7 +122,8 @@ proptest! {
                         &config,
                         initial.clone(),
                         &part,
-                    );
+                    )
+                    .unwrap();
                     let ctx = format!("{policy:?}/{mode:?} W={w}");
                     prop_assert_eq!(
                         par.association.as_slice(),
@@ -193,9 +195,66 @@ proptest! {
             &config,
             Association::empty(inst.n_users()),
             &part,
-        );
+        )
+        .unwrap();
         let (a, b) = (run(), run());
         prop_assert_eq!(a.association, b.association);
         prop_assert_eq!(a.moves, b.moves);
+    }
+
+    /// Chaos equivalence: a supervised run under a seeded fault plan
+    /// (worker panics, dropped/delayed/duplicated halo replies) recovers
+    /// to the exact fault-free outcome and decision trace — for both
+    /// modes, both policies, W ∈ {2, 4}.
+    #[test]
+    fn chaos_recovers_to_the_fault_free_run(
+        inst in coverable_instance(),
+        chaos_seed in 0u64..u64::MAX,
+    ) {
+        for policy in [Policy::MinTotalLoad, Policy::MinMaxVector] {
+            for mode in [ExecutionMode::Serial, ExecutionMode::Simultaneous] {
+                let config = DistributedConfig {
+                    policy,
+                    mode,
+                    max_rounds: 30,
+                    ..DistributedConfig::default()
+                };
+                let initial = Association::empty(inst.n_users());
+                let (single, strace) =
+                    run_distributed_traced(&inst, &config, initial.clone());
+                for w in [2usize, 4] {
+                    let part = Partition::contiguous(&inst, w).unwrap();
+                    // Seed faults only into rounds the run actually
+                    // executes, so every plan injects something.
+                    let chaos =
+                        ChaosPlan::seeded(chaos_seed, w, single.rounds.max(1) as u32);
+                    let opts = SuperviseOptions {
+                        trace: true,
+                        chaos: Some(&chaos),
+                        ..SuperviseOptions::default()
+                    };
+                    let out = run_distributed_supervised(
+                        &inst,
+                        &config,
+                        initial.clone(),
+                        &part,
+                        &opts,
+                    )
+                    .unwrap();
+                    let ctx = format!("{policy:?}/{mode:?} W={w} seed={chaos_seed}");
+                    prop_assert_eq!(
+                        out.outcome.association.as_slice(),
+                        single.association.as_slice(),
+                        "association: {}", ctx
+                    );
+                    prop_assert_eq!(out.outcome.moves, single.moves, "moves: {}", ctx);
+                    prop_assert_eq!(&out.trace, &strace, "trace: {}", ctx);
+                    prop_assert!(
+                        !out.recovery.clean(),
+                        "seeded chaos must inject at least one fault: {}", ctx
+                    );
+                }
+            }
+        }
     }
 }

@@ -33,8 +33,12 @@ pub mod journal;
 mod publish;
 mod queue;
 mod replay;
+pub mod snapshot;
 
 pub use event::{Event, EventKind, STREAM_SCHEMA};
 pub use publish::{EventPublisher, JsonlPublisher, MemoryPublisher, NullPublisher};
 pub use queue::{TimeQueue, Timed};
-pub use replay::{replay_stream_bytes, StreamReplay};
+pub use replay::{replay_stream_bytes, replay_stream_bytes_from, StreamReplay};
+pub use snapshot::{
+    load_checkpoints, load_latest_checkpoint, PartitionCheckpointSink, SnapshotFile,
+};

@@ -42,6 +42,14 @@ pub trait EventPublisher {
     fn close(&mut self) -> Result<(), JournalError> {
         self.sync()
     }
+
+    /// Bytes of framed log written so far, when the sink is a byte log.
+    /// Service checkpoints record this so recovery can replay only the
+    /// log *suffix* past the snapshot; sinks without a byte position
+    /// (memory, null) return `None` and cannot back checkpointed runs.
+    fn bytes_logged(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Discards every event. For benchmark runs that only want the report.
@@ -94,6 +102,7 @@ impl EventPublisher for MemoryPublisher {
 #[derive(Debug)]
 pub struct JsonlPublisher {
     journal: Journal,
+    bytes: u64,
 }
 
 impl JsonlPublisher {
@@ -105,6 +114,7 @@ impl JsonlPublisher {
     pub fn create(path: &Path) -> Result<JsonlPublisher, JournalError> {
         Ok(JsonlPublisher {
             journal: Journal::create(path)?,
+            bytes: 0,
         })
     }
 
@@ -118,11 +128,18 @@ impl EventPublisher for JsonlPublisher {
     fn publish(&mut self, event: &Event) -> Result<(), JournalError> {
         let line =
             serde_json::to_string(event).map_err(|e| JournalError::Serialize(e.to_string()))?;
-        self.journal.append_raw(&line)
+        self.journal.append_raw(&line)?;
+        // "xxxxxxxx " crc prefix (9 bytes) + payload + newline.
+        self.bytes += line.len() as u64 + 10;
+        Ok(())
     }
 
     fn sync(&mut self) -> Result<(), JournalError> {
         self.journal.sync()
+    }
+
+    fn bytes_logged(&self) -> Option<u64> {
+        Some(self.bytes)
     }
 }
 

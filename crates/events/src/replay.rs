@@ -36,6 +36,15 @@ pub struct StreamReplay {
 /// silently skip what it cannot understand. Out-of-order `seq` ends the
 /// prefix too: log order is part of the format.
 pub fn replay_stream_bytes(bytes: &[u8]) -> StreamReplay {
+    replay_stream_bytes_from(bytes, 0)
+}
+
+/// [`replay_stream_bytes`] for a log *suffix*: the first event is
+/// expected to carry `start_seq` (the sequence continues from a
+/// checkpointed prefix). Snapshot + suffix-replay recovery decodes the
+/// bytes past the checkpoint's byte position with the checkpoint's next
+/// sequence number.
+pub fn replay_stream_bytes_from(bytes: &[u8], start_seq: u64) -> StreamReplay {
     let raw = replay_raw_bytes(bytes);
     let mut out = StreamReplay {
         valid_len: 0,
@@ -55,10 +64,10 @@ pub fn replay_stream_bytes(bytes: &[u8]) -> StreamReplay {
                 break;
             }
         };
-        if event.seq != out.events.len() as u64 {
+        let expected = start_seq + out.events.len() as u64;
+        if event.seq != expected {
             out.tail_reason = Some(format!(
-                "log sequence broke: expected {}, found {}",
-                out.events.len(),
+                "log sequence broke: expected {expected}, found {}",
                 event.seq
             ));
             break;
@@ -75,7 +84,7 @@ pub fn replay_stream_bytes(bytes: &[u8]) -> StreamReplay {
         Some(Event {
             kind: EventKind::StreamClosed { events },
             ..
-        }) => *events == (out.events.len() as u64 - 1),
+        }) => *events == (start_seq + out.events.len() as u64 - 1),
         _ => false,
     };
     out

@@ -1,0 +1,320 @@
+//! Crc32-framed snapshot files for checkpoint/restore.
+//!
+//! A snapshot file is an append-only sequence of checkpoint frames using
+//! the exact [`journal`](crate::journal) framing
+//! (`<crc32-hex8> <payload-json>\n`): each save appends one whole frame
+//! and fsyncs, so the file is a monotone history of checkpoints and a
+//! crash — even one that tears the frame in flight — loses at most the
+//! checkpoint being written. Loading truncates to the valid prefix and
+//! takes the *last* whole frame, which is exactly "the most recent
+//! durable checkpoint".
+//!
+//! [`PartitionCheckpointSink`] adapts a [`SnapshotFile`] to the
+//! `mcast-core` [`CheckpointSink`] boundary for the supervised
+//! partitioned runtime; the torn-write hook ([`SnapshotFile::append_torn`])
+//! persists a deliberately half-written frame so chaos tests can prove
+//! the recovery rule on disk rather than in theory.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use mcast_core::{CheckpointError, CheckpointSink, PartitionCheckpoint};
+
+use crate::journal::{crc32, replay_raw_bytes, JournalError};
+
+/// An append-only file of crc32-framed JSON payloads with torn-tail
+/// recovery, one frame per save. Appends are serialized through an
+/// internal mutex and fsynced individually (checkpoints are rare and
+/// each one must be durable).
+#[derive(Debug)]
+pub struct SnapshotFile {
+    file: Mutex<File>,
+    path: PathBuf,
+}
+
+fn io_err(path: &Path, e: &std::io::Error) -> JournalError {
+    JournalError::Io {
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    }
+}
+
+impl SnapshotFile {
+    /// Creates (or truncates) the snapshot file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] when the file or its parents cannot be made.
+    pub fn create(path: &Path) -> Result<SnapshotFile, JournalError> {
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir).map_err(|e| io_err(dir, &e))?;
+        }
+        let file = File::create(path).map_err(|e| io_err(path, &e))?;
+        Ok(SnapshotFile {
+            file: Mutex::new(file),
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Opens the snapshot file at `path` for appending: truncates any
+    /// torn tail back to the last whole frame first. A missing file
+    /// opens empty.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] when the file cannot be read or reopened.
+    pub fn open_append(path: &Path) -> Result<SnapshotFile, JournalError> {
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir).map_err(|e| io_err(dir, &e))?;
+        }
+        let bytes = match fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(io_err(path, &e)),
+        };
+        let valid_len = replay_raw_bytes(&bytes).valid_len;
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| io_err(path, &e))?;
+        file.set_len(valid_len).map_err(|e| io_err(path, &e))?;
+        file.seek(SeekFrom::End(0)).map_err(|e| io_err(path, &e))?;
+        Ok(SnapshotFile {
+            file: Mutex::new(file),
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Appends one whole frame and fsyncs it.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Serialize`] if `payload` contains a newline;
+    /// [`JournalError::Io`] on write/fsync failure.
+    pub fn append_payload(&self, payload: &str) -> Result<(), JournalError> {
+        if payload.contains('\n') {
+            return Err(JournalError::Serialize(
+                "snapshot payload contains a newline".to_string(),
+            ));
+        }
+        let line = format!("{:08x} {payload}\n", crc32(payload.as_bytes()));
+        self.write_and_sync(line.as_bytes())
+    }
+
+    /// Chaos hook: appends the *first half* of the frame — checksum
+    /// intact, payload cut, no newline — and fsyncs, as if the process
+    /// died mid-write. [`load_checkpoints`] recovers the previous frame.
+    ///
+    /// # Errors
+    ///
+    /// Like [`SnapshotFile::append_payload`].
+    pub fn append_torn(&self, payload: &str) -> Result<(), JournalError> {
+        if payload.contains('\n') {
+            return Err(JournalError::Serialize(
+                "snapshot payload contains a newline".to_string(),
+            ));
+        }
+        let line = format!("{:08x} {payload}\n", crc32(payload.as_bytes()));
+        self.write_and_sync(&line.as_bytes()[..line.len() / 2])
+    }
+
+    fn write_and_sync(&self, bytes: &[u8]) -> Result<(), JournalError> {
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        file.write_all(bytes)
+            .and_then(|()| file.flush())
+            .and_then(|()| file.sync_data())
+            .map_err(|e| io_err(&self.path, &e))
+    }
+
+    /// The snapshot file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Reads the valid payload strings of the snapshot file at `path`, in
+/// append order, applying torn-tail recovery (a torn final frame is
+/// dropped). A missing file loads as empty.
+///
+/// # Errors
+///
+/// [`JournalError::Io`] when the file cannot be read.
+pub fn load_payloads(path: &Path) -> Result<Vec<String>, JournalError> {
+    let bytes = match fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(io_err(path, &e)),
+    };
+    let valid_len = replay_raw_bytes(&bytes).valid_len as usize;
+    // Recover the exact payload strings: each valid line is
+    // "xxxxxxxx <payload>" — strip the 9-byte checksum prefix.
+    Ok(bytes[..valid_len]
+        .split(|&b| b == b'\n')
+        .filter(|line| !line.is_empty())
+        .map(|line| String::from_utf8_lossy(&line[9..]).into_owned())
+        .collect())
+}
+
+/// A [`CheckpointSink`] for the supervised partitioned runtime backed by
+/// a [`SnapshotFile`] of serialized [`PartitionCheckpoint`]s.
+#[derive(Debug)]
+pub struct PartitionCheckpointSink {
+    file: SnapshotFile,
+}
+
+impl PartitionCheckpointSink {
+    /// Creates (or truncates) the checkpoint file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] when the file cannot be created.
+    pub fn create(path: &Path) -> Result<PartitionCheckpointSink, CheckpointError> {
+        SnapshotFile::create(path)
+            .map(|file| PartitionCheckpointSink { file })
+            .map_err(|e| CheckpointError(e.to_string()))
+    }
+
+    /// Opens the checkpoint file at `path` for appending after a crash
+    /// (torn tail truncated). A missing file opens empty.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] when the file cannot be opened.
+    pub fn open_append(path: &Path) -> Result<PartitionCheckpointSink, CheckpointError> {
+        SnapshotFile::open_append(path)
+            .map(|file| PartitionCheckpointSink { file })
+            .map_err(|e| CheckpointError(e.to_string()))
+    }
+
+    /// The checkpoint file's path.
+    pub fn path(&self) -> &Path {
+        self.file.path()
+    }
+}
+
+impl CheckpointSink for PartitionCheckpointSink {
+    fn save(&self, cp: &PartitionCheckpoint) -> Result<(), CheckpointError> {
+        let payload = serde_json::to_string(cp).map_err(|e| CheckpointError(e.to_string()))?;
+        self.file
+            .append_payload(&payload)
+            .map_err(|e| CheckpointError(e.to_string()))
+    }
+
+    fn save_torn(&self, cp: &PartitionCheckpoint) -> Result<(), CheckpointError> {
+        let payload = serde_json::to_string(cp).map_err(|e| CheckpointError(e.to_string()))?;
+        self.file
+            .append_torn(&payload)
+            .map_err(|e| CheckpointError(e.to_string()))
+    }
+}
+
+/// Loads every whole checkpoint frame from `path`, in append order,
+/// applying torn-tail recovery. A missing file loads as empty.
+///
+/// # Errors
+///
+/// [`CheckpointError`] on read failure or a frame that is valid JSON but
+/// not a checkpoint.
+pub fn load_checkpoints(path: &Path) -> Result<Vec<PartitionCheckpoint>, CheckpointError> {
+    load_payloads(path)
+        .map_err(|e| CheckpointError(e.to_string()))?
+        .iter()
+        .map(|p| {
+            serde_json::from_str::<PartitionCheckpoint>(p)
+                .map_err(|e| CheckpointError(format!("bad checkpoint frame: {e}")))
+        })
+        .collect()
+}
+
+/// Loads the most recent whole checkpoint from `path` (torn final frames
+/// fall back to the previous one); `None` when the file is missing or
+/// holds no whole frame.
+///
+/// # Errors
+///
+/// Like [`load_checkpoints`].
+pub fn load_latest_checkpoint(path: &Path) -> Result<Option<PartitionCheckpoint>, CheckpointError> {
+    Ok(load_checkpoints(path)?.pop())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_core::{ApId, CHECKPOINT_SCHEMA};
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("mcast_snapshot_{name}_{}", std::process::id()))
+    }
+
+    fn cp(round: u32) -> PartitionCheckpoint {
+        let assoc = vec![Some(ApId(round)), None];
+        PartitionCheckpoint {
+            schema: CHECKPOINT_SCHEMA.to_string(),
+            round,
+            moves: u64::from(round) * 3,
+            assoc: assoc.clone(),
+            seen: vec![vec![None, None], assoc],
+            trace: Vec::new(),
+            traced: false,
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrips_latest_wins() {
+        let path = tmp("roundtrip.ckpt");
+        let sink = PartitionCheckpointSink::create(&path).unwrap();
+        sink.save(&cp(1)).unwrap();
+        sink.save(&cp(2)).unwrap();
+        let all = load_checkpoints(&path).unwrap();
+        assert_eq!(all, vec![cp(1), cp(2)]);
+        assert_eq!(load_latest_checkpoint(&path).unwrap(), Some(cp(2)));
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn torn_frame_falls_back_to_previous_whole_frame() {
+        let path = tmp("torn.ckpt");
+        let sink = PartitionCheckpointSink::create(&path).unwrap();
+        sink.save(&cp(1)).unwrap();
+        sink.save_torn(&cp(2)).unwrap();
+        assert_eq!(load_latest_checkpoint(&path).unwrap(), Some(cp(1)));
+        // Reopening for append truncates the tear; the next save lands
+        // cleanly.
+        drop(sink);
+        let sink = PartitionCheckpointSink::open_append(&path).unwrap();
+        sink.save(&cp(3)).unwrap();
+        assert_eq!(load_checkpoints(&path).unwrap(), vec![cp(1), cp(3)],);
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn truncation_at_every_byte_recovers_a_whole_prefix() {
+        let path = tmp("everybyte.ckpt");
+        let sink = PartitionCheckpointSink::create(&path).unwrap();
+        sink.save(&cp(1)).unwrap();
+        sink.save(&cp(2)).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        let cut_path = tmp("everybyte_cut.ckpt");
+        for cut in 0..=bytes.len() {
+            fs::write(&cut_path, &bytes[..cut]).unwrap();
+            let got = load_checkpoints(&cut_path).unwrap();
+            assert!(got.len() <= 2);
+            for (i, c) in got.iter().enumerate() {
+                assert_eq!(*c, cp(i as u32 + 1));
+            }
+        }
+        let _ = fs::remove_file(path);
+        let _ = fs::remove_file(cut_path);
+    }
+
+    #[test]
+    fn missing_file_loads_empty() {
+        let path = tmp("missing.ckpt");
+        let _ = fs::remove_file(&path);
+        assert_eq!(load_latest_checkpoint(&path).unwrap(), None);
+    }
+}

@@ -11,9 +11,11 @@
 //! * `BENCH_distributed.json` — the incremental-ledger + delta-decision +
 //!   dirty-worklist distributed engine vs the recomputing full-sweep
 //!   reference (`crates/core/src/reference.rs`), over both policies and
-//!   execution modes plus one large-scale scenario, and the partitioned
+//!   execution modes plus one large-scale scenario, the partitioned
 //!   parallel engine's worker-scaling curve (1/2/4/8 workers) against the
-//!   single-threaded engine on the same large workload;
+//!   single-threaded engine on the same large workload, and the
+//!   fault-tolerance recovery costs (checkpoint overhead at K ∈ {10, 50}
+//!   and restore-from-checkpoint latency vs recompute-from-scratch);
 //! * `BENCH_controller.json` — sustained admission throughput of the
 //!   event-driven controller service on a staggered-join workload
 //!   (joins/sec, p50/p95/p99 per-decision latency), with the run's
@@ -29,10 +31,12 @@ use std::time::Instant;
 
 use mcast_core::reduction::Reduction;
 use mcast_core::{
-    run_distributed, run_distributed_partitioned, run_distributed_reference, Association,
-    DistributedConfig, DistributedOutcome, ExecutionMode, Policy,
+    resume_distributed_supervised, run_distributed, run_distributed_partitioned,
+    run_distributed_reference, run_distributed_supervised, Association, DistributedConfig,
+    DistributedOutcome, ExecutionMode, Policy, SuperviseOptions,
 };
 use mcast_covering::{greedy_mcg, greedy_set_cover, reference, solve_scg, SetSystemBuilder};
+use mcast_events::{load_checkpoints, PartitionCheckpointSink};
 use mcast_topology::{tile_partition, Placement, ScenarioConfig};
 use serde::Serialize;
 
@@ -355,6 +359,7 @@ pub fn distributed_report(opts: &Options) -> BenchReport {
         let part = tile_partition(&scenario, w);
         let (par_ms, par_out) = time_best_of(3, || {
             run_distributed_partitioned(inst, &config, Association::empty(n_users), &part)
+                .expect("empty association is always in range")
         });
         benches.insert(
             format!("partitioned_w{w}"),
@@ -371,8 +376,98 @@ pub fn distributed_report(opts: &Options) -> BenchReport {
         );
     }
 
+    // Fault-tolerance recovery costs on the same large workload, through
+    // the supervised partitioned runtime. The checkpoint-overhead entries
+    // invert the usual roles: `reference` is the *uncheckpointed*
+    // supervised run and `fast` is the checkpointed one, so `speedup` is
+    // the (slight) slowdown checkpointing costs — the acceptance bar is
+    // that at K = 50 it stays within 5% of round time. `recovery_restore`
+    // races restore-from-a-mid-run-checkpoint against recomputing from
+    // scratch; both must land on the identical outcome.
+    let config = DistributedConfig {
+        policy: Policy::MinMaxVector,
+        mode: ExecutionMode::Simultaneous,
+        max_rounds: 12,
+        ..DistributedConfig::default()
+    };
+    let part = tile_partition(&scenario, 4);
+    let scratch = std::env::temp_dir().join(format!("mcast_bench_recovery_{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&scratch);
+    let plain_opts = SuperviseOptions {
+        audit: false,
+        ..SuperviseOptions::default()
+    };
+    let supervised = |sup: &SuperviseOptions| {
+        run_distributed_supervised(inst, &config, Association::empty(n_users), &part, sup)
+            .expect("empty association is always in range")
+    };
+    let (plain_ms, plain_out) = time_best_of(3, || supervised(&plain_opts));
+    for k in [10usize, 50] {
+        let path = scratch.join(format!("k{k}.ckpt"));
+        let (ck_ms, ck_out) = time_best_of(3, || {
+            let sink = PartitionCheckpointSink::create(&path).expect("scratch dir is writable");
+            supervised(&SuperviseOptions {
+                checkpoint_every: Some(k),
+                sink: Some(&sink),
+                audit: false,
+                ..SuperviseOptions::default()
+            })
+        });
+        benches.insert(
+            format!("recovery_ckpt_k{k}"),
+            BenchEntry {
+                workload: format!(
+                    "checkpoint overhead at K={k}: supervised partitioned MinMaxVector / \
+                     Simultaneous, 4 workers, {n_aps} APs / {n_users} users, 12 rounds; \
+                     reference is the uncheckpointed supervised run, so speedup < 1 is \
+                     the checkpointing cost"
+                ),
+                reference_ms: plain_ms,
+                fast_ms: ck_ms,
+                speedup: plain_ms / ck_ms,
+                outputs_identical: outcomes_equal(&plain_out.outcome, &ck_out.outcome),
+            },
+        );
+    }
+    // Restore latency: checkpoint every round, resume from the middle
+    // snapshot, and race that against recomputing the run from scratch.
+    let restore_path = scratch.join("restore.ckpt");
+    {
+        let sink = PartitionCheckpointSink::create(&restore_path).expect("scratch dir is writable");
+        supervised(&SuperviseOptions {
+            checkpoint_every: Some(1),
+            sink: Some(&sink),
+            audit: false,
+            ..SuperviseOptions::default()
+        });
+    }
+    let cps = load_checkpoints(&restore_path).expect("checkpoint file is readable");
+    let mid = cps
+        .get(cps.len() / 2)
+        .expect("a multi-round run writes at least one checkpoint");
+    let (restore_ms, restored) = time_best_of(3, || {
+        resume_distributed_supervised(inst, &config, &part, mid, &plain_opts)
+            .expect("a checkpoint written by this run restores")
+    });
+    benches.insert(
+        "recovery_restore".to_string(),
+        BenchEntry {
+            workload: format!(
+                "restore latency: resume from the round-{} checkpoint vs recompute from \
+                 scratch, supervised partitioned MinMaxVector / Simultaneous, 4 workers, \
+                 {n_aps} APs / {n_users} users, 12 rounds",
+                mid.round
+            ),
+            reference_ms: plain_ms,
+            fast_ms: restore_ms,
+            speedup: plain_ms / restore_ms,
+            outputs_identical: outcomes_equal(&plain_out.outcome, &restored.outcome),
+        },
+    );
+    let _ = std::fs::remove_dir_all(&scratch);
+
     BenchReport {
-        schema: "mcast-bench-distributed/v2".to_string(),
+        schema: "mcast-bench-distributed/v3".to_string(),
         quick: opts.quick,
         host_threads: host_threads(),
         benches,
@@ -628,7 +723,7 @@ mod tests {
         assert!(t.benches.contains_key("scenario_gen"));
         assert!(t.benches.values().all(|b| b.outputs_identical));
         let d = distributed_report(&opts);
-        assert_eq!(d.schema, "mcast-bench-distributed/v2");
+        assert_eq!(d.schema, "mcast-bench-distributed/v3");
         assert!(d.host_threads >= 1);
         assert!([
             "serial_min_total",
@@ -640,6 +735,9 @@ mod tests {
             "partitioned_w2",
             "partitioned_w4",
             "partitioned_w8",
+            "recovery_ckpt_k10",
+            "recovery_ckpt_k50",
+            "recovery_restore",
         ]
         .iter()
         .all(|k| d.benches.contains_key(*k)));

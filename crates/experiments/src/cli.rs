@@ -53,9 +53,18 @@ const RESUMABLE: &[&str] = &[
     "mobility",
     "faults",
     "controller",
+    "chaos",
     "revenue",
     "all",
 ];
+
+/// Commands that inject scripted faults, where `--chaos SEED` picks the
+/// fault plan.
+const CHAOTIC: &[&str] = &["chaos"];
+
+/// Commands that write recovery snapshots, where `--checkpoint-every K`
+/// sets the cadence.
+const CHECKPOINTED: &[&str] = &["chaos", "serve"];
 
 /// Commands that run work on the scoped-thread pool (sweeps via
 /// `parallel_map`, plus `bench`'s partitioned scaling curve), where
@@ -121,6 +130,44 @@ pub fn validate_flags(command: &str, plot: bool, resume: bool) -> Result<(), Fla
             flag: "--resume".to_string(),
             reason: "it keeps no trial journal to resume from",
         });
+    }
+    Ok(())
+}
+
+/// Rejects the fault-tolerance flags on commands that cannot honor
+/// them: `--chaos SEED` needs a supervised run to inject into, and
+/// `--checkpoint-every K` needs a run that writes recovery snapshots.
+///
+/// # Errors
+///
+/// A [`FlagError`] naming the command, the flag, and the reason.
+pub fn validate_recovery_flags(
+    command: &str,
+    chaos: bool,
+    checkpoint_every: Option<usize>,
+) -> Result<(), FlagError> {
+    if chaos && !CHAOTIC.contains(&command) {
+        return Err(FlagError {
+            command: command.to_string(),
+            flag: "--chaos".to_string(),
+            reason: "it runs no supervised engine to inject faults into",
+        });
+    }
+    if let Some(k) = checkpoint_every {
+        if k == 0 {
+            return Err(FlagError {
+                command: command.to_string(),
+                flag: "--checkpoint-every".to_string(),
+                reason: "the snapshot cadence must be at least 1 round",
+            });
+        }
+        if !CHECKPOINTED.contains(&command) {
+            return Err(FlagError {
+                command: command.to_string(),
+                flag: "--checkpoint-every".to_string(),
+                reason: "it writes no recovery snapshots",
+            });
+        }
     }
     Ok(())
 }
@@ -454,10 +501,40 @@ mod tests {
             let err = validate_flags(cmd, false, true).unwrap_err();
             assert_eq!(err.flag, "--resume");
         }
-        // Sweeping commands journal their trials, so --resume is valid.
-        for cmd in ["faults", "controller", "fig10", "all"] {
+        // Sweeping commands journal their trials, so --resume is valid —
+        // and chaos resumes from its recovery checkpoint.
+        for cmd in ["faults", "controller", "fig10", "chaos", "all"] {
             assert_eq!(validate_flags(cmd, false, true), Ok(()), "{cmd}");
         }
+    }
+
+    #[test]
+    fn chaos_flag_is_rejected_outside_the_chaos_command() {
+        for cmd in ["serve", "bench", "fig9", "controller", "all"] {
+            let err = validate_recovery_flags(cmd, true, None).unwrap_err();
+            assert_eq!(err.flag, "--chaos");
+            assert_eq!(err.command, cmd);
+        }
+        assert_eq!(validate_recovery_flags("chaos", true, None), Ok(()));
+    }
+
+    #[test]
+    fn checkpoint_cadence_is_validated_by_command_and_value() {
+        for cmd in ["bench", "fig9", "controller", "all"] {
+            let err = validate_recovery_flags(cmd, false, Some(10)).unwrap_err();
+            assert_eq!(err.flag, "--checkpoint-every");
+            assert_eq!(err.command, cmd);
+        }
+        for cmd in ["chaos", "serve"] {
+            assert_eq!(
+                validate_recovery_flags(cmd, false, Some(10)),
+                Ok(()),
+                "{cmd}"
+            );
+        }
+        let err = validate_recovery_flags("chaos", false, Some(0)).unwrap_err();
+        assert!(err.to_string().contains("at least 1"), "{err}");
+        assert_eq!(validate_recovery_flags("bench", false, None), Ok(()));
     }
 
     #[test]

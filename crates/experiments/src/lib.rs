@@ -19,6 +19,7 @@
 
 pub mod algos;
 pub mod bench;
+pub mod chaos;
 pub mod cli;
 pub mod figures;
 pub mod journal;
@@ -50,6 +51,13 @@ pub struct Options {
     /// drivers (`--threads N`); 0 means auto (available parallelism,
     /// capped — see [`par::workers`]).
     pub threads: usize,
+    /// Seed of the injected-fault plan for `repro chaos`
+    /// (`--chaos SEED`); `None` runs the command's default seed.
+    pub chaos_seed: Option<u64>,
+    /// Snapshot cadence in completed rounds/epochs for checkpointed
+    /// commands (`--checkpoint-every K`); `None` uses the command's
+    /// default.
+    pub checkpoint_every: Option<usize>,
 }
 
 impl Default for Options {
@@ -63,6 +71,8 @@ impl Default for Options {
             retries: 2,
             deadline_s: 300,
             threads: 0,
+            chaos_seed: None,
+            checkpoint_every: None,
         }
     }
 }

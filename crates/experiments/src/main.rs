@@ -16,6 +16,7 @@
 //!   controller  online controller: repair ladder vs full re-solve under faults
 //!   serve       event-driven controller service; streams <out>/events.jsonl
 //!   replay      fold <out>/events.jsonl back into a report (no solvers)
+//!   chaos       fault-injected partitioned run; proves recovery is exact
 //!   revenue     the §3.2 revenue models across algorithms
 //!   bench       time fast paths vs reference, write BENCH_*.json
 //!   gen/solve   write a scenario JSON / run one algorithm on it
@@ -39,7 +40,7 @@ use mcast_experiments::Options;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().cloned() else {
-        eprintln!("usage: repro <table1|fig9|fig10|fig11|fig12|ablations|channels|mobility|faults|controller|serve|replay|revenue|bench|validate|all|gen|solve|compare> [--seeds N] [--out DIR] [--max-nodes N] [--quick] [--plot] [--resume] [--retries N] [--deadline SECS] [--threads N]");
+        eprintln!("usage: repro <table1|fig9|fig10|fig11|fig12|ablations|channels|mobility|faults|controller|serve|replay|chaos|revenue|bench|validate|all|gen|solve|compare> [--seeds N] [--out DIR] [--max-nodes N] [--quick] [--plot] [--resume] [--retries N] [--deadline SECS] [--threads N] [--chaos SEED] [--checkpoint-every K]");
         return ExitCode::FAILURE;
     };
     let mut opts = Options::default();
@@ -96,6 +97,22 @@ fn main() -> ExitCode {
                         .unwrap_or_else(|| bad_flag("--threads")),
                 );
             }
+            "--chaos" => {
+                i += 1;
+                opts.chaos_seed = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| bad_flag("--chaos")),
+                );
+            }
+            "--checkpoint-every" => {
+                i += 1;
+                opts.checkpoint_every = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| bad_flag("--checkpoint-every")),
+                );
+            }
             other => {
                 eprintln!("unknown flag: {other}");
                 return ExitCode::FAILURE;
@@ -115,6 +132,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         if let Err(e) = mcast_experiments::cli::validate_threads(&command, threads) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = mcast_experiments::cli::validate_recovery_flags(
+            &command,
+            opts.chaos_seed.is_some(),
+            opts.checkpoint_every,
+        ) {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
@@ -202,6 +227,13 @@ fn main() -> ExitCode {
             }
         },
         "replay" => match mcast_experiments::serve::run_replay(&opts) {
+            Ok(summary) => print!("{summary}"),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        "chaos" => match mcast_experiments::chaos::run_chaos(&opts) {
             Ok(summary) => print!("{summary}"),
             Err(e) => {
                 eprintln!("{e}");

@@ -23,11 +23,12 @@
 //! [`ControllerReport`]: mcast_controller::ControllerReport
 
 use mcast_controller::{
-    lower_plan, replay_stream, serve, ControllerConfig, ControllerOutcome, LadderPolicy,
-    ReplayOutcome, ServiceStats,
+    lower_plan, replay_stream, replay_stream_from, serve_checkpointed, ControllerConfig,
+    ControllerOutcome, LadderPolicy, ReplayOutcome, ServiceCheckpoint, ServiceStats,
 };
 use mcast_core::Objective;
-use mcast_events::JsonlPublisher;
+use mcast_events::snapshot::load_payloads;
+use mcast_events::{JsonlPublisher, SnapshotFile};
 use mcast_faults::{FaultPlan, RecoverySummary};
 use mcast_topology::{Scenario, ScenarioConfig};
 use serde::{Deserialize, Serialize};
@@ -38,6 +39,10 @@ use crate::Options;
 
 /// Schema tag of `serve_setup.json`.
 pub const SETUP_SCHEMA: &str = "mcast-serve-setup/v1";
+
+/// Default service-checkpoint cadence in epochs when `--checkpoint-every`
+/// is not given.
+const DEFAULT_SERVE_CHECKPOINT_EVERY: usize = 4;
 
 /// Everything needed to regenerate the pinned scenario and fault plan —
 /// written to `<out>/serve_setup.json` *before* the event stream opens,
@@ -176,6 +181,12 @@ struct Verification {
     /// The lock-step runtime on the same instance/plan/config agrees on
     /// every disruption metric.
     matches_runtime: bool,
+    /// Restoring the latest `serve.ckpt` snapshot and folding only the
+    /// event-log *suffix* past its byte position reproduced the live
+    /// report byte for byte (the fast recovery path).
+    snapshot_recovery_identical: bool,
+    /// Service checkpoints durably written to `serve.ckpt`.
+    checkpoints_written: usize,
     /// Size of the event log on disk, bytes.
     stream_bytes: u64,
 }
@@ -219,12 +230,32 @@ pub fn run_serve(opts: &Options) -> Result<String, String> {
     let events_path = opts.out_dir.join("events.jsonl");
     let mut publisher = JsonlPublisher::create(&events_path)
         .map_err(|e| format!("cannot open {}: {e}", events_path.display()))?;
-    let (live, stats) = serve(
+    // The service checkpoints its fold state every K committed epochs
+    // into `serve.ckpt` (same crc32 framing as the event log), so
+    // recovery is snapshot + log-suffix replay instead of a full fold.
+    let checkpoint_every = opts
+        .checkpoint_every
+        .unwrap_or(DEFAULT_SERVE_CHECKPOINT_EVERY) as u64;
+    let ckpt_path = opts.out_dir.join("serve.ckpt");
+    let snapshot = SnapshotFile::create(&ckpt_path)
+        .map_err(|e| format!("cannot open {}: {e}", ckpt_path.display()))?;
+    let mut checkpoints_written = 0usize;
+    let mut save = |cp: &ServiceCheckpoint| -> Result<(), String> {
+        let payload = serde_json::to_string(cp).map_err(|e| e.to_string())?;
+        snapshot
+            .append_payload(&payload)
+            .map_err(|e| e.to_string())?;
+        checkpoints_written += 1;
+        Ok(())
+    };
+    let (live, stats) = serve_checkpointed(
         inst,
         &mut queue,
         &cfg,
         plan.link_keep_prob(),
         &mut publisher,
+        checkpoint_every,
+        &mut save,
     )?;
     drop(publisher);
 
@@ -251,6 +282,28 @@ pub fn run_serve(opts: &Options) -> Result<String, String> {
         ));
     }
 
+    // ---- proof 3: snapshot + log-suffix recovery is exact -----------
+    let latest = load_payloads(&ckpt_path)
+        .map_err(|e| format!("cannot read back {}: {e}", ckpt_path.display()))?
+        .pop()
+        .ok_or_else(|| {
+            format!(
+                "serve wrote no checkpoint frame to {} (cadence {checkpoint_every} over {} epochs)",
+                ckpt_path.display(),
+                cfg.n_epochs
+            )
+        })?;
+    let cp: ServiceCheckpoint = serde_json::from_str(&latest)
+        .map_err(|e| format!("bad checkpoint frame in {}: {e}", ckpt_path.display()))?;
+    let recovered = replay_stream_from(inst, &cp, &bytes)?;
+    let snapshot_recovery_identical = reports_identical(&live, &recovered.outcome)?;
+    if !snapshot_recovery_identical {
+        return Err(format!(
+            "snapshot + suffix recovery from the epoch-{} checkpoint diverged from the live report",
+            cp.epoch
+        ));
+    }
+
     let doc = ServeJson {
         schema: "mcast-serve/v1".to_string(),
         setup,
@@ -259,6 +312,8 @@ pub fn run_serve(opts: &Options) -> Result<String, String> {
             replay_identical,
             replay_complete: replayed.complete,
             matches_runtime: true,
+            snapshot_recovery_identical,
+            checkpoints_written,
             stream_bytes: bytes.len() as u64,
         },
         report: live.report.clone(),
@@ -276,7 +331,8 @@ pub fn run_serve(opts: &Options) -> Result<String, String> {
          p95 {:.1} µs, p99 {:.1} µs\n\
          disruption: {} (handoffs {}, coverage loss {} user-epochs), \
          final satisfied {}/{}, violations {}\n\
-         verified: replay byte-identical; lock-step runtime metrics match\n\
+         verified: replay byte-identical; snapshot+suffix recovery byte-identical \
+         ({} checkpoints); lock-step runtime metrics match\n\
          wrote {} and {}\n",
         r.n_epochs,
         stats.joins,
@@ -293,6 +349,7 @@ pub fn run_serve(opts: &Options) -> Result<String, String> {
         r.final_satisfied,
         doc.setup.n_users,
         r.invariant_violations,
+        checkpoints_written,
         events_path.display(),
         serve_path.display(),
     ))
@@ -364,10 +421,34 @@ struct ReplayJson {
     schema: String,
     complete: bool,
     epochs_replayed: u64,
+    /// The epoch of the `serve.ckpt` snapshot recovery started from;
+    /// `None` when no usable snapshot existed and the whole log was
+    /// folded.
+    recovered_from_epoch: Option<u64>,
     dropped_bytes: u64,
     tail_reason: Option<String>,
     final_satisfied: usize,
     report: mcast_controller::ControllerReport,
+}
+
+/// The newest whole `serve.ckpt` frame whose byte position is still
+/// covered by the surviving log, if any. A missing or empty snapshot
+/// file, or one whose frames all point past a crash-truncated log,
+/// simply means recovery folds the whole log.
+fn usable_snapshot(
+    ckpt_path: &std::path::Path,
+    log_len: usize,
+) -> Result<Option<ServiceCheckpoint>, String> {
+    let payloads = load_payloads(ckpt_path)
+        .map_err(|e| format!("cannot read {}: {e}", ckpt_path.display()))?;
+    for payload in payloads.iter().rev() {
+        let cp: ServiceCheckpoint = serde_json::from_str(payload)
+            .map_err(|e| format!("bad checkpoint frame in {}: {e}", ckpt_path.display()))?;
+        if cp.log_bytes as usize <= log_len {
+            return Ok(Some(cp));
+        }
+    }
+    Ok(None)
 }
 
 /// Runs `repro replay`: folds `<out>/events.jsonl` back into a report
@@ -396,18 +477,28 @@ pub fn run_replay(opts: &Options) -> Result<String, String> {
     let bytes = std::fs::read(&events_path)
         .map_err(|e| format!("cannot read {}: {e}", events_path.display()))?;
     let (scenario, _plan) = materialize(&setup);
+    // Prefer snapshot + log-suffix recovery: restore the newest usable
+    // `serve.ckpt` frame and fold only the bytes past its position. The
+    // result is identical to folding the whole log (proven by `serve`'s
+    // self-verification); only the recovery cost differs.
+    let snapshot = usable_snapshot(&opts.out_dir.join("serve.ckpt"), bytes.len())?;
+    let recovered_from_epoch = snapshot.as_ref().map(|cp| cp.epoch);
     let ReplayOutcome {
         outcome,
         epochs_replayed,
         complete,
         dropped_bytes,
         tail_reason,
-    } = replay_stream(&scenario.instance, &bytes)?;
+    } = match &snapshot {
+        Some(cp) => replay_stream_from(&scenario.instance, cp, &bytes)?,
+        None => replay_stream(&scenario.instance, &bytes)?,
+    };
 
     let doc = ReplayJson {
         schema: "mcast-replay/v1".to_string(),
         complete,
         epochs_replayed,
+        recovered_from_epoch,
         dropped_bytes,
         tail_reason,
         final_satisfied: outcome.report.final_satisfied,
@@ -419,12 +510,16 @@ pub fn run_replay(opts: &Options) -> Result<String, String> {
         .map_err(|e| format!("write {}: {e}", replay_path.display()))?;
 
     Ok(format!(
-        "replay: {} of {} epochs reconstructed from {} ({})\n\
+        "replay: {} of {} epochs reconstructed from {}{} ({})\n\
          final satisfied {}/{}, disruption {}, violations {}\n\
          wrote {}\n",
         doc.epochs_replayed,
         setup.n_epochs,
         events_path.display(),
+        match doc.recovered_from_epoch {
+            Some(e) => format!(" via the epoch-{e} snapshot + log suffix"),
+            None => String::new(),
+        },
         if doc.complete {
             "complete stream".to_string()
         } else {
@@ -464,14 +559,25 @@ mod tests {
         };
         let summary = run_serve(&opts).expect("serve succeeds");
         assert!(summary.contains("replay byte-identical"), "{summary}");
-        for f in ["serve_setup.json", "events.jsonl", "serve.json"] {
+        assert!(
+            summary.contains("snapshot+suffix recovery byte-identical"),
+            "{summary}"
+        );
+        for f in [
+            "serve_setup.json",
+            "events.jsonl",
+            "serve.ckpt",
+            "serve.json",
+        ] {
             assert!(opts.out_dir.join(f).exists(), "missing {f}");
         }
 
         // The standalone replay path rebuilds the instance from the
-        // setup file alone and agrees with the complete stream.
+        // setup file alone, recovers from the snapshot + log suffix, and
+        // agrees with the complete stream.
         let summary = run_replay(&opts).expect("replay succeeds");
         assert!(summary.contains("complete stream"), "{summary}");
+        assert!(summary.contains("snapshot + log suffix"), "{summary}");
         assert!(opts.out_dir.join("replay.json").exists());
         let replay_json =
             std::fs::read_to_string(opts.out_dir.join("replay.json")).expect("readable");

@@ -46,6 +46,7 @@ pub fn rebalance_partitioned(
     part: &Partition,
 ) -> DistributedOutcome {
     run_distributed_partitioned(inst, config, survivors.restricted_to(inst), part)
+        .expect("restricted association is in range")
 }
 
 #[cfg(test)]

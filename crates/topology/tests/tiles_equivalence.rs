@@ -63,7 +63,8 @@ fn reference_scenarios_byte_identical() {
                             &config,
                             Association::empty(inst.n_users()),
                             &part,
-                        );
+                        )
+                        .unwrap();
                         let ctx = format!(
                             "{n_aps} APs / {n_users} users seed {seed}, {mode:?}/{policy:?}/{order:?}, W={w}"
                         );
