@@ -135,8 +135,7 @@ impl<'a> EpochEngine<'a> {
     /// epoch's diff (handoffs, `Assoc` events) has a baseline.
     pub fn begin_epoch(&mut self) {
         self.pre_assoc.clear();
-        self.pre_assoc
-            .extend_from_slice(self.ledger.association().as_slice());
+        self.pre_assoc.extend(self.ledger.association().iter());
     }
 
     /// Runs the ladder for one epoch (after its events were ingested),

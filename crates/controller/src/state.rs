@@ -1,38 +1,42 @@
 //! Live network state: which APs are up, which users are present, and
 //! which candidate links currently exist.
 
+use std::collections::HashSet;
+
 use mcast_core::{ApId, Instance, UserId};
 
 /// The controller's view of the network's health, updated from fault
 /// events.
 ///
-/// Mirrors the simulator's fault semantics exactly — same flat user-major
-/// link mask, same ChaCha8 per-jump re-roll — so a fault plan means the
-/// same thing to both runtimes.
+/// Mirrors the simulator's fault semantics exactly — same user-major
+/// link-mask meaning, same ChaCha8 per-jump re-roll — so a fault plan
+/// means the same thing to both runtimes. The mask itself is stored
+/// sparsely (only *masked* links, normally a tiny fraction): a dense
+/// `users × APs` bool matrix is 40 GB at the scale-suite size
+/// (2 000 000 × 20 000), while the sparse set is O(currently-masked)
+/// and empty on a fault-free run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NetworkState {
-    n_aps: usize,
     down: Vec<bool>,
     gone: Vec<bool>,
-    /// `link_ok[u.index() * n_aps + a.index()]`; only candidate links are
-    /// ever flipped, so non-candidate entries stay `true` and harmless.
-    link_ok: Vec<bool>,
+    /// The candidate links currently *masked* (out of range), as
+    /// `(user index, AP index)`. Links never touched by a jump are ok
+    /// by definition, so absence means ok — non-candidate pairs are
+    /// never inserted.
+    masked: HashSet<(u32, u32)>,
     downs: usize,
     gones: usize,
-    masked_links: usize,
 }
 
 impl NetworkState {
     /// A pristine network: everything up, everyone present, all links ok.
     pub fn new(n_aps: usize, n_users: usize) -> NetworkState {
         NetworkState {
-            n_aps,
             down: vec![false; n_aps],
             gone: vec![false; n_users],
-            link_ok: vec![true; n_users * n_aps],
+            masked: HashSet::new(),
             downs: 0,
             gones: 0,
-            masked_links: 0,
         }
     }
 
@@ -44,13 +48,11 @@ impl NetworkState {
     /// runtime.
     pub fn absent(n_aps: usize, n_users: usize) -> NetworkState {
         NetworkState {
-            n_aps,
             down: vec![false; n_aps],
             gone: vec![true; n_users],
-            link_ok: vec![true; n_users * n_aps],
+            masked: HashSet::new(),
             downs: 0,
             gones: n_users,
-            masked_links: 0,
         }
     }
 
@@ -70,7 +72,7 @@ impl NetworkState {
     /// down, no user departed, no candidate link lost. On a pristine
     /// network the effective instance *is* the original instance.
     pub fn pristine(&self) -> bool {
-        self.downs == 0 && self.gones == 0 && self.masked_links == 0
+        self.downs == 0 && self.gones == 0 && self.masked.is_empty()
     }
 
     /// True if AP `a` is currently down.
@@ -115,7 +117,7 @@ impl NetworkState {
 
     /// True if the candidate link `u — a` currently exists.
     pub fn link_ok(&self, u: UserId, a: ApId) -> bool {
-        self.link_ok[u.index() * self.n_aps + a.index()]
+        !self.masked.contains(&(u.index() as u32, a.index() as u32))
     }
 
     /// True if `a` is a usable target for `u` right now: up and in range.
@@ -133,14 +135,12 @@ impl NetworkState {
         use rand::{Rng, SeedableRng};
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
         for &(a, _) in inst.candidate_aps(u) {
-            let idx = u.index() * self.n_aps + a.index();
-            let ok = rng.gen::<f64>() < keep;
-            match (self.link_ok[idx], ok) {
-                (true, false) => self.masked_links += 1,
-                (false, true) => self.masked_links -= 1,
-                _ => {}
+            let key = (u.index() as u32, a.index() as u32);
+            if rng.gen::<f64>() < keep {
+                self.masked.remove(&key);
+            } else {
+                self.masked.insert(key);
             }
-            self.link_ok[idx] = ok;
         }
     }
 }

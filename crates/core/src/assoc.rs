@@ -8,7 +8,7 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::ids::{ApId, SessionId, UserId};
 use crate::instance::Instance;
@@ -20,6 +20,11 @@ use crate::rate::Kbps;
 /// `None` means the user is unsatisfied — it receives no multicast service.
 /// This type is plain data; all load computations take the [`Instance`]
 /// explicitly (or use the incremental [`LoadLedger`]).
+///
+/// Storage is 4 bytes per user: a bare `u32` AP index with a sentinel for
+/// "unsatisfied", half the footprint of the former `Vec<Option<ApId>>`
+/// (whose niche-less pair padded to 8 bytes). The `Option<ApId>` API and
+/// the serialized form (`null` for unsatisfied) are unchanged.
 ///
 /// # Example
 ///
@@ -35,9 +40,43 @@ use crate::rate::Kbps;
 /// assert_eq!(assoc.ap_load(ApId(0), &inst), Load::from_ratio(1, 3));
 /// assert_eq!(assoc.satisfied_count(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Association {
-    by_user: Vec<Option<ApId>>,
+    /// `NO_AP` = unsatisfied, anything else = the AP's index.
+    by_user: Vec<u32>,
+}
+
+/// Sentinel in [`Association::by_user`] for an unsatisfied user.
+const NO_AP: u32 = u32::MAX;
+
+// The wire shape predates the compact representation: an object with one
+// `by_user` array of AP indices with `null` for unsatisfied — exactly what
+// `Vec<Option<ApId>>` derived. Hand-written so the sentinel never leaks.
+impl Serialize for Association {
+    fn serialize_value(&self) -> Value {
+        let entries = self
+            .by_user
+            .iter()
+            .map(|&a| {
+                if a == NO_AP {
+                    Value::Null
+                } else {
+                    Value::Int(i128::from(a))
+                }
+            })
+            .collect();
+        Value::Object(vec![("by_user".into(), Value::Array(entries))])
+    }
+}
+
+impl Deserialize for Association {
+    fn deserialize_value(v: &Value) -> Result<Association, DeError> {
+        let by_user = Vec::<Option<ApId>>::deserialize_value(
+            v.get("by_user")
+                .ok_or_else(|| DeError::custom("association: missing field `by_user`"))?,
+        )?;
+        Ok(Association::from_vec(by_user))
+    }
 }
 
 /// Errors from [`Association::validate`].
@@ -90,13 +129,18 @@ impl Association {
     /// An association with every user unsatisfied.
     pub fn empty(n_users: usize) -> Association {
         Association {
-            by_user: vec![None; n_users],
+            by_user: vec![NO_AP; n_users],
         }
     }
 
     /// Builds from an explicit per-user vector.
     pub fn from_vec(by_user: Vec<Option<ApId>>) -> Association {
-        Association { by_user }
+        Association {
+            by_user: by_user
+                .into_iter()
+                .map(|a| a.map_or(NO_AP, |a| a.0))
+                .collect(),
+        }
     }
 
     /// The AP user `u` is associated with, if any.
@@ -105,7 +149,8 @@ impl Association {
     ///
     /// Panics if `u` is out of range.
     pub fn ap_of(&self, u: UserId) -> Option<ApId> {
-        self.by_user[u.index()]
+        let a = self.by_user[u.index()];
+        (a != NO_AP).then_some(ApId(a))
     }
 
     /// Associates `u` with `a` (or disassociates with `None`).
@@ -114,12 +159,22 @@ impl Association {
     ///
     /// Panics if `u` is out of range.
     pub fn set(&mut self, u: UserId, a: Option<ApId>) {
-        self.by_user[u.index()] = a;
+        self.by_user[u.index()] = a.map_or(NO_AP, |a| a.0);
+    }
+
+    /// Number of users the association covers (satisfied or not).
+    pub fn len(&self) -> usize {
+        self.by_user.len()
+    }
+
+    /// True when the association covers no users.
+    pub fn is_empty(&self) -> bool {
+        self.by_user.is_empty()
     }
 
     /// Number of users receiving service.
     pub fn satisfied_count(&self) -> usize {
-        self.by_user.iter().filter(|a| a.is_some()).count()
+        self.by_user.iter().filter(|&&a| a != NO_AP).count()
     }
 
     /// Number of users without service.
@@ -127,9 +182,18 @@ impl Association {
         self.by_user.len() - self.satisfied_count()
     }
 
-    /// Per-user view, indexable by `UserId::index`.
-    pub fn as_slice(&self) -> &[Option<ApId>] {
-        &self.by_user
+    /// Per-user view in `UserId` order (what `as_slice` was before the
+    /// compact sentinel representation made a `&[Option<ApId>]` view
+    /// impossible to hand out without allocating).
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = Option<ApId>> + '_ {
+        self.by_user
+            .iter()
+            .map(|&a| (a != NO_AP).then_some(ApId(a)))
+    }
+
+    /// The per-user vector, materialized (for set keys and checkpoints).
+    pub fn to_vec(&self) -> Vec<Option<ApId>> {
+        self.iter().collect()
     }
 
     /// The members of AP `a` requesting session `s`.
@@ -137,7 +201,7 @@ impl Association {
         self.by_user
             .iter()
             .enumerate()
-            .filter(|(u, &ap)| ap == Some(a) && inst.user_session(UserId(*u as u32)) == s)
+            .filter(|(u, &ap)| ap == a.0 && inst.user_session(UserId(*u as u32)) == s)
             .map(|(u, _)| UserId(u as u32))
             .collect()
     }
@@ -148,7 +212,7 @@ impl Association {
         self.by_user
             .iter()
             .enumerate()
-            .filter(|(u, &ap)| ap == Some(a) && inst.user_session(UserId(*u as u32)) == s)
+            .filter(|(u, &ap)| ap == a.0 && inst.user_session(UserId(*u as u32)) == s)
             .map(|(u, _)| {
                 inst.multicast_rate_to(a, UserId(u as u32))
                     .expect("associated user must be in range")
@@ -193,7 +257,7 @@ impl Association {
                 expected: inst.n_users(),
             });
         }
-        for (u, &ap) in self.by_user.iter().enumerate() {
+        for (u, ap) in self.iter().enumerate() {
             if let Some(a) = ap {
                 if inst.link_rate(a, UserId(u as u32)).is_none() {
                     return Err(AssocError::OutOfRange {
@@ -233,10 +297,12 @@ impl Association {
         assert_eq!(self.by_user.len(), inst.n_users(), "association size");
         Association {
             by_user: self
-                .by_user
                 .iter()
                 .enumerate()
-                .map(|(u, &ap)| ap.filter(|&a| inst.link_rate(a, UserId(u as u32)).is_some()))
+                .map(|(u, ap)| {
+                    ap.filter(|&a| inst.link_rate(a, UserId(u as u32)).is_some())
+                        .map_or(NO_AP, |a| a.0)
+                })
                 .collect(),
         }
     }
@@ -299,7 +365,7 @@ impl<'a> LoadLedger<'a> {
     /// (wrong size or out-of-range assignment). Budgets are *not* checked —
     /// ledgers are also used to explore infeasible intermediate states.
     pub fn new(inst: &'a Instance, assoc: Association) -> LoadLedger<'a> {
-        assert_eq!(assoc.as_slice().len(), inst.n_users(), "association size");
+        assert_eq!(assoc.len(), inst.n_users(), "association size");
         let n_rates = inst.supported_rates().len();
         let slots = inst.n_aps() * inst.n_sessions();
         let mut ledger = LoadLedger {
@@ -310,7 +376,7 @@ impl<'a> LoadLedger<'a> {
             ap_load: vec![Load::ZERO; inst.n_aps()],
             n_rates,
         };
-        for (u, &ap) in assoc.as_slice().iter().enumerate() {
+        for (u, ap) in assoc.iter().enumerate() {
             if let Some(a) = ap {
                 ledger.join(UserId(u as u32), a);
             }
@@ -495,10 +561,9 @@ impl<'a> LoadLedger<'a> {
     pub fn evict_ap(&mut self, a: ApId) -> Vec<UserId> {
         let evicted: Vec<UserId> = self
             .assoc
-            .as_slice()
             .iter()
             .enumerate()
-            .filter_map(|(i, ap)| (*ap == Some(a)).then_some(UserId(i as u32)))
+            .filter_map(|(i, ap)| (ap == Some(a)).then_some(UserId(i as u32)))
             .collect();
         for &u in &evicted {
             self.leave(u);

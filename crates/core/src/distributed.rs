@@ -524,7 +524,7 @@ fn run_distributed_impl(
     trace: Option<Vec<MoveRec>>,
 ) -> (DistributedOutcome, Option<Vec<MoveRec>>) {
     let mut seen: HashSet<Vec<Option<ApId>>> = HashSet::new();
-    seen.insert(initial.as_slice().to_vec());
+    seen.insert(initial.to_vec());
     continue_distributed(inst, config, initial, 1, 0, seen, trace)
 }
 
@@ -637,7 +637,7 @@ pub(crate) fn continue_distributed(
                 trace,
             );
         }
-        if !seen.insert(ledger.association().as_slice().to_vec()) {
+        if !seen.insert(ledger.association().to_vec()) {
             // State repeats: a live oscillation.
             return (
                 DistributedOutcome {

@@ -60,11 +60,7 @@ impl DualAssociation {
 
     /// Number of unicast users attached to AP `a`.
     pub fn unicast_users_of(&self, a: ApId) -> usize {
-        self.unicast
-            .as_slice()
-            .iter()
-            .filter(|&&ap| ap == Some(a))
-            .count()
+        self.unicast.iter().filter(|&ap| ap == Some(a)).count()
     }
 
     /// The joint airtime of AP `a`: its multicast load (Definition 1 over

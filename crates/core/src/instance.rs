@@ -1,8 +1,16 @@
 //! The WLAN problem instance: APs, users, sessions, link rates, budgets.
+//!
+//! Storage is struct-of-arrays CSR (compressed sparse row): one offset
+//! array plus one packed edge arena per adjacency direction. At the
+//! million-user scale the ROADMAP targets, the former `Vec<Vec<…>>`
+//! representation paid one heap allocation (and its bookkeeping) per user
+//! and per AP; the CSR arenas pay two allocations per direction total and
+//! keep every per-user / per-AP row contiguous, so the solvers' inner
+//! loops stream straight through memory.
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::ids::{ApId, SessionId, UserId};
 use crate::load::Load;
@@ -14,6 +22,12 @@ use crate::rate::{Kbps, RatePolicy, RateTable};
 /// (in millimeters); hand-built instances default it to the link rate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct SignalStrength(pub i64);
+
+/// Sentinel stored in the signal arena for a link whose signal strength is
+/// unknown (a legacy wire file may carry a link with a `null` signal).
+/// `i64::MIN` is unreachable for real signals: generators emit negated
+/// millimeter distances and hand-built instances default to the link rate.
+pub const NO_SIGNAL: i64 = i64::MIN;
 
 /// A multicast session (stream) offered by the WLAN.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -53,6 +67,8 @@ pub enum InstanceError {
     NoSupportedRates,
     /// A budget is negative.
     NegativeBudget(ApId),
+    /// A streamed user's candidate-AP list is not strictly ascending.
+    UnsortedCandidates(UserId),
 }
 
 impl fmt::Display for InstanceError {
@@ -72,6 +88,9 @@ impl fmt::Display for InstanceError {
             }
             InstanceError::NoSupportedRates => write!(f, "no supported rates given"),
             InstanceError::NegativeBudget(a) => write!(f, "AP {a} has a negative budget"),
+            InstanceError::UnsortedCandidates(u) => {
+                write!(f, "user {u}: candidate APs not strictly ascending")
+            }
         }
     }
 }
@@ -226,18 +245,13 @@ impl InstanceBuilder {
                 return Err(InstanceError::UnknownSession(user.session));
             }
         }
-
-        let mut user_deg = vec![0u32; n_users];
-        let mut ap_deg = vec![0u32; n_aps];
         for &(ap, user, rate, _) in &self.links {
             if rates.binary_search(&rate).is_err() {
                 return Err(InstanceError::UnsupportedLinkRate { ap, user, rate });
             }
-            user_deg[user.index()] += 1;
-            ap_deg[ap.index()] += 1;
         }
 
-        // Sparse adjacency straight from the link list — O(L log L), never
+        // CSR straight from the link list — O(L log L), never
         // O(APs × users). Stable (ap, user, declaration-index) order means
         // ascending ApId per user, ascending UserId per AP, and "last
         // declaration wins" for duplicates, exactly as the former dense
@@ -245,41 +259,245 @@ impl InstanceBuilder {
         type IndexedLink = (usize, (ApId, UserId, Kbps, Option<SignalStrength>));
         let mut indexed: Vec<IndexedLink> = self.links.into_iter().enumerate().collect();
         indexed.sort_unstable_by_key(|&(i, (a, u, _, _))| (a, u, i));
-        // Degrees count duplicate declarations too — a harmless capacity
-        // overestimate that keeps the fill loop reallocation-free.
-        let mut user_aps: Vec<Vec<(ApId, Kbps)>> = user_deg
-            .iter()
-            .map(|&d| Vec::with_capacity(d as usize))
-            .collect();
-        let mut user_signals: Vec<Vec<Option<SignalStrength>>> = user_deg
-            .iter()
-            .map(|&d| Vec::with_capacity(d as usize))
-            .collect();
-        let mut ap_users: Vec<Vec<UserId>> = ap_deg
-            .iter()
-            .map(|&d| Vec::with_capacity(d as usize))
-            .collect();
+
+        // Pass 1: exact post-dedup degrees.
+        let mut user_deg = vec![0u32; n_users];
+        let mut ap_deg = vec![0u32; n_aps];
+        let mut n_links = 0usize;
+        {
+            let mut it = indexed.iter().peekable();
+            while let Some(&(_, (a, u, _, _))) = it.next() {
+                if matches!(it.peek(), Some(&&(_, (a2, u2, _, _))) if a2 == a && u2 == u) {
+                    continue; // a later declaration of the same link supersedes this one
+                }
+                user_deg[u.index()] += 1;
+                ap_deg[a.index()] += 1;
+                n_links += 1;
+            }
+        }
+
+        // Pass 2: prefix sums, then fill through per-row write cursors.
+        // The AP-major scan visits each user's links in ascending ApId and
+        // each AP's users in ascending UserId, so both arenas come out
+        // sorted without another pass.
+        let user_off = prefix_sum(&user_deg);
+        let ap_off = prefix_sum(&ap_deg);
+        let mut user_cur: Vec<u32> = user_off[..n_users].to_vec();
+        let mut ap_cur: Vec<u32> = ap_off[..n_aps].to_vec();
+        let mut user_adj = vec![(ApId(0), Kbps(0)); n_links];
+        let mut user_sig = vec![NO_SIGNAL; n_links];
+        let mut ap_adj = vec![UserId(0); n_links];
         let mut it = indexed.into_iter().peekable();
         while let Some((_, (a, u, r, s))) = it.next() {
             if matches!(it.peek(), Some(&(_, (a2, u2, _, _))) if a2 == a && u2 == u) {
-                continue; // a later declaration of the same link supersedes this one
+                continue;
             }
-            user_aps[u.index()].push((a, r));
-            user_signals[u.index()].push(s);
-            ap_users[a.index()].push(u);
+            let uc = user_cur[u.index()] as usize;
+            user_adj[uc] = (a, r);
+            user_sig[uc] = s.map_or(NO_SIGNAL, |sig| sig.0);
+            user_cur[u.index()] += 1;
+            let ac = ap_cur[a.index()] as usize;
+            ap_adj[ac] = u;
+            ap_cur[a.index()] += 1;
         }
 
         Ok(Instance {
             sessions: self.sessions,
             users: self.users,
             budgets: self.budgets,
-            user_aps,
-            user_signals,
-            ap_users,
+            user_off,
+            user_adj,
+            user_sig,
+            ap_off,
+            ap_adj,
             rates,
             rate_policy: self.rate_policy,
         })
     }
+}
+
+/// Exclusive prefix sum with a trailing total: `degrees` of length `n`
+/// become offsets of length `n + 1`.
+fn prefix_sum(degrees: &[u32]) -> Vec<u32> {
+    let mut off = Vec::with_capacity(degrees.len() + 1);
+    let mut acc = 0u32;
+    off.push(0);
+    for &d in degrees {
+        acc += d;
+        off.push(acc);
+    }
+    off
+}
+
+/// Chunk-friendly [`Instance`] constructor for streamed scenario
+/// generation: users arrive one at a time, in id order, each with its
+/// finished candidate-AP row, and go straight into the user-major CSR
+/// arena. Nothing proportional to the link count is buffered outside the
+/// arenas themselves — no per-link declaration list, no sort.
+///
+/// The per-user rows must already be strictly ascending by [`ApId`]
+/// (spatial-grid queries return neighbors in ascending point order, so
+/// generators get this for free). [`finish`](StreamingInstanceBuilder::finish)
+/// derives the AP-major arena with one counting pass.
+#[derive(Debug, Clone)]
+pub struct StreamingInstanceBuilder {
+    sessions: Vec<SessionSpec>,
+    budgets: Vec<Load>,
+    rates: Vec<Kbps>,
+    rate_policy: RatePolicy,
+    users: Vec<UserSpec>,
+    user_off: Vec<u32>,
+    user_adj: Vec<(ApId, Kbps)>,
+    user_sig: Vec<i64>,
+}
+
+impl StreamingInstanceBuilder {
+    /// Starts a streaming build over a fixed AP/session/rate population.
+    ///
+    /// # Errors
+    ///
+    /// The same up-front checks as [`InstanceBuilder::build`]:
+    /// [`InstanceError::NoSupportedRates`],
+    /// [`InstanceError::ZeroSessionRate`],
+    /// [`InstanceError::NegativeBudget`].
+    pub fn new(
+        sessions: Vec<SessionSpec>,
+        budgets: Vec<Load>,
+        supported_rates: impl IntoIterator<Item = Kbps>,
+        rate_policy: RatePolicy,
+    ) -> Result<StreamingInstanceBuilder, InstanceError> {
+        let mut rates: Vec<Kbps> = supported_rates.into_iter().collect();
+        if rates.is_empty() {
+            return Err(InstanceError::NoSupportedRates);
+        }
+        rates.sort_unstable();
+        rates.dedup();
+        for (s, spec) in sessions.iter().enumerate() {
+            if spec.rate.0 == 0 {
+                return Err(InstanceError::ZeroSessionRate(SessionId(s as u32)));
+            }
+        }
+        for (a, b) in budgets.iter().enumerate() {
+            if b.is_negative() {
+                return Err(InstanceError::NegativeBudget(ApId(a as u32)));
+            }
+        }
+        Ok(StreamingInstanceBuilder {
+            sessions,
+            budgets,
+            rates,
+            rate_policy,
+            users: Vec::new(),
+            user_off: vec![0],
+            user_adj: Vec::new(),
+            user_sig: Vec::new(),
+        })
+    }
+
+    /// Pre-sizes the arenas (an optimization only; the arenas grow as
+    /// needed either way).
+    pub fn reserve(&mut self, n_users: usize, n_links: usize) {
+        self.users.reserve(n_users);
+        self.user_off.reserve(n_users);
+        self.user_adj.reserve(n_links);
+        self.user_sig.reserve(n_links);
+    }
+
+    /// Appends the next user (ids are assigned in arrival order) with its
+    /// complete candidate row, strictly ascending by [`ApId`].
+    ///
+    /// # Errors
+    ///
+    /// [`InstanceError::UnknownSession`] / [`InstanceError::UnknownAp`] /
+    /// [`InstanceError::UnsupportedLinkRate`] on a bad reference, and
+    /// [`InstanceError::UnsortedCandidates`] if the row is out of order or
+    /// repeats an AP.
+    pub fn push_user(
+        &mut self,
+        session: SessionId,
+        links: &[(ApId, Kbps, SignalStrength)],
+    ) -> Result<UserId, InstanceError> {
+        let u = UserId(self.users.len() as u32);
+        if session.index() >= self.sessions.len() {
+            return Err(InstanceError::UnknownSession(session));
+        }
+        let mut prev: Option<ApId> = None;
+        for &(a, r, _) in links {
+            if a.index() >= self.budgets.len() {
+                return Err(InstanceError::UnknownAp(a));
+            }
+            if self.rates.binary_search(&r).is_err() {
+                return Err(InstanceError::UnsupportedLinkRate {
+                    ap: a,
+                    user: u,
+                    rate: r,
+                });
+            }
+            if prev.is_some_and(|p| p >= a) {
+                return Err(InstanceError::UnsortedCandidates(u));
+            }
+            prev = Some(a);
+        }
+        self.users.push(UserSpec { session });
+        for &(a, r, sig) in links {
+            self.user_adj.push((a, r));
+            self.user_sig.push(sig.0);
+        }
+        self.user_off.push(self.user_adj.len() as u32);
+        Ok(u)
+    }
+
+    /// Number of users pushed so far.
+    pub fn n_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Number of links pushed so far.
+    pub fn n_links(&self) -> usize {
+        self.user_adj.len()
+    }
+
+    /// Seals the instance: one counting pass over the user arena derives
+    /// the AP-major CSR.
+    pub fn finish(self) -> Instance {
+        let (ap_off, ap_adj) = transpose_csr(self.budgets.len(), &self.user_off, &self.user_adj);
+        Instance {
+            sessions: self.sessions,
+            users: self.users,
+            budgets: self.budgets,
+            user_off: self.user_off,
+            user_adj: self.user_adj,
+            user_sig: self.user_sig,
+            ap_off,
+            ap_adj,
+            rates: self.rates,
+            rate_policy: self.rate_policy,
+        }
+    }
+}
+
+/// Derives the AP-major CSR (`ap_off`, `ap_adj`) from a finished
+/// user-major arena. Scanning users in ascending id order fills each AP's
+/// row in ascending [`UserId`] without sorting.
+fn transpose_csr(
+    n_aps: usize,
+    user_off: &[u32],
+    user_adj: &[(ApId, Kbps)],
+) -> (Vec<u32>, Vec<UserId>) {
+    let mut ap_deg = vec![0u32; n_aps];
+    for &(a, _) in user_adj {
+        ap_deg[a.index()] += 1;
+    }
+    let ap_off = prefix_sum(&ap_deg);
+    let mut ap_cur: Vec<u32> = ap_off[..n_aps].to_vec();
+    let mut ap_adj = vec![UserId(0); user_adj.len()];
+    for u in 0..user_off.len().saturating_sub(1) {
+        for &(a, _) in &user_adj[user_off[u] as usize..user_off[u + 1] as usize] {
+            ap_adj[ap_cur[a.index()] as usize] = UserId(u as u32);
+            ap_cur[a.index()] += 1;
+        }
+    }
+    (ap_off, ap_adj)
 }
 
 /// An immutable, validated WLAN multicast-association instance.
@@ -287,106 +505,39 @@ impl InstanceBuilder {
 /// All three problems (MNU, BLA, MLA), the distributed algorithms, and the
 /// SSA baseline operate on this type.
 ///
-/// Storage is sparse: per-user and per-AP adjacency lists, sized by the
-/// number of actual links rather than APs × users. Construction is
-/// O(L log L); [`Instance::link_rate`] and [`Instance::signal`] are
-/// O(log degree). The serialized form is unchanged — see [`DenseInstance`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
-#[serde(try_from = "DenseInstance", into = "DenseInstance")]
+/// Storage is sparse CSR, struct-of-arrays: per-direction offset arrays
+/// into packed edge arenas, sized by the number of actual links rather
+/// than APs × users. Construction is O(L log L); [`Instance::link_rate`]
+/// and [`Instance::signal`] are O(log degree);
+/// [`Instance::candidate_aps`] and [`Instance::reachable_users`] are
+/// zero-copy slices of the arenas.
+///
+/// The serialized form is the sparse `mcast-instance/v1` wire (links on
+/// the wire, never an APs × users matrix); files written by the older
+/// dense-matrix wire still load, and [`Instance::to_legacy_dense_value`]
+/// can still emit that shape for downgrade interchange.
+#[derive(Debug, Clone)]
 pub struct Instance {
     sessions: Vec<SessionSpec>,
     users: Vec<UserSpec>,
     budgets: Vec<Load>,
-    user_aps: Vec<Vec<(ApId, Kbps)>>,
-    user_signals: Vec<Vec<Option<SignalStrength>>>,
-    ap_users: Vec<Vec<UserId>>,
+    /// `user_off[u]..user_off[u+1]` indexes user `u`'s row in `user_adj`
+    /// and `user_sig`.
+    user_off: Vec<u32>,
+    /// Per-user candidate APs with link rates, ascending `ApId` per row.
+    user_adj: Vec<(ApId, Kbps)>,
+    /// Parallel to `user_adj`; [`NO_SIGNAL`] when the wire had none.
+    user_sig: Vec<i64>,
+    /// `ap_off[a]..ap_off[a+1]` indexes AP `a`'s row in `ap_adj`.
+    ap_off: Vec<u32>,
+    /// Per-AP reachable users, ascending `UserId` per row.
+    ap_adj: Vec<UserId>,
     rates: Vec<Kbps>,
     rate_policy: RatePolicy,
 }
 
-/// The wire format of [`Instance`]: the dense link/signal matrices of the
-/// original matrix-backed representation. Keeping it as the (de)serialized
-/// shape means scenario files written before the sparse refactor load
-/// unchanged, and new files stay byte-identical to old ones.
-#[derive(Clone, Serialize, Deserialize)]
-struct DenseInstance {
-    sessions: Vec<SessionSpec>,
-    users: Vec<UserSpec>,
-    budgets: Vec<Load>,
-    link: Vec<Option<Kbps>>,
-    signal: Vec<Option<SignalStrength>>,
-    user_aps: Vec<Vec<(ApId, Kbps)>>,
-    ap_users: Vec<Vec<UserId>>,
-    rates: Vec<Kbps>,
-    rate_policy: RatePolicy,
-}
-
-impl From<Instance> for DenseInstance {
-    fn from(inst: Instance) -> DenseInstance {
-        let n_aps = inst.n_aps();
-        let n_users = inst.n_users();
-        let mut link = vec![None; n_aps * n_users];
-        let mut signal = vec![None; n_aps * n_users];
-        for (u, aps) in inst.user_aps.iter().enumerate() {
-            for (i, &(a, r)) in aps.iter().enumerate() {
-                let idx = a.index() * n_users + u;
-                link[idx] = Some(r);
-                signal[idx] = inst.user_signals[u][i];
-            }
-        }
-        DenseInstance {
-            sessions: inst.sessions,
-            users: inst.users,
-            budgets: inst.budgets,
-            link,
-            signal,
-            user_aps: inst.user_aps,
-            ap_users: inst.ap_users,
-            rates: inst.rates,
-            rate_policy: inst.rate_policy,
-        }
-    }
-}
-
-impl TryFrom<DenseInstance> for Instance {
-    type Error = String;
-
-    fn try_from(w: DenseInstance) -> Result<Instance, String> {
-        let n_aps = w.budgets.len();
-        let n_users = w.users.len();
-        if w.link.len() != n_aps * n_users || w.signal.len() != n_aps * n_users {
-            return Err(format!(
-                "instance matrices sized {}/{} for {n_aps} APs x {n_users} users",
-                w.link.len(),
-                w.signal.len()
-            ));
-        }
-        // The dense matrices are authoritative; adjacency is rebuilt from
-        // them (in the same AP-major scan order that built the wire lists).
-        let mut user_aps: Vec<Vec<(ApId, Kbps)>> = vec![Vec::new(); n_users];
-        let mut user_signals: Vec<Vec<Option<SignalStrength>>> = vec![Vec::new(); n_users];
-        let mut ap_users: Vec<Vec<UserId>> = vec![Vec::new(); n_aps];
-        for (a, users_of_a) in ap_users.iter_mut().enumerate() {
-            for u in 0..n_users {
-                if let Some(r) = w.link[a * n_users + u] {
-                    user_aps[u].push((ApId(a as u32), r));
-                    user_signals[u].push(w.signal[a * n_users + u]);
-                    users_of_a.push(UserId(u as u32));
-                }
-            }
-        }
-        Ok(Instance {
-            sessions: w.sessions,
-            users: w.users,
-            budgets: w.budgets,
-            user_aps,
-            user_signals,
-            ap_users,
-            rates: w.rates,
-            rate_policy: w.rate_policy,
-        })
-    }
-}
+/// Version tag of the sparse wire format ([`Serialize`] output).
+pub const SPARSE_FORMAT: &str = "mcast-instance/v1";
 
 impl Instance {
     /// Number of access points.
@@ -402,6 +553,28 @@ impl Instance {
     /// Number of sessions.
     pub fn n_sessions(&self) -> usize {
         self.sessions.len()
+    }
+
+    /// Number of (deduplicated) AP–user links.
+    pub fn n_links(&self) -> usize {
+        self.user_adj.len()
+    }
+
+    /// Estimated resident heap bytes of this instance's arrays — the
+    /// number `repro gen` and the scale bench report so memory regressions
+    /// show up in every run. Counts the CSR arenas, offsets, and per-entity
+    /// spec arrays; excludes allocator overhead.
+    pub fn resident_bytes_estimate(&self) -> usize {
+        use std::mem::size_of;
+        self.sessions.len() * size_of::<SessionSpec>()
+            + self.users.len() * size_of::<UserSpec>()
+            + self.budgets.len() * size_of::<Load>()
+            + self.user_off.len() * size_of::<u32>()
+            + self.user_adj.len() * size_of::<(ApId, Kbps)>()
+            + self.user_sig.len() * size_of::<i64>()
+            + self.ap_off.len() * size_of::<u32>()
+            + self.ap_adj.len() * size_of::<UserId>()
+            + self.rates.len() * size_of::<Kbps>()
     }
 
     /// Iterator over all AP ids.
@@ -446,6 +619,14 @@ impl Instance {
         self.budgets[a.index()]
     }
 
+    /// User `u`'s row bounds in the user-major arenas.
+    fn user_row(&self, u: UserId) -> (usize, usize) {
+        (
+            self.user_off[u.index()] as usize,
+            self.user_off[u.index() + 1] as usize,
+        )
+    }
+
     /// The maximum data rate of the `a`–`u` link, or `None` if out of range.
     ///
     /// # Panics
@@ -453,10 +634,11 @@ impl Instance {
     /// Panics if `a` or `u` is out of range.
     pub fn link_rate(&self, a: ApId, u: UserId) -> Option<Kbps> {
         assert!(a.index() < self.n_aps(), "AP {a} out of range");
-        let aps = &self.user_aps[u.index()];
-        aps.binary_search_by_key(&a, |&(ap, _)| ap)
+        let (lo, hi) = self.user_row(u);
+        let row = &self.user_adj[lo..hi];
+        row.binary_search_by_key(&a, |&(ap, _)| ap)
             .ok()
-            .map(|i| aps[i].1)
+            .map(|i| row[i].1)
     }
 
     /// The signal strength of the `a`–`u` link, or `None` if out of range.
@@ -466,10 +648,14 @@ impl Instance {
     /// Panics if `a` or `u` is out of range.
     pub fn signal(&self, a: ApId, u: UserId) -> Option<SignalStrength> {
         assert!(a.index() < self.n_aps(), "AP {a} out of range");
-        let aps = &self.user_aps[u.index()];
-        aps.binary_search_by_key(&a, |&(ap, _)| ap)
+        let (lo, hi) = self.user_row(u);
+        self.user_adj[lo..hi]
+            .binary_search_by_key(&a, |&(ap, _)| ap)
             .ok()
-            .and_then(|i| self.user_signals[u.index()][i])
+            .and_then(|i| {
+                let s = self.user_sig[lo + i];
+                (s != NO_SIGNAL).then_some(SignalStrength(s))
+            })
     }
 
     /// The APs user `u` can hear, with link rates (ascending `ApId`).
@@ -478,7 +664,8 @@ impl Instance {
     ///
     /// Panics if `u` is out of range.
     pub fn candidate_aps(&self, u: UserId) -> &[(ApId, Kbps)] {
-        &self.user_aps[u.index()]
+        let (lo, hi) = self.user_row(u);
+        &self.user_adj[lo..hi]
     }
 
     /// The users AP `a` can reach (ascending `UserId`).
@@ -487,7 +674,7 @@ impl Instance {
     ///
     /// Panics if `a` is out of range.
     pub fn reachable_users(&self, a: ApId) -> &[UserId] {
-        &self.ap_users[a.index()]
+        &self.ap_adj[self.ap_off[a.index()] as usize..self.ap_off[a.index() + 1] as usize]
     }
 
     /// The discrete rates the WLAN supports, ascending.
@@ -537,8 +724,387 @@ impl Instance {
 
     /// True if some AP can reach user `u`.
     pub fn user_coverable(&self, u: UserId) -> bool {
-        !self.user_aps[u.index()].is_empty()
+        let (lo, hi) = self.user_row(u);
+        lo < hi
     }
+
+    /// Assembles an instance directly from validated-on-entry CSR parts —
+    /// the constructor the binary `.mcb` reader and the sparse JSON wire
+    /// share. `user_sig` runs parallel to `user_adj` with [`NO_SIGNAL`]
+    /// marking an absent signal; the AP-major arena is derived here.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first structural violation: offset arrays that
+    /// do not line up, rows out of order, references out of range,
+    /// unsupported link rates, or the same checks
+    /// [`InstanceBuilder::build`] applies to sessions/budgets/rates.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_csr(
+        sessions: Vec<SessionSpec>,
+        users: Vec<UserSpec>,
+        budgets: Vec<Load>,
+        user_off: Vec<u32>,
+        user_adj: Vec<(ApId, Kbps)>,
+        user_sig: Vec<i64>,
+        mut rates: Vec<Kbps>,
+        rate_policy: RatePolicy,
+    ) -> Result<Instance, String> {
+        let n_aps = budgets.len();
+        let n_users = users.len();
+        if rates.is_empty() {
+            return Err("no supported rates".into());
+        }
+        rates.sort_unstable();
+        rates.dedup();
+        for (s, spec) in sessions.iter().enumerate() {
+            if spec.rate.0 == 0 {
+                return Err(format!("session {s} has zero stream rate"));
+            }
+        }
+        for (a, b) in budgets.iter().enumerate() {
+            if b.is_negative() {
+                return Err(format!("AP {a} has a negative budget"));
+            }
+        }
+        for (u, spec) in users.iter().enumerate() {
+            if spec.session.index() >= sessions.len() {
+                return Err(format!(
+                    "user {u} requests unknown session {}",
+                    spec.session
+                ));
+            }
+        }
+        if user_off.len() != n_users + 1 {
+            return Err(format!(
+                "user_off has {} entries for {n_users} users",
+                user_off.len()
+            ));
+        }
+        if user_off[0] != 0 || *user_off.last().expect("non-empty") != user_adj.len() as u32 {
+            return Err("user_off does not span the link arena".into());
+        }
+        if user_sig.len() != user_adj.len() {
+            return Err(format!(
+                "signal arena has {} entries for {} links",
+                user_sig.len(),
+                user_adj.len()
+            ));
+        }
+        for u in 0..n_users {
+            let (lo, hi) = (user_off[u] as usize, user_off[u + 1] as usize);
+            if lo > hi || hi > user_adj.len() {
+                return Err(format!("user {u}: offsets {lo}..{hi} out of order"));
+            }
+            let mut prev: Option<ApId> = None;
+            for &(a, r) in &user_adj[lo..hi] {
+                if a.index() >= n_aps {
+                    return Err(format!("user {u}: link to unknown AP {a}"));
+                }
+                if rates.binary_search(&r).is_err() {
+                    return Err(format!("user {u}: link rate {r} unsupported"));
+                }
+                if prev.is_some_and(|p| p >= a) {
+                    return Err(format!("user {u}: candidate APs not strictly ascending"));
+                }
+                prev = Some(a);
+            }
+        }
+        let (ap_off, ap_adj) = transpose_csr(n_aps, &user_off, &user_adj);
+        Ok(Instance {
+            sessions,
+            users,
+            budgets,
+            user_off,
+            user_adj,
+            user_sig,
+            ap_off,
+            ap_adj,
+            rates,
+            rate_policy,
+        })
+    }
+
+    /// Decomposes into the CSR parts [`Instance::from_csr`] accepts, in
+    /// the same order — the writer-side twin the `.mcb` encoder uses.
+    /// Returns `(sessions, users, budgets, user_off, user_adj, user_sig,
+    /// rates, rate_policy)`.
+    #[allow(clippy::type_complexity)]
+    pub fn csr_parts(
+        &self,
+    ) -> (
+        &[SessionSpec],
+        &[UserSpec],
+        &[Load],
+        &[u32],
+        &[(ApId, Kbps)],
+        &[i64],
+        &[Kbps],
+        RatePolicy,
+    ) {
+        (
+            &self.sessions,
+            &self.users,
+            &self.budgets,
+            &self.user_off,
+            &self.user_adj,
+            &self.user_sig,
+            &self.rates,
+            self.rate_policy,
+        )
+    }
+
+    /// Renders the pre-v1 dense wire shape (`link`/`signal` matrices of
+    /// APs × users entries plus redundant adjacency lists) for interchange
+    /// with tooling that still expects it. This materializes O(APs × users)
+    /// values — exactly the blowup the sparse wire exists to avoid — so it
+    /// is only reachable behind an explicit flag (`repro gen
+    /// --legacy-dense`), never on the default path.
+    pub fn to_legacy_dense_value(&self) -> Value {
+        let n_aps = self.n_aps();
+        let n_users = self.n_users();
+        let mut link = vec![Value::Null; n_aps * n_users];
+        let mut signal = vec![Value::Null; n_aps * n_users];
+        for u in 0..n_users {
+            let (lo, hi) = self.user_row(UserId(u as u32));
+            for i in lo..hi {
+                let (a, r) = self.user_adj[i];
+                let idx = a.index() * n_users + u;
+                link[idx] = Value::Int(i128::from(r.0));
+                if self.user_sig[i] != NO_SIGNAL {
+                    signal[idx] = Value::Int(i128::from(self.user_sig[i]));
+                }
+            }
+        }
+        let user_aps: Vec<Value> = (0..n_users)
+            .map(|u| self.candidate_aps(UserId(u as u32)).serialize_value())
+            .collect();
+        let ap_users: Vec<Value> = (0..n_aps)
+            .map(|a| self.reachable_users(ApId(a as u32)).serialize_value())
+            .collect();
+        Value::Object(vec![
+            ("sessions".into(), self.sessions.serialize_value()),
+            ("users".into(), self.users.serialize_value()),
+            ("budgets".into(), self.budgets.serialize_value()),
+            ("link".into(), Value::Array(link)),
+            ("signal".into(), Value::Array(signal)),
+            ("user_aps".into(), Value::Array(user_aps)),
+            ("ap_users".into(), Value::Array(ap_users)),
+            ("rates".into(), self.rates.serialize_value()),
+            ("rate_policy".into(), self.rate_policy.serialize_value()),
+        ])
+    }
+}
+
+// ---- wire formats ------------------------------------------------------
+//
+// Serialize emits the sparse `mcast-instance/v1` shape: links on the wire
+// (one `[ap, rate, signal]` triple per link, user-major behind `user_off`),
+// never a dense matrix. Deserialize accepts both that shape (dispatched on
+// the `format` tag) and the pre-v1 dense-matrix shape (recognized by its
+// `link` field), so every scenario file ever written by this repository
+// still loads.
+
+impl Serialize for Instance {
+    fn serialize_value(&self) -> Value {
+        let links: Vec<Value> = self
+            .user_adj
+            .iter()
+            .zip(&self.user_sig)
+            .map(|(&(a, r), &s)| {
+                Value::Array(vec![
+                    Value::Int(i128::from(a.0)),
+                    Value::Int(i128::from(r.0)),
+                    if s == NO_SIGNAL {
+                        Value::Null
+                    } else {
+                        Value::Int(i128::from(s))
+                    },
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("format".into(), Value::Str(SPARSE_FORMAT.into())),
+            ("sessions".into(), self.sessions.serialize_value()),
+            (
+                "users".into(),
+                Value::Array(
+                    self.users
+                        .iter()
+                        .map(|u| Value::Int(i128::from(u.session.0)))
+                        .collect(),
+                ),
+            ),
+            ("budgets".into(), self.budgets.serialize_value()),
+            (
+                "user_off".into(),
+                Value::Array(
+                    self.user_off
+                        .iter()
+                        .map(|&o| Value::Int(i128::from(o)))
+                        .collect(),
+                ),
+            ),
+            ("links".into(), Value::Array(links)),
+            ("rates".into(), self.rates.serialize_value()),
+            ("rate_policy".into(), self.rate_policy.serialize_value()),
+        ])
+    }
+}
+
+impl Deserialize for Instance {
+    fn deserialize_value(v: &Value) -> Result<Instance, DeError> {
+        match v.get("format") {
+            Some(Value::Str(tag)) if tag == SPARSE_FORMAT => sparse_from_value(v),
+            Some(other) => Err(DeError::custom(format!(
+                "unknown instance format tag: {other:?}"
+            ))),
+            None if v.get("link").is_some() => legacy_dense_from_value(v),
+            None => Err(DeError::custom(
+                "instance: neither a format tag nor a legacy dense `link` matrix",
+            )),
+        }
+    }
+}
+
+fn field<'v>(v: &'v Value, name: &str) -> Result<&'v Value, DeError> {
+    v.get(name)
+        .ok_or_else(|| DeError::custom(format!("instance: missing field `{name}`")))
+}
+
+fn u32_array(v: &Value, name: &str) -> Result<Vec<u32>, DeError> {
+    let Value::Array(items) = v else {
+        return Err(DeError::custom(format!(
+            "instance: `{name}` must be an array, got {}",
+            v.kind()
+        )));
+    };
+    items
+        .iter()
+        .map(|it| match it {
+            Value::Int(i) => u32::try_from(*i)
+                .map_err(|_| DeError::custom(format!("instance: `{name}` entry {i} out of range"))),
+            other => Err(DeError::custom(format!(
+                "instance: `{name}` entry must be an integer, got {}",
+                other.kind()
+            ))),
+        })
+        .collect()
+}
+
+fn sparse_from_value(v: &Value) -> Result<Instance, DeError> {
+    let sessions = Vec::<SessionSpec>::deserialize_value(field(v, "sessions")?)?;
+    let users: Vec<UserSpec> = u32_array(field(v, "users")?, "users")?
+        .into_iter()
+        .map(|s| UserSpec {
+            session: SessionId(s),
+        })
+        .collect();
+    let budgets = Vec::<Load>::deserialize_value(field(v, "budgets")?)?;
+    let user_off = u32_array(field(v, "user_off")?, "user_off")?;
+    let Value::Array(raw_links) = field(v, "links")? else {
+        return Err(DeError::custom("instance: `links` must be an array"));
+    };
+    let mut user_adj = Vec::with_capacity(raw_links.len());
+    let mut user_sig = Vec::with_capacity(raw_links.len());
+    for l in raw_links {
+        let Value::Array(t) = l else {
+            return Err(DeError::custom("instance: each link must be an array"));
+        };
+        let [Value::Int(a), Value::Int(r), sig] = t.as_slice() else {
+            return Err(DeError::custom(
+                "instance: each link must be [ap, rate, signal]",
+            ));
+        };
+        let a = u32::try_from(*a)
+            .map_err(|_| DeError::custom(format!("instance: link AP {a} out of range")))?;
+        let r = u32::try_from(*r)
+            .map_err(|_| DeError::custom(format!("instance: link rate {r} out of range")))?;
+        user_adj.push((ApId(a), Kbps(r)));
+        user_sig.push(match sig {
+            Value::Null => NO_SIGNAL,
+            Value::Int(s) => i64::try_from(*s)
+                .map_err(|_| DeError::custom(format!("instance: link signal {s} out of range")))?,
+            other => {
+                return Err(DeError::custom(format!(
+                    "instance: link signal must be an integer or null, got {}",
+                    other.kind()
+                )))
+            }
+        });
+    }
+    let rates = Vec::<Kbps>::deserialize_value(field(v, "rates")?)?;
+    let rate_policy = RatePolicy::deserialize_value(field(v, "rate_policy")?)?;
+    Instance::from_csr(
+        sessions,
+        users,
+        budgets,
+        user_off,
+        user_adj,
+        user_sig,
+        rates,
+        rate_policy,
+    )
+    .map_err(DeError::custom)
+}
+
+fn legacy_dense_from_value(v: &Value) -> Result<Instance, DeError> {
+    let sessions = Vec::<SessionSpec>::deserialize_value(field(v, "sessions")?)?;
+    let users = Vec::<UserSpec>::deserialize_value(field(v, "users")?)?;
+    let budgets = Vec::<Load>::deserialize_value(field(v, "budgets")?)?;
+    let link = Vec::<Option<Kbps>>::deserialize_value(field(v, "link")?)?;
+    let signal = Vec::<Option<SignalStrength>>::deserialize_value(field(v, "signal")?)?;
+    // Required by the legacy shape, but the matrices are authoritative —
+    // adjacency is rebuilt from them, exactly as the pre-sparse reader did.
+    field(v, "user_aps")?;
+    field(v, "ap_users")?;
+    let rates = Vec::<Kbps>::deserialize_value(field(v, "rates")?)?;
+    let rate_policy = RatePolicy::deserialize_value(field(v, "rate_policy")?)?;
+
+    let n_aps = budgets.len();
+    let n_users = users.len();
+    if link.len() != n_aps * n_users || signal.len() != n_aps * n_users {
+        return Err(DeError::custom(format!(
+            "instance matrices sized {}/{} for {n_aps} APs x {n_users} users",
+            link.len(),
+            signal.len()
+        )));
+    }
+    // AP-major scan of the matrix, counting then filling — the same order
+    // that built the legacy adjacency lists.
+    let mut user_deg = vec![0u32; n_users];
+    let mut n_links = 0usize;
+    for idx in 0..n_aps * n_users {
+        if link[idx].is_some() {
+            user_deg[idx % n_users] += 1;
+            n_links += 1;
+        }
+    }
+    let user_off = prefix_sum(&user_deg);
+    let mut user_cur: Vec<u32> = user_off[..n_users].to_vec();
+    let mut user_adj = vec![(ApId(0), Kbps(0)); n_links];
+    let mut user_sig = vec![NO_SIGNAL; n_links];
+    for a in 0..n_aps {
+        for u in 0..n_users {
+            if let Some(r) = link[a * n_users + u] {
+                let c = user_cur[u] as usize;
+                user_adj[c] = (ApId(a as u32), r);
+                user_sig[c] = signal[a * n_users + u].map_or(NO_SIGNAL, |s| s.0);
+                user_cur[u] += 1;
+            }
+        }
+    }
+    Instance::from_csr(
+        sessions,
+        users,
+        budgets,
+        user_off,
+        user_adj,
+        user_sig,
+        rates,
+        rate_policy,
+    )
+    .map_err(DeError::custom)
 }
 
 #[cfg(test)]
@@ -569,6 +1135,7 @@ mod tests {
         assert_eq!(inst.n_aps(), 2);
         assert_eq!(inst.n_users(), 2);
         assert_eq!(inst.n_sessions(), 1);
+        assert_eq!(inst.n_links(), 3);
         assert_eq!(inst.session_rate(SessionId(0)), mbps(3));
         assert_eq!(inst.user_session(UserId(1)), SessionId(0));
         assert_eq!(inst.link_rate(ApId(0), UserId(0)), Some(mbps(3)));
@@ -584,6 +1151,7 @@ mod tests {
             inst.session_users(SessionId(0)).collect::<Vec<_>>(),
             vec![UserId(0), UserId(1)]
         );
+        assert!(inst.resident_bytes_estimate() > 0);
     }
 
     #[test]
@@ -688,6 +1256,7 @@ mod tests {
         b.link(a, u, mbps(3)).unwrap();
         b.link(a, u, mbps(6)).unwrap();
         let inst = b.build().unwrap();
+        assert_eq!(inst.n_links(), 1);
         assert_eq!(inst.link_rate(a, u), Some(mbps(6)));
     }
 
@@ -695,8 +1264,167 @@ mod tests {
     fn serde_roundtrip() {
         let inst = two_ap_instance();
         let json = serde_json::to_string(&inst).unwrap();
+        assert!(json.contains(SPARSE_FORMAT), "sparse tag on the wire");
+        assert!(!json.contains("\"link\""), "no dense matrix on the wire");
         let back: Instance = serde_json::from_str(&json).unwrap();
         assert_eq!(back.n_users(), inst.n_users());
         assert_eq!(back.link_rate(ApId(0), UserId(0)), Some(mbps(3)));
+    }
+
+    #[test]
+    fn legacy_dense_value_roundtrips() {
+        let inst = two_ap_instance();
+        let dense = inst.to_legacy_dense_value();
+        let json = serde_json::to_string(&dense).unwrap();
+        assert!(json.contains("\"link\""));
+        let back: Instance = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.n_links(), inst.n_links());
+        assert_eq!(
+            serde_json::to_string(&back.to_legacy_dense_value()).unwrap(),
+            json,
+            "legacy emit is stable across a roundtrip"
+        );
+        // And the sparse forms agree too.
+        assert_eq!(
+            serde_json::to_string(&back).unwrap(),
+            serde_json::to_string(&inst).unwrap()
+        );
+    }
+
+    #[test]
+    fn streaming_builder_matches_batch_builder() {
+        let batch = two_ap_instance();
+        let mut sb = StreamingInstanceBuilder::new(
+            vec![SessionSpec { rate: mbps(3) }],
+            vec![Load::ONE, Load::ONE],
+            [mbps(3), mbps(4), mbps(5), mbps(6)],
+            RatePolicy::MultiRate,
+        )
+        .unwrap();
+        sb.reserve(2, 3);
+        sb.push_user(SessionId(0), &[(ApId(0), mbps(3), SignalStrength(3000))])
+            .unwrap();
+        sb.push_user(
+            SessionId(0),
+            &[
+                (ApId(0), mbps(6), SignalStrength(6000)),
+                (ApId(1), mbps(5), SignalStrength(5000)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(sb.n_users(), 2);
+        assert_eq!(sb.n_links(), 3);
+        let inst = sb.finish();
+        assert_eq!(
+            serde_json::to_string(&inst).unwrap(),
+            serde_json::to_string(&batch).unwrap()
+        );
+        assert_eq!(
+            inst.reachable_users(ApId(0)),
+            batch.reachable_users(ApId(0))
+        );
+    }
+
+    #[test]
+    fn streaming_builder_rejects_bad_rows() {
+        let mk = || {
+            StreamingInstanceBuilder::new(
+                vec![SessionSpec { rate: mbps(1) }],
+                vec![Load::ONE, Load::ONE],
+                [mbps(3), mbps(6)],
+                RatePolicy::MultiRate,
+            )
+            .unwrap()
+        };
+        let mut sb = mk();
+        assert!(matches!(
+            sb.push_user(SessionId(7), &[]).unwrap_err(),
+            InstanceError::UnknownSession(_)
+        ));
+        let mut sb = mk();
+        assert!(matches!(
+            sb.push_user(SessionId(0), &[(ApId(9), mbps(3), SignalStrength(1))])
+                .unwrap_err(),
+            InstanceError::UnknownAp(_)
+        ));
+        let mut sb = mk();
+        assert!(matches!(
+            sb.push_user(SessionId(0), &[(ApId(0), mbps(4), SignalStrength(1))])
+                .unwrap_err(),
+            InstanceError::UnsupportedLinkRate { .. }
+        ));
+        let mut sb = mk();
+        assert!(matches!(
+            sb.push_user(
+                SessionId(0),
+                &[
+                    (ApId(1), mbps(3), SignalStrength(1)),
+                    (ApId(0), mbps(3), SignalStrength(1)),
+                ],
+            )
+            .unwrap_err(),
+            InstanceError::UnsortedCandidates(_)
+        ));
+        // A failed push leaves the builder unchanged.
+        let mut sb = mk();
+        let _ = sb.push_user(SessionId(0), &[(ApId(9), mbps(3), SignalStrength(1))]);
+        assert_eq!(sb.n_users(), 0);
+        assert_eq!(sb.n_links(), 0);
+    }
+
+    #[test]
+    fn from_csr_rejects_structural_violations() {
+        let sess = vec![SessionSpec { rate: mbps(1) }];
+        let users = vec![UserSpec {
+            session: SessionId(0),
+        }];
+        let budgets = vec![Load::ONE];
+        let ok = Instance::from_csr(
+            sess.clone(),
+            users.clone(),
+            budgets.clone(),
+            vec![0, 1],
+            vec![(ApId(0), mbps(6))],
+            vec![42],
+            vec![mbps(6)],
+            RatePolicy::MultiRate,
+        );
+        assert!(ok.is_ok());
+        // Offsets not spanning the arena.
+        assert!(Instance::from_csr(
+            sess.clone(),
+            users.clone(),
+            budgets.clone(),
+            vec![0, 2],
+            vec![(ApId(0), mbps(6))],
+            vec![42],
+            vec![mbps(6)],
+            RatePolicy::MultiRate,
+        )
+        .is_err());
+        // Unknown AP in a row.
+        assert!(Instance::from_csr(
+            sess.clone(),
+            users.clone(),
+            budgets.clone(),
+            vec![0, 1],
+            vec![(ApId(3), mbps(6))],
+            vec![42],
+            vec![mbps(6)],
+            RatePolicy::MultiRate,
+        )
+        .is_err());
+        // Signal arena length mismatch.
+        assert!(Instance::from_csr(
+            sess,
+            users,
+            budgets,
+            vec![0, 1],
+            vec![(ApId(0), mbps(6))],
+            vec![],
+            vec![mbps(6)],
+            RatePolicy::MultiRate,
+        )
+        .is_err());
     }
 }

@@ -75,7 +75,8 @@ pub use distributed::{
 pub use dual::DualAssociation;
 pub use ids::{ApId, SessionId, UserId};
 pub use instance::{
-    Instance, InstanceBuilder, InstanceError, SessionSpec, SignalStrength, UserSpec,
+    Instance, InstanceBuilder, InstanceError, SessionSpec, SignalStrength,
+    StreamingInstanceBuilder, UserSpec, NO_SIGNAL, SPARSE_FORMAT,
 };
 pub use load::Load;
 pub use mla::{solve_mla, solve_mla_with, MlaAlgorithm};

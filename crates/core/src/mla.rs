@@ -95,7 +95,7 @@ mod tests {
         assert_eq!(sol.total_load, Load::from_ratio(7, 12));
         assert_eq!(sol.model_cost, Some(Load::from_ratio(7, 12)));
         // All users on a1.
-        for &ap in sol.association.as_slice() {
+        for ap in sol.association.iter() {
             assert_eq!(ap, Some(a(1)));
         }
         assert!(sol.association.is_feasible(&inst));

@@ -339,9 +339,9 @@ impl<'a> TileLedger<'a> {
             loads: vec![Load::ZERO; tracked as usize],
             n_rates,
             n_sessions,
-            assoc: initial.as_slice().to_vec(),
+            assoc: initial.to_vec(),
         };
-        for (i, &ap) in initial.as_slice().iter().enumerate() {
+        for (i, ap) in initial.iter().enumerate() {
             if let Some(a) = ap {
                 ledger.count_join(UserId(i as u32), a);
             }
@@ -923,7 +923,7 @@ struct StartState {
 
 impl StartState {
     fn fresh(initial: Association) -> StartState {
-        let seen_list = vec![initial.as_slice().to_vec()];
+        let seen_list = vec![initial.to_vec()];
         StartState {
             initial,
             start_round: 1,
@@ -1131,15 +1131,11 @@ fn run_supervised_impl(
 ) -> Result<SupervisedOutcome, PartitionError> {
     assert_eq!(part.ap_tile.len(), inst.n_aps(), "partition AP count");
     assert_eq!(part.user_tile.len(), inst.n_users(), "partition user count");
-    assert_eq!(
-        start.initial.as_slice().len(),
-        inst.n_users(),
-        "association size"
-    );
+    assert_eq!(start.initial.len(), inst.n_users(), "association size");
     // The tile ledgers silently skip untracked APs, so the structural
     // validation the single-threaded ledger performs on construction is
     // reproduced here explicitly — as a typed error.
-    for (i, &ap) in start.initial.as_slice().iter().enumerate() {
+    for (i, ap) in start.initial.iter().enumerate() {
         if let Some(a) = ap {
             if inst.multicast_rate_to(a, UserId(i as u32)).is_none() {
                 return Err(PartitionError::InvalidInitialAssociation {
@@ -1206,7 +1202,7 @@ fn run_supervised_impl(
     }
 
     let initial = start.initial;
-    let mut global: Vec<Option<ApId>> = initial.as_slice().to_vec();
+    let mut global: Vec<Option<ApId>> = initial.to_vec();
     let mut trace: Vec<MoveRec> = start.trace;
     let mut seen: HashSet<Vec<Option<ApId>>> = start.seen_list.iter().cloned().collect();
     // The insertion-ordered history is only needed for checkpoints.
@@ -1623,7 +1619,7 @@ mod tests {
     use crate::supervise::ChaosOp;
 
     fn outcomes_match(a: &DistributedOutcome, b: &DistributedOutcome) {
-        assert_eq!(a.association.as_slice(), b.association.as_slice());
+        assert_eq!(a.association, b.association);
         assert_eq!(a.rounds, b.rounds);
         assert_eq!(a.moves, b.moves);
         assert_eq!(a.converged, b.converged);

@@ -54,14 +54,14 @@ impl<'a> ReferenceLedger<'a> {
     ///
     /// Panics if the association is structurally invalid for `inst`.
     pub fn new(inst: &'a Instance, assoc: Association) -> ReferenceLedger<'a> {
-        assert_eq!(assoc.as_slice().len(), inst.n_users(), "association size");
+        assert_eq!(assoc.len(), inst.n_users(), "association size");
         let mut ledger = ReferenceLedger {
             inst,
             assoc: Association::empty(inst.n_users()),
             members: vec![BTreeMap::new(); inst.n_aps() * inst.n_sessions()],
             ap_load: vec![Load::ZERO; inst.n_aps()],
         };
-        for (u, &ap) in assoc.as_slice().iter().enumerate() {
+        for (u, ap) in assoc.iter().enumerate() {
             if let Some(a) = ap {
                 ledger.join(UserId(u as u32), a);
             }
@@ -336,7 +336,7 @@ pub fn run_distributed_reference(
     let mut ledger = ReferenceLedger::new(inst, initial);
     let mut moves = 0usize;
     let mut seen: HashSet<Vec<Option<ApId>>> = HashSet::new();
-    seen.insert(ledger.association().as_slice().to_vec());
+    seen.insert(ledger.association().to_vec());
 
     for round in 1..=config.max_rounds {
         let mut changed = false;
@@ -388,7 +388,7 @@ pub fn run_distributed_reference(
                 cycle_detected: false,
             };
         }
-        if !seen.insert(ledger.association().as_slice().to_vec()) {
+        if !seen.insert(ledger.association().to_vec()) {
             // State repeats: a live oscillation.
             return DistributedOutcome {
                 association: ledger.into_association(),

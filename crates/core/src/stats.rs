@@ -18,6 +18,10 @@ pub struct InstanceStats {
     pub rate_histogram: Vec<(Kbps, usize)>,
     /// Users per session, indexable by `SessionId::index`.
     pub session_demand: Vec<usize>,
+    /// Estimated resident size of the instance's arrays in bytes
+    /// ([`Instance::resident_bytes_estimate`]): what holding this
+    /// instance in memory actually costs, O(links) not O(APs × users).
+    pub resident_bytes_est: usize,
 }
 
 impl InstanceStats {
@@ -65,6 +69,7 @@ impl InstanceStats {
             n_links,
             rate_histogram,
             session_demand,
+            resident_bytes_est: inst.resident_bytes_estimate(),
         }
     }
 
@@ -101,6 +106,8 @@ mod tests {
         // Rate mix: 3 Mbps ×2 (a1-u1, a2-u5), 4 ×3, 5 ×2, 6 ×1.
         let counts: Vec<usize> = stats.rate_histogram.iter().map(|&(_, c)| c).collect();
         assert_eq!(counts, vec![2, 3, 2, 1]);
+        assert_eq!(stats.resident_bytes_est, inst.resident_bytes_estimate());
+        assert!(stats.resident_bytes_est > 0);
     }
 
     #[test]

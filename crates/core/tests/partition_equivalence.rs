@@ -126,8 +126,8 @@ proptest! {
                     .unwrap();
                     let ctx = format!("{policy:?}/{mode:?} W={w}");
                     prop_assert_eq!(
-                        par.association.as_slice(),
-                        single.association.as_slice(),
+                        &par.association,
+                        &single.association,
                         "association: {}", ctx
                     );
                     prop_assert_eq!(par.rounds, single.rounds, "rounds: {}", ctx);
@@ -243,8 +243,8 @@ proptest! {
                     .unwrap();
                     let ctx = format!("{policy:?}/{mode:?} W={w} seed={chaos_seed}");
                     prop_assert_eq!(
-                        out.outcome.association.as_slice(),
-                        single.association.as_slice(),
+                        &out.outcome.association,
+                        &single.association,
                         "association: {}", ctx
                     );
                     prop_assert_eq!(out.outcome.moves, single.moves, "moves: {}", ctx);

@@ -315,6 +315,29 @@ proptest! {
     }
 
     #[test]
+    fn association_sentinel_serde_roundtrips(
+        by_user in vec(proptest::option::of(0u32..10_000), 0..200),
+    ) {
+        // The compact representation (one u32 per user, `u32::MAX` =
+        // unassociated) must survive the JSON wire exactly, including
+        // the `None` sentinel.
+        let assoc = Association::from_vec(
+            by_user.iter().map(|a| a.map(ApId)).collect(),
+        );
+        let json = serde_json::to_string(&assoc).expect("association serializes");
+        let back: Association = serde_json::from_str(&json).expect("association parses");
+        prop_assert_eq!(&back, &assoc);
+        prop_assert_eq!(
+            back.to_vec(),
+            by_user.iter().map(|a| a.map(ApId)).collect::<Vec<_>>()
+        );
+        prop_assert_eq!(
+            assoc.satisfied_count(),
+            by_user.iter().filter(|a| a.is_some()).count()
+        );
+    }
+
+    #[test]
     fn ledger_hypotheticals_match_reality(inst in coverable_instance()) {
         let mut ledger = LoadLedger::new(&inst, Association::empty(inst.n_users()));
         for u in inst.users() {

@@ -143,8 +143,8 @@ proptest! {
                     drop(sink);
                     // The sink must not perturb the run itself.
                     prop_assert_eq!(
-                        checkpointed.outcome.association.as_slice(),
-                        oracle.outcome.association.as_slice(),
+                        &checkpointed.outcome.association,
+                        &oracle.outcome.association,
                         "checkpointed association: {}", &ctx
                     );
                     prop_assert_eq!(&checkpointed.trace, &oracle.trace,
@@ -171,8 +171,8 @@ proptest! {
                         )
                         .unwrap();
                         prop_assert_eq!(
-                            resumed.outcome.association.as_slice(),
-                            oracle.outcome.association.as_slice(),
+                            &resumed.outcome.association,
+                            &oracle.outcome.association,
                             "resumed association: {}", &ctx
                         );
                         prop_assert_eq!(

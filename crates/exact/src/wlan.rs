@@ -172,14 +172,14 @@ fn collect_transmissions(red: &Reduction, assoc: &Association) -> Vec<SetId> {
     // (ap, session) whose members contain every served user.
     use std::collections::HashMap;
     let mut served: HashMap<(u32, u32), Vec<u32>> = HashMap::new();
-    for (u, ap) in assoc.as_slice().iter().enumerate() {
+    for (u, ap) in assoc.iter().enumerate() {
         if let Some(a) = ap {
             // The session of user u: find any set containing u for AP a —
             // all such sets share the user's session.
             let mut session = None;
             for &sid in sys.covering_sets(mcast_covering::ElementId(u as u32)) {
                 let c = red.choice(sid);
-                if c.ap == *a {
+                if c.ap == a {
                     session = Some(c.session.0);
                     break;
                 }

@@ -55,6 +55,37 @@ pub struct BenchEntry {
     pub speedup: f64,
     /// Whether the two implementations produced identical outputs.
     pub outputs_identical: bool,
+    /// Process peak resident set size (bytes) observed when this entry
+    /// finished — the high-water mark so far, not a per-entry delta.
+    /// `None` where the platform does not expose it (non-Linux).
+    pub peak_rss_bytes: Option<u64>,
+}
+
+impl BenchEntry {
+    fn new(workload: String, reference_ms: f64, fast_ms: f64, outputs_identical: bool) -> Self {
+        BenchEntry {
+            workload,
+            reference_ms,
+            fast_ms,
+            speedup: reference_ms / fast_ms,
+            outputs_identical,
+            peak_rss_bytes: peak_rss_bytes(),
+        }
+    }
+}
+
+/// Peak resident set size of this process in bytes, from `VmHWM` in
+/// `/proc/self/status`. Returns `None` on platforms without procfs —
+/// consumers (CI asserts, report diffs) must treat the field as
+/// optional rather than a guaranteed measurement.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|v| v.parse().ok())?;
+    Some(kb * 1024)
 }
 
 /// One report file: a named set of [`BenchEntry`]s.
@@ -118,27 +149,24 @@ pub fn greedy_report(opts: &Options) -> BenchReport {
     let (fast_ms, fast_sol) = time_best_of(3, || greedy_mcg(system, budgets));
     benches.insert(
         "mcg".to_string(),
-        BenchEntry {
-            workload: format!("MCG greedy, paper-density WLAN, {n_aps} APs / {n_users} users"),
-            reference_ms: ref_ms,
+        BenchEntry::new(
+            format!("MCG greedy, paper-density WLAN, {n_aps} APs / {n_users} users"),
+            ref_ms,
             fast_ms,
-            speedup: ref_ms / fast_ms,
-            outputs_identical: ref_sol.all() == fast_sol.all()
-                && ref_sol.feasible() == fast_sol.feasible(),
-        },
+            ref_sol.all() == fast_sol.all() && ref_sol.feasible() == fast_sol.feasible(),
+        ),
     );
 
     let (ref_ms, ref_cover) = time_once(|| greedy_set_cover_ref(system));
     let (fast_ms, fast_cover) = time_best_of(3, || greedy_set_cover(system).expect("coverable"));
     benches.insert(
         "costsc".to_string(),
-        BenchEntry {
-            workload: format!("CostSC greedy, paper-density WLAN, {n_aps} APs / {n_users} users"),
-            reference_ms: ref_ms,
+        BenchEntry::new(
+            format!("CostSC greedy, paper-density WLAN, {n_aps} APs / {n_users} users"),
+            ref_ms,
             fast_ms,
-            speedup: ref_ms / fast_ms,
-            outputs_identical: ref_cover == fast_cover,
-        },
+            ref_cover == fast_cover,
+        ),
     );
 
     // SCG multiplies the MCG cost by (candidates × iterations × 2 rules),
@@ -150,18 +178,17 @@ pub fn greedy_report(opts: &Options) -> BenchReport {
     let (fast_ms, fast_scg) = time_best_of(3, || solve_scg(&system, &candidates).unwrap());
     benches.insert(
         "scg".to_string(),
-        BenchEntry {
-            workload: format!("SCG over 6 candidate budgets, synthetic system, {n} elements"),
-            reference_ms: ref_ms,
+        BenchEntry::new(
+            format!("SCG over 6 candidate budgets, synthetic system, {n} elements"),
+            ref_ms,
             fast_ms,
-            speedup: ref_ms / fast_ms,
-            outputs_identical: ref_scg.cover() == fast_scg.cover()
+            ref_scg.cover() == fast_scg.cover()
                 && ref_scg.max_group_cost() == fast_scg.max_group_cost(),
-        },
+        ),
     );
 
     BenchReport {
-        schema: "mcast-bench-greedy/v1".to_string(),
+        schema: "mcast-bench-greedy/v2".to_string(),
         quick: opts.quick,
         host_threads: host_threads(),
         benches,
@@ -206,8 +233,8 @@ pub fn topology_report(opts: &Options) -> BenchReport {
             == serde_json::to_string(&fast_sc.instance).ok();
     benches.insert(
         "scenario_gen".to_string(),
-        BenchEntry {
-            workload: format!(
+        BenchEntry::new(
+            format!(
                 "scenario generation, {} APs / {} users, {:.0} m square, {} AP placement",
                 cfg.n_aps,
                 cfg.n_users,
@@ -218,15 +245,14 @@ pub fn topology_report(opts: &Options) -> BenchReport {
                     Placement::Grid { .. } => "grid",
                 }
             ),
-            reference_ms: ref_ms,
+            ref_ms,
             fast_ms,
-            speedup: ref_ms / fast_ms,
-            outputs_identical: identical,
-        },
+            identical,
+        ),
     );
 
     BenchReport {
-        schema: "mcast-bench-topology/v1".to_string(),
+        schema: "mcast-bench-topology/v2".to_string(),
         quick: opts.quick,
         host_threads: host_threads(),
         benches,
@@ -283,15 +309,14 @@ pub fn distributed_report(opts: &Options) -> BenchReport {
         });
         benches.insert(
             key.to_string(),
-            BenchEntry {
-                workload: format!(
+            BenchEntry::new(
+                format!(
                     "distributed {policy:?} / {mode:?}, paper-density WLAN, {n_aps} APs / {n_users} users"
                 ),
-                reference_ms: ref_ms,
+                ref_ms,
                 fast_ms,
-                speedup: ref_ms / fast_ms,
-                outputs_identical: outcomes_equal(&ref_out, &fast_out),
-            },
+                outcomes_equal(&ref_out, &fast_out),
+            ),
         );
     }
 
@@ -327,15 +352,14 @@ pub fn distributed_report(opts: &Options) -> BenchReport {
     });
     benches.insert(
         "large_serial_min_max".to_string(),
-        BenchEntry {
-            workload: format!(
+        BenchEntry::new(
+            format!(
                 "distributed MinMaxVector / Serial, {n_aps} APs / {n_users} users, {side_m:.0} m square, 3 rounds"
             ),
-            reference_ms: ref_ms,
+            ref_ms,
             fast_ms,
-            speedup: ref_ms / fast_ms,
-            outputs_identical: outcomes_equal(&ref_out, &fast_out),
-        },
+            outcomes_equal(&ref_out, &fast_out),
+        ),
     );
 
     // Worker-scaling curve of the partitioned engine on the same large
@@ -363,16 +387,15 @@ pub fn distributed_report(opts: &Options) -> BenchReport {
         });
         benches.insert(
             format!("partitioned_w{w}"),
-            BenchEntry {
-                workload: format!(
+            BenchEntry::new(
+                format!(
                     "partitioned MinMaxVector / Simultaneous, {w} workers ({} boundary of {n_aps} APs), {n_users} users, 3 rounds",
                     part.boundary_ap_count()
                 ),
-                reference_ms: single_ms,
-                fast_ms: par_ms,
-                speedup: single_ms / par_ms,
-                outputs_identical: outcomes_equal(&single_out, &par_out),
-            },
+                single_ms,
+                par_ms,
+                outcomes_equal(&single_out, &par_out),
+            ),
         );
     }
 
@@ -415,18 +438,17 @@ pub fn distributed_report(opts: &Options) -> BenchReport {
         });
         benches.insert(
             format!("recovery_ckpt_k{k}"),
-            BenchEntry {
-                workload: format!(
+            BenchEntry::new(
+                format!(
                     "checkpoint overhead at K={k}: supervised partitioned MinMaxVector / \
                      Simultaneous, 4 workers, {n_aps} APs / {n_users} users, 12 rounds; \
                      reference is the uncheckpointed supervised run, so speedup < 1 is \
                      the checkpointing cost"
                 ),
-                reference_ms: plain_ms,
-                fast_ms: ck_ms,
-                speedup: plain_ms / ck_ms,
-                outputs_identical: outcomes_equal(&plain_out.outcome, &ck_out.outcome),
-            },
+                plain_ms,
+                ck_ms,
+                outcomes_equal(&plain_out.outcome, &ck_out.outcome),
+            ),
         );
     }
     // Restore latency: checkpoint every round, resume from the middle
@@ -451,23 +473,22 @@ pub fn distributed_report(opts: &Options) -> BenchReport {
     });
     benches.insert(
         "recovery_restore".to_string(),
-        BenchEntry {
-            workload: format!(
+        BenchEntry::new(
+            format!(
                 "restore latency: resume from the round-{} checkpoint vs recompute from \
                  scratch, supervised partitioned MinMaxVector / Simultaneous, 4 workers, \
                  {n_aps} APs / {n_users} users, 12 rounds",
                 mid.round
             ),
-            reference_ms: plain_ms,
-            fast_ms: restore_ms,
-            speedup: plain_ms / restore_ms,
-            outputs_identical: outcomes_equal(&plain_out.outcome, &restored.outcome),
-        },
+            plain_ms,
+            restore_ms,
+            outcomes_equal(&plain_out.outcome, &restored.outcome),
+        ),
     );
     let _ = std::fs::remove_dir_all(&scratch);
 
     BenchReport {
-        schema: "mcast-bench-distributed/v3".to_string(),
+        schema: "mcast-bench-distributed/v4".to_string(),
         quick: opts.quick,
         host_threads: host_threads(),
         benches,
@@ -516,6 +537,9 @@ pub struct ControllerBenchReport {
     /// Whether folding the event stream back reproduced the live report
     /// byte for byte (and the same final association).
     pub replay_identical: bool,
+    /// Process peak resident set size (bytes) after the run; `None`
+    /// where the platform does not expose it (non-Linux).
+    pub peak_rss_bytes: Option<u64>,
 }
 
 /// The controller-service report: sustained admission throughput on the
@@ -581,7 +605,7 @@ pub fn controller_report(opts: &Options) -> Result<ControllerBenchReport, String
 
     let lat = stats.decision_latency_us;
     Ok(ControllerBenchReport {
-        schema: "mcast-bench-controller/v1".to_string(),
+        schema: "mcast-bench-controller/v2".to_string(),
         quick: opts.quick,
         workload: format!(
             "event-driven service, staggered joins, {n_aps} APs / {n_users} users, \
@@ -599,7 +623,173 @@ pub fn controller_report(opts: &Options) -> Result<ControllerBenchReport, String
             max_us: lat.max,
         },
         replay_identical,
+        peak_rss_bytes: peak_rss_bytes(),
     })
+}
+
+/// The memory-lean scale report (`BENCH_scale.json`): one end-to-end
+/// pass at million-user scale, timed stage by stage.
+///
+/// Unlike the fast-vs-reference reports there is no reference to race —
+/// a dense `O(APs × users)` run would not fit in memory at this size,
+/// which is the point. The report instead records absolute stage times,
+/// the CSR instance footprint, and the process peak RSS, plus a CRC-32
+/// digest of the produced associations so CI can assert the whole
+/// pipeline is deterministic across runs.
+#[derive(Debug, Serialize)]
+pub struct ScaleBenchReport {
+    /// Report schema tag.
+    pub schema: String,
+    /// True when the workload was shrunk by `--quick`.
+    pub quick: bool,
+    /// Hardware threads available on the bench host.
+    pub host_threads: usize,
+    /// Human description of the pinned workload.
+    pub workload: String,
+    /// APs in the generated deployment.
+    pub n_aps: usize,
+    /// Users in the generated deployment.
+    pub n_users: usize,
+    /// Multicast sessions.
+    pub n_sessions: usize,
+    /// (AP, user) links in the instance — the quantity the CSR layout
+    /// is sized by, instead of `APs × users`.
+    pub n_links: usize,
+    /// [`mcast_core::Instance::resident_bytes_estimate`] of the
+    /// generated instance.
+    pub instance_bytes_est: u64,
+    /// Streaming scenario generation wall-clock, milliseconds.
+    pub generate_ms: f64,
+    /// SSA baseline solve wall-clock, milliseconds.
+    pub ssa_ms: f64,
+    /// Users the SSA baseline satisfies.
+    pub ssa_satisfied: u64,
+    /// Wall-clock of one budget-enforcing MNU greedy admission pass
+    /// (most-constrained-first [`mcast_core::repair_user`] over a fresh
+    /// ledger), milliseconds.
+    pub greedy_ms: f64,
+    /// Users the MNU greedy pass admits within budget.
+    pub greedy_satisfied: u64,
+    /// Wall-clock of one controller epoch (SSA-only ladder, fault-free
+    /// plan) over the full instance, milliseconds.
+    pub controller_epoch_ms: f64,
+    /// Users associated after the controller epoch.
+    pub controller_satisfied: u64,
+    /// CRC-32 over the greedy and controller associations (4 bytes per
+    /// user each, little-endian AP index, `0xFFFF_FFFF` for none) — the
+    /// determinism digest CI compares across two runs.
+    pub association_crc32: u32,
+    /// Process peak resident set size (bytes) after the run; `None`
+    /// where the platform does not expose it (non-Linux).
+    pub peak_rss_bytes: Option<u64>,
+}
+
+/// The scale report on the pinned workload: 20 000 APs / 2 000 000
+/// users at the paper's AP density (~6000 m² per AP) in full mode,
+/// 500 APs / 50 000 users in `--quick` mode.
+pub fn scale_report(opts: &Options) -> ScaleBenchReport {
+    // Side length keeps ~6000 m² per AP: sqrt(n_aps × 6000).
+    let (n_aps, n_users, side_m) = if opts.quick {
+        (500, 50_000, 1_732.05)
+    } else {
+        (20_000, 2_000_000, 10_954.45)
+    };
+    scale_report_sized(n_aps, n_users, side_m, opts.quick)
+}
+
+/// [`scale_report`] at an explicit size (unit tests shrink further).
+fn scale_report_sized(n_aps: usize, n_users: usize, side_m: f64, quick: bool) -> ScaleBenchReport {
+    use mcast_controller::{ControllerConfig, LadderPolicy};
+    use mcast_core::{repair_user, solve_ssa, LoadLedger, Objective, UserId};
+    use mcast_faults::FaultPlan;
+
+    let cfg = ScenarioConfig {
+        n_aps,
+        n_users,
+        width_m: side_m,
+        height_m: side_m,
+        ..ScenarioConfig::paper_default()
+    }
+    .with_seed(0);
+    let n_sessions = cfg.n_sessions;
+
+    // Stage 1: streaming generation — users flow straight into the CSR
+    // builder; no dense per-user Vec<Vec<…>> rows ever exist.
+    let (generate_ms, scenario) = time_once(|| cfg.generate_streaming());
+    let inst = &scenario.instance;
+
+    // Stage 2: the SSA baseline (strongest signal, no budgets).
+    let (ssa_ms, ssa) = time_once(|| solve_ssa(inst, Objective::Mnu));
+
+    // Stage 3: one budget-enforcing MNU greedy admission pass —
+    // most-constrained users (fewest candidate APs) first, each placed
+    // by `repair_user` on a fresh incremental ledger.
+    let (greedy_ms, greedy_assoc) = time_once(|| {
+        let mut order: Vec<UserId> = inst
+            .users()
+            .filter(|&u| !inst.candidate_aps(u).is_empty())
+            .collect();
+        order.sort_by_key(|&u| (inst.candidate_aps(u).len(), u.index()));
+        let mut ledger = LoadLedger::fresh(inst);
+        for &u in &order {
+            repair_user(&mut ledger, u, Objective::Mnu, true, |_| true);
+        }
+        let assoc: Vec<Option<mcast_core::ApId>> = inst.users().map(|u| ledger.ap_of(u)).collect();
+        assoc
+    });
+    let greedy_satisfied = greedy_assoc.iter().filter(|a| a.is_some()).count() as u64;
+
+    // Stage 4: one controller epoch over the full instance, SSA-only
+    // ladder, fault-free plan — the epoch cost a live controller pays
+    // to (re)build state at this scale.
+    let ctl = ControllerConfig {
+        objective: Objective::Mnu,
+        policy: LadderPolicy::SsaOnly,
+        epoch_us: 100_000,
+        n_epochs: 1,
+        work_budget: 0,
+        audit_oracle: false,
+    };
+    let (controller_epoch_ms, outcome) = time_once(|| {
+        mcast_controller::run(inst, &FaultPlan::none(), &ctl).expect("fault-free epoch runs")
+    });
+    let controller_satisfied = outcome.association.satisfied_count() as u64;
+
+    // Determinism digest: both associations, 4 bytes per user.
+    let mut digest = Vec::with_capacity(8 * inst.n_users());
+    for a in greedy_assoc
+        .iter()
+        .copied()
+        .chain(outcome.association.iter())
+    {
+        let idx = a.map_or(u32::MAX, |ap| ap.index() as u32);
+        digest.extend_from_slice(&idx.to_le_bytes());
+    }
+
+    ScaleBenchReport {
+        schema: "mcast-bench-scale/v1".to_string(),
+        quick,
+        host_threads: host_threads(),
+        workload: format!(
+            "end-to-end scale pass, {n_aps} APs / {n_users} users / {n_sessions} sessions, \
+             {side_m:.0} m square (~6000 m² per AP): streaming generation, SSA baseline, \
+             one MNU greedy admission pass, one SSA-only controller epoch"
+        ),
+        n_aps,
+        n_users,
+        n_sessions,
+        n_links: inst.n_links(),
+        instance_bytes_est: inst.resident_bytes_estimate() as u64,
+        generate_ms,
+        ssa_ms,
+        ssa_satisfied: ssa.satisfied as u64,
+        greedy_ms,
+        greedy_satisfied,
+        controller_epoch_ms,
+        controller_satisfied,
+        association_crc32: mcast_events::journal::crc32(&digest),
+        peak_rss_bytes: peak_rss_bytes(),
+    }
 }
 
 /// Full outcome equality: the association and every counter/flag.
@@ -611,15 +801,59 @@ fn outcomes_equal(a: &DistributedOutcome, b: &DistributedOutcome) -> bool {
         && a.cycle_detected == b.cycle_detected
 }
 
-/// Runs all reports, writes `BENCH_greedy.json` / `BENCH_topology.json` /
+/// Runs the selected suite. The default suite writes
+/// `BENCH_greedy.json` / `BENCH_topology.json` /
 /// `BENCH_distributed.json` / `BENCH_controller.json` into the current
-/// directory, and returns a printable summary.
+/// directory; `--suite scale` writes `BENCH_scale.json`. Returns a
+/// printable summary.
 ///
 /// # Errors
 ///
-/// Returns an error string when a report file cannot be written or an
-/// equivalence check failed.
+/// Returns an error string when a report file cannot be written, an
+/// equivalence check failed, or the suite name is unknown.
 pub fn run(opts: &Options) -> Result<String, String> {
+    match opts.bench_suite.as_deref() {
+        None | Some("default") => run_default(opts),
+        Some("scale") => run_scale(opts),
+        Some(other) => Err(format!(
+            "unknown bench suite '{other}' (expected 'default' or 'scale')"
+        )),
+    }
+}
+
+/// The scale suite: writes `BENCH_scale.json`.
+fn run_scale(opts: &Options) -> Result<String, String> {
+    let path = "BENCH_scale.json";
+    let report = scale_report(opts);
+    let json =
+        serde_json::to_string_pretty(&report).map_err(|e| format!("serialize {path}: {e}"))?;
+    crate::journal::atomic_write(std::path::Path::new(path), json.as_bytes())
+        .map_err(|e| format!("write {path}: {e}"))?;
+    let rss = report.peak_rss_bytes.map_or("n/a".to_string(), |b| {
+        format!("{:.0} MiB", b as f64 / (1 << 20) as f64)
+    });
+    Ok(format!(
+        "{path}:\n  {} APs / {} users / {} links (~{:.1} MiB instance)\n  \
+         generate {:>9.1} ms\n  ssa      {:>9.1} ms  ({} satisfied)\n  \
+         greedy   {:>9.1} ms  ({} satisfied)\n  epoch    {:>9.1} ms  ({} satisfied)\n  \
+         peak RSS {rss}, association crc32 {:08x}\n",
+        report.n_aps,
+        report.n_users,
+        report.n_links,
+        report.instance_bytes_est as f64 / (1 << 20) as f64,
+        report.generate_ms,
+        report.ssa_ms,
+        report.ssa_satisfied,
+        report.greedy_ms,
+        report.greedy_satisfied,
+        report.controller_epoch_ms,
+        report.controller_satisfied,
+        report.association_crc32,
+    ))
+}
+
+/// The default suite: the four fast-vs-reference reports.
+fn run_default(opts: &Options) -> Result<String, String> {
     let mut out = String::new();
     let mut all_identical = true;
     for (path, report) in [
@@ -723,7 +957,7 @@ mod tests {
         assert!(t.benches.contains_key("scenario_gen"));
         assert!(t.benches.values().all(|b| b.outputs_identical));
         let d = distributed_report(&opts);
-        assert_eq!(d.schema, "mcast-bench-distributed/v3");
+        assert_eq!(d.schema, "mcast-bench-distributed/v4");
         assert!(d.host_threads >= 1);
         assert!([
             "serial_min_total",
@@ -745,13 +979,46 @@ mod tests {
     }
 
     #[test]
+    fn peak_rss_is_reported_on_linux() {
+        let rss = peak_rss_bytes();
+        if cfg!(target_os = "linux") {
+            assert!(rss.expect("procfs present") > 0);
+        }
+    }
+
+    #[test]
+    fn scale_report_is_deterministic_and_well_formed() {
+        // Unit-test size: the real quick/full sizes run via `repro bench
+        // --suite scale` (debug-build tests would crawl at 50k users).
+        let a = scale_report_sized(60, 600, 600.0, true);
+        let b = scale_report_sized(60, 600, 600.0, true);
+        assert_eq!(a.schema, "mcast-bench-scale/v1");
+        assert_eq!(a.n_links, b.n_links);
+        assert_eq!(a.ssa_satisfied, b.ssa_satisfied);
+        assert_eq!(a.greedy_satisfied, b.greedy_satisfied);
+        assert_eq!(a.controller_satisfied, b.controller_satisfied);
+        assert_eq!(
+            a.association_crc32, b.association_crc32,
+            "the scale pipeline must be deterministic"
+        );
+        assert!(a.n_links > 0);
+        assert!(a.instance_bytes_est > 0);
+        assert!(a.greedy_satisfied > 0, "greedy admits someone");
+        assert!(
+            a.controller_satisfied > 0,
+            "controller epoch associates someone"
+        );
+        assert!(a.greedy_satisfied <= a.n_users as u64 && a.ssa_satisfied <= a.n_users as u64);
+    }
+
+    #[test]
     fn quick_controller_bench_admits_everyone_and_replays() {
         let opts = Options {
             quick: true,
             ..Options::default()
         };
         let c = controller_report(&opts).expect("service runs");
-        assert_eq!(c.schema, "mcast-bench-controller/v1");
+        assert_eq!(c.schema, "mcast-bench-controller/v2");
         assert_eq!(c.joins, 2_000, "every staggered join is admitted");
         assert!(c.replay_identical, "event stream must fold back exactly");
         assert!(c.joins_per_sec > 0.0);

@@ -134,6 +134,29 @@ pub fn validate_flags(command: &str, plot: bool, resume: bool) -> Result<(), Fla
     Ok(())
 }
 
+/// Rejects `--suite NAME` on commands other than `bench` (the only
+/// command with named suites) and unknown suite names.
+///
+/// # Errors
+///
+/// A [`FlagError`] naming the command, the flag, and the reason.
+pub fn validate_suite(command: &str, suite: Option<&str>) -> Result<(), FlagError> {
+    match suite {
+        None => Ok(()),
+        Some(_) if command != "bench" => Err(FlagError {
+            command: command.to_string(),
+            flag: "--suite".to_string(),
+            reason: "only `bench` has named suites",
+        }),
+        Some("default") | Some("scale") => Ok(()),
+        Some(_) => Err(FlagError {
+            command: command.to_string(),
+            flag: "--suite".to_string(),
+            reason: "expected `default` or `scale`",
+        }),
+    }
+}
+
 /// Rejects the fault-tolerance flags on commands that cannot honor
 /// them: `--chaos SEED` needs a supervised run to inject into, and
 /// `--checkpoint-every K` needs a run that writes recovery snapshots.
@@ -192,6 +215,9 @@ pub struct GenOptions {
     pub sessions: usize,
     /// Budget in permille (e.g. 900 = 0.9).
     pub budget_permille: u32,
+    /// Emit the pre-v1 dense JSON wire (APs × users matrices) instead of
+    /// the sparse default — downgrade interchange only; O(APs × users).
+    pub legacy_dense: bool,
 }
 
 impl Default for GenOptions {
@@ -202,16 +228,25 @@ impl Default for GenOptions {
             users: 400,
             sessions: 5,
             budget_permille: 900,
+            legacy_dense: false,
         }
     }
 }
 
-/// Generates a scenario and writes it as JSON.
+/// Generates a scenario and writes it out. The extension picks the
+/// format: `.mcb` gets the compact binary wire (streamed, never a JSON
+/// value tree), anything else the sparse JSON wire — or the pre-v1 dense
+/// JSON wire under `--legacy-dense`.
 ///
 /// # Errors
 ///
-/// I/O or serialization failures.
+/// I/O or serialization failures, or `--legacy-dense` combined with a
+/// `.mcb` destination (the binary wire has no dense variant).
 pub fn generate_to_file(opts: &GenOptions, path: &Path) -> Result<(), String> {
+    let is_mcb = path.extension().is_some_and(|e| e == "mcb");
+    if opts.legacy_dense && is_mcb {
+        return Err("--legacy-dense writes the old dense JSON wire; it cannot target .mcb".into());
+    }
     let scenario = ScenarioConfig {
         n_aps: opts.aps,
         n_users: opts.users,
@@ -220,10 +255,19 @@ pub fn generate_to_file(opts: &GenOptions, path: &Path) -> Result<(), String> {
         ..ScenarioConfig::paper_default()
     }
     .with_seed(opts.seed)
-    .try_generate()
+    .try_generate_streaming()
     .map_err(|e| format!("generation failed: {e}"))?;
-    let json = serde_json::to_string(&scenario).map_err(|e| e.to_string())?;
-    crate::journal::atomic_write(path, json.as_bytes()).map_err(|e| e.to_string())?;
+    if is_mcb {
+        mcast_topology::write_mcb(&scenario, path)?;
+    } else {
+        let json = if opts.legacy_dense {
+            serde_json::to_string(&scenario.to_legacy_dense_value()).map_err(|e| e.to_string())?
+        } else {
+            serde_json::to_string(&scenario).map_err(|e| e.to_string())?
+        };
+        crate::journal::atomic_write(path, json.as_bytes()).map_err(|e| e.to_string())?;
+    }
+    let stats = mcast_core::InstanceStats::of(&scenario.instance);
     println!(
         "wrote scenario: {} APs, {} users, {} sessions, budget {} (seed {}) -> {}",
         opts.aps,
@@ -233,21 +277,31 @@ pub fn generate_to_file(opts: &GenOptions, path: &Path) -> Result<(), String> {
         opts.seed,
         path.display()
     );
+    println!(
+        "  {} links, mean user degree {:.2}, ~{:.1} MiB resident",
+        stats.n_links,
+        stats.mean_user_degree,
+        stats.resident_bytes_est as f64 / (1024.0 * 1024.0)
+    );
     Ok(())
 }
 
-/// Loads a scenario JSON file and validates it (see
-/// [`validate_scenario`]) so solvers never see corrupt geometry.
+/// Loads a scenario file and validates it (see [`validate_scenario`]) so
+/// solvers never see corrupt geometry. `.mcb` files take the binary read
+/// path; everything else parses as JSON (sparse or legacy dense wire).
 ///
 /// # Errors
 ///
 /// I/O failures, deserialization failures, or validation failures, each
 /// with a message naming the offending field.
 pub fn load_scenario(path: &Path) -> Result<Scenario, String> {
-    let json = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    let scenario: Scenario =
-        serde_json::from_str(&json).map_err(|e| format!("bad scenario file: {e}"))?;
+    let scenario = if path.extension().is_some_and(|e| e == "mcb") {
+        mcast_topology::read_mcb(path)?
+    } else {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        serde_json::from_str(&json).map_err(|e| format!("bad scenario file: {e}"))?
+    };
     validate_scenario(&scenario)
         .map_err(|e| format!("invalid scenario {}: {e}", path.display()))?;
     Ok(scenario)
@@ -434,6 +488,7 @@ mod tests {
             users: 25,
             sessions: 3,
             budget_permille: 900,
+            legacy_dense: false,
         };
         generate_to_file(&opts, &path).unwrap();
         let scenario = load_scenario(&path).unwrap();
@@ -450,6 +505,86 @@ mod tests {
         assert_eq!(assoc.satisfied_count(), 25);
         let _ = std::fs::remove_file(path);
         let _ = std::fs::remove_file(out);
+    }
+
+    #[test]
+    fn gen_mcb_and_json_agree() {
+        let opts = GenOptions {
+            seed: 6,
+            aps: 8,
+            users: 20,
+            sessions: 2,
+            ..GenOptions::default()
+        };
+        let json_path = tmp("agree.json");
+        let mcb_path = tmp("agree").with_extension("mcb");
+        generate_to_file(&opts, &json_path).unwrap();
+        generate_to_file(&opts, &mcb_path).unwrap();
+        let from_json = load_scenario(&json_path).unwrap();
+        let from_mcb = load_scenario(&mcb_path).unwrap();
+        assert_eq!(
+            serde_json::to_string(&from_json).unwrap(),
+            serde_json::to_string(&from_mcb).unwrap()
+        );
+        // The binary wire is denser than the JSON wire.
+        let json_len = std::fs::metadata(&json_path).unwrap().len();
+        let mcb_len = std::fs::metadata(&mcb_path).unwrap().len();
+        assert!(mcb_len < json_len, "mcb {mcb_len} vs json {json_len}");
+        // Solvers run on the binary file too.
+        solve_file(&mcb_path, "mla", None).unwrap();
+        let _ = std::fs::remove_file(json_path);
+        let _ = std::fs::remove_file(mcb_path);
+    }
+
+    #[test]
+    fn legacy_dense_flag_writes_the_old_wire() {
+        let opts = GenOptions {
+            seed: 2,
+            aps: 6,
+            users: 12,
+            sessions: 2,
+            ..GenOptions::default()
+        };
+        let dense_path = tmp("dense.json");
+        generate_to_file(
+            &GenOptions {
+                legacy_dense: true,
+                ..opts.clone()
+            },
+            &dense_path,
+        )
+        .unwrap();
+        let bytes = std::fs::read_to_string(&dense_path).unwrap();
+        assert!(bytes.contains("\"link\":"), "dense wire carries matrices");
+        assert!(
+            !bytes.contains("mcast-instance/v1"),
+            "dense wire has no format tag"
+        );
+        // The dense file loads through the fallback path and describes
+        // the same scenario as the sparse default.
+        let dense = load_scenario(&dense_path).unwrap();
+        let sparse_path = tmp("sparse.json");
+        generate_to_file(&opts, &sparse_path).unwrap();
+        let sparse = load_scenario(&sparse_path).unwrap();
+        assert_eq!(
+            serde_json::to_string(&dense).unwrap(),
+            serde_json::to_string(&sparse).unwrap()
+        );
+        let _ = std::fs::remove_file(dense_path);
+        let _ = std::fs::remove_file(sparse_path);
+    }
+
+    #[test]
+    fn legacy_dense_cannot_target_mcb() {
+        let err = generate_to_file(
+            &GenOptions {
+                legacy_dense: true,
+                ..GenOptions::default()
+            },
+            &tmp("bad").with_extension("mcb"),
+        )
+        .unwrap_err();
+        assert!(err.contains("--legacy-dense"), "{err}");
     }
 
     #[test]
@@ -627,15 +762,19 @@ mod tests {
     fn out_of_range_session_reference_is_rejected() {
         let sc = small_scenario();
         let json = serde_json::to_string(&sc).unwrap();
-        // The wire format stores each user as {"session":N}; point one user
-        // at a session index that does not exist.
-        let needle = "{\"session\":0}";
-        assert!(json.contains(needle), "wire format changed; update test");
-        let patched = json.replacen(needle, "{\"session\":99}", 1);
+        // The sparse wire stores users as a bare array of session indices;
+        // point the first user at a session index that does not exist.
+        let needle = "\"users\":[";
+        let pos = json.find(needle).expect("wire format changed; update test");
+        let start = pos + needle.len();
+        let len = json[start..]
+            .find([',', ']'])
+            .expect("wire format changed; update test");
+        let patched = format!("{}99{}", &json[..start], &json[start + len..]);
         let path = tmp("bad_session.json");
         std::fs::write(&path, patched).unwrap();
         let err = load_scenario(&path).unwrap_err();
-        assert!(err.contains("session 99"), "unexpected message: {err}");
+        assert!(err.contains("session s99"), "unexpected message: {err}");
         let _ = std::fs::remove_file(path);
     }
 }

@@ -80,9 +80,8 @@ pub fn run(opts: &Options, runner: &Runner) -> Vec<Figure> {
                         let out = run_distributed(inst, &config, carried.clone());
                         // Churn: users whose AP differs from what they carried.
                         let moves = carried
-                            .as_slice()
                             .iter()
-                            .zip(out.association.as_slice())
+                            .zip(out.association.iter())
                             .filter(|(a, b)| a != b)
                             .count();
                         churn.push(moves as f64 / inst.n_users() as f64);

@@ -58,6 +58,10 @@ pub struct Options {
     /// commands (`--checkpoint-every K`); `None` uses the command's
     /// default.
     pub checkpoint_every: Option<usize>,
+    /// Bench suite for `repro bench` (`--suite NAME`): `None`/`default`
+    /// runs the four fast-vs-reference reports, `scale` runs the
+    /// million-user end-to-end pass ([`bench::scale_report`]).
+    pub bench_suite: Option<String>,
 }
 
 impl Default for Options {
@@ -73,6 +77,7 @@ impl Default for Options {
             threads: 0,
             chaos_seed: None,
             checkpoint_every: None,
+            bench_suite: None,
         }
     }
 }

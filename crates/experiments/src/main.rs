@@ -19,6 +19,7 @@
 //!   chaos       fault-injected partitioned run; proves recovery is exact
 //!   revenue     the §3.2 revenue models across algorithms
 //!   bench       time fast paths vs reference, write BENCH_*.json
+//!               (--suite scale: million-user end-to-end pass -> BENCH_scale.json)
 //!   gen/solve   write a scenario JSON / run one algorithm on it
 //!   compare     diff two results/ CSV directories (regression check)
 //!   validate    simulator vs analytic cross-checks
@@ -40,7 +41,7 @@ use mcast_experiments::Options;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().cloned() else {
-        eprintln!("usage: repro <table1|fig9|fig10|fig11|fig12|ablations|channels|mobility|faults|controller|serve|replay|chaos|revenue|bench|validate|all|gen|solve|compare> [--seeds N] [--out DIR] [--max-nodes N] [--quick] [--plot] [--resume] [--retries N] [--deadline SECS] [--threads N] [--chaos SEED] [--checkpoint-every K]");
+        eprintln!("usage: repro <table1|fig9|fig10|fig11|fig12|ablations|channels|mobility|faults|controller|serve|replay|chaos|revenue|bench|validate|all|gen|solve|compare> [--seeds N] [--out DIR] [--max-nodes N] [--quick] [--plot] [--resume] [--retries N] [--deadline SECS] [--threads N] [--chaos SEED] [--checkpoint-every K] [--suite NAME]");
         return ExitCode::FAILURE;
     };
     let mut opts = Options::default();
@@ -113,6 +114,11 @@ fn main() -> ExitCode {
                         .unwrap_or_else(|| bad_flag("--checkpoint-every")),
                 );
             }
+            "--suite" => {
+                i += 1;
+                opts.bench_suite =
+                    Some(args.get(i).cloned().unwrap_or_else(|| bad_flag("--suite")));
+            }
             other => {
                 eprintln!("unknown flag: {other}");
                 return ExitCode::FAILURE;
@@ -140,6 +146,12 @@ fn main() -> ExitCode {
             opts.chaos_seed.is_some(),
             opts.checkpoint_every,
         ) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) =
+            mcast_experiments::cli::validate_suite(&command, opts.bench_suite.as_deref())
+        {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
@@ -249,8 +261,9 @@ fn main() -> ExitCode {
             }
         },
         "gen" => {
-            // repro gen <out.json> [--seed N] [--aps N] [--users N]
-            //                      [--sessions N] [--budget PERMILLE]
+            // repro gen <out.json|out.mcb> [--seed N] [--aps N] [--users N]
+            //                              [--sessions N] [--budget PERMILLE]
+            //                              [--legacy-dense]
             let mut gen_opts = mcast_experiments::cli::GenOptions::default();
             let mut out = None;
             let mut i = 1;
@@ -276,6 +289,7 @@ fn main() -> ExitCode {
                         i += 1;
                         gen_opts.budget_permille = parse_num(&args, i) as u32;
                     }
+                    "--legacy-dense" => gen_opts.legacy_dense = true,
                     other if out.is_none() => out = Some(std::path::PathBuf::from(other)),
                     other => {
                         eprintln!("unknown flag: {other}");
@@ -285,7 +299,7 @@ fn main() -> ExitCode {
                 i += 1;
             }
             let Some(out) = out else {
-                eprintln!("usage: repro gen <out.json> [--seed N] [--aps N] [--users N] [--sessions N] [--budget PERMILLE]");
+                eprintln!("usage: repro gen <out.json|out.mcb> [--seed N] [--aps N] [--users N] [--sessions N] [--budget PERMILLE] [--legacy-dense]");
                 return ExitCode::FAILURE;
             };
             if let Err(e) = mcast_experiments::cli::generate_to_file(&gen_opts, &out) {

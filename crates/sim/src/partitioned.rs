@@ -24,9 +24,8 @@ use mcast_core::{
 pub fn evict_downed(assoc: &Association, down: &[ApId]) -> Association {
     Association::from_vec(
         assoc
-            .as_slice()
             .iter()
-            .map(|&ap| ap.filter(|a| !down.contains(a)))
+            .map(|ap| ap.filter(|a| !down.contains(a)))
             .collect(),
     )
 }
@@ -67,11 +66,11 @@ mod tests {
         ]);
         let evicted = evict_downed(&assoc, &[ApId(0)]);
         assert_eq!(
-            evicted.as_slice(),
-            &[None, Some(ApId(1)), None, None, Some(ApId(2))]
+            evicted.to_vec(),
+            vec![None, Some(ApId(1)), None, None, Some(ApId(2))]
         );
         // No downed APs: identity.
-        assert_eq!(evict_downed(&assoc, &[]).as_slice(), assoc.as_slice());
+        assert_eq!(evict_downed(&assoc, &[]), assoc);
     }
 
     /// The partitioned sweep after an eviction matches the single-threaded
@@ -97,18 +96,14 @@ mod tests {
                 .unwrap(),
         );
         let survivors = evict_downed(&settled.association, &[worst]);
-        assert!(survivors.as_slice().iter().all(|&ap| ap != Some(worst)));
+        assert!(survivors.iter().all(|ap| ap != Some(worst)));
         // Reference repair keeps serving the full instance; the evicted
         // users simply re-run their local decision.
         let single = run_distributed(&inst, &config, survivors.clone());
         for w in [1usize, 2, 4] {
             let part = Partition::contiguous(&inst, w).unwrap();
             let par = rebalance_partitioned(&inst, &config, &survivors, &part);
-            assert_eq!(
-                par.association.as_slice(),
-                single.association.as_slice(),
-                "W={w}"
-            );
+            assert_eq!(par.association, single.association, "W={w}");
             assert_eq!(par.moves, single.moves, "W={w}");
             assert_eq!(par.rounds, single.rounds, "W={w}");
         }
@@ -138,6 +133,6 @@ mod tests {
         let part = Partition::contiguous(&inst, 2).unwrap();
         let par = rebalance_partitioned(&inst, &config, &stale, &part);
         let single = run_distributed(&inst, &config, stale.restricted_to(&inst));
-        assert_eq!(par.association.as_slice(), single.association.as_slice());
+        assert_eq!(par.association, single.association);
     }
 }

@@ -127,17 +127,15 @@ fn staggered_reconverges_after_single_ap_outage() {
         .max_by_key(|&a| {
             baseline
                 .association
-                .as_slice()
                 .iter()
-                .filter(|ap| **ap == Some(a))
+                .filter(|&ap| ap == Some(a))
                 .count()
         })
         .unwrap();
     let served = baseline
         .association
-        .as_slice()
         .iter()
-        .filter(|ap| **ap == Some(victim))
+        .filter(|&ap| ap == Some(victim))
         .count();
     assert!(served > 0, "scenario degenerate: victim AP serves nobody");
 
@@ -230,11 +228,7 @@ fn ap_down_forever_sheds_load_to_survivors() {
     assert!(report.converged);
     // Nobody is left on the dead AP.
     assert!(
-        report
-            .association
-            .as_slice()
-            .iter()
-            .all(|ap| *ap != Some(ApId(0))),
+        report.association.iter().all(|ap| ap != Some(ApId(0))),
         "users still associated to the crashed AP"
     );
     assert!(report.association.validate(inst).is_ok());
@@ -388,13 +382,9 @@ fn recovery_metrics_reflect_an_undisturbed_run() {
     // outage after convergence on an AP with no members in the final
     // association, if any — otherwise skip the strict zero check.
     let baseline = Simulator::new(&inst, cfg.clone()).run();
-    let idle_ap = inst.aps().find(|&a| {
-        baseline
-            .association
-            .as_slice()
-            .iter()
-            .all(|ap| *ap != Some(a))
-    });
+    let idle_ap = inst
+        .aps()
+        .find(|&a| baseline.association.iter().all(|ap| ap != Some(a)));
     let Some(idle_ap) = idle_ap else { return };
     let report = Simulator::new(
         &inst,
@@ -422,9 +412,8 @@ fn peak_load_overshoot_is_observed_during_outage() {
         .max_by_key(|&a| {
             baseline
                 .association
-                .as_slice()
                 .iter()
-                .filter(|ap| **ap == Some(a))
+                .filter(|&ap| ap == Some(a))
                 .count()
         })
         .unwrap();

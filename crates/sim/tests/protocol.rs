@@ -331,14 +331,12 @@ fn departures_free_airtime_and_survivors_reoptimize() {
     // network (less contention can only help them).
     let survivors_before = baseline
         .association
-        .as_slice()
         .iter()
         .skip(20)
         .filter(|a| a.is_some())
         .count();
     let survivors_after = with_departure
         .association
-        .as_slice()
         .iter()
         .skip(20)
         .filter(|a| a.is_some())

@@ -27,6 +27,7 @@
 
 mod geometry;
 mod grid;
+pub mod mcb;
 pub mod phy;
 mod placement;
 pub mod power;
@@ -35,6 +36,7 @@ mod tiles;
 
 pub use geometry::Point;
 pub use grid::SpatialGrid;
+pub use mcb::{read_mcb, write_mcb, MCB_MAGIC};
 pub use phy::PathLossModel;
 pub use placement::Placement;
 pub use power::{instance_with_power, optimize_power, PowerOutcome};

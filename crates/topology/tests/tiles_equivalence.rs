@@ -19,8 +19,7 @@ use mcast_topology::{tile_partition, ScenarioConfig};
 
 fn outcomes_match(par: &DistributedOutcome, single: &DistributedOutcome, ctx: &str) {
     assert_eq!(
-        par.association.as_slice(),
-        single.association.as_slice(),
+        &par.association, &single.association,
         "association diverged: {ctx}"
     );
     assert_eq!(par.rounds, single.rounds, "rounds diverged: {ctx}");
