@@ -62,5 +62,5 @@ pub use replay::{
 };
 pub use report::{ControllerReport, EpochRecord};
 pub use runtime::{run, ControllerConfig, ControllerOutcome};
-pub use service::{lower_plan, serve, serve_checkpointed, ServiceStats};
+pub use service::{lower_plan, serve, serve_checkpointed, ServiceStats, SHED_BATCH_CAP};
 pub use state::NetworkState;

@@ -18,7 +18,7 @@
 use std::time::Instant;
 
 use mcast_core::Instance;
-use mcast_events::{Event, EventKind, EventPublisher, TimeQueue, STREAM_SCHEMA};
+use mcast_events::{Event, EventKind, EventPublisher, SinkPressure, TimeQueue, STREAM_SCHEMA};
 use mcast_faults::{FaultEventKind, FaultPlan, RecoverySummary};
 
 use crate::engine::EpochEngine;
@@ -47,7 +47,19 @@ pub struct ServiceStats {
     pub admission_wall_s: f64,
     /// Sustained admission throughput: joins per admission-wall second.
     pub joins_per_sec: f64,
+    /// Epochs whose ingest batch was truncated at [`SHED_BATCH_CAP`]
+    /// because the sink reported degraded pressure (overload shedding).
+    pub backpressure_sheds: u64,
 }
+
+/// Per-epoch admission cap while the event sink reports
+/// [`SinkPressure::Degraded`]: at most this many queue events are
+/// ingested per epoch, the rest stay queued (in their deterministic
+/// `(at_us, seq)` order) and are admitted first in later epochs. The
+/// sink's pressure is sampled once at each epoch boundary, so the
+/// shedding schedule is a pure function of the fault plan and the
+/// event timeline — never of wall-clock sink latency.
+pub const SHED_BATCH_CAP: u64 = 64;
 
 /// Lowers a fault plan into the event queue, reproducing the lock-step
 /// runtime's semantics event by event:
@@ -238,14 +250,30 @@ pub fn serve_checkpointed(
     let mut latencies: Vec<f64> = Vec::new();
     let mut admission_wall_s = 0.0f64;
     let (mut joins_total, mut faults_total) = (0u64, 0u64);
+    let mut backpressure_sheds = 0u64;
 
     for epoch in 0..cfg.n_epochs {
         let window_end = (epoch + 1) * cfg.epoch_us - 1;
         engine.begin_epoch();
 
         // ---- ingest the batch: everything due in this window --------
+        // Under sink backpressure the batch is capped: a degraded sink
+        // must not be handed an unbounded admission storm, so the epoch
+        // sheds the overflow back into the queue (it pops first next
+        // epoch — the queue order is stable, so nothing is reordered
+        // and nothing is lost).
+        let degraded = stream.publisher.pressure() == SinkPressure::Degraded;
         let (mut events, mut joins) = (0u64, 0u64);
-        while let Some(timed) = queue.pop_due(window_end) {
+        loop {
+            if degraded && events + joins >= SHED_BATCH_CAP {
+                if queue.peek_at_us().is_some_and(|t| t <= window_end) {
+                    backpressure_sheds += 1;
+                }
+                break;
+            }
+            let Some(timed) = queue.pop_due(window_end) else {
+                break;
+            };
             check_ids(inst, &timed.item)?;
             stream.publish(timed.at_us, timed.item.clone())?;
             match timed.item {
@@ -353,6 +381,7 @@ pub fn serve_checkpointed(
         } else {
             0.0
         },
+        backpressure_sheds,
     };
     Ok((engine.finalize(), stats))
 }

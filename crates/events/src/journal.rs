@@ -40,9 +40,12 @@
 use std::fs::{self, File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use serde::Value;
+
+use crate::faultio::{IoFaultPlan, WriteFault};
+use crate::harden::MAX_RECORD_BYTES;
 
 /// CRC-32 (IEEE 802.3, reflected) of `bytes`. Bitwise implementation —
 /// the journal appends at solver-trial / controller-event granularity,
@@ -121,12 +124,22 @@ pub struct RawReplay {
     pub tail_reason: Option<String>,
 }
 
+/// The file plus the byte length of its fully-committed line prefix,
+/// guarded together: `good_len` is what [`Journal::repair_tail`]
+/// truncates back to after a torn (injected or real) append.
+#[derive(Debug)]
+struct JournalInner {
+    file: File,
+    good_len: u64,
+}
+
 /// The append-only journal. Appends are serialized through an internal
 /// mutex.
 #[derive(Debug)]
 pub struct Journal {
-    file: Mutex<File>,
+    inner: Mutex<JournalInner>,
     path: PathBuf,
+    faults: Option<Arc<IoFaultPlan>>,
 }
 
 impl Journal {
@@ -136,13 +149,29 @@ impl Journal {
     ///
     /// [`JournalError::Io`] when the file or its parents cannot be made.
     pub fn create(path: &Path) -> Result<Journal, JournalError> {
+        Journal::create_with_faults(path, None)
+    }
+
+    /// [`Journal::create`] with a scripted IO-fault plan consulted on
+    /// every write and sync — the injection seam the resilience tests
+    /// and `--io-chaos` runs use. `None` behaves exactly like
+    /// [`Journal::create`].
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] when the file or its parents cannot be made.
+    pub fn create_with_faults(
+        path: &Path,
+        faults: Option<Arc<IoFaultPlan>>,
+    ) -> Result<Journal, JournalError> {
         if let Some(dir) = path.parent() {
             fs::create_dir_all(dir).map_err(|e| io_err(dir, &e))?;
         }
         let file = File::create(path).map_err(|e| io_err(path, &e))?;
         Ok(Journal {
-            file: Mutex::new(file),
+            inner: Mutex::new(JournalInner { file, good_len: 0 }),
             path: path.to_path_buf(),
+            faults,
         })
     }
 
@@ -175,8 +204,12 @@ impl Journal {
         file.seek(SeekFrom::End(0)).map_err(|e| io_err(path, &e))?;
         Ok((
             Journal {
-                file: Mutex::new(file),
+                inner: Mutex::new(JournalInner {
+                    file,
+                    good_len: replay.valid_len,
+                }),
                 path: path.to_path_buf(),
+                faults: None,
             },
             replay,
         ))
@@ -221,9 +254,23 @@ impl Journal {
 
     fn append_line(&self, payload: &str) -> Result<(), JournalError> {
         let line = format!("{:08x} {payload}\n", crc32(payload.as_bytes()));
-        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
-        file.write_all(line.as_bytes())
-            .map_err(|e| io_err(&self.path, &e))
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(plan) = &self.faults {
+            if let Some(fault) = plan.next_write_fate() {
+                if fault == WriteFault::Short {
+                    // The torn prefix really lands on disk: recovery has
+                    // something real to truncate.
+                    let _ = inner.file.write_all(&line.as_bytes()[..line.len() / 2]);
+                }
+                return Err(IoFaultPlan::write_error(fault, &self.path));
+            }
+        }
+        inner
+            .file
+            .write_all(line.as_bytes())
+            .map_err(|e| io_err(&self.path, &e))?;
+        inner.good_len += line.len() as u64;
+        Ok(())
     }
 
     /// Flushes and fsyncs everything appended so far.
@@ -232,10 +279,47 @@ impl Journal {
     ///
     /// [`JournalError::Io`] on flush/fsync failure.
     pub fn sync(&self) -> Result<(), JournalError> {
-        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
-        file.flush()
-            .and_then(|()| file.sync_data())
+        if let Some(plan) = &self.faults {
+            if plan.next_sync_fails() {
+                return Err(JournalError::Io {
+                    path: self.path.clone(),
+                    message: "injected fsync failure".to_string(),
+                });
+            }
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner
+            .file
+            .flush()
+            .and_then(|()| inner.file.sync_data())
             .map_err(|e| io_err(&self.path, &e))
+    }
+
+    /// Truncates the file back to the last fully-committed line and
+    /// repositions for appending — the repair step a resilient writer
+    /// runs between a failed (possibly torn) append and its retry, so
+    /// the retry never lands after garbage.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] when the truncate/seek itself fails.
+    pub fn repair_tail(&self) -> Result<(), JournalError> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let good = inner.good_len;
+        inner
+            .file
+            .set_len(good)
+            .and_then(|_| inner.file.seek(SeekFrom::End(0)))
+            .map(|_| ())
+            .map_err(|e| io_err(&self.path, &e))
+    }
+
+    /// Bytes of fully-committed (whole-line) prefix written so far.
+    pub fn committed_len(&self) -> u64 {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .good_len
     }
 
     /// The journal's path.
@@ -288,8 +372,17 @@ fn replay_raw_inner(bytes: &[u8]) -> RawReplayInner {
     let mut offset = 0usize;
     while offset < bytes.len() {
         let rest = &bytes[offset..];
-        let Some(nl) = rest.iter().position(|&b| b == b'\n') else {
-            tail_reason = Some("incomplete final record (no newline)".to_string());
+        // Bound the line scan: a (corrupt) record longer than the cap
+        // ends the prefix before the JSON parser is asked to allocate
+        // for it.
+        let cap = MAX_RECORD_BYTES as usize;
+        let scan = &rest[..rest.len().min(cap + 1)];
+        let Some(nl) = scan.iter().position(|&b| b == b'\n') else {
+            tail_reason = Some(if rest.len() > cap {
+                format!("record at byte {offset} exceeds the {MAX_RECORD_BYTES}-byte cap")
+            } else {
+                format!("incomplete final record (no newline) at byte {offset}")
+            });
             break;
         };
         match parse_line(&rest[..nl]) {
@@ -299,7 +392,7 @@ fn replay_raw_inner(bytes: &[u8]) -> RawReplayInner {
                 line_ends.push(offset as u64);
             }
             Err(reason) => {
-                tail_reason = Some(reason);
+                tail_reason = Some(format!("{reason} (at byte {offset})"));
                 break;
             }
         }
@@ -350,6 +443,23 @@ fn parse_line(line: &[u8]) -> Result<Value, String> {
 ///
 /// Propagates I/O errors (the temp file is cleaned up on failure).
 pub fn atomic_write(path: &Path, contents: &[u8]) -> std::io::Result<()> {
+    atomic_write_with(path, contents, None)
+}
+
+/// [`atomic_write`] with a scripted IO-fault plan consulted at each of
+/// its three fallible steps (temp-file write, temp-file fsync, rename).
+/// Every injected failure upholds the atomicity contract: the
+/// destination keeps its previous contents and no temp file survives.
+///
+/// # Errors
+///
+/// Propagates real or injected I/O errors (the temp file is cleaned up
+/// on failure either way).
+pub fn atomic_write_with(
+    path: &Path,
+    contents: &[u8],
+    faults: Option<&IoFaultPlan>,
+) -> std::io::Result<()> {
     let dir = match path.parent() {
         Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
         _ => PathBuf::from("."),
@@ -362,9 +472,23 @@ pub fn atomic_write(path: &Path, contents: &[u8]) -> std::io::Result<()> {
     let tmp = dir.join(format!(".{name}.tmp.{}", std::process::id()));
     let result = (|| {
         let mut f = File::create(&tmp)?;
+        if let Some(fault) = faults.and_then(IoFaultPlan::next_write_fate) {
+            if fault == WriteFault::Short {
+                // Leave a genuinely torn temp file for the cleanup path
+                // to erase — the destination is never touched.
+                let _ = f.write_all(&contents[..contents.len() / 2]);
+            }
+            return Err(fault.to_io_error());
+        }
         f.write_all(contents)?;
+        if faults.is_some_and(IoFaultPlan::next_sync_fails) {
+            return Err(std::io::Error::other("injected fsync failure"));
+        }
         f.sync_all()?;
         drop(f);
+        if faults.is_some_and(IoFaultPlan::next_rename_fails) {
+            return Err(std::io::Error::other("injected rename failure"));
+        }
         fs::rename(&tmp, path)
     })();
     if result.is_err() {

@@ -29,16 +29,22 @@
 #![warn(missing_docs)]
 
 mod event;
+pub mod faultio;
+pub mod harden;
 pub mod journal;
 mod publish;
 mod queue;
 mod replay;
+mod resilient;
 pub mod snapshot;
 
 pub use event::{Event, EventKind, STREAM_SCHEMA};
-pub use publish::{EventPublisher, JsonlPublisher, MemoryPublisher, NullPublisher};
+pub use faultio::{FaultSink, IoFaultCounters, IoFaultPlan, WriteFault};
+pub use harden::{check_declared_len, DecodeError, DecodeErrorKind, DecodeLimits, Mutation};
+pub use publish::{EventPublisher, JsonlPublisher, MemoryPublisher, NullPublisher, SinkPressure};
 pub use queue::{TimeQueue, Timed};
 pub use replay::{replay_stream_bytes, replay_stream_bytes_from, StreamReplay};
+pub use resilient::{DegradeReport, DegradeRung, ResilientPublisher, RetryPolicy};
 pub use snapshot::{
     load_checkpoints, load_latest_checkpoint, PartitionCheckpointSink, SnapshotFile,
 };

@@ -7,9 +7,23 @@
 //! ([`NullPublisher`] for benchmarks that only want the report).
 
 use std::path::Path;
+use std::sync::Arc;
 
 use crate::event::Event;
+use crate::faultio::IoFaultPlan;
 use crate::journal::{Journal, JournalError};
+
+/// How hard a sink is struggling, as seen by the service's admission
+/// control: [`SinkPressure::Degraded`] tells `serve` to shed load
+/// (cap the per-epoch ingest batch) instead of growing an unbounded
+/// backlog behind a stalled sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkPressure {
+    /// The sink is keeping up; admit normally.
+    Ok,
+    /// The sink has degraded (spilling or dropping); shed load.
+    Degraded,
+}
 
 /// A sink for the controller's event stream.
 ///
@@ -49,6 +63,24 @@ pub trait EventPublisher {
     /// (memory, null) return `None` and cannot back checkpointed runs.
     fn bytes_logged(&self) -> Option<u64> {
         None
+    }
+
+    /// How hard the sink is struggling. The service consults this at
+    /// each epoch boundary to decide whether to shed admission load.
+    /// Plain sinks never struggle.
+    fn pressure(&self) -> SinkPressure {
+        SinkPressure::Ok
+    }
+
+    /// Puts the sink back into an appendable state after a failed
+    /// (possibly torn) publish, so a retry never lands after garbage.
+    /// Sinks without repairable state do nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError`] when the repair itself fails.
+    fn repair(&mut self) -> Result<(), JournalError> {
+        Ok(())
     }
 }
 
@@ -118,6 +150,23 @@ impl JsonlPublisher {
         })
     }
 
+    /// [`JsonlPublisher::create`] with an IO-fault plan threaded into
+    /// the underlying journal, for `--io-chaos` runs and resilience
+    /// tests. `None` behaves exactly like [`JsonlPublisher::create`].
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] when the file cannot be created.
+    pub fn create_with_faults(
+        path: &Path,
+        faults: Option<Arc<IoFaultPlan>>,
+    ) -> Result<JsonlPublisher, JournalError> {
+        Ok(JsonlPublisher {
+            journal: Journal::create_with_faults(path, faults)?,
+            bytes: 0,
+        })
+    }
+
     /// The log's path.
     pub fn path(&self) -> &Path {
         self.journal.path()
@@ -140,6 +189,14 @@ impl EventPublisher for JsonlPublisher {
 
     fn bytes_logged(&self) -> Option<u64> {
         Some(self.bytes)
+    }
+
+    fn repair(&mut self) -> Result<(), JournalError> {
+        // Truncate any torn half-line so the retried append lands after
+        // the last fully-committed record.
+        self.journal.repair_tail()?;
+        self.bytes = self.journal.committed_len();
+        Ok(())
     }
 }
 

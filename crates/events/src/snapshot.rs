@@ -18,10 +18,11 @@
 use std::fs::{self, File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use mcast_core::{CheckpointError, CheckpointSink, PartitionCheckpoint};
 
+use crate::faultio::{IoFaultPlan, WriteFault};
 use crate::journal::{crc32, replay_raw_bytes, JournalError};
 
 /// An append-only file of crc32-framed JSON payloads with torn-tail
@@ -32,6 +33,7 @@ use crate::journal::{crc32, replay_raw_bytes, JournalError};
 pub struct SnapshotFile {
     file: Mutex<File>,
     path: PathBuf,
+    faults: Option<Arc<IoFaultPlan>>,
 }
 
 fn io_err(path: &Path, e: &std::io::Error) -> JournalError {
@@ -48,6 +50,20 @@ impl SnapshotFile {
     ///
     /// [`JournalError::Io`] when the file or its parents cannot be made.
     pub fn create(path: &Path) -> Result<SnapshotFile, JournalError> {
+        SnapshotFile::create_with_faults(path, None)
+    }
+
+    /// [`SnapshotFile::create`] with an IO-fault plan consulted on
+    /// every frame append and fsync. `None` behaves exactly like
+    /// [`SnapshotFile::create`].
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] when the file or its parents cannot be made.
+    pub fn create_with_faults(
+        path: &Path,
+        faults: Option<Arc<IoFaultPlan>>,
+    ) -> Result<SnapshotFile, JournalError> {
         if let Some(dir) = path.parent() {
             fs::create_dir_all(dir).map_err(|e| io_err(dir, &e))?;
         }
@@ -55,6 +71,7 @@ impl SnapshotFile {
         Ok(SnapshotFile {
             file: Mutex::new(file),
             path: path.to_path_buf(),
+            faults,
         })
     }
 
@@ -86,6 +103,7 @@ impl SnapshotFile {
         Ok(SnapshotFile {
             file: Mutex::new(file),
             path: path.to_path_buf(),
+            faults: None,
         })
     }
 
@@ -124,10 +142,32 @@ impl SnapshotFile {
 
     fn write_and_sync(&self, bytes: &[u8]) -> Result<(), JournalError> {
         let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(plan) = &self.faults {
+            if let Some(fault) = plan.next_write_fate() {
+                if fault == WriteFault::Short {
+                    // A genuinely torn frame lands on disk — the same
+                    // shape `append_torn` scripts deliberately — so the
+                    // loader's recovery rule is exercised for real.
+                    let _ = file.write_all(&bytes[..bytes.len() / 2]);
+                    let _ = file.flush();
+                }
+                return Err(IoFaultPlan::write_error(fault, &self.path));
+            }
+        }
         file.write_all(bytes)
             .and_then(|()| file.flush())
-            .and_then(|()| file.sync_data())
-            .map_err(|e| io_err(&self.path, &e))
+            .map_err(|e| io_err(&self.path, &e))?;
+        if self
+            .faults
+            .as_deref()
+            .is_some_and(IoFaultPlan::next_sync_fails)
+        {
+            return Err(JournalError::Io {
+                path: self.path.clone(),
+                message: "injected fsync failure".to_string(),
+            });
+        }
+        file.sync_data().map_err(|e| io_err(&self.path, &e))
     }
 
     /// The snapshot file's path.
@@ -316,5 +356,46 @@ mod tests {
         let path = tmp("missing.ckpt");
         let _ = fs::remove_file(&path);
         assert_eq!(load_latest_checkpoint(&path).unwrap(), None);
+    }
+
+    #[test]
+    fn injected_short_write_tears_a_real_frame_and_recovery_holds() {
+        let path = tmp("faulted.ckpt");
+        let plan = Arc::new(IoFaultPlan::scripted(
+            vec![(1, WriteFault::Short)],
+            Vec::new(),
+            Vec::new(),
+            None,
+        ));
+        let file = SnapshotFile::create_with_faults(&path, Some(plan)).unwrap();
+        file.append_payload("{\"a\":1}").unwrap();
+        let err = file.append_payload("{\"a\":2}").unwrap_err();
+        assert!(err.to_string().contains("short write"));
+        // The torn bytes really landed; the loader recovers frame 1.
+        assert_eq!(load_payloads(&path).unwrap(), vec!["{\"a\":1}".to_string()]);
+        // Reopening for append truncates the tear, as after a crash.
+        drop(file);
+        let file = SnapshotFile::open_append(&path).unwrap();
+        file.append_payload("{\"a\":3}").unwrap();
+        assert_eq!(
+            load_payloads(&path).unwrap(),
+            vec!["{\"a\":1}".to_string(), "{\"a\":3}".to_string()]
+        );
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn injected_sync_failure_keeps_the_frame_bytes() {
+        let path = tmp("syncfail.ckpt");
+        let plan = Arc::new(IoFaultPlan::scripted(Vec::new(), vec![0], Vec::new(), None));
+        let file = SnapshotFile::create_with_faults(&path, Some(plan)).unwrap();
+        let err = file.append_payload("{\"a\":1}").unwrap_err();
+        assert!(err.to_string().contains("fsync"));
+        // An fsync failure does not un-write the page cache: the frame
+        // is still readable in-process.
+        assert_eq!(load_payloads(&path).unwrap(), vec!["{\"a\":1}".to_string()]);
+        file.append_payload("{\"a\":2}").unwrap();
+        assert_eq!(load_payloads(&path).unwrap().len(), 2);
+        let _ = fs::remove_file(path);
     }
 }

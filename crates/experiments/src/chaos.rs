@@ -30,6 +30,7 @@ use mcast_events::{load_latest_checkpoint, PartitionCheckpointSink};
 use mcast_topology::{tile_partition, ScenarioConfig};
 use serde::Serialize;
 
+use crate::cli::CliError;
 use crate::journal::atomic_write;
 use crate::Options;
 
@@ -130,15 +131,17 @@ fn pinned_shape(quick: bool) -> ChaosShape {
 ///
 /// # Errors
 ///
-/// I/O failures, checkpoint corruption the framing cannot recover from,
-/// or — the point of the command — a recovered run that is **not**
-/// byte-identical to the fault-free oracle.
-pub fn run_chaos(opts: &Options) -> Result<String, String> {
+/// I/O failures and checkpoint corruption the framing cannot recover
+/// from surface as [`CliError::IoDecode`]; a recovered run that is
+/// **not** byte-identical to the fault-free oracle — the point of the
+/// command — is [`CliError::Divergence`].
+pub fn run_chaos(opts: &Options) -> Result<String, CliError> {
+    let io_err = |m: String| CliError::IoDecode(m);
     let shape = pinned_shape(opts.quick);
     let seed = opts.chaos_seed.unwrap_or(0);
     let checkpoint_every = opts.checkpoint_every.unwrap_or(DEFAULT_CHECKPOINT_EVERY);
     std::fs::create_dir_all(&opts.out_dir)
-        .map_err(|e| format!("cannot create {}: {e}", opts.out_dir.display()))?;
+        .map_err(|e| io_err(format!("cannot create {}: {e}", opts.out_dir.display())))?;
 
     let scenario = ScenarioConfig {
         n_aps: shape.n_aps,
@@ -174,12 +177,13 @@ pub fn run_chaos(opts: &Options) -> Result<String, String> {
 
         let ckpt_path = opts.out_dir.join(format!("chaos_{key}.ckpt"));
         let (sink, restored) = if opts.resume {
-            let restored = load_latest_checkpoint(&ckpt_path).map_err(|e| e.to_string())?;
-            let sink =
-                PartitionCheckpointSink::open_append(&ckpt_path).map_err(|e| e.to_string())?;
+            let restored = load_latest_checkpoint(&ckpt_path).map_err(|e| io_err(e.to_string()))?;
+            let sink = PartitionCheckpointSink::open_append(&ckpt_path)
+                .map_err(|e| io_err(e.to_string()))?;
             (sink, restored)
         } else {
-            let sink = PartitionCheckpointSink::create(&ckpt_path).map_err(|e| e.to_string())?;
+            let sink =
+                PartitionCheckpointSink::create(&ckpt_path).map_err(|e| io_err(e.to_string()))?;
             (sink, None)
         };
         let sup_opts = SuperviseOptions {
@@ -196,7 +200,7 @@ pub fn run_chaos(opts: &Options) -> Result<String, String> {
             Some(cp) => resume_distributed_supervised(inst, &config, &part, cp, &sup_opts),
             None => run_distributed_supervised(inst, &config, initial, &part, &sup_opts),
         }
-        .map_err(|e| format!("supervised run ({key}): {e}"))?;
+        .map_err(|e| io_err(format!("supervised run ({key}): {e}")))?;
 
         let identical = out.outcome.association == oracle.association
             && out.outcome.rounds == oracle.rounds
@@ -205,7 +209,7 @@ pub fn run_chaos(opts: &Options) -> Result<String, String> {
             && out.outcome.cycle_detected == oracle.cycle_detected
             && out.trace == oracle_trace;
         if !identical {
-            return Err(format!(
+            return Err(CliError::Divergence(format!(
                 "chaos run ({key}) diverged from the fault-free oracle: \
                  rounds {}/{}, moves {}/{}, trace {}/{} — recovery is not exact",
                 out.outcome.rounds,
@@ -214,7 +218,7 @@ pub fn run_chaos(opts: &Options) -> Result<String, String> {
                 oracle.moves,
                 out.trace.len(),
                 oracle_trace.len(),
-            ));
+            )));
         }
 
         let r = &out.recovery;
@@ -265,10 +269,11 @@ pub fn run_chaos(opts: &Options) -> Result<String, String> {
         checkpoint_every,
         cases,
     };
-    let json = serde_json::to_string_pretty(&doc).map_err(|e| format!("serialize chaos: {e}"))?;
+    let json =
+        serde_json::to_string_pretty(&doc).map_err(|e| io_err(format!("serialize chaos: {e}")))?;
     let json_path = opts.out_dir.join("chaos.json");
     atomic_write(&json_path, json.as_bytes())
-        .map_err(|e| format!("write {}: {e}", json_path.display()))?;
+        .map_err(|e| io_err(format!("write {}: {e}", json_path.display())))?;
     summary.push_str(&format!("wrote {}\n", json_path.display()));
     Ok(summary)
 }

@@ -28,6 +28,68 @@ impl std::fmt::Display for FlagError {
 
 impl std::error::Error for FlagError {}
 
+/// The repro CLI's error taxonomy, mapped one-to-one onto distinct
+/// process exit codes so scripts and CI can tell *why* a run failed
+/// without parsing messages:
+///
+/// | variant        | exit | meaning                                    |
+/// |----------------|------|--------------------------------------------|
+/// | `Usage`        | 2    | bad flags, commands, or algorithm names    |
+/// | `Validation`   | 3    | a scenario/plan failed semantic validation |
+/// | `IoDecode`     | 4    | an IO failure or a wire-decode failure     |
+/// | `Divergence`   | 5    | a replay/oracle determinism proof failed   |
+///
+/// Exit 1 stays reserved for `compare`'s "regressions flagged" outcome,
+/// and 0 for success, so every code is distinct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// Bad usage: unknown command, flag, or algorithm name (exit 2).
+    Usage(String),
+    /// A scenario or plan failed semantic validation (exit 3).
+    Validation(String),
+    /// An IO failure or an untrusted-input decode failure (exit 4).
+    IoDecode(String),
+    /// A determinism proof failed: replay or oracle divergence (exit 5).
+    Divergence(String),
+}
+
+impl CliError {
+    /// The process exit code this error class maps to.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Validation(_) => 3,
+            CliError::IoDecode(_) => 4,
+            CliError::Divergence(_) => 5,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m)
+            | CliError::Validation(m)
+            | CliError::IoDecode(m)
+            | CliError::Divergence(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<FlagError> for CliError {
+    fn from(e: FlagError) -> CliError {
+        CliError::Usage(e.to_string())
+    }
+}
+
+impl From<mcast_events::DecodeError> for CliError {
+    fn from(e: mcast_events::DecodeError) -> CliError {
+        CliError::IoDecode(e.to_string())
+    }
+}
+
 /// Commands that render figure series, where `--plot` adds ASCII plots.
 const PLOTTING: &[&str] = &[
     "fig9",
@@ -65,6 +127,10 @@ const CHAOTIC: &[&str] = &["chaos"];
 /// Commands that write recovery snapshots, where `--checkpoint-every K`
 /// sets the cadence.
 const CHECKPOINTED: &[&str] = &["chaos", "serve"];
+
+/// Commands that stream an event log through the resilient sink, where
+/// `--io-chaos SEED` injects a scripted IO-fault plan.
+const IO_CHAOS: &[&str] = &["serve"];
 
 /// Commands that run work on the scoped-thread pool (sweeps via
 /// `parallel_map`, plus `bench`'s partitioned scaling curve), where
@@ -195,6 +261,40 @@ pub fn validate_recovery_flags(
     Ok(())
 }
 
+/// Rejects `--io-chaos SEED` on commands without a resilient event sink
+/// to inject into, and the `--io-chaos` + `--checkpoint-every`
+/// combination: a faulted sink cannot promise the exact byte positions
+/// checkpoints record, so the pairing would silently weaken both.
+///
+/// # Errors
+///
+/// A [`FlagError`] naming the command, the flag, and the reason.
+pub fn validate_io_chaos(
+    command: &str,
+    io_chaos: Option<u64>,
+    checkpoint_every: Option<usize>,
+) -> Result<(), FlagError> {
+    if io_chaos.is_none() {
+        return Ok(());
+    }
+    if !IO_CHAOS.contains(&command) {
+        return Err(FlagError {
+            command: command.to_string(),
+            flag: "--io-chaos".to_string(),
+            reason: "it streams no event log to inject IO faults into",
+        });
+    }
+    if checkpoint_every.is_some() {
+        return Err(FlagError {
+            command: command.to_string(),
+            flag: "--io-chaos".to_string(),
+            reason:
+                "a faulted sink cannot back byte-positioned checkpoints; drop --checkpoint-every",
+        });
+    }
+    Ok(())
+}
+
 use mcast_core::{
     run_distributed, solve_bla, solve_mla, solve_mla_with, solve_mnu, solve_ssa, Association,
     DistributedConfig, Load, MlaAlgorithm, Objective, Policy, Solution,
@@ -240,12 +340,16 @@ impl Default for GenOptions {
 ///
 /// # Errors
 ///
-/// I/O or serialization failures, or `--legacy-dense` combined with a
-/// `.mcb` destination (the binary wire has no dense variant).
-pub fn generate_to_file(opts: &GenOptions, path: &Path) -> Result<(), String> {
+/// I/O or serialization failures ([`CliError::IoDecode`]), a config the
+/// generator rejects ([`CliError::Validation`]), or `--legacy-dense`
+/// combined with a `.mcb` destination ([`CliError::Usage`] — the binary
+/// wire has no dense variant).
+pub fn generate_to_file(opts: &GenOptions, path: &Path) -> Result<(), CliError> {
     let is_mcb = path.extension().is_some_and(|e| e == "mcb");
     if opts.legacy_dense && is_mcb {
-        return Err("--legacy-dense writes the old dense JSON wire; it cannot target .mcb".into());
+        return Err(CliError::Usage(
+            "--legacy-dense writes the old dense JSON wire; it cannot target .mcb".into(),
+        ));
     }
     let scenario = ScenarioConfig {
         n_aps: opts.aps,
@@ -256,16 +360,18 @@ pub fn generate_to_file(opts: &GenOptions, path: &Path) -> Result<(), String> {
     }
     .with_seed(opts.seed)
     .try_generate_streaming()
-    .map_err(|e| format!("generation failed: {e}"))?;
+    .map_err(|e| CliError::Validation(format!("generation failed: {e}")))?;
     if is_mcb {
-        mcast_topology::write_mcb(&scenario, path)?;
+        mcast_topology::write_mcb(&scenario, path).map_err(CliError::IoDecode)?;
     } else {
         let json = if opts.legacy_dense {
-            serde_json::to_string(&scenario.to_legacy_dense_value()).map_err(|e| e.to_string())?
+            serde_json::to_string(&scenario.to_legacy_dense_value())
+                .map_err(|e| CliError::IoDecode(e.to_string()))?
         } else {
-            serde_json::to_string(&scenario).map_err(|e| e.to_string())?
+            serde_json::to_string(&scenario).map_err(|e| CliError::IoDecode(e.to_string()))?
         };
-        crate::journal::atomic_write(path, json.as_bytes()).map_err(|e| e.to_string())?;
+        crate::journal::atomic_write(path, json.as_bytes())
+            .map_err(|e| CliError::IoDecode(e.to_string()))?;
     }
     let stats = mcast_core::InstanceStats::of(&scenario.instance);
     println!(
@@ -292,115 +398,50 @@ pub fn generate_to_file(opts: &GenOptions, path: &Path) -> Result<(), String> {
 ///
 /// # Errors
 ///
-/// I/O failures, deserialization failures, or validation failures, each
-/// with a message naming the offending field.
-pub fn load_scenario(path: &Path) -> Result<Scenario, String> {
+/// I/O or deserialization failures ([`CliError::IoDecode`], with byte
+/// offsets on the binary path) or validation failures
+/// ([`CliError::Validation`], naming the offending field).
+pub fn load_scenario(path: &Path) -> Result<Scenario, CliError> {
     let scenario = if path.extension().is_some_and(|e| e == "mcb") {
         mcast_topology::read_mcb(path)?
     } else {
         let json = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        serde_json::from_str(&json).map_err(|e| format!("bad scenario file: {e}"))?
+            .map_err(|e| CliError::IoDecode(format!("cannot read {}: {e}", path.display())))?;
+        serde_json::from_str(&json)
+            .map_err(|e| CliError::IoDecode(format!("bad scenario file: {e}")))?
     };
     validate_scenario(&scenario)
-        .map_err(|e| format!("invalid scenario {}: {e}", path.display()))?;
+        .map_err(|e| CliError::Validation(format!("invalid scenario {}: {e}", path.display())))?;
     Ok(scenario)
 }
 
-/// Structural validation of a deserialized [`Scenario`]: JSON that parses
-/// can still carry NaN/infinite coordinates (hand-edited or truncated
-/// files), index lists that don't match the instance, out-of-range
-/// session references, duplicate candidate-AP ids, or degenerate budgets
-/// and rates. Each check returns a descriptive error naming the entity.
-///
-/// # Errors
-///
-/// The first violated invariant, as a human-readable message.
-pub fn validate_scenario(scenario: &Scenario) -> Result<(), String> {
-    let inst = &scenario.instance;
-    if scenario.ap_positions.len() != inst.n_aps() {
-        return Err(format!(
-            "ap_positions has {} entries for {} APs",
-            scenario.ap_positions.len(),
-            inst.n_aps()
-        ));
-    }
-    if scenario.user_positions.len() != inst.n_users() {
-        return Err(format!(
-            "user_positions has {} entries for {} users",
-            scenario.user_positions.len(),
-            inst.n_users()
-        ));
-    }
-    for (i, p) in scenario.ap_positions.iter().enumerate() {
-        if !p.x.is_finite() || !p.y.is_finite() {
-            return Err(format!(
-                "AP {i} has a non-finite position ({}, {})",
-                p.x, p.y
-            ));
-        }
-    }
-    for (i, p) in scenario.user_positions.iter().enumerate() {
-        if !p.x.is_finite() || !p.y.is_finite() {
-            return Err(format!(
-                "user {i} has a non-finite position ({}, {})",
-                p.x, p.y
-            ));
-        }
-    }
-    for u in inst.users() {
-        let s = inst.user_session(u);
-        if s.index() >= inst.n_sessions() {
-            return Err(format!(
-                "user {} requests session {} but only {} sessions exist",
-                u.index(),
-                s.index(),
-                inst.n_sessions()
-            ));
-        }
-        let mut seen = std::collections::HashSet::new();
-        for &(a, _) in inst.candidate_aps(u) {
-            if !seen.insert(a) {
-                return Err(format!(
-                    "user {} lists AP {} twice among its candidates",
-                    u.index(),
-                    a.index()
-                ));
-            }
-        }
-    }
-    for a in inst.aps() {
-        let b = inst.budget(a).as_f64();
-        if !b.is_finite() || b < 0.0 {
-            return Err(format!("AP {} has an invalid budget {b}", a.index()));
-        }
-    }
-    for s in inst.sessions() {
-        if inst.session_rate(s).0 == 0 {
-            return Err(format!("session {} has a zero stream rate", s.index()));
-        }
-    }
-    Ok(())
-}
+// Structural validation of a deserialized `Scenario` lives next to the
+// wire formats now (`mcast_topology::validate_scenario`) so the binary
+// and JSON read paths funnel through the same helper; re-exported here
+// because this is where every CLI call site and test historically found
+// it.
+pub use mcast_topology::validate_scenario;
 
 /// Runs `algo` on a loaded scenario and prints a summary; optionally
 /// writes the association JSON.
 ///
 /// # Errors
 ///
-/// Unknown algorithm names, solver failures, or I/O failures.
-pub fn solve_file(path: &Path, algo: &str, assoc_out: Option<&Path>) -> Result<(), String> {
+/// Unknown algorithm names ([`CliError::Usage`]), solver failures
+/// ([`CliError::Validation`]), or I/O failures ([`CliError::IoDecode`]).
+pub fn solve_file(path: &Path, algo: &str, assoc_out: Option<&Path>) -> Result<(), CliError> {
     let scenario = load_scenario(path)?;
     let inst = &scenario.instance;
     let limits = SearchLimits::default();
+    let solver = |e: &dyn std::fmt::Display| CliError::Validation(e.to_string());
     let (solution, note): (Solution, Option<String>) = match algo {
         "ssa" => (solve_ssa(inst, Objective::Mla), None),
-        "mla" => (solve_mla(inst).map_err(|e| e.to_string())?, None),
+        "mla" => (solve_mla(inst).map_err(|e| solver(&e))?, None),
         "mla-pd" => (
-            solve_mla_with(inst, MlaAlgorithm::PrimalDual).map_err(|e| e.to_string())?,
+            solve_mla_with(inst, MlaAlgorithm::PrimalDual).map_err(|e| solver(&e))?,
             None,
         ),
-        "bla" => (solve_bla(inst).map_err(|e| e.to_string())?, None),
+        "bla" => (solve_bla(inst).map_err(|e| solver(&e))?, None),
         "mnu" => (solve_mnu(inst), None),
         "mla-d" | "mnu-d" => {
             let out = run_distributed(
@@ -429,11 +470,11 @@ pub fn solve_file(path: &Path, algo: &str, assoc_out: Option<&Path>) -> Result<(
             )
         }
         "opt-mla" => {
-            let out = optimal_mla(inst, limits).map_err(|e| e.to_string())?;
+            let out = optimal_mla(inst, limits).map_err(|e| solver(&e))?;
             (out.solution, Some(format!("certified optimal: {}", out.proved_optimal)))
         }
         "opt-bla" => {
-            let out = optimal_bla(inst, limits).map_err(|e| e.to_string())?;
+            let out = optimal_bla(inst, limits).map_err(|e| solver(&e))?;
             (out.solution, Some(format!("certified optimal: {}", out.proved_optimal)))
         }
         "opt-mnu" => {
@@ -441,9 +482,9 @@ pub fn solve_file(path: &Path, algo: &str, assoc_out: Option<&Path>) -> Result<(
             (out.solution, Some(format!("certified optimal: {}", out.proved_optimal)))
         }
         other => {
-            return Err(format!(
+            return Err(CliError::Usage(format!(
                 "unknown algorithm '{other}' (want ssa|mla|mla-pd|mla-d|bla|bla-d|mnu|mnu-d|opt-mla|opt-bla|opt-mnu)"
-            ))
+            )))
         }
     };
 
@@ -464,8 +505,10 @@ pub fn solve_file(path: &Path, algo: &str, assoc_out: Option<&Path>) -> Result<(
         println!("note       : {note}");
     }
     if let Some(out) = assoc_out {
-        let json = serde_json::to_string(&solution.association).map_err(|e| e.to_string())?;
-        crate::journal::atomic_write(out, json.as_bytes()).map_err(|e| e.to_string())?;
+        let json = serde_json::to_string(&solution.association)
+            .map_err(|e| CliError::IoDecode(e.to_string()))?;
+        crate::journal::atomic_write(out, json.as_bytes())
+            .map_err(|e| CliError::IoDecode(e.to_string()))?;
         println!("association written to {}", out.display());
     }
     Ok(())
@@ -584,11 +627,12 @@ mod tests {
             &tmp("bad").with_extension("mcb"),
         )
         .unwrap_err();
-        assert!(err.contains("--legacy-dense"), "{err}");
+        assert!(err.to_string().contains("--legacy-dense"), "{err}");
+        assert_eq!(err.exit_code(), 2, "flag misuse is a usage error");
     }
 
     #[test]
-    fn unknown_algorithm_is_an_error() {
+    fn unknown_algorithm_is_a_usage_error() {
         let path = tmp("scenario2.json");
         generate_to_file(
             &GenOptions {
@@ -600,13 +644,91 @@ mod tests {
             &path,
         )
         .unwrap();
-        assert!(solve_file(&path, "nonsense", None).is_err());
+        let err = solve_file(&path, "nonsense", None).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
         let _ = std::fs::remove_file(path);
     }
 
     #[test]
-    fn missing_file_is_an_error() {
-        assert!(load_scenario(Path::new("/nonexistent/file.json")).is_err());
+    fn missing_file_is_an_io_error() {
+        let err = load_scenario(Path::new("/nonexistent/file.json")).unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+    }
+
+    #[test]
+    fn exit_codes_are_distinct_per_error_class() {
+        let errors = [
+            CliError::Usage("u".into()),
+            CliError::Validation("v".into()),
+            CliError::IoDecode("i".into()),
+            CliError::Divergence("d".into()),
+        ];
+        let codes: Vec<i32> = errors.iter().map(CliError::exit_code).collect();
+        assert_eq!(codes, vec![2, 3, 4, 5]);
+        // 0 (success) and 1 (compare's flagged-regressions) stay free.
+        assert!(!codes.contains(&0) && !codes.contains(&1));
+    }
+
+    #[test]
+    fn error_classes_convert_from_their_sources() {
+        let flag: CliError = FlagError {
+            command: "serve".into(),
+            flag: "--plot".into(),
+            reason: "nope",
+        }
+        .into();
+        assert_eq!(flag.exit_code(), 2);
+        assert!(flag.to_string().contains("--plot"), "{flag}");
+
+        let decode: CliError = mcast_events::DecodeError::new(
+            mcast_events::DecodeErrorKind::Truncated,
+            12,
+            "section SESSIONS payload",
+        )
+        .into();
+        assert_eq!(decode.exit_code(), 4);
+        assert!(decode.to_string().contains("byte 12"), "{decode}");
+    }
+
+    #[test]
+    fn io_chaos_is_rejected_by_command_and_combination() {
+        for cmd in ["bench", "fig9", "chaos", "replay", "all"] {
+            let err = validate_io_chaos(cmd, Some(7), None).unwrap_err();
+            assert_eq!(err.flag, "--io-chaos");
+            assert_eq!(err.command, cmd);
+        }
+        assert_eq!(validate_io_chaos("serve", Some(7), None), Ok(()));
+        // Without the flag, anything goes.
+        assert_eq!(validate_io_chaos("bench", None, Some(4)), Ok(()));
+        // With it, checkpointing is an explicit conflict.
+        let err = validate_io_chaos("serve", Some(7), Some(4)).unwrap_err();
+        assert!(
+            err.to_string().contains("--checkpoint-every"),
+            "unexpected message: {err}"
+        );
+    }
+
+    #[test]
+    fn corrupt_mcb_loads_as_a_named_io_decode_error() {
+        let path = tmp("corrupt").with_extension("mcb");
+        generate_to_file(
+            &GenOptions {
+                aps: 4,
+                users: 9,
+                sessions: 2,
+                ..GenOptions::default()
+            },
+            &path,
+        )
+        .unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_scenario(&path).unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+        assert!(err.to_string().contains("byte"), "offset provenance: {err}");
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]
@@ -738,9 +860,10 @@ mod tests {
         let path = tmp("nan.json");
         std::fs::write(&path, patched).unwrap();
         let err = load_scenario(&path).unwrap_err();
+        let msg = err.to_string();
         assert!(
-            err.contains("non-finite") || err.contains("bad scenario file"),
-            "unexpected message: {err}"
+            msg.contains("non-finite") || msg.contains("bad scenario file"),
+            "unexpected message: {msg}"
         );
         let _ = std::fs::remove_file(path);
     }
@@ -774,7 +897,15 @@ mod tests {
         let path = tmp("bad_session.json");
         std::fs::write(&path, patched).unwrap();
         let err = load_scenario(&path).unwrap_err();
-        assert!(err.contains("session s99"), "unexpected message: {err}");
+        // The dangling reference is caught while *resolving* the sparse
+        // wire (inside deserialization), so it classifies as a decode
+        // error — `validate_scenario` findings on a structurally sound
+        // scenario are the ones that classify as validation (exit 3).
+        assert_eq!(err.exit_code(), 4, "dangling wire reference is decode");
+        assert!(
+            err.to_string().contains("session s99"),
+            "unexpected message: {err}"
+        );
         let _ = std::fs::remove_file(path);
     }
 }

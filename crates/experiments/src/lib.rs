@@ -62,6 +62,9 @@ pub struct Options {
     /// runs the four fast-vs-reference reports, `scale` runs the
     /// million-user end-to-end pass ([`bench::scale_report`]).
     pub bench_suite: Option<String>,
+    /// Seed of the injected IO-fault plan for `repro serve`
+    /// (`--io-chaos SEED`); `None` runs with a clean sink.
+    pub io_chaos: Option<u64>,
 }
 
 impl Default for Options {
@@ -78,6 +81,7 @@ impl Default for Options {
             chaos_seed: None,
             checkpoint_every: None,
             bench_suite: None,
+            io_chaos: None,
         }
     }
 }

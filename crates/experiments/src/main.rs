@@ -15,6 +15,8 @@
 //!   faults      fault injection: recovery after a coordinated AP outage
 //!   controller  online controller: repair ladder vs full re-solve under faults
 //!   serve       event-driven controller service; streams <out>/events.jsonl
+//!               (--io-chaos SEED: seeded IO faults against the sink; the
+//!               run must still lose zero decisions)
 //!   replay      fold <out>/events.jsonl back into a report (no solvers)
 //!   chaos       fault-injected partitioned run; proves recovery is exact
 //!   revenue     the §3.2 revenue models across algorithms
@@ -29,6 +31,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
+use mcast_experiments::cli::CliError;
 use mcast_experiments::figures::{
     ablations, channels, controller, faults, fig10, fig11, fig12, fig9, mobility, revenue, table1,
     validate,
@@ -38,11 +41,26 @@ use mcast_experiments::runner::{RetryPolicy, Runner};
 use mcast_experiments::stats::Figure;
 use mcast_experiments::Options;
 
+/// Prints a classified error and maps it to its distinct exit code
+/// (usage 2, validation 3, IO/decode 4, divergence 5) so scripts can
+/// branch on *why* the run failed. Exit 1 stays reserved for
+/// `compare`'s flagged-regressions outcome.
+fn fail(e: CliError) -> ExitCode {
+    eprintln!("{e}");
+    ExitCode::from(e.exit_code() as u8)
+}
+
+/// Boundary shim for subsystems still reporting plain-string errors:
+/// everything they surface is an IO/runtime failure, never bad usage.
+fn fail_io(e: String) -> ExitCode {
+    fail(CliError::IoDecode(e))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().cloned() else {
-        eprintln!("usage: repro <table1|fig9|fig10|fig11|fig12|ablations|channels|mobility|faults|controller|serve|replay|chaos|revenue|bench|validate|all|gen|solve|compare> [--seeds N] [--out DIR] [--max-nodes N] [--quick] [--plot] [--resume] [--retries N] [--deadline SECS] [--threads N] [--chaos SEED] [--checkpoint-every K] [--suite NAME]");
-        return ExitCode::FAILURE;
+        eprintln!("usage: repro <table1|fig9|fig10|fig11|fig12|ablations|channels|mobility|faults|controller|serve|replay|chaos|revenue|bench|validate|all|gen|solve|compare> [--seeds N] [--out DIR] [--max-nodes N] [--quick] [--plot] [--resume] [--retries N] [--deadline SECS] [--threads N] [--chaos SEED] [--checkpoint-every K] [--suite NAME] [--io-chaos SEED]");
+        return ExitCode::from(2);
     };
     let mut opts = Options::default();
     let mut plot = false;
@@ -119,9 +137,17 @@ fn main() -> ExitCode {
                 opts.bench_suite =
                     Some(args.get(i).cloned().unwrap_or_else(|| bad_flag("--suite")));
             }
+            "--io-chaos" => {
+                i += 1;
+                opts.io_chaos = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| bad_flag("--io-chaos")),
+                );
+            }
             other => {
                 eprintln!("unknown flag: {other}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(2);
             }
         }
         i += 1;
@@ -134,26 +160,29 @@ fn main() -> ExitCode {
     // A flag the command would silently ignore is a typo, not a no-op.
     if generic_flags {
         if let Err(e) = mcast_experiments::cli::validate_flags(&command, plot, opts.resume) {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
+            return fail(e.into());
         }
         if let Err(e) = mcast_experiments::cli::validate_threads(&command, threads) {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
+            return fail(e.into());
         }
         if let Err(e) = mcast_experiments::cli::validate_recovery_flags(
             &command,
             opts.chaos_seed.is_some(),
             opts.checkpoint_every,
         ) {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
+            return fail(e.into());
         }
         if let Err(e) =
             mcast_experiments::cli::validate_suite(&command, opts.bench_suite.as_deref())
         {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
+            return fail(e.into());
+        }
+        if let Err(e) = mcast_experiments::cli::validate_io_chaos(
+            &command,
+            opts.io_chaos,
+            opts.checkpoint_every,
+        ) {
+            return fail(e.into());
         }
         if let Some(n) = threads {
             opts.threads = n;
@@ -233,32 +262,20 @@ fn main() -> ExitCode {
         }
         "serve" => match mcast_experiments::serve::run_serve(&opts) {
             Ok(summary) => print!("{summary}"),
-            Err(e) => {
-                eprintln!("{e}");
-                return ExitCode::FAILURE;
-            }
+            Err(e) => return fail(e),
         },
         "replay" => match mcast_experiments::serve::run_replay(&opts) {
             Ok(summary) => print!("{summary}"),
-            Err(e) => {
-                eprintln!("{e}");
-                return ExitCode::FAILURE;
-            }
+            Err(e) => return fail(e),
         },
         "chaos" => match mcast_experiments::chaos::run_chaos(&opts) {
             Ok(summary) => print!("{summary}"),
-            Err(e) => {
-                eprintln!("{e}");
-                return ExitCode::FAILURE;
-            }
+            Err(e) => return fail(e),
         },
         "revenue" => run_figs(revenue::run(&opts, &runner), &opts),
         "bench" => match mcast_experiments::bench::run(&opts) {
             Ok(summary) => print!("{summary}"),
-            Err(e) => {
-                eprintln!("{e}");
-                return ExitCode::FAILURE;
-            }
+            Err(e) => return fail_io(e),
         },
         "gen" => {
             // repro gen <out.json|out.mcb> [--seed N] [--aps N] [--users N]
@@ -293,18 +310,17 @@ fn main() -> ExitCode {
                     other if out.is_none() => out = Some(std::path::PathBuf::from(other)),
                     other => {
                         eprintln!("unknown flag: {other}");
-                        return ExitCode::FAILURE;
+                        return ExitCode::from(2);
                     }
                 }
                 i += 1;
             }
             let Some(out) = out else {
                 eprintln!("usage: repro gen <out.json|out.mcb> [--seed N] [--aps N] [--users N] [--sessions N] [--budget PERMILLE] [--legacy-dense]");
-                return ExitCode::FAILURE;
+                return ExitCode::from(2);
             };
             if let Err(e) = mcast_experiments::cli::generate_to_file(&gen_opts, &out) {
-                eprintln!("{e}");
-                return ExitCode::FAILURE;
+                return fail(e);
             }
             return ExitCode::SUCCESS;
         }
@@ -325,15 +341,14 @@ fn main() -> ExitCode {
             }
             if dirs.len() != 2 {
                 eprintln!("usage: repro compare <dirA> <dirB> [--tol FRACTION]");
-                return ExitCode::FAILURE;
+                return ExitCode::from(2);
             }
             match mcast_experiments::cli::compare_results(&dirs[0], &dirs[1], tol) {
+                // Exit 1 means "compared fine, regressions flagged" —
+                // deliberately distinct from every CliError code.
                 Ok(0) => return ExitCode::SUCCESS,
                 Ok(_) => return ExitCode::FAILURE,
-                Err(e) => {
-                    eprintln!("{e}");
-                    return ExitCode::FAILURE;
-                }
+                Err(e) => return fail_io(e),
             }
         }
         "solve" => {
@@ -355,18 +370,17 @@ fn main() -> ExitCode {
                     other if file.is_none() => file = Some(std::path::PathBuf::from(other)),
                     other => {
                         eprintln!("unknown flag: {other}");
-                        return ExitCode::FAILURE;
+                        return ExitCode::from(2);
                     }
                 }
                 i += 1;
             }
             let (Some(file), Some(algo)) = (file, algo) else {
                 eprintln!("usage: repro solve <scenario.json> --algo <ssa|mla|mla-pd|mla-d|bla|bla-d|mnu|mnu-d|opt-mla|opt-bla|opt-mnu> [--assoc-out FILE]");
-                return ExitCode::FAILURE;
+                return ExitCode::from(2);
             };
             if let Err(e) = mcast_experiments::cli::solve_file(&file, &algo, assoc_out.as_deref()) {
-                eprintln!("{e}");
-                return ExitCode::FAILURE;
+                return fail(e);
             }
             return ExitCode::SUCCESS;
         }
@@ -395,7 +409,7 @@ fn main() -> ExitCode {
         }
         other => {
             eprintln!("unknown command: {other}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     }
     if sweeping {

@@ -22,20 +22,37 @@
 //!
 //! [`ControllerReport`]: mcast_controller::ControllerReport
 
+use std::sync::Arc;
+
 use mcast_controller::{
-    lower_plan, replay_stream, replay_stream_from, serve_checkpointed, ControllerConfig,
-    ControllerOutcome, LadderPolicy, ReplayOutcome, ServiceCheckpoint, ServiceStats,
+    fold_events, lower_plan, replay_stream, replay_stream_from, serve_checkpointed,
+    ControllerConfig, ControllerOutcome, LadderPolicy, ReplayOutcome, ServiceCheckpoint,
+    ServiceStats,
 };
 use mcast_core::Objective;
 use mcast_events::snapshot::load_payloads;
-use mcast_events::{JsonlPublisher, SnapshotFile};
+use mcast_events::{
+    replay_stream_bytes, replay_stream_bytes_from, DegradeRung, EventKind, EventPublisher,
+    IoFaultPlan, JsonlPublisher, ResilientPublisher, RetryPolicy, SnapshotFile,
+};
 use mcast_faults::{FaultPlan, RecoverySummary};
 use mcast_topology::{Scenario, ScenarioConfig};
 use serde::{Deserialize, Serialize};
 
+use crate::cli::CliError;
 use crate::figures::controller::build_plan;
 use crate::journal::atomic_write;
 use crate::Options;
+
+/// Shorthand: classify a plain-string failure as an IO/decode error.
+fn io_err(m: String) -> CliError {
+    CliError::IoDecode(m)
+}
+
+/// Shorthand: classify a failed determinism proof.
+fn diverged(m: String) -> CliError {
+    CliError::Divergence(m)
+}
 
 /// Schema tag of `serve_setup.json`.
 pub const SETUP_SCHEMA: &str = "mcast-serve-setup/v1";
@@ -155,6 +172,7 @@ struct StatsJson {
     decision_latency_us: RecoverySummary,
     admission_wall_s: f64,
     joins_per_sec: f64,
+    backpressure_sheds: u64,
 }
 
 impl StatsJson {
@@ -166,8 +184,36 @@ impl StatsJson {
             decision_latency_us: stats.decision_latency_us,
             admission_wall_s: stats.admission_wall_s,
             joins_per_sec: stats.joins_per_sec,
+            backpressure_sheds: stats.backpressure_sheds,
         }
     }
+}
+
+/// The deterministic degraded report of an `--io-chaos` run: what the
+/// retry → spill → drop ladder did under the seeded fault plan. A pure
+/// function of (scenario seed, fault seed) — two runs at the same seeds
+/// produce this struct byte for byte.
+#[derive(Debug, Serialize)]
+struct IoChaosJson {
+    /// Seed of the injected IO-fault plan.
+    seed: u64,
+    /// Final ladder rung (`primary` / `spill` / `drop`).
+    rung: String,
+    /// Retried primary appends.
+    retries: u64,
+    /// Tail repairs between attempts.
+    repairs: u64,
+    /// Events diverted to `events.spill.jsonl`.
+    spilled: u64,
+    /// Events dropped outright (must be 0 with a healthy spill sink).
+    dropped: u64,
+    /// Durability (fsync) failures swallowed.
+    sync_failures: u64,
+    /// Sequence number of the first spilled event, if any.
+    first_spilled_seq: Option<u64>,
+    /// Decisions lost end to end: published minus recovered. The run
+    /// fails unless this is 0.
+    decisions_lost: u64,
 }
 
 /// The in-process proof that the log is trustworthy.
@@ -183,8 +229,10 @@ struct Verification {
     matches_runtime: bool,
     /// Restoring the latest `serve.ckpt` snapshot and folding only the
     /// event-log *suffix* past its byte position reproduced the live
-    /// report byte for byte (the fast recovery path).
-    snapshot_recovery_identical: bool,
+    /// report byte for byte (the fast recovery path). `None` when
+    /// checkpointing was off (`--io-chaos` runs, where a faulted sink
+    /// cannot back byte-positioned checkpoints).
+    snapshot_recovery_identical: Option<bool>,
     /// Service checkpoints durably written to `serve.ckpt`.
     checkpoints_written: usize,
     /// Size of the event log on disk, bytes.
@@ -197,6 +245,9 @@ struct ServeJson {
     setup: ServeSetup,
     stats: StatsJson,
     verification: Verification,
+    /// Degraded-ladder accounting of an `--io-chaos` run; `null` on
+    /// clean runs.
+    io_chaos: Option<IoChaosJson>,
     report: mcast_controller::ControllerReport,
 }
 
@@ -206,30 +257,43 @@ struct ServeJson {
 ///
 /// # Errors
 ///
-/// Scenario/plan validation failures, I/O failures, or a failed
-/// self-verification (replay not byte-identical, or the lock-step
-/// runtime disagreeing on disruption metrics — both correctness bugs).
-pub fn run_serve(opts: &Options) -> Result<String, String> {
+/// Scenario/plan validation failures ([`CliError::Validation`]), I/O
+/// failures ([`CliError::IoDecode`]), or a failed self-verification
+/// ([`CliError::Divergence`] — replay not byte-identical, a decision
+/// lost under `--io-chaos`, or the lock-step runtime disagreeing on
+/// disruption metrics; all correctness bugs).
+pub fn run_serve(opts: &Options) -> Result<String, CliError> {
+    match opts.io_chaos {
+        Some(seed) => run_serve_io_chaos(opts, seed),
+        None => run_serve_clean(opts),
+    }
+}
+
+/// Writes `serve_setup.json` (atomically, before the first event — a
+/// crash-truncated run must still be replayable, which needs the
+/// instance recipe) and regenerates the pinned run it describes.
+fn prepare_serve(opts: &Options) -> Result<(ServeSetup, Scenario, FaultPlan), CliError> {
     let setup = pinned_setup(opts.quick);
     std::fs::create_dir_all(&opts.out_dir)
-        .map_err(|e| format!("cannot create {}: {e}", opts.out_dir.display()))?;
-
-    // The setup goes to disk before the first event: a crash-truncated
-    // run must still be replayable, which needs the instance recipe.
+        .map_err(|e| io_err(format!("cannot create {}: {e}", opts.out_dir.display())))?;
     let setup_path = opts.out_dir.join("serve_setup.json");
-    let setup_json =
-        serde_json::to_string_pretty(&setup).map_err(|e| format!("serialize setup: {e}"))?;
+    let setup_json = serde_json::to_string_pretty(&setup)
+        .map_err(|e| io_err(format!("serialize setup: {e}")))?;
     atomic_write(&setup_path, setup_json.as_bytes())
-        .map_err(|e| format!("write {}: {e}", setup_path.display()))?;
-
+        .map_err(|e| io_err(format!("write {}: {e}", setup_path.display())))?;
     let (scenario, plan) = materialize(&setup);
+    Ok((setup, scenario, plan))
+}
+
+fn run_serve_clean(opts: &Options) -> Result<String, CliError> {
+    let (setup, scenario, plan) = prepare_serve(opts)?;
     let inst = &scenario.instance;
     let cfg = config_of(&setup);
 
-    let mut queue = lower_plan(inst, &plan, &cfg)?;
+    let mut queue = lower_plan(inst, &plan, &cfg).map_err(CliError::Validation)?;
     let events_path = opts.out_dir.join("events.jsonl");
     let mut publisher = JsonlPublisher::create(&events_path)
-        .map_err(|e| format!("cannot open {}: {e}", events_path.display()))?;
+        .map_err(|e| io_err(format!("cannot open {}: {e}", events_path.display())))?;
     // The service checkpoints its fold state every K committed epochs
     // into `serve.ckpt` (same crc32 framing as the event log), so
     // recovery is snapshot + log-suffix replay instead of a full fold.
@@ -238,7 +302,7 @@ pub fn run_serve(opts: &Options) -> Result<String, String> {
         .unwrap_or(DEFAULT_SERVE_CHECKPOINT_EVERY) as u64;
     let ckpt_path = opts.out_dir.join("serve.ckpt");
     let snapshot = SnapshotFile::create(&ckpt_path)
-        .map_err(|e| format!("cannot open {}: {e}", ckpt_path.display()))?;
+        .map_err(|e| io_err(format!("cannot open {}: {e}", ckpt_path.display())))?;
     let mut checkpoints_written = 0usize;
     let mut save = |cp: &ServiceCheckpoint| -> Result<(), String> {
         let payload = serde_json::to_string(cp).map_err(|e| e.to_string())?;
@@ -256,52 +320,60 @@ pub fn run_serve(opts: &Options) -> Result<String, String> {
         &mut publisher,
         checkpoint_every,
         &mut save,
-    )?;
+    )
+    .map_err(io_err)?;
     drop(publisher);
 
     // ---- proof 1: the log replays to the byte-identical report ------
     let bytes = std::fs::read(&events_path)
-        .map_err(|e| format!("cannot read back {}: {e}", events_path.display()))?;
-    let replayed = replay_stream(inst, &bytes)?;
-    let replay_identical = reports_identical(&live, &replayed.outcome)?;
+        .map_err(|e| io_err(format!("cannot read back {}: {e}", events_path.display())))?;
+    let replayed = replay_stream(inst, &bytes).map_err(io_err)?;
+    let replay_identical = reports_identical(&live, &replayed.outcome).map_err(io_err)?;
     if !replay_identical {
-        return Err(format!(
+        return Err(diverged(format!(
             "replay of {} diverged from the live report — event log is lossy",
             events_path.display()
-        ));
+        )));
     }
     if !replayed.complete {
-        return Err("fresh event stream is missing its StreamClosed trailer".to_string());
+        return Err(diverged(
+            "fresh event stream is missing its StreamClosed trailer".to_string(),
+        ));
     }
 
     // ---- proof 2: the lock-step runtime agrees ----------------------
-    let lockstep = mcast_controller::run(inst, &plan, &cfg)?;
+    let lockstep = mcast_controller::run(inst, &plan, &cfg).map_err(CliError::Validation)?;
     if let Err(diff) = runtime_metrics_match(&live, &lockstep) {
-        return Err(format!(
+        return Err(diverged(format!(
             "service disagrees with the lock-step runtime: {diff}"
-        ));
+        )));
     }
 
     // ---- proof 3: snapshot + log-suffix recovery is exact -----------
     let latest = load_payloads(&ckpt_path)
-        .map_err(|e| format!("cannot read back {}: {e}", ckpt_path.display()))?
+        .map_err(|e| io_err(format!("cannot read back {}: {e}", ckpt_path.display())))?
         .pop()
         .ok_or_else(|| {
-            format!(
+            io_err(format!(
                 "serve wrote no checkpoint frame to {} (cadence {checkpoint_every} over {} epochs)",
                 ckpt_path.display(),
                 cfg.n_epochs
-            )
+            ))
         })?;
-    let cp: ServiceCheckpoint = serde_json::from_str(&latest)
-        .map_err(|e| format!("bad checkpoint frame in {}: {e}", ckpt_path.display()))?;
-    let recovered = replay_stream_from(inst, &cp, &bytes)?;
-    let snapshot_recovery_identical = reports_identical(&live, &recovered.outcome)?;
+    let cp: ServiceCheckpoint = serde_json::from_str(&latest).map_err(|e| {
+        io_err(format!(
+            "bad checkpoint frame in {}: {e}",
+            ckpt_path.display()
+        ))
+    })?;
+    let recovered = replay_stream_from(inst, &cp, &bytes).map_err(io_err)?;
+    let snapshot_recovery_identical =
+        reports_identical(&live, &recovered.outcome).map_err(io_err)?;
     if !snapshot_recovery_identical {
-        return Err(format!(
+        return Err(diverged(format!(
             "snapshot + suffix recovery from the epoch-{} checkpoint diverged from the live report",
             cp.epoch
-        ));
+        )));
     }
 
     let doc = ServeJson {
@@ -312,16 +384,18 @@ pub fn run_serve(opts: &Options) -> Result<String, String> {
             replay_identical,
             replay_complete: replayed.complete,
             matches_runtime: true,
-            snapshot_recovery_identical,
+            snapshot_recovery_identical: Some(snapshot_recovery_identical),
             checkpoints_written,
             stream_bytes: bytes.len() as u64,
         },
+        io_chaos: None,
         report: live.report.clone(),
     };
-    let json = serde_json::to_string_pretty(&doc).map_err(|e| format!("serialize serve: {e}"))?;
+    let json =
+        serde_json::to_string_pretty(&doc).map_err(|e| io_err(format!("serialize serve: {e}")))?;
     let serve_path = opts.out_dir.join("serve.json");
     atomic_write(&serve_path, json.as_bytes())
-        .map_err(|e| format!("write {}: {e}", serve_path.display()))?;
+        .map_err(|e| io_err(format!("write {}: {e}", serve_path.display())))?;
 
     let r = &live.report;
     Ok(format!(
@@ -351,6 +425,186 @@ pub fn run_serve(opts: &Options) -> Result<String, String> {
         r.invariant_violations,
         checkpoints_written,
         events_path.display(),
+        serve_path.display(),
+    ))
+}
+
+/// `repro serve --io-chaos SEED`: the same pinned run, but the primary
+/// event log is written through a seeded [`IoFaultPlan`] and the
+/// retry → spill → drop ladder ([`ResilientPublisher`]). Checkpointing
+/// is off (a faulted sink cannot promise the byte positions checkpoints
+/// record — `validate_io_chaos` rejects the combination up front), and
+/// the self-verification changes shape: the primary log's committed
+/// prefix concatenated with `events.spill.jsonl` must replay as one
+/// gapless, byte-identical stream — **zero decisions lost**, no matter
+/// what the fault plan did.
+fn run_serve_io_chaos(opts: &Options, seed: u64) -> Result<String, CliError> {
+    let (setup, scenario, plan) = prepare_serve(opts)?;
+    let inst = &scenario.instance;
+    let cfg = config_of(&setup);
+
+    let mut queue = lower_plan(inst, &plan, &cfg).map_err(CliError::Validation)?;
+    let events_path = opts.out_dir.join("events.jsonl");
+    let spill_path = opts.out_dir.join("events.spill.jsonl");
+    let _ = std::fs::remove_file(&spill_path); // stale spill from a previous run
+    let fault_plan = Arc::new(IoFaultPlan::seeded(seed));
+    let primary = JsonlPublisher::create_with_faults(&events_path, Some(fault_plan.clone()))
+        .map_err(|e| io_err(format!("cannot open {}: {e}", events_path.display())))?;
+    let spill_target = spill_path.clone();
+    let mut publisher = ResilientPublisher::new(
+        Box::new(primary),
+        move || Ok(Box::new(JsonlPublisher::create(&spill_target)?) as Box<dyn EventPublisher>),
+        RetryPolicy::default(),
+    );
+    let (live, stats) = serve_checkpointed(
+        inst,
+        &mut queue,
+        &cfg,
+        plan.link_keep_prob(),
+        &mut publisher,
+        0,
+        &mut |_| Ok(()),
+    )
+    .map_err(io_err)?;
+    let rung = publisher.rung();
+    let degrade = publisher.report();
+    drop(publisher);
+
+    // ---- proof 1: primary prefix + spill is one gapless stream ------
+    let primary_bytes = std::fs::read(&events_path)
+        .map_err(|e| io_err(format!("cannot read back {}: {e}", events_path.display())))?;
+    let head = replay_stream_bytes(&primary_bytes);
+    let mut events = head.events;
+    let mut spill_bytes_len = 0u64;
+    if spill_path.exists() {
+        let spill_bytes = std::fs::read(&spill_path)
+            .map_err(|e| io_err(format!("cannot read back {}: {e}", spill_path.display())))?;
+        spill_bytes_len = spill_bytes.len() as u64;
+        let tail = replay_stream_bytes_from(&spill_bytes, events.len() as u64);
+        events.extend(tail.events);
+    }
+    for (i, event) in events.iter().enumerate() {
+        if event.seq != i as u64 {
+            return Err(diverged(format!(
+                "sequence gap under io-chaos: slot {i} carries seq {} — the degrade ladder \
+                 let a decision slip between primary and spill",
+                event.seq
+            )));
+        }
+    }
+    let decisions_lost = stats.events_published.saturating_sub(events.len() as u64);
+    if decisions_lost > 0 || degrade.dropped > 0 {
+        return Err(diverged(format!(
+            "io-chaos run lost {decisions_lost} of {} decisions ({} counted drops) — \
+             the stream has a gap",
+            stats.events_published, degrade.dropped
+        )));
+    }
+    let replay_complete = matches!(
+        events.last().map(|e| &e.kind),
+        Some(EventKind::StreamClosed { .. })
+    );
+    if !replay_complete {
+        return Err(diverged(
+            "io-chaos stream is missing its StreamClosed trailer".to_string(),
+        ));
+    }
+    let folded = fold_events(inst, &events).map_err(diverged)?;
+    let replay_identical = reports_identical(&live, &folded).map_err(io_err)?;
+    if !replay_identical {
+        return Err(diverged(
+            "concatenated primary+spill replay diverged from the live report".to_string(),
+        ));
+    }
+
+    // ---- proof 2: the fault plan never changed a decision -----------
+    // Only provable when no epoch shed admission: a degraded sink
+    // back-pressures batched admission (SHED_BATCH_CAP), so a shedding
+    // run legitimately defers joins the lock-step runtime admits on
+    // time. Shedding is itself deterministic in the seed, so that run
+    // ends in a deterministic degraded report instead — never a silent
+    // divergence.
+    let matches_runtime = stats.backpressure_sheds == 0;
+    if matches_runtime {
+        let lockstep = mcast_controller::run(inst, &plan, &cfg).map_err(CliError::Validation)?;
+        if let Err(diff) = runtime_metrics_match(&live, &lockstep) {
+            return Err(diverged(format!(
+                "io-chaos service disagrees with the lock-step runtime: {diff}"
+            )));
+        }
+    }
+
+    let doc = ServeJson {
+        schema: "mcast-serve/v1".to_string(),
+        setup,
+        stats: StatsJson::of(&stats),
+        verification: Verification {
+            replay_identical,
+            replay_complete,
+            matches_runtime,
+            snapshot_recovery_identical: None,
+            checkpoints_written: 0,
+            stream_bytes: primary_bytes.len() as u64 + spill_bytes_len,
+        },
+        io_chaos: Some(IoChaosJson {
+            seed,
+            rung: rung.label().to_string(),
+            retries: degrade.retries,
+            repairs: degrade.repairs,
+            spilled: degrade.spilled,
+            dropped: degrade.dropped,
+            sync_failures: degrade.sync_failures,
+            first_spilled_seq: degrade.first_spilled_seq,
+            decisions_lost,
+        }),
+        report: live.report.clone(),
+    };
+    let json =
+        serde_json::to_string_pretty(&doc).map_err(|e| io_err(format!("serialize serve: {e}")))?;
+    let serve_path = opts.out_dir.join("serve.json");
+    atomic_write(&serve_path, json.as_bytes())
+        .map_err(|e| io_err(format!("write {}: {e}", serve_path.display())))?;
+
+    let r = &live.report;
+    Ok(format!(
+        "serve --io-chaos {seed}: {} epochs, {} events published under injected IO faults\n\
+         degrade ladder: rung {}, {} retries, {} repairs, {} spilled, {} dropped, \
+         {} sync failures{}\n\
+         0 decisions lost: primary prefix + spill replay gapless and byte-identical; {}\n\
+         disruption: {} (handoffs {}), final satisfied {}/{}, violations {}\n\
+         wrote {}{} and {}\n",
+        r.n_epochs,
+        stats.events_published,
+        rung.label(),
+        degrade.retries,
+        degrade.repairs,
+        degrade.spilled,
+        degrade.dropped,
+        degrade.sync_failures,
+        match degrade.first_spilled_seq {
+            Some(s) => format!(" (first spilled seq {s})"),
+            None => String::new(),
+        },
+        if matches_runtime {
+            "lock-step runtime metrics match".to_string()
+        } else {
+            format!(
+                "deterministic degraded report ({} epochs shed admission under sink \
+                 backpressure; lock-step comparison not applicable)",
+                stats.backpressure_sheds
+            )
+        },
+        r.disruption,
+        r.handoffs,
+        r.final_satisfied,
+        doc.setup.n_users,
+        r.invariant_violations,
+        events_path.display(),
+        if rung == DegradeRung::Primary {
+            String::new()
+        } else {
+            format!(" + {}", spill_path.display())
+        },
         serve_path.display(),
     ))
 }
@@ -459,29 +713,30 @@ fn usable_snapshot(
 /// # Errors
 ///
 /// Missing/corrupt setup file, missing log, or a structurally invalid
-/// stream (wrong schema, instance mismatch).
-pub fn run_replay(opts: &Options) -> Result<String, String> {
+/// stream (wrong schema, instance mismatch) — all [`CliError::IoDecode`].
+pub fn run_replay(opts: &Options) -> Result<String, CliError> {
     let setup_path = opts.out_dir.join("serve_setup.json");
     let setup_json = std::fs::read_to_string(&setup_path)
-        .map_err(|e| format!("cannot read {}: {e}", setup_path.display()))?;
+        .map_err(|e| io_err(format!("cannot read {}: {e}", setup_path.display())))?;
     let setup: ServeSetup = serde_json::from_str(&setup_json)
-        .map_err(|e| format!("bad setup file {}: {e}", setup_path.display()))?;
+        .map_err(|e| io_err(format!("bad setup file {}: {e}", setup_path.display())))?;
     if setup.schema != SETUP_SCHEMA {
-        return Err(format!(
+        return Err(io_err(format!(
             "setup schema {:?} is not {SETUP_SCHEMA:?}",
             setup.schema
-        ));
+        )));
     }
 
     let events_path = opts.out_dir.join("events.jsonl");
     let bytes = std::fs::read(&events_path)
-        .map_err(|e| format!("cannot read {}: {e}", events_path.display()))?;
+        .map_err(|e| io_err(format!("cannot read {}: {e}", events_path.display())))?;
     let (scenario, _plan) = materialize(&setup);
     // Prefer snapshot + log-suffix recovery: restore the newest usable
     // `serve.ckpt` frame and fold only the bytes past its position. The
     // result is identical to folding the whole log (proven by `serve`'s
     // self-verification); only the recovery cost differs.
-    let snapshot = usable_snapshot(&opts.out_dir.join("serve.ckpt"), bytes.len())?;
+    let snapshot =
+        usable_snapshot(&opts.out_dir.join("serve.ckpt"), bytes.len()).map_err(io_err)?;
     let recovered_from_epoch = snapshot.as_ref().map(|cp| cp.epoch);
     let ReplayOutcome {
         outcome,
@@ -490,8 +745,8 @@ pub fn run_replay(opts: &Options) -> Result<String, String> {
         dropped_bytes,
         tail_reason,
     } = match &snapshot {
-        Some(cp) => replay_stream_from(&scenario.instance, cp, &bytes)?,
-        None => replay_stream(&scenario.instance, &bytes)?,
+        Some(cp) => replay_stream_from(&scenario.instance, cp, &bytes).map_err(io_err)?,
+        None => replay_stream(&scenario.instance, &bytes).map_err(io_err)?,
     };
 
     let doc = ReplayJson {
@@ -504,10 +759,11 @@ pub fn run_replay(opts: &Options) -> Result<String, String> {
         final_satisfied: outcome.report.final_satisfied,
         report: outcome.report,
     };
-    let json = serde_json::to_string_pretty(&doc).map_err(|e| format!("serialize replay: {e}"))?;
+    let json =
+        serde_json::to_string_pretty(&doc).map_err(|e| io_err(format!("serialize replay: {e}")))?;
     let replay_path = opts.out_dir.join("replay.json");
     atomic_write(&replay_path, json.as_bytes())
-        .map_err(|e| format!("write {}: {e}", replay_path.display()))?;
+        .map_err(|e| io_err(format!("write {}: {e}", replay_path.display())))?;
 
     Ok(format!(
         "replay: {} of {} epochs reconstructed from {}{} ({})\n\
@@ -619,6 +875,40 @@ mod tests {
             other => panic!("epochs_replayed missing: {other:?}"),
         };
         assert!(epochs < setup.n_epochs, "a 40% cut must lose epochs");
+        let _ = std::fs::remove_dir_all(&opts.out_dir);
+    }
+
+    #[test]
+    fn io_chaos_serve_loses_nothing_and_is_reproducible() {
+        let opts = Options {
+            quick: true,
+            out_dir: out_dir("iochaos"),
+            io_chaos: Some(7),
+            ..Options::default()
+        };
+        let summary = run_serve(&opts).expect("io-chaos serve succeeds");
+        assert!(summary.contains("0 decisions lost"), "{summary}");
+        assert!(summary.contains("degrade ladder"), "{summary}");
+        let serve_json =
+            std::fs::read_to_string(opts.out_dir.join("serve.json")).expect("readable");
+        let v: serde_json::Value = serde_json::parse_value(&serve_json).expect("valid JSON");
+        let Some(serde_json::Value::Object(chaos)) = v.get("io_chaos") else {
+            panic!("serve.json has no io_chaos section");
+        };
+        let field = |k: &str| chaos.iter().find(|(n, _)| n == k).map(|(_, val)| val);
+        assert!(
+            matches!(field("decisions_lost"), Some(serde_json::Value::Int(0))),
+            "decisions_lost must be zero"
+        );
+        assert!(
+            matches!(field("seed"), Some(serde_json::Value::Int(7))),
+            "seed must round-trip"
+        );
+
+        // Identical seeds script identical faults at identical
+        // operations, so the whole run — summary included — repeats.
+        let rerun = run_serve(&opts).expect("io-chaos serve repeats");
+        assert_eq!(summary, rerun, "seeded io-chaos runs must be deterministic");
         let _ = std::fs::remove_dir_all(&opts.out_dir);
     }
 

@@ -36,9 +36,9 @@ mod tiles;
 
 pub use geometry::Point;
 pub use grid::SpatialGrid;
-pub use mcb::{read_mcb, write_mcb, MCB_MAGIC};
+pub use mcb::{read_mcb, read_mcb_with_limits, write_mcb, MCB_MAGIC};
 pub use phy::PathLossModel;
 pub use placement::Placement;
 pub use power::{instance_with_power, optimize_power, PowerOutcome};
-pub use scenario::{Scenario, ScenarioConfig, ScenarioError, SessionPopularity};
+pub use scenario::{validate_scenario, Scenario, ScenarioConfig, ScenarioError, SessionPopularity};
 pub use tiles::tile_partition;

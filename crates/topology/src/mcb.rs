@@ -42,6 +42,7 @@ use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 use mcast_core::{ApId, Instance, Kbps, Load, RatePolicy, SessionId, SessionSpec, UserSpec};
+use mcast_events::{check_declared_len, DecodeError, DecodeErrorKind, DecodeLimits};
 
 use crate::geometry::Point;
 use crate::scenario::{Scenario, ScenarioConfig};
@@ -251,58 +252,109 @@ fn write_mcb_into<W: Write>(scenario: &Scenario, w: &mut W) -> std::io::Result<(
     w.flush()
 }
 
+/// The cursor a `.mcb` read threads through every section: the absolute
+/// byte offset (for [`DecodeError`] provenance), the total file length
+/// (so a declared section length is checked against what actually
+/// remains — the length-prefix-inflation guard), and the caps.
+struct McbCursor {
+    offset: u64,
+    file_len: u64,
+    limits: DecodeLimits,
+}
+
 /// One framed section coming in: hands the payload to `decode` in
 /// bounded chunks while accumulating the CRC, then checks it against the
 /// trailer — so even the link arena of a million-user file flows through
-/// a 1 MiB buffer.
+/// a 1 MiB buffer. The declared length is validated against the
+/// remaining file bytes *before* any payload is read, so a forged
+/// header is a named error, not a stall or an allocation.
 fn read_section<R: Read>(
     r: &mut R,
+    cur: &mut McbCursor,
     expect_tag: u8,
     mut decode: impl FnMut(&[u8]) -> Result<(), String>,
-) -> Result<(), String> {
+) -> Result<(), DecodeError> {
+    let header_off = cur.offset;
     let mut head = [0u8; 9];
-    r.read_exact(&mut head)
-        .map_err(|e| format!("truncated section header: {e}"))?;
+    r.read_exact(&mut head).map_err(|e| {
+        DecodeError::new(
+            DecodeErrorKind::Truncated,
+            header_off,
+            format!("truncated header of section {expect_tag}: {e}"),
+        )
+    })?;
     let tag = head[0];
     if tag != expect_tag {
-        return Err(format!("expected section {expect_tag}, found {tag}"));
+        return Err(DecodeError::new(
+            DecodeErrorKind::Framing,
+            header_off,
+            format!("expected section {expect_tag}, found {tag}"),
+        ));
     }
     let len = u64::from_le_bytes(head[1..9].try_into().expect("8 bytes"));
+    cur.offset += 9;
+    // Payload plus its 4-byte CRC trailer must fit in what remains.
+    let remaining = cur.file_len.saturating_sub(cur.offset).saturating_sub(4);
+    check_declared_len(
+        len,
+        remaining,
+        cur.limits.max_section_bytes,
+        header_off,
+        &format!("section {tag}"),
+    )?;
     let mut crc = Crc32::new();
     let mut remaining = len;
-    let mut buf = vec![0u8; 1 << 20];
+    let mut buf = vec![0u8; (1 << 20).min(len.max(1)) as usize];
     while remaining > 0 {
         let take = remaining.min(buf.len() as u64) as usize;
-        r.read_exact(&mut buf[..take])
-            .map_err(|e| format!("truncated section {tag}: {e}"))?;
+        r.read_exact(&mut buf[..take]).map_err(|e| {
+            DecodeError::new(
+                DecodeErrorKind::Truncated,
+                cur.offset,
+                format!("truncated payload of section {tag}: {e}"),
+            )
+        })?;
         crc.update(&buf[..take]);
-        decode(&buf[..take])?;
+        decode(&buf[..take])
+            .map_err(|what| DecodeError::new(DecodeErrorKind::Framing, cur.offset, what))?;
+        cur.offset += take as u64;
         remaining -= take as u64;
     }
     let mut trailer = [0u8; 4];
-    r.read_exact(&mut trailer)
-        .map_err(|e| format!("truncated section {tag} checksum: {e}"))?;
+    r.read_exact(&mut trailer).map_err(|e| {
+        DecodeError::new(
+            DecodeErrorKind::Truncated,
+            cur.offset,
+            format!("truncated checksum of section {tag}: {e}"),
+        )
+    })?;
     let got = crc.finish();
     let want = u32::from_le_bytes(trailer);
     if got != want {
-        return Err(format!(
-            "section {tag} checksum mismatch: computed {got:#010x}, stored {want:#010x}"
+        return Err(DecodeError::new(
+            DecodeErrorKind::Checksum,
+            cur.offset,
+            format!("section {tag} checksum mismatch: computed {got:#010x}, stored {want:#010x}"),
         ));
     }
+    cur.offset += 4;
     Ok(())
 }
 
 /// Collects a section whose payload is a flat array of fixed-size
 /// records. Chunk boundaries land on record boundaries because the
 /// buffer size is a multiple of every record size used here (1, 4, 16).
+/// Allocation stays bounded by the declared length, which
+/// [`read_section`] has already checked against the file's actual size.
 fn read_records<R: Read, T>(
     r: &mut R,
+    cur: &mut McbCursor,
     tag: u8,
     record: usize,
     mut parse: impl FnMut(&[u8]) -> T,
-) -> Result<Vec<T>, String> {
+) -> Result<Vec<T>, DecodeError> {
     let mut out = Vec::new();
-    read_section(r, tag, |chunk| {
+    read_section(r, cur, tag, |chunk| {
         if chunk.len() % record != 0 {
             return Err(format!("section {tag}: payload not a multiple of {record}"));
         }
@@ -327,56 +379,94 @@ fn le_f64(b: &[u8]) -> f64 {
     f64::from_le_bytes(b.try_into().expect("8 bytes"))
 }
 
-/// Reads a `.mcb` file back into a [`Scenario`].
+/// Reads a `.mcb` file back into a [`Scenario`] with the default
+/// [`DecodeLimits`].
 ///
 /// # Errors
 ///
-/// I/O failures, a bad magic/version, framing or checksum violations,
-/// or CSR content [`Instance::from_csr`] rejects — each as a message
-/// naming the offending section.
-pub fn read_mcb(path: &Path) -> Result<Scenario, String> {
-    let file = File::open(path).map_err(|e| io_err(path, "cannot open", &e))?;
+/// A typed [`DecodeError`] with byte-offset provenance: I/O failures, a
+/// bad magic/version, framing/checksum/limit violations, or CSR content
+/// [`Instance::from_csr`] rejects. Never panics and never allocates
+/// beyond the file's actual size (declared lengths are checked against
+/// the remaining bytes before being trusted).
+pub fn read_mcb(path: &Path) -> Result<Scenario, DecodeError> {
+    read_mcb_with_limits(path, DecodeLimits::default())
+}
+
+/// [`read_mcb`] with explicit [`DecodeLimits`], for tests that want to
+/// watch the caps fire on small files.
+///
+/// # Errors
+///
+/// Like [`read_mcb`].
+pub fn read_mcb_with_limits(path: &Path, limits: DecodeLimits) -> Result<Scenario, DecodeError> {
+    let file_len = fs::metadata(path)
+        .map_err(|e| DecodeError::io(path, &e))?
+        .len();
+    let file = File::open(path).map_err(|e| DecodeError::io(path, &e))?;
     let mut r = BufReader::with_capacity(1 << 20, file);
+    let mut cur = McbCursor {
+        offset: 0,
+        file_len,
+        limits,
+    };
 
     let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)
-        .map_err(|e| io_err(path, "cannot read magic of", &e))?;
+    r.read_exact(&mut magic).map_err(|e| {
+        DecodeError::new(
+            DecodeErrorKind::Truncated,
+            0,
+            format!("{}: file ends inside the 4-byte magic: {e}", path.display()),
+        )
+    })?;
     if magic != MCB_MAGIC {
-        return Err(format!(
-            "{}: not an mcb file (magic {magic:02x?})",
-            path.display()
+        return Err(DecodeError::new(
+            DecodeErrorKind::BadMagic,
+            0,
+            format!("{}: not an mcb file (magic {magic:02x?})", path.display()),
         ));
     }
+    cur.offset = 4;
 
+    let bad_value = |off: u64, what: String| DecodeError::new(DecodeErrorKind::BadValue, off, what);
+
+    let config_off = cur.offset;
     let mut config_json = Vec::new();
-    read_section(&mut r, TAG_CONFIG, |chunk| {
+    read_section(&mut r, &mut cur, TAG_CONFIG, |chunk| {
         config_json.extend_from_slice(chunk);
         Ok(())
     })?;
-    let config_json =
-        String::from_utf8(config_json).map_err(|e| format!("config not UTF-8: {e}"))?;
-    let config: ScenarioConfig =
-        serde_json::from_str(&config_json).map_err(|e| format!("bad embedded config: {e}"))?;
+    let config_json = String::from_utf8(config_json)
+        .map_err(|e| bad_value(config_off, format!("config not UTF-8: {e}")))?;
+    let config: ScenarioConfig = serde_json::from_str(&config_json)
+        .map_err(|e| bad_value(config_off, format!("bad embedded config: {e}")))?;
 
-    let sessions: Vec<SessionSpec> = read_records(&mut r, TAG_SESSIONS, 4, |b| SessionSpec {
-        rate: Kbps(le_u32(b)),
-    })?;
-    let budgets: Vec<Load> = read_records(&mut r, TAG_BUDGETS, 16, |b| {
+    let sessions: Vec<SessionSpec> =
+        read_records(&mut r, &mut cur, TAG_SESSIONS, 4, |b| SessionSpec {
+            rate: Kbps(le_u32(b)),
+        })?;
+    let budgets_off = cur.offset;
+    let budgets: Vec<Load> = read_records(&mut r, &mut cur, TAG_BUDGETS, 16, |b| {
         (le_i64(&b[0..8]), le_i64(&b[8..16]))
     })?
     .into_iter()
     .enumerate()
     .map(|(a, (num, den))| {
         if den <= 0 {
-            return Err(format!("AP {a}: budget denominator {den} not positive"));
+            return Err(bad_value(
+                budgets_off,
+                format!("AP {a}: budget denominator {den} not positive"),
+            ));
         }
-        let num = u64::try_from(num).map_err(|_| format!("AP {a}: negative budget"))?;
+        let num = u64::try_from(num)
+            .map_err(|_| bad_value(budgets_off, format!("AP {a}: negative budget")))?;
         Ok(Load::from_ratio(num, den as u64))
     })
-    .collect::<Result<_, String>>()?;
-    let rates: Vec<Kbps> = read_records(&mut r, TAG_RATES, 4, |b| Kbps(le_u32(b)))?;
+    .collect::<Result<_, DecodeError>>()?;
+    let rates: Vec<Kbps> = read_records(&mut r, &mut cur, TAG_RATES, 4, |b| Kbps(le_u32(b)))?;
+    let policy_off = cur.offset;
     let mut policy_byte = None;
-    read_section(&mut r, TAG_POLICY, |chunk| {
+    read_section(&mut r, &mut cur, TAG_POLICY, |chunk| {
         if let [b] = chunk {
             policy_byte = Some(*b);
             Ok(())
@@ -390,15 +480,20 @@ pub fn read_mcb(path: &Path) -> Result<Scenario, String> {
     let rate_policy = match policy_byte {
         Some(0) => RatePolicy::MultiRate,
         Some(1) => RatePolicy::BasicOnly,
-        other => return Err(format!("unknown rate policy byte {other:?}")),
+        other => {
+            return Err(bad_value(
+                policy_off,
+                format!("unknown rate policy byte {other:?}"),
+            ))
+        }
     };
-    let users: Vec<UserSpec> = read_records(&mut r, TAG_USERS, 4, |b| UserSpec {
+    let users: Vec<UserSpec> = read_records(&mut r, &mut cur, TAG_USERS, 4, |b| UserSpec {
         session: SessionId(le_u32(b)),
     })?;
-    let user_off: Vec<u32> = read_records(&mut r, TAG_USER_OFF, 4, le_u32)?;
+    let user_off: Vec<u32> = read_records(&mut r, &mut cur, TAG_USER_OFF, 4, le_u32)?;
     let mut user_adj: Vec<(ApId, Kbps)> = Vec::new();
     let mut user_sig: Vec<i64> = Vec::new();
-    read_section(&mut r, TAG_LINKS, |chunk| {
+    read_section(&mut r, &mut cur, TAG_LINKS, |chunk| {
         if chunk.len() % 16 != 0 {
             return Err("link section payload not a multiple of 16".into());
         }
@@ -410,17 +505,27 @@ pub fn read_mcb(path: &Path) -> Result<Scenario, String> {
         }
         Ok(())
     })?;
-    let ap_positions: Vec<Point> = read_records(&mut r, TAG_AP_POS, 16, |b| Point {
+    let ap_positions: Vec<Point> = read_records(&mut r, &mut cur, TAG_AP_POS, 16, |b| Point {
         x: le_f64(&b[0..8]),
         y: le_f64(&b[8..16]),
     })?;
-    let user_positions: Vec<Point> = read_records(&mut r, TAG_USER_POS, 16, |b| Point {
+    let user_positions: Vec<Point> = read_records(&mut r, &mut cur, TAG_USER_POS, 16, |b| Point {
         x: le_f64(&b[0..8]),
         y: le_f64(&b[8..16]),
     })?;
-    read_section(&mut r, TAG_END, |_| {
+    read_section(&mut r, &mut cur, TAG_END, |_| {
         Err("END section carries payload".into())
     })?;
+    if cur.offset != file_len {
+        return Err(DecodeError::new(
+            DecodeErrorKind::Framing,
+            cur.offset,
+            format!(
+                "{} trailing bytes after the END section",
+                file_len - cur.offset
+            ),
+        ));
+    }
 
     let instance = Instance::from_csr(
         sessions,
@@ -432,21 +537,27 @@ pub fn read_mcb(path: &Path) -> Result<Scenario, String> {
         rates,
         rate_policy,
     )
-    .map_err(|e| format!("{}: {e}", path.display()))?;
+    .map_err(|e| bad_value(4, format!("{}: {e}", path.display())))?;
     if ap_positions.len() != instance.n_aps() {
-        return Err(format!(
-            "{}: {} AP positions for {} APs",
-            path.display(),
-            ap_positions.len(),
-            instance.n_aps()
+        return Err(bad_value(
+            4,
+            format!(
+                "{}: {} AP positions for {} APs",
+                path.display(),
+                ap_positions.len(),
+                instance.n_aps()
+            ),
         ));
     }
     if user_positions.len() != instance.n_users() {
-        return Err(format!(
-            "{}: {} user positions for {} users",
-            path.display(),
-            user_positions.len(),
-            instance.n_users()
+        return Err(bad_value(
+            4,
+            format!(
+                "{}: {} user positions for {} users",
+                path.display(),
+                user_positions.len(),
+                instance.n_users()
+            ),
         ));
     }
     Ok(Scenario {
@@ -533,7 +644,8 @@ mod tests {
         let path = tmp("magic.mcb");
         std::fs::write(&path, b"NOPE----------------").unwrap();
         let err = read_mcb(&path).unwrap_err();
-        assert!(err.contains("not an mcb file"), "{err}");
+        assert_eq!(err.kind, mcast_events::DecodeErrorKind::BadMagic);
+        assert!(err.to_string().contains("not an mcb file"), "{err}");
         let _ = std::fs::remove_file(path);
     }
 
@@ -549,22 +661,105 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         let err = read_mcb(&path).unwrap_err();
         assert!(
-            err.contains("checksum mismatch") || err.contains("truncated"),
+            err.to_string().contains("checksum mismatch") || err.to_string().contains("truncated"),
             "{err}"
         );
+        assert!(err.offset > 0, "provenance should point past the magic");
         let _ = std::fs::remove_file(path);
     }
 
     #[test]
-    fn truncation_is_detected() {
+    fn truncation_is_detected_with_offset() {
         let s = small();
         let path = tmp("trunc.mcb");
         write_mcb(&s, &path).unwrap();
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
         let err = read_mcb(&path).unwrap_err();
-        assert!(err.contains("truncated"), "{err}");
+        assert_eq!(err.kind, mcast_events::DecodeErrorKind::Truncated);
+        assert!(err.to_string().contains("truncated"), "{err}");
+        assert_eq!(err.offset, bytes.len() as u64 - 13, "END header offset");
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn inflated_length_prefix_is_a_named_limit_error_not_an_allocation() {
+        let s = small();
+        let path = tmp("inflate.mcb");
+        write_mcb(&s, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Forge the CONFIG section's length prefix (bytes 5..13) to an
+        // absurd value; the declared-vs-remaining guard must fire before
+        // any payload is read or buffered.
+        bytes[5..13].copy_from_slice(&(1u64 << 60).to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_mcb(&path).unwrap_err();
+        assert_eq!(err.kind, mcast_events::DecodeErrorKind::LimitExceeded);
+        assert_eq!(err.offset, 4, "points at the declaring header");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn section_cap_fires_under_strict_limits() {
+        let s = small();
+        let path = tmp("cap.mcb");
+        write_mcb(&s, &path).unwrap();
+        // The LINKS section of even this small scenario is far above a
+        // 64-byte cap; the typed error names the cap.
+        let err = read_mcb_with_limits(
+            &path,
+            mcast_events::DecodeLimits {
+                max_section_bytes: 64,
+                ..mcast_events::DecodeLimits::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, mcast_events::DecodeErrorKind::LimitExceeded);
+        assert!(err.to_string().contains("cap"), "{err}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn trailing_garbage_after_end_is_rejected() {
+        let s = small();
+        let path = tmp("trailing.mcb");
+        write_mcb(&s, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"junk");
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_mcb(&path).unwrap_err();
+        assert_eq!(err.kind, mcast_events::DecodeErrorKind::Framing);
+        assert!(err.to_string().contains("trailing"), "{err}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn every_corpus_mutation_yields_a_typed_error_or_a_valid_scenario() {
+        use mcast_events::harden::{mutate, ALL_MUTATIONS};
+        let s = small();
+        let path = tmp("mutate.mcb");
+        write_mcb(&s, &path).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+        let mutated_path = tmp("mutated.mcb");
+        for m in ALL_MUTATIONS {
+            for seed in 0..24u64 {
+                let corrupted = mutate(&clean, m, seed);
+                std::fs::write(&mutated_path, &corrupted).unwrap();
+                match read_mcb(&mutated_path) {
+                    // Salvage or a coincidental miss is only acceptable
+                    // when the result still passes full validation.
+                    Ok(back) => {
+                        assert_eq!(back.instance.n_users(), s.instance.n_users());
+                        assert_eq!(back.instance.n_aps(), s.instance.n_aps());
+                    }
+                    Err(e) => {
+                        assert!(!e.what.is_empty(), "{m:?}/{seed}: unnamed error");
+                    }
+                }
+            }
+        }
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(mutated_path);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use mcast_controller::{
     fold_events, lower_plan, replay_stream, serve, ControllerConfig, LadderPolicy,
 };
 use mcast_core::Objective;
+use mcast_events::journal::JournalError;
 use mcast_events::{EventKind, JsonlPublisher, MemoryPublisher, TimeQueue};
 use mcast_faults::{ApOutage, ChurnModel, FaultPlan};
 use mcast_topology::{Scenario, ScenarioConfig};
@@ -145,6 +146,69 @@ fn torn_log_replays_to_the_closed_epoch_prefix() {
             full.outcome.report.epochs[..n]
         );
     }
+}
+
+/// A sink that persists fine but permanently reports degraded
+/// pressure — isolates the service's overload-shedding response from
+/// any actual IO failure.
+struct DegradedSink(MemoryPublisher);
+
+impl mcast_events::EventPublisher for DegradedSink {
+    fn publish(&mut self, event: &mcast_events::Event) -> Result<(), JournalError> {
+        self.0.publish(event)
+    }
+
+    fn sync(&mut self) -> Result<(), JournalError> {
+        self.0.sync()
+    }
+
+    fn pressure(&self) -> mcast_events::SinkPressure {
+        mcast_events::SinkPressure::Degraded
+    }
+}
+
+/// A degraded sink back-pressures batched admission: with more events
+/// due in one window than `SHED_BATCH_CAP`, the epoch ingests exactly
+/// the cap, the overflow drains in deterministic queue order in later
+/// epochs, every join is still admitted, and the published stream still
+/// folds to the live report — shedding defers, it never loses.
+#[test]
+fn degraded_sink_sheds_admission_in_bounded_batches() {
+    let sc = ScenarioConfig {
+        n_aps: 10,
+        n_users: 100,
+        n_sessions: 3,
+        width_m: 600.0,
+        height_m: 600.0,
+        ..ScenarioConfig::paper_default()
+    }
+    .with_seed(11)
+    .generate();
+    let inst = &sc.instance;
+    let plan = FaultPlan::none();
+    let config = cfg(LadderPolicy::Repair);
+
+    let mut queue = lower_plan(inst, &plan, &config).expect("plan lowers");
+    let mut sink = DegradedSink(MemoryPublisher::new());
+    let (live, stats) =
+        serve(inst, &mut queue, &config, plan.link_keep_prob(), &mut sink).expect("service runs");
+
+    // 100 joins due at t = 0 against a cap of 64: epoch 0 sheds, epoch 1
+    // admits the remaining 36 without hitting the cap again.
+    assert_eq!(stats.joins, 100, "every join is eventually admitted");
+    assert_eq!(
+        stats.backpressure_sheds, 1,
+        "exactly one epoch hits the cap"
+    );
+    assert_eq!(live.report.invariant_violations, 0);
+
+    let folded = fold_events(inst, &sink.0.events).expect("stream folds");
+    assert_eq!(
+        serde_json::to_string(&folded.report).unwrap(),
+        serde_json::to_string(&live.report).unwrap(),
+        "shedding must not open a gap between stream and live run"
+    );
+    assert_eq!(live.association, folded.association);
 }
 
 /// Lowering a fault plan into the event queue and running the service

@@ -149,17 +149,26 @@ fn write_json_string(s: &str, out: &mut String) {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
+
+/// Maximum container nesting the parser accepts. The parser is
+/// recursive-descent, so without this cap a hostile `[[[[…` document a
+/// few hundred kilobytes long overflows the stack and aborts the
+/// process; with it, over-deep input is an ordinary [`Error`].
+pub const MAX_PARSE_DEPTH: usize = 128;
 
 /// Parses a complete JSON document into a [`Value`].
 ///
 /// # Errors
 ///
-/// Fails on malformed JSON or trailing garbage.
+/// Fails on malformed JSON, trailing garbage, or nesting deeper than
+/// [`MAX_PARSE_DEPTH`].
 pub fn parse_value(s: &str) -> Result<Value> {
     let mut p = Parser {
         bytes: s.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     let v = p.value()?;
     p.skip_ws();
@@ -225,11 +234,24 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(Error(format!(
+                "nesting deeper than {MAX_PARSE_DEPTH} at offset {}",
+                self.pos
+            )));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Value> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         if self.peek()? == b']' {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Array(items));
         }
         loop {
@@ -238,6 +260,7 @@ impl Parser<'_> {
                 b',' => self.pos += 1,
                 b']' => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Array(items));
                 }
                 other => {
@@ -252,9 +275,11 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Value> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut fields = Vec::new();
         if self.peek()? == b'}' {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Object(fields));
         }
         loop {
@@ -265,6 +290,7 @@ impl Parser<'_> {
                 b',' => self.pos += 1,
                 b'}' => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Object(fields));
                 }
                 other => {
@@ -385,6 +411,27 @@ fn utf8_len(first: u8) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn nesting_bomb_is_an_error_not_a_stack_overflow() {
+        // Without the depth cap this recursed once per byte and aborted
+        // the process on a few hundred kilobytes of input.
+        let bomb = "[".repeat(500_000);
+        let err = parse_value(&bomb).unwrap_err();
+        assert!(err.to_string().contains("nesting"), "{err}");
+        let obj_bomb = "{\"k\":".repeat(200_000);
+        let err = parse_value(&obj_bomb).unwrap_err();
+        assert!(err.to_string().contains("nesting"), "{err}");
+    }
+
+    #[test]
+    fn nesting_at_the_cap_still_parses() {
+        let depth = MAX_PARSE_DEPTH;
+        let doc = format!("{}{}", "[".repeat(depth), "]".repeat(depth));
+        assert!(parse_value(&doc).is_ok());
+        let over = format!("{}{}", "[".repeat(depth + 1), "]".repeat(depth + 1));
+        assert!(parse_value(&over).is_err());
+    }
 
     #[test]
     fn scalar_roundtrips() {
